@@ -1,0 +1,74 @@
+//! Pipeline-stage benchmarks: fleet simulation, statistical feature
+//! expansion, predictor training, and batch scoring.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use smart_dataset::{DriveModel, Fleet, FleetConfig};
+use smart_pipeline::{
+    collect_samples, FailurePredictor, PredictorConfig, SamplingConfig,
+};
+use smart_pipeline::matrix::{base_features, expanded_matrix};
+use std::hint::black_box;
+
+fn bench_fleet_generation(c: &mut Criterion) {
+    let config = FleetConfig::builder()
+        .days(365)
+        .seed(1)
+        .drives(DriveModel::Mc1, 50)
+        .build()
+        .expect("valid");
+    let mut group = c.benchmark_group("dataset");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    group.bench_function("fleet_50_drives_1y", |b| {
+        b.iter(|| black_box(Fleet::generate(&config)));
+    });
+    group.finish();
+}
+
+fn bench_feature_expansion(c: &mut Criterion) {
+    let config = FleetConfig::builder()
+        .days(365)
+        .seed(2)
+        .drives(DriveModel::Mc1, 80)
+        .failure_scale(8.0)
+        .build()
+        .expect("valid");
+    let fleet = Fleet::generate(&config);
+    let samples = collect_samples(&fleet, DriveModel::Mc1, 0, 364, &SamplingConfig::default())
+        .expect("samples");
+    let base = base_features(DriveModel::Mc1);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    group.bench_function("expand_matrix", |b| {
+        b.iter(|| black_box(expanded_matrix(&fleet, &samples, &base).expect("expansion")));
+    });
+
+    let predictor_config = PredictorConfig {
+        n_trees: 30,
+        max_depth: 10,
+        ..PredictorConfig::default()
+    };
+    group.bench_function("train_rf_30_trees", |b| {
+        b.iter(|| {
+            black_box(
+                FailurePredictor::train(&fleet, &samples, &base, &predictor_config)
+                    .expect("training"),
+            )
+        });
+    });
+
+    let predictor = FailurePredictor::train(&fleet, &samples, &base, &predictor_config)
+        .expect("training");
+    group.bench_function("score_batch", |b| {
+        b.iter(|| black_box(predictor.score_samples(&fleet, &samples).expect("scoring")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_generation, bench_feature_expansion);
+criterion_main!(benches);

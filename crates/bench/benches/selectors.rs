@@ -1,0 +1,120 @@
+//! Criterion benchmarks backing Exp#4: the runtime of each preliminary
+//! selector and of parallel WEFR on an MC1-shaped base matrix.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use smart_pipeline::experiment::SelectorKind;
+use smart_stats::FeatureMatrix;
+use std::hint::black_box;
+use wefr_core::{SelectionInput, Wefr, WefrConfig};
+
+/// An MC1-shaped synthetic base matrix: 38 features (19 attributes × 2),
+/// a handful informative, the rest noise; ~9% positive rate.
+fn synthetic_matrix(n_rows: usize, seed: u64) -> (FeatureMatrix, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: Vec<bool> = (0..n_rows).map(|_| rng.random::<f64>() < 0.09).collect();
+    let n_features = 38;
+    let mut names = Vec::with_capacity(n_features);
+    let mut columns = Vec::with_capacity(n_features);
+    for f in 0..n_features {
+        names.push(format!("F{f:02}"));
+        let informative = f < 6;
+        let strength = 8.0 / (f + 1) as f64;
+        columns.push(
+            labels
+                .iter()
+                .map(|&l| {
+                    let signal = if informative && l { strength } else { 0.0 };
+                    signal + rng.random::<f64>() * 3.0
+                })
+                .collect(),
+        );
+    }
+    (
+        FeatureMatrix::from_columns(names, columns).expect("valid matrix"),
+        labels,
+    )
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let (matrix, labels) = synthetic_matrix(2000, 1);
+    let mut group = c.benchmark_group("selector_rank");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    for kind in SelectorKind::ALL {
+        let ranker = kind.build(7);
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| black_box(ranker.rank(&matrix, &labels).expect("two-class")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wefr(c: &mut Criterion) {
+    let (matrix, labels) = synthetic_matrix(2000, 2);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mwi: Vec<f64> = (0..matrix.n_rows())
+        .map(|_| 5.0 + rng.random::<f64>() * 90.0)
+        .collect();
+    let survival: Vec<(f64, bool)> = mwi.iter().zip(&labels).map(|(&m, &l)| (m, l)).collect();
+    let wefr = Wefr::new(WefrConfig {
+        seed: 7,
+        ..WefrConfig::default()
+    });
+
+    let mut group = c.benchmark_group("wefr_select");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    group.bench_function("global_only", |b| {
+        b.iter(|| {
+            black_box(
+                wefr.select(&SelectionInput::basic(&matrix, &labels))
+                    .expect("selection"),
+            )
+        });
+    });
+    group.bench_function("with_wearout", |b| {
+        b.iter(|| {
+            black_box(
+                wefr.select(&SelectionInput {
+                    data: &matrix,
+                    labels: &labels,
+                    mwi_per_sample: Some(&mwi),
+                    survival: Some(&survival),
+                })
+                .expect("selection"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wefr_scaling_rows");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+    for rows in [500usize, 2000, 8000] {
+        let (matrix, labels) = synthetic_matrix(rows, 4);
+        let wefr = Wefr::new(WefrConfig {
+            seed: 7,
+            ..WefrConfig::default()
+        });
+        group.bench_function(BenchmarkId::from_parameter(rows), |b| {
+            b.iter(|| {
+                black_box(
+                    wefr.select(&SelectionInput::basic(&matrix, &labels))
+                        .expect("selection"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectors, bench_wefr, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Run every table and figure of the paper in sequence, sharing one fleet.
+//!
+//! This is the one-shot reproduction driver behind EXPERIMENTS.md; each
+//! artifact is also available as its own binary for focused runs.
+
+use std::process::Command;
+use wefr_bench::{print_header, RunOptions};
+
+const BINARIES: [&str; 9] = [
+    "table1_attributes",
+    "table2_summary",
+    "figure1_survival",
+    "table3_importance",
+    "table4_rankings",
+    "table5_wearout_rankings",
+    "exp1_effectiveness",
+    "exp2_automated",
+    "exp3_updating",
+];
+
+fn main() {
+    let opts = RunOptions::from_args();
+    print_header("WEFR reproduction: all tables and figures");
+    eprintln!(
+        "fleet: {} drives/model over {} days (seed {}); quick = {}",
+        opts.drives_per_model, opts.days, opts.seed, opts.quick
+    );
+
+    // exp4 is last: it is timing-sensitive and benefits from a quiet machine.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for bin in BINARIES.iter().chain(std::iter::once(&"exp4_runtime")) {
+        eprintln!("\n>>> {bin}");
+        let status = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
+            .args(&args)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {bin}: {e} (build with `cargo build -p wefr-bench --bins`)"),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Exp#1 / Table VI — prediction accuracy of no feature selection, the five
+//! state-of-the-art selectors (validation-tuned percentage), and WEFR, per
+//! drive model and overall, at the paper's fixed per-model recall.
+
+use smart_pipeline::experiment::{run_method, Method, MethodResult, SelectorKind};
+use smart_pipeline::report::{render_method_table, rows_from_results};
+use wefr_bench::{print_header, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let fleet = opts.fleet();
+    let config = opts.experiment_config();
+
+    let methods: Vec<Method> = std::iter::once(Method::NoSelection)
+        .chain(SelectorKind::ALL.into_iter().map(|kind| Method::Selector {
+            kind,
+            percent: None,
+        }))
+        .chain(std::iter::once(Method::Wefr))
+        .collect();
+
+    print_header("Exp#1 / Table VI: effectiveness of robust feature selection");
+    let models = opts.models();
+    let mut results: Vec<MethodResult> = Vec::new();
+    for &model in &models {
+        for &method in &methods {
+            eprint!("running {:<22} on {} ... ", method.label(), model);
+            match run_method(&fleet, model, method, &config) {
+                Ok(r) => {
+                    eprintln!(
+                        "P={:.0}% R={:.0}% F0.5={:.0}%",
+                        r.overall.precision * 100.0,
+                        r.overall.recall * 100.0,
+                        r.overall.f_half * 100.0
+                    );
+                    results.push(r);
+                }
+                Err(e) => eprintln!("FAILED: {e}"),
+            }
+        }
+    }
+
+    let labels: Vec<String> = methods.iter().map(Method::label).collect();
+    let model_names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+    let rows = rows_from_results(&labels, &results);
+    println!("{}", render_method_table(&model_names, &rows));
+
+    // Paper-shape summary: WEFR vs no selection on overall precision/F0.5.
+    let overall_of = |label: &str| {
+        rows.iter()
+            .find(|(l, _, _)| l == label)
+            .map(|(_, _, overall)| *overall)
+    };
+    if let (Some(none), Some(wefr)) = (overall_of("No feature selection"), overall_of("WEFR")) {
+        println!(
+            "WEFR vs no selection (all models): precision {:+.0}pp (paper +22pp), F0.5 {:+.0}pp (paper +10pp)",
+            (wefr.precision - none.precision) * 100.0,
+            (wefr.f_half - none.f_half) * 100.0
+        );
+    }
+    opts.write_json("exp1_effectiveness", &results);
+}

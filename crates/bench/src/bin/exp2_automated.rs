@@ -1,0 +1,51 @@
+//! Exp#2 / Figure 2 — F0.5 of WEFR's automatically chosen feature count
+//! versus fixed selected-feature percentages (10%–100%) over the same
+//! ensemble ranking.
+
+use smart_pipeline::experiment::run_percentage_sweep;
+use wefr_bench::{print_header, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let fleet = opts.fleet();
+    let mut config = opts.experiment_config();
+    // Figure 2 sweeps 10%..100% in 10% steps, as the paper does.
+    config.tune_grid = (1..=10).map(|i| i as f64 / 10.0).collect();
+
+    print_header("Exp#2 / Figure 2: effectiveness of automated feature selection");
+    let mut results = Vec::new();
+    for model in opts.models() {
+        eprintln!("sweeping {model} ...");
+        match run_percentage_sweep(&fleet, model, &config) {
+            Ok(sweep) => {
+                println!("--- {model} ---");
+                print!("fixed %: ");
+                for p in &sweep.points {
+                    print!("{:.0}%:{:.2} ", p.percent * 100.0, p.f_half);
+                }
+                println!();
+                let best_fixed = sweep
+                    .points
+                    .iter()
+                    .map(|p| p.f_half)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                println!(
+                    "WEFR:    auto {:.0}% of features -> F0.5 {:.2} (best fixed {:.2}, {})",
+                    sweep.wefr_percent * 100.0,
+                    sweep.wefr_f_half,
+                    best_fixed,
+                    if sweep.wefr_f_half + 1e-9 >= best_fixed {
+                        "WEFR >= best fixed, matches the paper"
+                    } else {
+                        "WEFR below best fixed"
+                    }
+                );
+                println!();
+                results.push(sweep);
+            }
+            Err(e) => eprintln!("{model} FAILED: {e}"),
+        }
+    }
+    println!("paper reference: WEFR's automatic fractions were 31/34/28/26/63/28% for MA1..MC2");
+    opts.write_json("exp2_automated", &results);
+}

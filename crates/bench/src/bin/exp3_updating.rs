@@ -1,0 +1,55 @@
+//! Exp#3 / Table VII — WEFR with versus without wear-out updating, on all
+//! drives and on the low-MWI cohort, for the four models with change points
+//! (MA1, MA2, MC1, MC2).
+
+use smart_dataset::DriveModel;
+use smart_pipeline::experiment::run_updating_comparison;
+use smart_pipeline::report::prf;
+use wefr_bench::{print_header, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let fleet = opts.fleet();
+    let config = opts.experiment_config();
+
+    print_header("Exp#3 / Table VII: effectiveness of updating feature selection");
+    println!(
+        "{:<7} | {:^19} | {:^19} | {:^19} | {:^19}",
+        "Model", "NoUpdate (All)", "WEFR (All)", "NoUpdate (Low)", "WEFR (Low)"
+    );
+    println!("{}", "-".repeat(7 + 4 * 22));
+
+    let candidates = [DriveModel::Ma1, DriveModel::Ma2, DriveModel::Mc1, DriveModel::Mc2];
+    let mut results = Vec::new();
+    for model in opts.models().into_iter().filter(|m| candidates.contains(m)) {
+        eprintln!("comparing updating on {model} ...");
+        match run_updating_comparison(&fleet, model, &config) {
+            Ok(r) => {
+                let low = |m: &Option<smart_pipeline::EvalMetrics>| {
+                    m.as_ref().map_or("n/a".to_string(), prf)
+                };
+                println!(
+                    "{:<7} | {:^19} | {:^19} | {:^19} | {:^19}",
+                    model.name(),
+                    prf(&r.no_update_all),
+                    prf(&r.wefr_all),
+                    low(&r.no_update_low),
+                    low(&r.wefr_low),
+                );
+                results.push(r);
+            }
+            Err(e) => eprintln!("{model} FAILED: {e}"),
+        }
+    }
+
+    let improved = results
+        .iter()
+        .filter(|r| r.wefr_all.precision >= r.no_update_all.precision)
+        .count();
+    println!(
+        "\nprecision with updating >= without on {improved}/{} models \
+         (paper: updating improves precision by 4-6pp on all four)",
+        results.len()
+    );
+    opts.write_json("exp3_updating", &results);
+}

@@ -1,0 +1,43 @@
+//! Table I — SMART attribute coverage per drive model.
+//!
+//! Regenerates the attribute/model matrix from the drive-model catalog (the
+//! reconstruction of the paper's Table I; see `DriveModel::attributes`).
+
+use smart_dataset::{DriveModel, SmartAttribute};
+use wefr_bench::{print_header, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    print_header("Table I: SMART attributes per drive model");
+
+    print!("{:<40}", "SMART attribute name");
+    for m in DriveModel::ALL {
+        print!(" {:>4}", m.name());
+    }
+    println!();
+    println!("{}", "-".repeat(40 + 6 * 5));
+
+    let mut rows = Vec::new();
+    for attr in SmartAttribute::ALL {
+        print!("{:<34} ({:<4})", attr.full_name(), attr.code());
+        let mut coverage = Vec::new();
+        for m in DriveModel::ALL {
+            let has = m.has_attribute(attr);
+            print!(" {:>4}", if has { "Y" } else { "-" });
+            coverage.push(has);
+        }
+        println!();
+        rows.push((attr.code().to_string(), coverage));
+    }
+
+    println!(
+        "\n{} attributes; per-model counts: {}",
+        SmartAttribute::ALL.len(),
+        DriveModel::ALL
+            .iter()
+            .map(|m| format!("{}={}", m.name(), m.attributes().len()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    opts.write_json("table1_attributes", &rows);
+}

@@ -1,0 +1,59 @@
+//! Table II — fleet summary statistics: population share, failure share,
+//! and annualized failure rate per drive model.
+//!
+//! Uses the lifecycle census (population mix of the paper, unboosted AFRs).
+//! Compare the *ordering* and rough magnitudes against the paper's Table II
+//! — the absolute counts scale with `--census`.
+
+use smart_dataset::stats::summarize;
+use smart_dataset::DriveModel;
+use wefr_bench::{print_header, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let census = opts.census();
+    let stats = summarize(census.summaries());
+
+    print_header("Table II: summary of statistics");
+    println!(
+        "{:<8} {:<6} {:>8} {:>9} {:>8} {:>10} {:>8} | {:>9} {:>8}",
+        "Model", "Flash", "Drives", "Failures", "Total%", "Failures%", "AFR(%)", "paper T%", "paperAFR"
+    );
+    println!("{}", "-".repeat(92));
+    for s in &stats {
+        println!(
+            "{:<8} {:<6} {:>8} {:>9} {:>7.1}% {:>9.1}% {:>7.2}% | {:>8.1}% {:>7.2}%",
+            s.model.name(),
+            s.flash.to_string(),
+            s.drives,
+            s.failures,
+            s.population_share * 100.0,
+            s.failure_share * 100.0,
+            s.afr_percent,
+            s.model.population_share() * 100.0,
+            s.model.target_afr_percent(),
+        );
+    }
+
+    // Shape checks the paper reports.
+    let afr = |m: DriveModel| {
+        stats
+            .iter()
+            .find(|s| s.model == m)
+            .map(|s| s.afr_percent)
+            .unwrap_or(0.0)
+    };
+    let max_mlc = [DriveModel::Ma1, DriveModel::Ma2, DriveModel::Mb1, DriveModel::Mb2]
+        .iter()
+        .map(|&m| afr(m))
+        .fold(0.0, f64::max);
+    println!(
+        "\nTLC AFRs exceed all MLC AFRs: {}",
+        if afr(DriveModel::Mc1) > max_mlc && afr(DriveModel::Mc2) > max_mlc {
+            "yes (matches the paper)"
+        } else {
+            "NO (check simulator calibration)"
+        }
+    );
+    opts.write_json("table2_summary", &stats);
+}

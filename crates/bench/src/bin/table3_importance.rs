@@ -1,0 +1,57 @@
+//! Table III — top and last three important learning features per drive
+//! model, by Random Forest feature-importance ranking.
+
+use serde::Serialize;
+use wefr_bench::{characterization_matrix, print_header, RunOptions};
+use wefr_core::{FeatureRanker, ForestRanker};
+
+#[derive(Serialize)]
+struct ModelImportance {
+    model: String,
+    top3: Vec<(String, f64)>,
+    last3: Vec<(String, f64)>,
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let fleet = opts.fleet();
+    print_header("Table III: top/last-3 features by Random Forest importance");
+
+    let mut results = Vec::new();
+    for model in opts.models() {
+        let (matrix, labels, _) = characterization_matrix(&fleet, model, opts.seed);
+        let ranking = ForestRanker::with_seed(opts.seed)
+            .rank(&matrix, &labels)
+            .expect("characterization data is two-class");
+
+        let named = |names: Vec<&str>| -> Vec<(String, f64)> {
+            names
+                .into_iter()
+                .map(|n| (n.to_string(), ranking.score_of(n).unwrap_or(0.0)))
+                .collect()
+        };
+        let top3 = named(ranking.top_names(3));
+        let last3 = named(ranking.bottom_names(3));
+
+        println!("--- {model} ---");
+        print!("  top 3:  ");
+        for (name, score) in &top3 {
+            print!("{name} ({score:.3})  ");
+        }
+        println!();
+        print!("  last 3: ");
+        for (name, score) in &last3 {
+            print!("{name} ({score:.3})  ");
+        }
+        println!("\n");
+
+        results.push(ModelImportance {
+            model: model.name().to_string(),
+            top3,
+            last3,
+        });
+    }
+
+    println!("paper reference (top-1 per model): MA1 PLP_N, MA2 POH_R, MB1 ARS_N, MB2 REC_N, MC1 OCE_R, MC2 UCE_R");
+    opts.write_json("table3_importance", &results);
+}

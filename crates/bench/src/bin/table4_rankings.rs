@@ -1,0 +1,53 @@
+//! Table IV — top-five feature rankings for MC1 under each of the five
+//! feature-selection approaches, demonstrating that the approaches disagree
+//! (the motivation for robust ensembling).
+
+use serde::Serialize;
+use smart_dataset::DriveModel;
+use smart_pipeline::experiment::SelectorKind;
+use smart_stats::kendall::normalized_kendall_tau_distance;
+use wefr_bench::{characterization_matrix, print_header, RunOptions};
+
+#[derive(Serialize)]
+struct SelectorTop {
+    selector: String,
+    top5: Vec<String>,
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let fleet = opts.fleet();
+    let model = DriveModel::Mc1;
+    let (matrix, labels, _) = characterization_matrix(&fleet, model, opts.seed);
+
+    print_header("Table IV: top-5 rankings for MC1 across the five approaches");
+
+    let mut rows = Vec::new();
+    let mut orders = Vec::new();
+    for kind in SelectorKind::ALL {
+        let ranking = kind
+            .build(opts.seed)
+            .rank(&matrix, &labels)
+            .expect("two-class data");
+        let top5: Vec<String> = ranking.top_names(5).iter().map(|s| s.to_string()).collect();
+        println!("{:<22} {}", kind.label(), top5.join("  "));
+        orders.push((kind.label(), ranking.order().to_vec()));
+        rows.push(SelectorTop {
+            selector: kind.label().to_string(),
+            top5,
+        });
+    }
+
+    // Quantify the disagreement the paper observes: normalized Kendall-tau
+    // distances between the full rankings.
+    println!("\nnormalized Kendall-tau distance between rankings:");
+    for i in 0..orders.len() {
+        for j in (i + 1)..orders.len() {
+            let d = normalized_kendall_tau_distance(&orders[i].1, &orders[j].1)
+                .expect("same feature set");
+            println!("  {:<22} vs {:<22} {:.3}", orders[i].0, orders[j].0, d);
+        }
+    }
+    println!("\npaper reference (rank 1): Pearson OCE_R, Spearman OCE_R, J-index OCE_R, RF OCE_R, XGBoost UCE_R");
+    opts.write_json("table4_rankings", &rows);
+}

@@ -1,0 +1,114 @@
+//! The ensemble complexity measure `F` of Seijo-Pardo et al. [26]:
+//! `F = (1/F1 + F2 + 1/F3) / d`, oriented so that *higher F = harder
+//! problem*.
+
+use crate::measures::SubsetMeasures;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the ensemble measure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleConfig {
+    /// Normalizing divisor. The paper prints `/2`; with three ensembled
+    /// measures the mean (`3`) is used here — see DESIGN.md §2. The divisor
+    /// only rescales `F`.
+    pub divisor: f64,
+    /// Cap applied to the reciprocal terms `1/F1` and `1/F3` so that a
+    /// useless feature set yields a large-but-finite complexity.
+    pub reciprocal_cap: f64,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            divisor: 3.0,
+            reciprocal_cap: 10.0,
+        }
+    }
+}
+
+/// The ensemble complexity `F` of a feature subset. Higher = harder.
+pub fn ensemble_complexity(m: &SubsetMeasures, config: &EnsembleConfig) -> f64 {
+    let r1 = capped_reciprocal(m.f1, config.reciprocal_cap);
+    let r3 = capped_reciprocal(m.f3, config.reciprocal_cap);
+    (r1 + m.f2 + r3) / config.divisor
+}
+
+fn capped_reciprocal(x: f64, cap: f64) -> f64 {
+    if x <= 0.0 {
+        cap
+    } else {
+        (1.0 / x).min(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn easy_subset_has_low_complexity() {
+        let easy = SubsetMeasures {
+            f1: 50.0,
+            f2: 0.0,
+            f3: 1.0,
+        };
+        let hard = SubsetMeasures {
+            f1: 0.01,
+            f2: 1.0,
+            f3: 0.05,
+        };
+        let config = EnsembleConfig::default();
+        assert!(ensemble_complexity(&easy, &config) < ensemble_complexity(&hard, &config));
+    }
+
+    #[test]
+    fn empty_subset_hits_the_cap() {
+        let config = EnsembleConfig::default();
+        let f = ensemble_complexity(&SubsetMeasures::empty(), &config);
+        // (cap + 1 + cap) / 3 = 7.0 with defaults.
+        assert!((f - 7.0).abs() < 1e-12, "f = {f}");
+    }
+
+    #[test]
+    fn divisor_rescales_only() {
+        let m = SubsetMeasures {
+            f1: 2.0,
+            f2: 0.5,
+            f3: 0.5,
+        };
+        let d3 = ensemble_complexity(&m, &EnsembleConfig::default());
+        let d2 = ensemble_complexity(
+            &m,
+            &EnsembleConfig {
+                divisor: 2.0,
+                ..EnsembleConfig::default()
+            },
+        );
+        assert!((d2 / d3 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value() {
+        let m = SubsetMeasures {
+            f1: 2.0,
+            f2: 0.5,
+            f3: 0.5,
+        };
+        // (0.5 + 0.5 + 2.0) / 3 = 1.0
+        let f = ensemble_complexity(&m, &EnsembleConfig::default());
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complexity_is_nonnegative_and_finite() {
+        let config = EnsembleConfig::default();
+        for f1 in [0.0, 0.1, 1e9] {
+            for f2 in [0.0, 0.5, 1.0] {
+                for f3 in [0.0, 0.5, 1.0] {
+                    let f = ensemble_complexity(&SubsetMeasures { f1, f2, f3 }, &config);
+                    assert!(f.is_finite() && f >= 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for complexity measures.
+
+use std::fmt;
+
+/// Errors produced by complexity-measure routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ComplexityError {
+    /// The input was empty.
+    EmptyInput,
+    /// Values and labels had different lengths.
+    LengthMismatch {
+        /// Number of values.
+        values: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// Labels contained only one class — complexity of a two-class problem
+    /// is undefined.
+    SingleClass,
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for ComplexityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComplexityError::EmptyInput => write!(f, "input is empty"),
+            ComplexityError::LengthMismatch { values, labels } => {
+                write!(f, "got {values} values but {labels} labels")
+            }
+            ComplexityError::SingleClass => {
+                write!(f, "labels contain a single class; two classes are required")
+            }
+            ComplexityError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComplexityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ComplexityError::LengthMismatch { values: 5, labels: 4 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('4'));
+        assert!(ComplexityError::SingleClass.to_string().contains("single class"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ComplexityError>();
+    }
+}

@@ -1,0 +1,290 @@
+//! Ho–Basu data-complexity measures for a two-class problem, per feature
+//! and for feature subsets.
+//!
+//! * **F1** — maximum Fisher's discriminant ratio: per feature
+//!   `(μ₊ - μ₋)² / (σ₊² + σ₋²)`; for a subset, the maximum over its
+//!   features. *Higher = easier.*
+//! * **F2** — volume of the overlap region: per feature the normalized
+//!   overlap of the two classes' value ranges; for a subset, the product
+//!   over its features. *Lower = easier.*
+//! * **F3** — maximum individual feature efficiency: the fraction of samples
+//!   a feature can separate outside the class overlap region; for a subset,
+//!   the maximum over its features. *Higher = easier.*
+
+use crate::error::ComplexityError;
+use serde::{Deserialize, Serialize};
+
+/// The three per-feature complexity measures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMeasures {
+    /// Fisher's discriminant ratio (higher = easier).
+    pub fisher: f64,
+    /// Overlap-region fraction in `[0, 1]` (lower = easier).
+    pub overlap: f64,
+    /// Feature efficiency in `[0, 1]` (higher = easier).
+    pub efficiency: f64,
+}
+
+/// Compute the three measures for a single feature.
+///
+/// # Errors
+///
+/// Returns [`ComplexityError::EmptyInput`],
+/// [`ComplexityError::LengthMismatch`], or
+/// [`ComplexityError::SingleClass`] for degenerate inputs.
+pub fn feature_measures(values: &[f64], labels: &[bool]) -> Result<FeatureMeasures, ComplexityError> {
+    if values.is_empty() {
+        return Err(ComplexityError::EmptyInput);
+    }
+    if values.len() != labels.len() {
+        return Err(ComplexityError::LengthMismatch {
+            values: values.len(),
+            labels: labels.len(),
+        });
+    }
+    let pos: Vec<f64> = values
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&v, _)| v)
+        .collect();
+    let neg: Vec<f64> = values
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| !l)
+        .map(|(&v, _)| v)
+        .collect();
+    if pos.is_empty() || neg.is_empty() {
+        return Err(ComplexityError::SingleClass);
+    }
+
+    Ok(FeatureMeasures {
+        fisher: fisher_ratio(&pos, &neg),
+        overlap: overlap_fraction(&pos, &neg),
+        efficiency: feature_efficiency(&pos, &neg, values.len()),
+    })
+}
+
+fn class_stats(xs: &[f64]) -> (f64, f64, f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (mean, var, min, max)
+}
+
+/// Fisher's discriminant ratio between the two class samples. A feature
+/// whose classes differ in mean with zero within-class variance gets a
+/// large finite ratio (capped at 1e6) rather than infinity.
+fn fisher_ratio(pos: &[f64], neg: &[f64]) -> f64 {
+    let (mp, vp, _, _) = class_stats(pos);
+    let (mn, vn, _, _) = class_stats(neg);
+    let num = (mp - mn) * (mp - mn);
+    let den = vp + vn;
+    if den <= 0.0 {
+        if num > 0.0 {
+            1e6
+        } else {
+            0.0
+        }
+    } else {
+        (num / den).min(1e6)
+    }
+}
+
+/// Normalized overlap of the two classes' value ranges, in `[0, 1]`.
+fn overlap_fraction(pos: &[f64], neg: &[f64]) -> f64 {
+    let (_, _, min_p, max_p) = class_stats(pos);
+    let (_, _, min_n, max_n) = class_stats(neg);
+    let overlap = (max_p.min(max_n) - min_p.max(min_n)).max(0.0);
+    let span = max_p.max(max_n) - min_p.min(min_n);
+    if span <= 0.0 {
+        // Identical constant feature for both classes: total overlap.
+        1.0
+    } else {
+        (overlap / span).clamp(0.0, 1.0)
+    }
+}
+
+/// Fraction of all samples lying *outside* the class overlap region — the
+/// samples this feature alone can classify.
+fn feature_efficiency(pos: &[f64], neg: &[f64], total: usize) -> f64 {
+    let (_, _, min_p, max_p) = class_stats(pos);
+    let (_, _, min_n, max_n) = class_stats(neg);
+    let lo = min_p.max(min_n);
+    let hi = max_p.min(max_n);
+    if hi < lo {
+        // Disjoint ranges: everything is separable.
+        return 1.0;
+    }
+    let inside = pos
+        .iter()
+        .chain(neg.iter())
+        .filter(|&&v| (lo..=hi).contains(&v))
+        .count();
+    (total - inside) as f64 / total as f64
+}
+
+/// The subset-level measures of a growing feature prefix, foldable one
+/// feature at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubsetMeasures {
+    /// `max` of per-feature Fisher ratios.
+    pub f1: f64,
+    /// Product of per-feature overlap fractions.
+    pub f2: f64,
+    /// `max` of per-feature efficiencies.
+    pub f3: f64,
+}
+
+impl SubsetMeasures {
+    /// The empty subset (worst-case measures).
+    pub fn empty() -> Self {
+        SubsetMeasures {
+            f1: 0.0,
+            f2: 1.0,
+            f3: 0.0,
+        }
+    }
+
+    /// Fold one more feature into the subset.
+    pub fn with_feature(self, m: &FeatureMeasures) -> Self {
+        SubsetMeasures {
+            f1: self.f1.max(m.fisher),
+            f2: self.f2 * m.overlap,
+            f3: self.f3.max(m.efficiency),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn separated() -> (Vec<f64>, Vec<bool>) {
+        let values = vec![1.0, 2.0, 3.0, 10.0, 11.0, 12.0];
+        let labels = vec![false, false, false, true, true, true];
+        (values, labels)
+    }
+
+    fn mixed() -> (Vec<f64>, Vec<bool>) {
+        let values = vec![1.0, 2.0, 3.0, 4.0, 2.5, 3.5, 1.5, 4.5];
+        let labels = vec![false, false, false, false, true, true, true, true];
+        (values, labels)
+    }
+
+    #[test]
+    fn separated_feature_is_easy() {
+        let (v, l) = separated();
+        let m = feature_measures(&v, &l).unwrap();
+        assert!(m.fisher > 10.0, "fisher = {}", m.fisher);
+        assert_eq!(m.overlap, 0.0);
+        assert_eq!(m.efficiency, 1.0);
+    }
+
+    #[test]
+    fn mixed_feature_is_hard() {
+        let (v, l) = mixed();
+        let m = feature_measures(&v, &l).unwrap();
+        assert!(m.fisher < 1.0, "fisher = {}", m.fisher);
+        assert!(m.overlap > 0.5, "overlap = {}", m.overlap);
+        assert!(m.efficiency < 0.5, "efficiency = {}", m.efficiency);
+    }
+
+    #[test]
+    fn constant_feature_is_useless() {
+        let values = vec![5.0; 6];
+        let labels = vec![false, false, false, true, true, true];
+        let m = feature_measures(&values, &labels).unwrap();
+        assert_eq!(m.fisher, 0.0);
+        assert_eq!(m.overlap, 1.0);
+        assert_eq!(m.efficiency, 0.0);
+    }
+
+    #[test]
+    fn zero_variance_but_distinct_means() {
+        let values = vec![1.0, 1.0, 2.0, 2.0];
+        let labels = vec![false, false, true, true];
+        let m = feature_measures(&values, &labels).unwrap();
+        assert_eq!(m.fisher, 1e6);
+        assert_eq!(m.overlap, 0.0);
+        assert_eq!(m.efficiency, 1.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert_eq!(feature_measures(&[], &[]), Err(ComplexityError::EmptyInput));
+        assert!(matches!(
+            feature_measures(&[1.0], &[true, false]),
+            Err(ComplexityError::LengthMismatch { .. })
+        ));
+        assert_eq!(
+            feature_measures(&[1.0, 2.0], &[true, true]),
+            Err(ComplexityError::SingleClass)
+        );
+    }
+
+    #[test]
+    fn subset_fold_improves_with_good_feature() {
+        let (v, l) = separated();
+        let good = feature_measures(&v, &l).unwrap();
+        let (v, l) = mixed();
+        let bad = feature_measures(&v, &l).unwrap();
+
+        let only_bad = SubsetMeasures::empty().with_feature(&bad);
+        let both = only_bad.with_feature(&good);
+        assert!(both.f1 > only_bad.f1);
+        assert!(both.f2 < only_bad.f2);
+        assert!(both.f3 > only_bad.f3);
+    }
+
+    #[test]
+    fn subset_empty_is_worst() {
+        let e = SubsetMeasures::empty();
+        assert_eq!(e.f1, 0.0);
+        assert_eq!(e.f2, 1.0);
+        assert_eq!(e.f3, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_measures_in_range(
+            samples in proptest::collection::vec((-1e3f64..1e3, any::<bool>()), 4..80),
+        ) {
+            let values: Vec<f64> = samples.iter().map(|s| s.0).collect();
+            let labels: Vec<bool> = samples.iter().map(|s| s.1).collect();
+            prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+            let m = feature_measures(&values, &labels).unwrap();
+            prop_assert!(m.fisher >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&m.overlap));
+            prop_assert!((0.0..=1.0).contains(&m.efficiency));
+        }
+
+        #[test]
+        fn prop_subset_monotone(
+            samples in proptest::collection::vec((-1e3f64..1e3, any::<bool>()), 4..40),
+            samples2 in proptest::collection::vec((-1e3f64..1e3, any::<bool>()), 4..40),
+        ) {
+            // Adding a feature can only keep or improve F1/F3 and keep or
+            // shrink F2.
+            let mk = |s: &[(f64, bool)]| {
+                let values: Vec<f64> = s.iter().map(|x| x.0).collect();
+                let labels: Vec<bool> = s.iter().map(|x| x.1).collect();
+                (values, labels)
+            };
+            let (v1, l1) = mk(&samples);
+            let (v2, l2) = mk(&samples2);
+            prop_assume!(l1.iter().any(|&l| l) && l1.iter().any(|&l| !l));
+            prop_assume!(l2.iter().any(|&l| l) && l2.iter().any(|&l| !l));
+            let m1 = feature_measures(&v1, &l1).unwrap();
+            let m2 = feature_measures(&v2, &l2).unwrap();
+            let one = SubsetMeasures::empty().with_feature(&m1);
+            let two = one.with_feature(&m2);
+            prop_assert!(two.f1 >= one.f1);
+            prop_assert!(two.f2 <= one.f2);
+            prop_assert!(two.f3 >= one.f3);
+        }
+    }
+}

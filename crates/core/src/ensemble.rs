@@ -1,0 +1,273 @@
+//! Robust ensembling of feature rankings (§IV-B of the paper): Kendall-tau
+//! distances between rankings, outlier removal at the 95% confidence level,
+//! and mean-rank aggregation.
+
+use crate::error::WefrError;
+use crate::ranking::FeatureRanking;
+use serde::{Deserialize, Serialize};
+use smart_stats::descriptive::{mean, population_std};
+use smart_stats::kendall::kendall_tau_distance;
+
+/// The paper's outlier threshold: 1.96 standard deviations (95% confidence).
+pub const PAPER_OUTLIER_SIGMA: f64 = 1.96;
+
+/// Diagnostics for one ranker's participation in the ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankerOutcome {
+    /// Ranker name.
+    pub ranker: String,
+    /// Mean Kendall-tau distance to the other rankers (`D̄`).
+    pub mean_distance: f64,
+    /// Whether the ranking survived outlier removal.
+    pub kept: bool,
+}
+
+/// The aggregated ensemble ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleRanking {
+    /// Feature names, in column order.
+    pub names: Vec<String>,
+    /// Mean rank position of each feature across the kept rankings (lower =
+    /// better), in column order.
+    pub mean_positions: Vec<f64>,
+    /// Column indices ordered best-first.
+    pub order: Vec<usize>,
+    /// Per-ranker diagnostics.
+    pub outcomes: Vec<RankerOutcome>,
+}
+
+/// Combine named rankings into a robust ensemble ranking.
+///
+/// A ranking whose mean Kendall-tau distance to the others (`D̄`) exceeds
+/// the mean of all `D̄` by more than `outlier_sigma` standard deviations is
+/// discarded as biased (the check is one-sided: deviating *less* than the
+/// others is agreement, not bias). The final ranking is the ascending order
+/// of mean rank positions over the kept rankings.
+///
+/// # Errors
+///
+/// Returns [`WefrError::InvalidInput`] when fewer than two rankings are
+/// given, the rankings disagree on the feature set, or `outlier_sigma` is
+/// not positive.
+pub fn ensemble_rankings(
+    rankings: &[(String, FeatureRanking)],
+    outlier_sigma: f64,
+) -> Result<EnsembleRanking, WefrError> {
+    if rankings.len() < 2 {
+        return Err(WefrError::InvalidInput {
+            message: format!("ensembling needs at least 2 rankings, got {}", rankings.len()),
+        });
+    }
+    if outlier_sigma <= 0.0 {
+        return Err(WefrError::InvalidInput {
+            message: "outlier_sigma must be positive".to_string(),
+        });
+    }
+    let names = rankings[0].1.names();
+    for (ranker, ranking) in rankings {
+        if ranking.names() != names {
+            return Err(WefrError::InvalidInput {
+                message: format!("ranker {ranker} ranked a different feature set"),
+            });
+        }
+    }
+
+    // Pairwise Kendall-tau distances and per-ranker means.
+    let k = rankings.len();
+    let mut mean_d = vec![0.0; k];
+    for i in 0..k {
+        let mut total = 0u64;
+        for (j, other) in rankings.iter().enumerate() {
+            if i != j {
+                total += kendall_tau_distance(rankings[i].1.order(), other.1.order())?;
+            }
+        }
+        mean_d[i] = total as f64 / (k - 1) as f64;
+    }
+
+    // One-sided outlier removal at `outlier_sigma` standard deviations.
+    let mu = mean(&mean_d)?;
+    let sigma = population_std(&mean_d)?;
+    let kept_mask: Vec<bool> = mean_d
+        .iter()
+        .map(|&d| sigma == 0.0 || d - mu <= outlier_sigma * sigma)
+        .collect();
+    // Degenerate safety: never discard so many that fewer than two remain.
+    let kept_count = kept_mask.iter().filter(|&&m| m).count();
+    let kept_mask = if kept_count < 2 {
+        vec![true; k]
+    } else {
+        kept_mask
+    };
+
+    // Mean rank position per feature over the kept rankings.
+    let n = names.len();
+    let mut mean_positions = vec![0.0; n];
+    let mut kept_total = 0usize;
+    for (i, (_, ranking)) in rankings.iter().enumerate() {
+        if !kept_mask[i] {
+            continue;
+        }
+        kept_total += 1;
+        for (feature, pos) in ranking.positions().into_iter().enumerate() {
+            mean_positions[feature] += pos as f64;
+        }
+    }
+    for p in &mut mean_positions {
+        *p /= kept_total as f64;
+    }
+
+    // Ascending mean position = best first; ties break by column index.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        mean_positions[a]
+            .partial_cmp(&mean_positions[b])
+            .expect("finite positions")
+            .then(a.cmp(&b))
+    });
+
+    let outcomes = rankings
+        .iter()
+        .enumerate()
+        .map(|(i, (ranker, _))| RankerOutcome {
+            ranker: ranker.clone(),
+            mean_distance: mean_d[i],
+            kept: kept_mask[i],
+        })
+        .collect();
+
+    Ok(EnsembleRanking {
+        names: names.to_vec(),
+        mean_positions,
+        order,
+        outcomes,
+    })
+}
+
+impl EnsembleRanking {
+    /// The top `n` feature names, best first.
+    pub fn top_names(&self, n: usize) -> Vec<&str> {
+        self.order
+            .iter()
+            .take(n)
+            .map(|&c| self.names[c].as_str())
+            .collect()
+    }
+
+    /// Names of the rankers that were discarded as outliers.
+    pub fn discarded(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.kept)
+            .map(|o| o.ranker.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking_from_order(names: &[&str], order: &[usize]) -> FeatureRanking {
+        // Convert an explicit order into scores (higher = earlier).
+        let mut scores = vec![0.0; names.len()];
+        for (pos, &col) in order.iter().enumerate() {
+            scores[col] = (names.len() - pos) as f64;
+        }
+        FeatureRanking::from_scores(names.iter().map(|s| s.to_string()).collect(), scores)
+            .unwrap()
+    }
+
+    const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+    #[test]
+    fn agreement_passes_through() {
+        let order = [2usize, 0, 1, 4, 3];
+        let rankings: Vec<(String, FeatureRanking)> = (0..3)
+            .map(|i| (format!("r{i}"), ranking_from_order(&NAMES, &order)))
+            .collect();
+        let e = ensemble_rankings(&rankings, PAPER_OUTLIER_SIGMA).unwrap();
+        assert_eq!(e.order, order.to_vec());
+        assert!(e.discarded().is_empty());
+    }
+
+    #[test]
+    fn outlier_ranking_is_discarded() {
+        // Four near-identical rankings and one fully reversed one.
+        let base = [0usize, 1, 2, 3, 4];
+        let near = [1usize, 0, 2, 3, 4];
+        let reversed = [4usize, 3, 2, 1, 0];
+        let rankings = vec![
+            ("r0".to_string(), ranking_from_order(&NAMES, &base)),
+            ("r1".to_string(), ranking_from_order(&NAMES, &base)),
+            ("r2".to_string(), ranking_from_order(&NAMES, &near)),
+            ("r3".to_string(), ranking_from_order(&NAMES, &base)),
+            ("bad".to_string(), ranking_from_order(&NAMES, &reversed)),
+        ];
+        let e = ensemble_rankings(&rankings, PAPER_OUTLIER_SIGMA).unwrap();
+        assert_eq!(e.discarded(), vec!["bad"]);
+        assert_eq!(e.order[0], 0);
+        assert_eq!(*e.order.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn mean_rank_aggregation_averages_positions() {
+        // Two rankings that swap a and b: both end up tied, tie broken by
+        // column index.
+        let r1 = ranking_from_order(&NAMES, &[0, 1, 2, 3, 4]);
+        let r2 = ranking_from_order(&NAMES, &[1, 0, 2, 3, 4]);
+        let e = ensemble_rankings(
+            &[("x".to_string(), r1), ("y".to_string(), r2)],
+            PAPER_OUTLIER_SIGMA,
+        )
+        .unwrap();
+        assert!((e.mean_positions[0] - 0.5).abs() < 1e-12);
+        assert!((e.mean_positions[1] - 0.5).abs() < 1e-12);
+        assert_eq!(e.order[0], 0); // tie broken by index
+        assert_eq!(e.order[1], 1);
+    }
+
+    #[test]
+    fn never_discards_below_two() {
+        // Two rankings that disagree wildly: neither may be discarded.
+        let r1 = ranking_from_order(&NAMES, &[0, 1, 2, 3, 4]);
+        let r2 = ranking_from_order(&NAMES, &[4, 3, 2, 1, 0]);
+        let e = ensemble_rankings(
+            &[("x".to_string(), r1), ("y".to_string(), r2)],
+            PAPER_OUTLIER_SIGMA,
+        )
+        .unwrap();
+        assert!(e.discarded().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let r = ranking_from_order(&NAMES, &[0, 1, 2, 3, 4]);
+        assert!(ensemble_rankings(&[("x".to_string(), r.clone())], 1.96).is_err());
+        let different = ranking_from_order(&["p", "q", "r", "s", "t"], &[0, 1, 2, 3, 4]);
+        assert!(ensemble_rankings(
+            &[("x".to_string(), r.clone()), ("y".to_string(), different)],
+            1.96
+        )
+        .is_err());
+        let r2 = ranking_from_order(&NAMES, &[1, 0, 2, 3, 4]);
+        assert!(
+            ensemble_rankings(&[("x".to_string(), r), ("y".to_string(), r2)], 0.0).is_err()
+        );
+    }
+
+    #[test]
+    fn outcomes_report_distances() {
+        let r1 = ranking_from_order(&NAMES, &[0, 1, 2, 3, 4]);
+        let r2 = ranking_from_order(&NAMES, &[1, 0, 2, 3, 4]);
+        let e = ensemble_rankings(
+            &[("x".to_string(), r1), ("y".to_string(), r2)],
+            PAPER_OUTLIER_SIGMA,
+        )
+        .unwrap();
+        assert_eq!(e.outcomes.len(), 2);
+        // One adjacent swap = Kendall distance 1 between the two.
+        assert!((e.outcomes[0].mean_distance - 1.0).abs() < 1e-12);
+        assert!((e.outcomes[1].mean_distance - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for WEFR.
+
+use smart_changepoint::ChangepointError;
+use smart_complexity::ComplexityError;
+use smart_stats::StatsError;
+use smart_trees::TreesError;
+use std::fmt;
+
+/// Errors produced by WEFR feature selection.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WefrError {
+    /// A statistical primitive failed.
+    Stats(StatsError),
+    /// A tree learner failed.
+    Trees(TreesError),
+    /// The complexity-based threshold failed.
+    Complexity(ComplexityError),
+    /// Change-point detection failed.
+    Changepoint(ChangepointError),
+    /// The selection input was invalid.
+    InvalidInput {
+        /// Description of the violation.
+        message: String,
+    },
+    /// A named ranker failed while running in the ensemble.
+    RankerFailed {
+        /// The ranker's name.
+        ranker: &'static str,
+        /// The underlying error, stringified (rankers run on worker
+        /// threads).
+        message: String,
+    },
+}
+
+impl fmt::Display for WefrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WefrError::Stats(e) => write!(f, "statistics error: {e}"),
+            WefrError::Trees(e) => write!(f, "tree learner error: {e}"),
+            WefrError::Complexity(e) => write!(f, "complexity measure error: {e}"),
+            WefrError::Changepoint(e) => write!(f, "change-point error: {e}"),
+            WefrError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            WefrError::RankerFailed { ranker, message } => {
+                write!(f, "ranker {ranker} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WefrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WefrError::Stats(e) => Some(e),
+            WefrError::Trees(e) => Some(e),
+            WefrError::Complexity(e) => Some(e),
+            WefrError::Changepoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for WefrError {
+    fn from(e: StatsError) -> Self {
+        WefrError::Stats(e)
+    }
+}
+
+impl From<TreesError> for WefrError {
+    fn from(e: TreesError) -> Self {
+        WefrError::Trees(e)
+    }
+}
+
+impl From<ComplexityError> for WefrError {
+    fn from(e: ComplexityError) -> Self {
+        WefrError::Complexity(e)
+    }
+}
+
+impl From<ChangepointError> for WefrError {
+    fn from(e: ChangepointError) -> Self {
+        WefrError::Changepoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources_chain() {
+        use std::error::Error;
+        let e = WefrError::from(StatsError::empty("pearson"));
+        assert!(e.to_string().contains("pearson"));
+        assert!(e.source().is_some());
+        let e = WefrError::InvalidInput {
+            message: "no labels".into(),
+        };
+        assert!(e.to_string().contains("no labels"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WefrError>();
+    }
+}

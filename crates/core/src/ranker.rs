@@ -1,0 +1,77 @@
+//! The `FeatureRanker` trait: one preliminary feature-selection approach.
+
+use crate::error::WefrError;
+use crate::ranking::FeatureRanking;
+use smart_stats::FeatureMatrix;
+
+/// A preliminary feature-selection approach: scores every learning feature
+/// against the failure label and produces a [`FeatureRanking`].
+///
+/// Implementations must be `Send + Sync` — WEFR runs its rankers in
+/// parallel (§V, Exp#4 of the paper).
+pub trait FeatureRanker: Send + Sync {
+    /// Human-readable name (used in reports and outlier diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Rank all features of `data` against `labels`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations surface their underlying numeric errors; WEFR maps
+    /// them to [`WefrError::RankerFailed`] with the ranker's name attached.
+    fn rank(&self, data: &FeatureMatrix, labels: &[bool]) -> Result<FeatureRanking, WefrError>;
+}
+
+/// Validate the common preconditions shared by every ranker.
+pub(crate) fn validate_input(data: &FeatureMatrix, labels: &[bool]) -> Result<(), WefrError> {
+    if data.n_features() == 0 || data.n_rows() == 0 {
+        return Err(WefrError::InvalidInput {
+            message: "feature matrix is empty".to_string(),
+        });
+    }
+    if labels.len() != data.n_rows() {
+        return Err(WefrError::InvalidInput {
+            message: format!(
+                "matrix has {} rows but {} labels were given",
+                data.n_rows(),
+                labels.len()
+            ),
+        });
+    }
+    if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
+        return Err(WefrError::InvalidInput {
+            message: "labels contain a single class".to_string(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> FeatureMatrix {
+        FeatureMatrix::from_columns(vec!["x".into()], vec![vec![1.0, 2.0, 3.0]]).unwrap()
+    }
+
+    #[test]
+    fn validate_accepts_two_class() {
+        assert!(validate_input(&matrix(), &[true, false, true]).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_single_class() {
+        assert!(validate_input(&matrix(), &[true, true, true]).is_err());
+        assert!(validate_input(&matrix(), &[false, false, false]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_mismatch() {
+        assert!(validate_input(&matrix(), &[true]).is_err());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &dyn FeatureRanker) {}
+    }
+}

@@ -1,0 +1,119 @@
+//! Correlation-based rankers: Pearson (linear) and Spearman (monotonic).
+
+use crate::error::WefrError;
+use crate::ranker::{validate_input, FeatureRanker};
+use crate::ranking::FeatureRanking;
+use smart_stats::correlation::{pearson, spearman};
+use smart_stats::FeatureMatrix;
+
+/// Ranks features by the absolute Pearson correlation between the feature
+/// and the 0/1 failure label.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PearsonRanker;
+
+impl PearsonRanker {
+    /// Construct the ranker.
+    pub fn new() -> Self {
+        PearsonRanker
+    }
+}
+
+impl FeatureRanker for PearsonRanker {
+    fn name(&self) -> &'static str {
+        "pearson"
+    }
+
+    fn rank(&self, data: &FeatureMatrix, labels: &[bool]) -> Result<FeatureRanking, WefrError> {
+        validate_input(data, labels)?;
+        let y: Vec<f64> = labels.iter().map(|&l| f64::from(u8::from(l))).collect();
+        let scores = (0..data.n_features())
+            .map(|c| pearson(data.column(c), &y).map(f64::abs))
+            .collect::<Result<Vec<f64>, _>>()?;
+        FeatureRanking::from_scores(data.feature_names().to_vec(), scores)
+    }
+}
+
+/// Ranks features by the absolute Spearman rank correlation between the
+/// feature and the 0/1 failure label (the approach of Alter et al. [1]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpearmanRanker;
+
+impl SpearmanRanker {
+    /// Construct the ranker.
+    pub fn new() -> Self {
+        SpearmanRanker
+    }
+}
+
+impl FeatureRanker for SpearmanRanker {
+    fn name(&self) -> &'static str {
+        "spearman"
+    }
+
+    fn rank(&self, data: &FeatureMatrix, labels: &[bool]) -> Result<FeatureRanking, WefrError> {
+        validate_input(data, labels)?;
+        let y: Vec<f64> = labels.iter().map(|&l| f64::from(u8::from(l))).collect();
+        let scores = (0..data.n_features())
+            .map(|c| spearman(data.column(c), &y).map(f64::abs))
+            .collect::<Result<Vec<f64>, _>>()?;
+        FeatureRanking::from_scores(data.feature_names().to_vec(), scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// col 0: linearly correlated; col 1: monotone nonlinear; col 2: noise.
+    fn data() -> (FeatureMatrix, Vec<bool>) {
+        let labels: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        let linear: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let nonlinear: Vec<f64> = (0..40).map(|i| (i as f64 / 4.0).exp()).collect();
+        let noise: Vec<f64> = (0..40).map(|i| ((i * 7919) % 13) as f64).collect();
+        (
+            FeatureMatrix::from_columns(
+                vec!["linear".into(), "nonlinear".into(), "noise".into()],
+                vec![linear, nonlinear, noise],
+            )
+            .unwrap(),
+            labels,
+        )
+    }
+
+    #[test]
+    fn pearson_prefers_linear_feature() {
+        let (m, l) = data();
+        let r = PearsonRanker::new().rank(&m, &l).unwrap();
+        assert_eq!(r.top_names(1), vec!["linear"]);
+        assert_eq!(r.bottom_names(1), vec!["noise"]);
+    }
+
+    #[test]
+    fn spearman_treats_monotone_features_equally() {
+        let (m, l) = data();
+        let r = SpearmanRanker::new().rank(&m, &l).unwrap();
+        // Both monotone features have identical rank correlation.
+        let s_lin = r.score_of("linear").unwrap();
+        let s_non = r.score_of("nonlinear").unwrap();
+        assert!((s_lin - s_non).abs() < 1e-12);
+        assert!(r.score_of("noise").unwrap() < s_lin);
+    }
+
+    #[test]
+    fn pearson_penalizes_nonlinearity_more_than_spearman() {
+        let (m, l) = data();
+        let p = PearsonRanker::new().rank(&m, &l).unwrap();
+        let s = SpearmanRanker::new().rank(&m, &l).unwrap();
+        let gap_p = p.score_of("linear").unwrap() - p.score_of("nonlinear").unwrap();
+        let gap_s = s.score_of("linear").unwrap() - s.score_of("nonlinear").unwrap();
+        assert!(gap_p > gap_s + 0.05, "gap_p = {gap_p}, gap_s = {gap_s}");
+    }
+
+    #[test]
+    fn rankers_reject_single_class() {
+        let (m, _) = data();
+        let one_class = vec![true; 40];
+        assert!(PearsonRanker::new().rank(&m, &one_class).is_err());
+        assert!(SpearmanRanker::new().rank(&m, &one_class).is_err());
+    }
+}

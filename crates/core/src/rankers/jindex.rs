@@ -1,0 +1,75 @@
+//! J-index ranker: the Youden-index-based approach of Lu et al. [16].
+
+use crate::error::WefrError;
+use crate::ranker::{validate_input, FeatureRanker};
+use crate::ranking::FeatureRanking;
+use smart_stats::threshold::j_index;
+use smart_stats::FeatureMatrix;
+
+/// Ranks features by their J-index: the best achievable Youden J
+/// (`sensitivity + specificity − 1`) over all single-feature thresholds, in
+/// either orientation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JIndexRanker;
+
+impl JIndexRanker {
+    /// Construct the ranker.
+    pub fn new() -> Self {
+        JIndexRanker
+    }
+}
+
+impl FeatureRanker for JIndexRanker {
+    fn name(&self) -> &'static str {
+        "j-index"
+    }
+
+    fn rank(&self, data: &FeatureMatrix, labels: &[bool]) -> Result<FeatureRanking, WefrError> {
+        validate_input(data, labels)?;
+        let scores = (0..data.n_features())
+            .map(|c| j_index(data.column(c), labels))
+            .collect::<Result<Vec<f64>, _>>()?;
+        FeatureRanking::from_scores(data.feature_names().to_vec(), scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefers_threshold_separable_feature() {
+        // col 0 separates perfectly at a threshold but is non-monotone in
+        // value (correlations would score it lower); col 1 is noise.
+        let labels = vec![false, false, false, true, true, true];
+        let separable = vec![5.0, 6.0, 7.0, 20.0, 21.0, 22.0];
+        let noise = vec![1.0, 9.0, 4.0, 3.0, 8.0, 2.0];
+        let m = FeatureMatrix::from_columns(
+            vec!["separable".into(), "noise".into()],
+            vec![separable, noise],
+        )
+        .unwrap();
+        let r = JIndexRanker::new().rank(&m, &labels).unwrap();
+        assert_eq!(r.top_names(1), vec!["separable"]);
+        assert!((r.score_of("separable").unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_features_score_equally() {
+        let labels = vec![false, false, true, true];
+        let up = vec![1.0, 2.0, 9.0, 10.0];
+        let down: Vec<f64> = up.iter().map(|v| -v).collect();
+        let m = FeatureMatrix::from_columns(vec!["up".into(), "down".into()], vec![up, down])
+            .unwrap();
+        let r = JIndexRanker::new().rank(&m, &labels).unwrap();
+        assert!(
+            (r.score_of("up").unwrap() - r.score_of("down").unwrap()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        let m = FeatureMatrix::from_columns(vec!["x".into()], vec![vec![1.0, 2.0]]).unwrap();
+        assert!(JIndexRanker::new().rank(&m, &[true, true]).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Feature rankings: the common output shape of every preliminary
+//! feature-selection approach.
+
+use crate::error::WefrError;
+use serde::{Deserialize, Serialize};
+use smart_stats::rank::{descending_order, positions_from_order};
+
+/// A ranking of learning features by importance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureRanking {
+    names: Vec<String>,
+    scores: Vec<f64>,
+    order: Vec<usize>,
+}
+
+impl FeatureRanking {
+    /// Build a ranking from per-feature importance scores (higher = more
+    /// important). Ties break deterministically by column index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WefrError::InvalidInput`] when `names` and `scores` differ
+    /// in length, the input is empty, or a score is NaN.
+    pub fn from_scores(names: Vec<String>, scores: Vec<f64>) -> Result<Self, WefrError> {
+        if names.len() != scores.len() {
+            return Err(WefrError::InvalidInput {
+                message: format!(
+                    "{} names but {} scores",
+                    names.len(),
+                    scores.len()
+                ),
+            });
+        }
+        let order = descending_order(&scores).map_err(WefrError::Stats)?;
+        Ok(FeatureRanking {
+            names,
+            scores,
+            order,
+        })
+    }
+
+    /// Number of ranked features.
+    pub fn n_features(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Feature names, in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Importance scores, in column order.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Column indices ordered best-first.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// 0-based rank position of each column (`positions()[col]`).
+    pub fn positions(&self) -> Vec<usize> {
+        positions_from_order(&self.order)
+    }
+
+    /// The top `n` feature names, best first (clamped to the total count).
+    pub fn top_names(&self, n: usize) -> Vec<&str> {
+        self.order
+            .iter()
+            .take(n)
+            .map(|&c| self.names[c].as_str())
+            .collect()
+    }
+
+    /// The bottom `n` feature names, worst last (i.e. in ranking order).
+    pub fn bottom_names(&self, n: usize) -> Vec<&str> {
+        let start = self.order.len().saturating_sub(n);
+        self.order[start..]
+            .iter()
+            .map(|&c| self.names[c].as_str())
+            .collect()
+    }
+
+    /// The score of a feature by name.
+    pub fn score_of(&self, name: &str) -> Option<f64> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.scores[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking() -> FeatureRanking {
+        FeatureRanking::from_scores(
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            vec![0.1, 0.9, 0.5, 0.9],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn order_is_descending_with_deterministic_ties() {
+        let r = ranking();
+        assert_eq!(r.order(), &[1, 3, 2, 0]);
+        assert_eq!(r.positions(), vec![3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn top_and_bottom_names() {
+        let r = ranking();
+        assert_eq!(r.top_names(2), vec!["b", "d"]);
+        assert_eq!(r.bottom_names(2), vec!["c", "a"]);
+        assert_eq!(r.top_names(99).len(), 4);
+    }
+
+    #[test]
+    fn score_lookup() {
+        let r = ranking();
+        assert_eq!(r.score_of("c"), Some(0.5));
+        assert_eq!(r.score_of("z"), None);
+    }
+
+    #[test]
+    fn rejects_mismatched_and_nan() {
+        assert!(FeatureRanking::from_scores(vec!["a".into()], vec![]).is_err());
+        assert!(FeatureRanking::from_scores(vec!["a".into()], vec![f64::NAN]).is_err());
+        assert!(FeatureRanking::from_scores(vec![], vec![]).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Periodic re-selection scheduling (§IV-D): WEFR "periodically checks the
+//! change points of MWI_N (one week in our case) and updates the selected
+//! features".
+
+use serde::{Deserialize, Serialize};
+
+/// What a periodic check concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateDecision {
+    /// First check ever: select features now.
+    InitialSelection,
+    /// A change point appeared where there was none: re-select per group.
+    ThresholdAppeared {
+        /// The new threshold.
+        threshold: u32,
+    },
+    /// The change point disappeared: fall back to global selection.
+    ThresholdDisappeared,
+    /// The change point moved by more than the tolerance: re-select.
+    ThresholdMoved {
+        /// Previous threshold.
+        from: u32,
+        /// New threshold.
+        to: u32,
+    },
+    /// Nothing material changed: keep the current features.
+    Unchanged,
+}
+
+impl UpdateDecision {
+    /// Whether the decision requires re-running feature selection.
+    pub fn requires_reselection(&self) -> bool {
+        !matches!(self, UpdateDecision::Unchanged)
+    }
+}
+
+/// Tracks when the wear-out change point was last checked and what it was,
+/// and decides when feature selection must be refreshed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateMonitor {
+    period_days: u32,
+    tolerance: u32,
+    last_check_day: Option<u32>,
+    last_threshold: Option<Option<u32>>,
+}
+
+impl UpdateMonitor {
+    /// A monitor checking every `period_days` (the paper uses 7), treating
+    /// threshold moves of at most `tolerance` MWI points as noise.
+    pub fn new(period_days: u32, tolerance: u32) -> Self {
+        UpdateMonitor {
+            period_days: period_days.max(1),
+            tolerance,
+            last_check_day: None,
+            last_threshold: None,
+        }
+    }
+
+    /// The paper's weekly cadence with a 1-point tolerance.
+    pub fn weekly() -> Self {
+        UpdateMonitor::new(7, 1)
+    }
+
+    /// Whether a check is due on `day`.
+    pub fn due(&self, day: u32) -> bool {
+        match self.last_check_day {
+            None => true,
+            Some(last) => day >= last + self.period_days,
+        }
+    }
+
+    /// Record the outcome of a change-point check on `day` and decide what
+    /// to do. `threshold` is the currently detected change point, if any.
+    pub fn record_check(&mut self, day: u32, threshold: Option<u32>) -> UpdateDecision {
+        let previous = self.last_threshold;
+        self.last_check_day = Some(day);
+        self.last_threshold = Some(threshold);
+        match (previous, threshold) {
+            (None, _) => UpdateDecision::InitialSelection,
+            (Some(None), None) => UpdateDecision::Unchanged,
+            (Some(None), Some(t)) => UpdateDecision::ThresholdAppeared { threshold: t },
+            (Some(Some(_)), None) => UpdateDecision::ThresholdDisappeared,
+            (Some(Some(old)), Some(new)) => {
+                if old.abs_diff(new) > self.tolerance {
+                    UpdateDecision::ThresholdMoved { from: old, to: new }
+                } else {
+                    UpdateDecision::Unchanged
+                }
+            }
+        }
+    }
+
+    /// The threshold recorded at the last check (`None` = never checked;
+    /// `Some(None)` = checked, no change point).
+    pub fn last_threshold(&self) -> Option<Option<u32>> {
+        self.last_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_check_is_initial_selection() {
+        let mut m = UpdateMonitor::weekly();
+        assert!(m.due(0));
+        assert_eq!(m.record_check(0, Some(40)), UpdateDecision::InitialSelection);
+        assert!(UpdateDecision::InitialSelection.requires_reselection());
+    }
+
+    #[test]
+    fn weekly_cadence() {
+        let mut m = UpdateMonitor::weekly();
+        m.record_check(0, None);
+        assert!(!m.due(3));
+        assert!(!m.due(6));
+        assert!(m.due(7));
+        assert!(m.due(30));
+    }
+
+    #[test]
+    fn threshold_lifecycle() {
+        let mut m = UpdateMonitor::weekly();
+        m.record_check(0, None);
+        assert_eq!(
+            m.record_check(7, Some(42)),
+            UpdateDecision::ThresholdAppeared { threshold: 42 }
+        );
+        assert_eq!(m.record_check(14, Some(42)), UpdateDecision::Unchanged);
+        // Within tolerance: still unchanged.
+        assert_eq!(m.record_check(21, Some(43)), UpdateDecision::Unchanged);
+        assert_eq!(
+            m.record_check(28, Some(50)),
+            UpdateDecision::ThresholdMoved { from: 43, to: 50 }
+        );
+        assert_eq!(m.record_check(35, None), UpdateDecision::ThresholdDisappeared);
+        assert_eq!(m.record_check(42, None), UpdateDecision::Unchanged);
+    }
+
+    #[test]
+    fn unchanged_requires_no_reselection() {
+        assert!(!UpdateDecision::Unchanged.requires_reselection());
+        assert!(UpdateDecision::ThresholdDisappeared.requires_reselection());
+    }
+
+    #[test]
+    fn zero_period_is_clamped() {
+        let mut m = UpdateMonitor::new(0, 0);
+        m.record_check(5, None);
+        assert!(!m.due(5));
+        assert!(m.due(6));
+    }
+
+    #[test]
+    fn last_threshold_reports_state() {
+        let mut m = UpdateMonitor::weekly();
+        assert_eq!(m.last_threshold(), None);
+        m.record_check(0, Some(30));
+        assert_eq!(m.last_threshold(), Some(Some(30)));
+        m.record_check(7, None);
+        assert_eq!(m.last_threshold(), Some(None));
+    }
+}

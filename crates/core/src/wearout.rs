@@ -1,0 +1,104 @@
+//! Wear-out grouping (§IV-D): detect the survival-rate change point over
+//! `MWI_N` and split samples into low- and high-wear groups at it.
+
+use serde::{Deserialize, Serialize};
+use smart_changepoint::bocpd::BocpdConfig;
+use smart_changepoint::survival::{SurvivalCurve, WearoutChangePoint};
+use smart_changepoint::ChangepointError;
+
+/// Sample-row split at an `MWI_N` threshold.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearoutSplit {
+    /// The `MWI_N` threshold (from the change point).
+    pub threshold: u32,
+    /// Rows with `MWI_N <= threshold` (the low/high-wear group).
+    pub low_rows: Vec<usize>,
+    /// Rows with `MWI_N > threshold`.
+    pub high_rows: Vec<usize>,
+}
+
+/// Detect the most significant survival-rate change point from per-drive
+/// `(final MWI_N, failed)` pairs.
+///
+/// Returns `Ok(None)` when the wear-out range is too narrow (the MB1/MB2
+/// case) or no significant change exists.
+///
+/// # Errors
+///
+/// Propagates BOCPD configuration errors.
+pub fn detect_wearout_threshold(
+    survival: &[(f64, bool)],
+    bocpd: &BocpdConfig,
+    z_threshold: f64,
+    min_bucket: usize,
+) -> Result<Option<WearoutChangePoint>, ChangepointError> {
+    let curve = SurvivalCurve::from_drives(survival.iter().copied(), min_bucket);
+    curve.detect_change_point(bocpd, z_threshold)
+}
+
+/// Split sample rows by their `MWI_N` value at `threshold` (low group:
+/// `MWI_N <= threshold`).
+pub fn split_rows_by_mwi(mwi_per_sample: &[f64], threshold: f64) -> WearoutSplit {
+    let mut low_rows = Vec::new();
+    let mut high_rows = Vec::new();
+    for (row, &mwi) in mwi_per_sample.iter().enumerate() {
+        if mwi <= threshold {
+            low_rows.push(row);
+        } else {
+            high_rows.push(row);
+        }
+    }
+    WearoutSplit {
+        threshold: threshold.round().max(0.0) as u32,
+        low_rows,
+        high_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_rows() {
+        let mwi = vec![10.0, 50.0, 30.0, 90.0, 30.0];
+        let split = split_rows_by_mwi(&mwi, 30.0);
+        assert_eq!(split.low_rows, vec![0, 2, 4]);
+        assert_eq!(split.high_rows, vec![1, 3]);
+        assert_eq!(split.threshold, 30);
+        assert_eq!(split.low_rows.len() + split.high_rows.len(), mwi.len());
+    }
+
+    #[test]
+    fn split_with_extreme_thresholds() {
+        let mwi = vec![10.0, 50.0];
+        let all_low = split_rows_by_mwi(&mwi, 100.0);
+        assert_eq!(all_low.low_rows.len(), 2);
+        assert!(all_low.high_rows.is_empty());
+        let all_high = split_rows_by_mwi(&mwi, 0.0);
+        assert!(all_high.low_rows.is_empty());
+    }
+
+    #[test]
+    fn detects_kneed_fleet() {
+        let drives: Vec<(f64, bool)> = (5..=95)
+            .flat_map(|mwi| {
+                (0..25).map(move |i| (mwi as f64, i < if mwi < 35 { 12 } else { 1 }))
+            })
+            .collect();
+        let cp = detect_wearout_threshold(&drives, &BocpdConfig::default(), 2.5, 3)
+            .unwrap()
+            .expect("knee must be detected");
+        assert!((30..=40).contains(&cp.mwi_threshold), "got {}", cp.mwi_threshold);
+    }
+
+    #[test]
+    fn narrow_range_gives_none() {
+        let drives: Vec<(f64, bool)> = (97..=100)
+            .flat_map(|mwi| (0..30).map(move |i| (mwi as f64, i < 2)))
+            .collect();
+        assert!(detect_wearout_threshold(&drives, &BocpdConfig::default(), 2.5, 3)
+            .unwrap()
+            .is_none());
+    }
+}

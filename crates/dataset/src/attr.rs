@@ -1,0 +1,311 @@
+//! SMART attribute schema: the 22 attributes of the paper's Table I and the
+//! raw/normalized learning-feature identifiers derived from them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The 22 SMART attributes collected across the six drive models (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SmartAttribute {
+    /// Raw Read Error Rate.
+    Rer,
+    /// Reallocated Sectors Count.
+    Rsc,
+    /// Power-On Hours.
+    Poh,
+    /// Power Cycle Count.
+    Pcc,
+    /// Program Fail Count.
+    Pfc,
+    /// Erase Fail Count.
+    Efc,
+    /// Media Wearout Indicator.
+    Mwi,
+    /// Power Loss Protection Failure.
+    Plp,
+    /// Unexpected Power Loss Count.
+    Upl,
+    /// Available Reserved Space.
+    Ars,
+    /// Downshift Error Count.
+    Dec,
+    /// End-to-End Error.
+    Ete,
+    /// Reported Uncorrectable Errors.
+    Uce,
+    /// Command Timeout.
+    Cmdt,
+    /// Enclosure Temperature.
+    Et,
+    /// Airflow Temperature.
+    Aft,
+    /// Reallocated Event Count.
+    Rec,
+    /// Current Pending Sector Count.
+    Psc,
+    /// Offline Scan Uncorrectable Error.
+    Oce,
+    /// UDMA CRC Error Count.
+    Cec,
+    /// Total LBAs Written.
+    Tlw,
+    /// Total LBAs Read.
+    Tlr,
+}
+
+impl SmartAttribute {
+    /// All 22 attributes, in Table I order.
+    pub const ALL: [SmartAttribute; 22] = [
+        SmartAttribute::Rer,
+        SmartAttribute::Rsc,
+        SmartAttribute::Poh,
+        SmartAttribute::Pcc,
+        SmartAttribute::Pfc,
+        SmartAttribute::Efc,
+        SmartAttribute::Mwi,
+        SmartAttribute::Plp,
+        SmartAttribute::Upl,
+        SmartAttribute::Ars,
+        SmartAttribute::Dec,
+        SmartAttribute::Ete,
+        SmartAttribute::Uce,
+        SmartAttribute::Cmdt,
+        SmartAttribute::Et,
+        SmartAttribute::Aft,
+        SmartAttribute::Rec,
+        SmartAttribute::Psc,
+        SmartAttribute::Oce,
+        SmartAttribute::Cec,
+        SmartAttribute::Tlw,
+        SmartAttribute::Tlr,
+    ];
+
+    /// The short code used throughout the paper (e.g. `OCE`, `MWI`).
+    pub fn code(self) -> &'static str {
+        match self {
+            SmartAttribute::Rer => "RER",
+            SmartAttribute::Rsc => "RSC",
+            SmartAttribute::Poh => "POH",
+            SmartAttribute::Pcc => "PCC",
+            SmartAttribute::Pfc => "PFC",
+            SmartAttribute::Efc => "EFC",
+            SmartAttribute::Mwi => "MWI",
+            SmartAttribute::Plp => "PLP",
+            SmartAttribute::Upl => "UPL",
+            SmartAttribute::Ars => "ARS",
+            SmartAttribute::Dec => "DEC",
+            SmartAttribute::Ete => "ETE",
+            SmartAttribute::Uce => "UCE",
+            SmartAttribute::Cmdt => "CMDT",
+            SmartAttribute::Et => "ET",
+            SmartAttribute::Aft => "AFT",
+            SmartAttribute::Rec => "REC",
+            SmartAttribute::Psc => "PSC",
+            SmartAttribute::Oce => "OCE",
+            SmartAttribute::Cec => "CEC",
+            SmartAttribute::Tlw => "TLW",
+            SmartAttribute::Tlr => "TLR",
+        }
+    }
+
+    /// Full attribute name as in Table I.
+    pub fn full_name(self) -> &'static str {
+        match self {
+            SmartAttribute::Rer => "Raw Read Error Rate",
+            SmartAttribute::Rsc => "Reallocated Sectors Count",
+            SmartAttribute::Poh => "Power-On Hours",
+            SmartAttribute::Pcc => "Power Cycle Count",
+            SmartAttribute::Pfc => "Program Fail Count",
+            SmartAttribute::Efc => "Erase Fail Count",
+            SmartAttribute::Mwi => "Media Wearout Indicator",
+            SmartAttribute::Plp => "Power Loss Protection Failure",
+            SmartAttribute::Upl => "Unexpected Power Loss Count",
+            SmartAttribute::Ars => "Available Reserved Space",
+            SmartAttribute::Dec => "Downshift Error Count",
+            SmartAttribute::Ete => "End-to-End Error",
+            SmartAttribute::Uce => "Reported Uncorrectable Errors",
+            SmartAttribute::Cmdt => "Command Timeout",
+            SmartAttribute::Et => "Enclosure Temperature",
+            SmartAttribute::Aft => "Airflow Temperature",
+            SmartAttribute::Rec => "Reallocated Event Count",
+            SmartAttribute::Psc => "Current Pending Sector Count",
+            SmartAttribute::Oce => "Offline Scan Uncorrectable Error",
+            SmartAttribute::Cec => "UDMA CRC Error Count",
+            SmartAttribute::Tlw => "Total LBAs Written",
+            SmartAttribute::Tlr => "Total LBAs Read",
+        }
+    }
+
+    /// Parse a short code (case-insensitive), e.g. `"OCE"`.
+    pub fn from_code(code: &str) -> Option<SmartAttribute> {
+        let upper = code.to_ascii_uppercase();
+        SmartAttribute::ALL.iter().copied().find(|a| a.code() == upper)
+    }
+}
+
+impl fmt::Display for SmartAttribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Whether a learning feature is the raw or the vendor-normalized value of
+/// its SMART attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// The raw counter/gauge value (`_R` suffix in the paper).
+    Raw,
+    /// The vendor-normalized health value (`_N` suffix in the paper).
+    Normalized,
+}
+
+impl ValueKind {
+    /// Both kinds, raw first.
+    pub const BOTH: [ValueKind; 2] = [ValueKind::Raw, ValueKind::Normalized];
+
+    /// The suffix used in feature names (`R` or `N`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            ValueKind::Raw => "R",
+            ValueKind::Normalized => "N",
+        }
+    }
+}
+
+/// A learning feature: the raw or normalized value of one SMART attribute,
+/// e.g. `OCE_R` or `MWI_N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FeatureId {
+    /// The SMART attribute.
+    pub attr: SmartAttribute,
+    /// Raw or normalized.
+    pub kind: ValueKind,
+}
+
+impl FeatureId {
+    /// Construct the raw-value feature of `attr`.
+    pub fn raw(attr: SmartAttribute) -> Self {
+        FeatureId {
+            attr,
+            kind: ValueKind::Raw,
+        }
+    }
+
+    /// Construct the normalized-value feature of `attr`.
+    pub fn normalized(attr: SmartAttribute) -> Self {
+        FeatureId {
+            attr,
+            kind: ValueKind::Normalized,
+        }
+    }
+
+    /// The paper's feature name, e.g. `"OCE_R"`.
+    pub fn name(&self) -> String {
+        format!("{}_{}", self.attr.code(), self.kind.suffix())
+    }
+}
+
+impl fmt::Display for FeatureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}_{}", self.attr.code(), self.kind.suffix())
+    }
+}
+
+/// Error returned when parsing a feature name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFeatureIdError {
+    input: String,
+}
+
+impl fmt::Display for ParseFeatureIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid feature name {:?} (expected e.g. \"OCE_R\" or \"MWI_N\")",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseFeatureIdError {}
+
+impl FromStr for FeatureId {
+    type Err = ParseFeatureIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseFeatureIdError {
+            input: s.to_string(),
+        };
+        let (code, suffix) = s.rsplit_once('_').ok_or_else(err)?;
+        let attr = SmartAttribute::from_code(code).ok_or_else(err)?;
+        let kind = match suffix {
+            "R" | "r" => ValueKind::Raw,
+            "N" | "n" => ValueKind::Normalized,
+            _ => return Err(err()),
+        };
+        Ok(FeatureId { attr, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_attributes_unique_codes() {
+        let mut codes: Vec<&str> = SmartAttribute::ALL.iter().map(|a| a.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 22);
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for attr in SmartAttribute::ALL {
+            assert_eq!(SmartAttribute::from_code(attr.code()), Some(attr));
+        }
+        assert_eq!(SmartAttribute::from_code("oce"), Some(SmartAttribute::Oce));
+        assert_eq!(SmartAttribute::from_code("nope"), None);
+    }
+
+    #[test]
+    fn feature_name_formatting() {
+        let f = FeatureId::raw(SmartAttribute::Oce);
+        assert_eq!(f.name(), "OCE_R");
+        let f = FeatureId::normalized(SmartAttribute::Mwi);
+        assert_eq!(f.to_string(), "MWI_N");
+    }
+
+    #[test]
+    fn feature_parse_roundtrip() {
+        for attr in SmartAttribute::ALL {
+            for kind in ValueKind::BOTH {
+                let f = FeatureId { attr, kind };
+                let parsed: FeatureId = f.name().parse().unwrap();
+                assert_eq!(parsed, f);
+            }
+        }
+    }
+
+    #[test]
+    fn feature_parse_rejects_garbage() {
+        assert!("OCE".parse::<FeatureId>().is_err());
+        assert!("OCE_X".parse::<FeatureId>().is_err());
+        assert!("ZZZ_R".parse::<FeatureId>().is_err());
+        assert!("".parse::<FeatureId>().is_err());
+    }
+
+    #[test]
+    fn full_names_are_nonempty() {
+        for attr in SmartAttribute::ALL {
+            assert!(!attr.full_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_matches_code() {
+        assert_eq!(SmartAttribute::Cmdt.to_string(), "CMDT");
+    }
+}

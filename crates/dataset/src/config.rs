@@ -1,0 +1,348 @@
+//! Fleet-simulation configuration.
+
+use crate::error::DatasetError;
+use crate::model::DriveModel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Length of the paper's dataset window: two years of daily SMART logs.
+pub const DEFAULT_DAYS: u32 = 730;
+
+/// Configuration of a synthetic fleet.
+///
+/// Build one with [`FleetConfig::builder`], or use the presets
+/// [`FleetConfig::balanced`] (equal drives per model — right for per-model
+/// experiments) and [`FleetConfig::proportional`] (population mix of
+/// Table II — right for fleet-level census statistics).
+///
+/// # Example
+///
+/// ```
+/// use smart_dataset::{DriveModel, FleetConfig};
+///
+/// # fn main() -> Result<(), smart_dataset::DatasetError> {
+/// let config = FleetConfig::builder()
+///     .days(365)
+///     .seed(7)
+///     .drives(DriveModel::Mc1, 100)
+///     .build()?;
+/// assert_eq!(config.total_drives(), 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    days: u32,
+    seed: u64,
+    drives: BTreeMap<DriveModel, u32>,
+    failure_scale: f64,
+    per_model_scale: BTreeMap<DriveModel, f64>,
+    max_initial_age_days: u32,
+    arrival_fraction: f64,
+}
+
+impl FleetConfig {
+    /// Start building a configuration.
+    pub fn builder() -> FleetConfigBuilder {
+        FleetConfigBuilder::default()
+    }
+
+    /// Equal drive counts for all six models, with the default per-model
+    /// failure boosts that keep failure counts usable for low-AFR models at
+    /// small scale (see DESIGN.md §2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if `per_model == 0`.
+    pub fn balanced(per_model: u32, seed: u64) -> Result<FleetConfig, DatasetError> {
+        let mut b = FleetConfig::builder().seed(seed);
+        for m in DriveModel::ALL {
+            b = b.drives(m, per_model);
+        }
+        b.per_model_scale(DriveModel::Ma2, 4.0)
+            .per_model_scale(DriveModel::Mb2, 3.0)
+            .build()
+    }
+
+    /// Drive counts proportional to the paper's population mix (Table II),
+    /// with no per-model failure boost — the census preset used for AFR
+    /// statistics and survival curves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if `total` is too small to
+    /// give every model at least one drive.
+    pub fn proportional(total: u32, seed: u64) -> Result<FleetConfig, DatasetError> {
+        let mut b = FleetConfig::builder().seed(seed).failure_scale(1.0);
+        for m in DriveModel::ALL {
+            let n = (total as f64 * m.population_share()).round() as u32;
+            if n == 0 {
+                return Err(DatasetError::InvalidConfig {
+                    message: format!("total {total} leaves model {m} with zero drives"),
+                });
+            }
+            b = b.drives(m, n);
+        }
+        b.build()
+    }
+
+    /// Dataset window length in days.
+    pub fn days(&self) -> u32 {
+        self.days
+    }
+
+    /// Master RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of drives configured for `model`.
+    pub fn drives_for(&self, model: DriveModel) -> u32 {
+        self.drives.get(&model).copied().unwrap_or(0)
+    }
+
+    /// Total number of drives across all models.
+    pub fn total_drives(&self) -> u32 {
+        self.drives.values().sum()
+    }
+
+    /// Models with at least one drive configured.
+    pub fn models(&self) -> impl Iterator<Item = DriveModel> + '_ {
+        self.drives
+            .iter()
+            .filter(|(_, &n)| n > 0)
+            .map(|(&m, _)| m)
+    }
+
+    /// Global failure-probability multiplier.
+    pub fn failure_scale(&self) -> f64 {
+        self.failure_scale
+    }
+
+    /// The effective failure multiplier for `model` (global × per-model).
+    pub fn effective_failure_scale(&self, model: DriveModel) -> f64 {
+        self.failure_scale * self.per_model_scale.get(&model).copied().unwrap_or(1.0)
+    }
+
+    /// Maximum in-service age (days) a drive may have when the window opens.
+    pub fn max_initial_age_days(&self) -> u32 {
+        self.max_initial_age_days
+    }
+
+    /// Fraction of drives deployed *during* the window rather than before.
+    pub fn arrival_fraction(&self) -> f64 {
+        self.arrival_fraction
+    }
+}
+
+/// Builder for [`FleetConfig`].
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    days: u32,
+    seed: u64,
+    drives: BTreeMap<DriveModel, u32>,
+    failure_scale: f64,
+    per_model_scale: BTreeMap<DriveModel, f64>,
+    max_initial_age_days: u32,
+    arrival_fraction: f64,
+}
+
+impl Default for FleetConfigBuilder {
+    fn default() -> Self {
+        FleetConfigBuilder {
+            days: DEFAULT_DAYS,
+            seed: 42,
+            drives: BTreeMap::new(),
+            failure_scale: 4.0,
+            per_model_scale: BTreeMap::new(),
+            max_initial_age_days: 540,
+            arrival_fraction: 0.25,
+        }
+    }
+}
+
+impl FleetConfigBuilder {
+    /// Set the dataset window length in days (default 730).
+    pub fn days(mut self, days: u32) -> Self {
+        self.days = days;
+        self
+    }
+
+    /// Set the master seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of drives for one model (replaces any earlier value).
+    pub fn drives(mut self, model: DriveModel, count: u32) -> Self {
+        self.drives.insert(model, count);
+        self
+    }
+
+    /// Set the global failure-probability multiplier (default 4.0 — scaled
+    /// up so small fleets yield statistically useful failure counts; see
+    /// DESIGN.md §2).
+    pub fn failure_scale(mut self, scale: f64) -> Self {
+        self.failure_scale = scale;
+        self
+    }
+
+    /// Set an additional failure multiplier for one model.
+    pub fn per_model_scale(mut self, model: DriveModel, scale: f64) -> Self {
+        self.per_model_scale.insert(model, scale);
+        self
+    }
+
+    /// Set the maximum pre-window in-service age in days (default 540).
+    pub fn max_initial_age_days(mut self, days: u32) -> Self {
+        self.max_initial_age_days = days;
+        self
+    }
+
+    /// Set the fraction of drives deployed mid-window (default 0.25).
+    pub fn arrival_fraction(mut self, fraction: f64) -> Self {
+        self.arrival_fraction = fraction;
+        self
+    }
+
+    /// Validate and build the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] when the window is shorter
+    /// than 120 days (too short to label a 30-day horizon), no drives are
+    /// configured, a scale is non-positive, or `arrival_fraction` is outside
+    /// `[0, 1]`.
+    pub fn build(self) -> Result<FleetConfig, DatasetError> {
+        if self.days < 120 {
+            return Err(DatasetError::InvalidConfig {
+                message: format!("window of {} days is too short (minimum 120)", self.days),
+            });
+        }
+        if self.drives.values().all(|&n| n == 0) {
+            return Err(DatasetError::InvalidConfig {
+                message: "no drives configured".to_string(),
+            });
+        }
+        if self.failure_scale <= 0.0 || self.per_model_scale.values().any(|&s| s <= 0.0) {
+            return Err(DatasetError::InvalidConfig {
+                message: "failure scales must be positive".to_string(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.arrival_fraction) {
+            return Err(DatasetError::InvalidConfig {
+                message: "arrival_fraction must be in [0, 1]".to_string(),
+            });
+        }
+        Ok(FleetConfig {
+            days: self.days,
+            seed: self.seed,
+            drives: self.drives,
+            failure_scale: self.failure_scale,
+            per_model_scale: self.per_model_scale,
+            max_initial_age_days: self.max_initial_age_days,
+            arrival_fraction: self.arrival_fraction,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let c = FleetConfig::builder()
+            .drives(DriveModel::Ma1, 10)
+            .build()
+            .unwrap();
+        assert_eq!(c.days(), DEFAULT_DAYS);
+        assert_eq!(c.total_drives(), 10);
+        assert_eq!(c.effective_failure_scale(DriveModel::Ma1), 4.0);
+    }
+
+    #[test]
+    fn balanced_preset() {
+        let c = FleetConfig::balanced(50, 1).unwrap();
+        assert_eq!(c.total_drives(), 300);
+        for m in DriveModel::ALL {
+            assert_eq!(c.drives_for(m), 50);
+        }
+        // MA2 gets the boost.
+        assert!(c.effective_failure_scale(DriveModel::Ma2) > c.effective_failure_scale(DriveModel::Ma1));
+    }
+
+    #[test]
+    fn proportional_preset_matches_shares() {
+        let c = FleetConfig::proportional(10_000, 1).unwrap();
+        let mc1 = c.drives_for(DriveModel::Mc1) as f64 / c.total_drives() as f64;
+        assert!((mc1 - 0.404).abs() < 0.01, "mc1 share = {mc1}");
+        assert_eq!(c.failure_scale(), 1.0);
+    }
+
+    #[test]
+    fn proportional_rejects_tiny_total() {
+        assert!(FleetConfig::proportional(10, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_short_window() {
+        assert!(FleetConfig::builder()
+            .days(60)
+            .drives(DriveModel::Ma1, 10)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_empty_fleet() {
+        assert!(FleetConfig::builder().build().is_err());
+        assert!(FleetConfig::builder()
+            .drives(DriveModel::Ma1, 0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_scales() {
+        assert!(FleetConfig::builder()
+            .drives(DriveModel::Ma1, 1)
+            .failure_scale(0.0)
+            .build()
+            .is_err());
+        assert!(FleetConfig::builder()
+            .drives(DriveModel::Ma1, 1)
+            .per_model_scale(DriveModel::Ma1, -1.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_arrival_fraction() {
+        assert!(FleetConfig::builder()
+            .drives(DriveModel::Ma1, 1)
+            .arrival_fraction(1.5)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn models_iterates_configured_only() {
+        let c = FleetConfig::builder()
+            .drives(DriveModel::Ma1, 5)
+            .drives(DriveModel::Mc1, 7)
+            .build()
+            .unwrap();
+        let models: Vec<DriveModel> = c.models().collect();
+        assert_eq!(models, vec![DriveModel::Ma1, DriveModel::Mc1]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = FleetConfig::balanced(10, 3).unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

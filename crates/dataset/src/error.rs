@@ -1,0 +1,85 @@
+//! Error type for dataset generation and I/O.
+
+use std::fmt;
+
+/// Errors produced by the dataset crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// A fleet configuration was invalid.
+    InvalidConfig {
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// A CSV record could not be parsed.
+    ParseCsv {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure during import/export.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidConfig { message } => {
+                write!(f, "invalid fleet configuration: {message}")
+            }
+            DatasetError::ParseCsv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+            DatasetError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DatasetError::InvalidConfig {
+            message: "no drives".into(),
+        };
+        assert!(e.to_string().contains("no drives"));
+        let e = DatasetError::ParseCsv {
+            line: 7,
+            message: "bad field".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = DatasetError::from(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_source_is_chained() {
+        use std::error::Error;
+        let e = DatasetError::from(std::io::Error::other("x"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatasetError>();
+    }
+}

@@ -1,0 +1,249 @@
+//! Fleet and census generation.
+
+use crate::config::FleetConfig;
+use crate::gen::{plan_drive, simulate_drive};
+use crate::model::DriveModel;
+use crate::records::{DriveId, DriveRecord, DriveSummary, FailureRecord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A fully simulated fleet: daily SMART logs for every drive.
+///
+/// # Example
+///
+/// ```
+/// use smart_dataset::{Fleet, FleetConfig, DriveModel};
+///
+/// # fn main() -> Result<(), smart_dataset::DatasetError> {
+/// let config = FleetConfig::builder()
+///     .days(200)
+///     .drives(DriveModel::Mc1, 20)
+///     .seed(1)
+///     .build()?;
+/// let fleet = Fleet::generate(&config);
+/// assert_eq!(fleet.drives().len(), 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fleet {
+    config: FleetConfig,
+    drives: Vec<DriveRecord>,
+}
+
+impl Fleet {
+    /// Simulate a full fleet under `config`. Deterministic for a fixed
+    /// configuration (including its seed).
+    pub fn generate(config: &FleetConfig) -> Fleet {
+        let mut drives = Vec::with_capacity(config.total_drives() as usize);
+        let mut global_index = 0u32;
+        for model in DriveModel::ALL {
+            for _ in 0..config.drives_for(model) {
+                let mut rng = drive_rng(config.seed(), global_index);
+                let plan = plan_drive(model, config, &mut rng);
+                let record =
+                    simulate_drive(DriveId(global_index), &plan, config.days(), &mut rng);
+                drives.push(record);
+                global_index += 1;
+            }
+        }
+        Fleet {
+            config: config.clone(),
+            drives,
+        }
+    }
+
+    /// Assemble a fleet from existing records (used by CSV import).
+    pub fn from_records(config: FleetConfig, drives: Vec<DriveRecord>) -> Fleet {
+        Fleet { config, drives }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// All drive records.
+    pub fn drives(&self) -> &[DriveRecord] {
+        &self.drives
+    }
+
+    /// The drives of one model.
+    pub fn drives_of_model(&self, model: DriveModel) -> impl Iterator<Item = &DriveRecord> {
+        self.drives.iter().filter(move |d| d.model == model)
+    }
+
+    /// Number of failed drives across the fleet.
+    pub fn n_failures(&self) -> usize {
+        self.drives.iter().filter(|d| d.is_failed()).count()
+    }
+
+    /// Lifecycle summaries of every drive.
+    pub fn summaries(&self) -> Vec<DriveSummary> {
+        self.drives.iter().map(DriveRecord::summary).collect()
+    }
+}
+
+/// A lifecycle-only census: who was deployed when, who failed, and final
+/// wear-out — everything the fleet-level statistics (Table II, Fig. 1) need,
+/// at a tiny fraction of the memory of a full [`Fleet`].
+///
+/// The census uses the same per-drive planning (and per-drive RNG streams)
+/// as [`Fleet::generate`], so the two views of one configuration agree on
+/// which drives fail, when, and why. Final `MWI_N` is the deterministic wear
+/// projection rather than the noisy simulated value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Census {
+    config: FleetConfig,
+    summaries: Vec<DriveSummary>,
+}
+
+impl Census {
+    /// Plan a census under `config`.
+    pub fn generate(config: &FleetConfig) -> Census {
+        let mut summaries = Vec::with_capacity(config.total_drives() as usize);
+        let mut global_index = 0u32;
+        for model in DriveModel::ALL {
+            for _ in 0..config.drives_for(model) {
+                let mut rng = drive_rng(config.seed(), global_index);
+                let plan = plan_drive(model, config, &mut rng);
+                let last_day = plan.last_day(config.days());
+                summaries.push(DriveSummary {
+                    id: DriveId(global_index),
+                    model,
+                    deploy_day: plan.deploy_day,
+                    initial_age_days: plan.initial_age_days,
+                    observed_days: last_day - plan.deploy_day + 1,
+                    final_mwi_n: plan.projected_mwi_n(last_day),
+                    failure: plan.destiny.map(|d| FailureRecord {
+                        day: d.failure_day,
+                        mechanism: d.mechanism,
+                    }),
+                });
+                global_index += 1;
+            }
+        }
+        Census {
+            config: config.clone(),
+            summaries,
+        }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// All drive summaries.
+    pub fn summaries(&self) -> &[DriveSummary] {
+        &self.summaries
+    }
+
+    /// The summaries of one model.
+    pub fn summaries_of_model(&self, model: DriveModel) -> impl Iterator<Item = &DriveSummary> {
+        self.summaries.iter().filter(move |d| d.model == model)
+    }
+
+    /// Number of failed drives.
+    pub fn n_failures(&self) -> usize {
+        self.summaries.iter().filter(|d| d.is_failed()).count()
+    }
+}
+
+/// Derive the per-drive RNG from the master seed and the drive's global
+/// index (splitmix64 mixing), so census and full simulation see identical
+/// plan randomness.
+fn drive_rng(seed: u64, global_index: u32) -> StdRng {
+    let mut z = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(global_index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig::builder()
+            .days(365)
+            .seed(77)
+            .drives(DriveModel::Ma1, 30)
+            .drives(DriveModel::Mc1, 30)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let config = small_config();
+        let a = Fleet::generate(&config);
+        let b = Fleet::generate(&config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drive_counts_match_config() {
+        let fleet = Fleet::generate(&small_config());
+        assert_eq!(fleet.drives().len(), 60);
+        assert_eq!(fleet.drives_of_model(DriveModel::Ma1).count(), 30);
+        assert_eq!(fleet.drives_of_model(DriveModel::Mc1).count(), 30);
+        assert_eq!(fleet.drives_of_model(DriveModel::Mb2).count(), 0);
+    }
+
+    #[test]
+    fn census_agrees_with_fleet_on_failures() {
+        let config = small_config();
+        let fleet = Fleet::generate(&config);
+        let census = Census::generate(&config);
+        assert_eq!(fleet.drives().len(), census.summaries().len());
+        for (rec, sum) in fleet.drives().iter().zip(census.summaries()) {
+            assert_eq!(rec.id, sum.id);
+            assert_eq!(rec.model, sum.model);
+            assert_eq!(rec.deploy_day, sum.deploy_day);
+            assert_eq!(rec.failure, sum.failure);
+            assert_eq!(rec.n_days(), sum.observed_days);
+            // Census MWI is the noise-free projection; must be close to the
+            // simulated value.
+            let simulated = rec.final_mwi_n().unwrap();
+            assert!(
+                (simulated - sum.final_mwi_n).abs() < 8.0,
+                "drive {}: simulated {simulated}, projected {}",
+                rec.id,
+                sum.final_mwi_n
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_change_outcomes() {
+        let a = Fleet::generate(&small_config());
+        let other = FleetConfig::builder()
+            .days(365)
+            .seed(78)
+            .drives(DriveModel::Ma1, 30)
+            .drives(DriveModel::Mc1, 30)
+            .build()
+            .unwrap();
+        let b = Fleet::generate(&other);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn some_failures_occur_at_default_scale() {
+        let config = FleetConfig::balanced(60, 5).unwrap();
+        let census = Census::generate(&config);
+        assert!(census.n_failures() > 10, "failures = {}", census.n_failures());
+        // And not everything fails.
+        assert!(census.n_failures() < census.summaries().len() / 2);
+    }
+
+    #[test]
+    fn drive_ids_are_unique_and_dense() {
+        let fleet = Fleet::generate(&small_config());
+        for (i, d) in fleet.drives().iter().enumerate() {
+            assert_eq!(d.id, DriveId(i as u32));
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Day-by-day SMART trajectory simulation for one planned drive.
+
+use crate::attr::SmartAttribute;
+use crate::gen::noise::{bernoulli, poisson};
+use crate::gen::plan::DrivePlan;
+use crate::mechanism::FailureMechanism;
+use crate::records::{DriveId, DriveRecord, FailureRecord};
+use rand::{Rng, RngExt};
+use smart_stats::gaussian::sample_normal;
+
+/// Probability per day that a healthy drive emits a transient error burst —
+/// the "scare events" that create hard negatives for the predictor.
+const SCARE_PROBABILITY: f64 = 0.0015;
+
+/// Simulate the full daily SMART history of one planned drive over a window
+/// of `window_days`, consuming randomness from `rng`.
+pub fn simulate_drive<R: Rng + ?Sized>(
+    id: DriveId,
+    plan: &DrivePlan,
+    window_days: u32,
+    rng: &mut R,
+) -> DriveRecord {
+    let model = plan.model;
+    let profile = model.profile();
+    let attrs = model.attributes();
+    let stride = 2 * attrs.len();
+    let last_day = plan.last_day(window_days);
+    let n_days = last_day - plan.deploy_day + 1;
+    let mut values = Vec::with_capacity(n_days as usize * stride);
+
+    let mut state = CounterState::default();
+    // Pre-window history: drives deployed before the window accumulated
+    // background errors and wear at their base rates.
+    state.seed_history(plan, rng);
+
+    let season_phase: f64 = rng.random::<f64>() * 365.0;
+
+    for day in plan.deploy_day..=last_day {
+        let in_service = plan.initial_age_days as f64 + (day - plan.deploy_day) as f64;
+
+        // --- Wear ---
+        let mut wear_today = plan.wear_rate * (0.7 + 0.6 * rng.random::<f64>());
+        if let Some(d) = plan.destiny {
+            if day >= d.onset_day {
+                wear_today *= d.mechanism.wear_acceleration();
+            }
+        }
+        state.mwi_consumed += wear_today;
+
+        // --- Usage ---
+        state.poh_hours = (in_service + 1.0) * 24.0;
+        if day == plan.deploy_day || bernoulli(rng, 0.008) {
+            state.pcc += 1.0;
+        }
+        let weekly = 1.0 + 0.15 * (2.0 * std::f64::consts::PI * day as f64 / 7.0).sin();
+        state.tlw_gb += (profile.daily_write_gb * plan.write_intensity * weekly
+            * (0.8 + 0.4 * rng.random::<f64>()))
+        .max(0.0);
+        state.tlr_gb += (profile.daily_read_gb * plan.read_intensity * weekly
+            * (0.8 + 0.4 * rng.random::<f64>()))
+        .max(0.0);
+
+        // --- Temperatures ---
+        let season = 2.0 * (2.0 * std::f64::consts::PI * (day as f64 + season_phase) / 365.0).sin();
+        state.temp = plan.temp_base + season + sample_normal(rng, 0.0, 0.8);
+        state.aft = state.temp - 2.0 + sample_normal(rng, 0.0, 0.5);
+
+        // --- Background error processes ---
+        let scan_day = day % 7 == plan.scan_offset;
+        for &attr in attrs {
+            let lambda = base_daily_rate(attr, scan_day);
+            if lambda > 0.0 {
+                state.add(attr, poisson(rng, lambda) as f64);
+            }
+        }
+        // Pending sectors rise and clear.
+        if state.counter(SmartAttribute::Psc) > 0.0 && bernoulli(rng, 0.15) {
+            let cleared = poisson(rng, 1.5) as f64;
+            state.sub_clamped(SmartAttribute::Psc, cleared);
+        }
+        // Transient scares on otherwise healthy days.
+        let pre_onset = plan.destiny.is_none_or(|d| day < d.onset_day);
+        if pre_onset && bernoulli(rng, SCARE_PROBABILITY) {
+            state.add(SmartAttribute::Uce, poisson(rng, 3.0) as f64);
+            state.add(SmartAttribute::Oce, poisson(rng, 2.0) as f64);
+            state.add(SmartAttribute::Rer, poisson(rng, 5.0) as f64);
+        }
+
+        // --- Mechanism ramps ---
+        if let Some(d) = plan.destiny {
+            if day >= d.onset_day {
+                let span = (d.failure_day - d.onset_day).max(1) as f64;
+                let progress = (day - d.onset_day) as f64 / span;
+                for ramp in d.mechanism.ramps() {
+                    if model.has_attribute(ramp.attr) {
+                        let expect = ramp.increment_at(progress);
+                        state.add(ramp.attr, poisson(rng, expect) as f64);
+                    }
+                }
+                if d.mechanism == FailureMechanism::ReserveDepletion {
+                    state.ars_extra_depletion += 0.08 * progress;
+                }
+            }
+        }
+
+        // --- Emit the day's raw/normalized pairs ---
+        for &attr in attrs {
+            let raw = state.raw_value(attr);
+            let norm = normalized_value(attr, raw, &state);
+            values.push(raw as f32);
+            values.push(norm as f32);
+        }
+    }
+
+    let failure = plan.destiny.map(|d| FailureRecord {
+        day: d.failure_day.min(last_day),
+        mechanism: d.mechanism,
+    });
+
+    DriveRecord::from_flat_values(
+        id,
+        model,
+        plan.deploy_day,
+        plan.initial_age_days,
+        failure,
+        values,
+        n_days,
+    )
+}
+
+/// Mutable per-drive counter state.
+#[derive(Debug, Default)]
+struct CounterState {
+    counters: [f64; 22],
+    mwi_consumed: f64,
+    poh_hours: f64,
+    pcc: f64,
+    tlw_gb: f64,
+    tlr_gb: f64,
+    temp: f64,
+    aft: f64,
+    ars_extra_depletion: f64,
+}
+
+impl CounterState {
+    fn idx(attr: SmartAttribute) -> usize {
+        SmartAttribute::ALL
+            .iter()
+            .position(|&a| a == attr)
+            .expect("attribute is in ALL")
+    }
+
+    fn counter(&self, attr: SmartAttribute) -> f64 {
+        self.counters[Self::idx(attr)]
+    }
+
+    fn add(&mut self, attr: SmartAttribute, amount: f64) {
+        self.counters[Self::idx(attr)] += amount;
+    }
+
+    fn sub_clamped(&mut self, attr: SmartAttribute, amount: f64) {
+        let i = Self::idx(attr);
+        self.counters[i] = (self.counters[i] - amount).max(0.0);
+    }
+
+    /// Accumulate pre-window background history for a drive that was already
+    /// `initial_age_days` old when the window opened.
+    fn seed_history<R: Rng + ?Sized>(&mut self, plan: &DrivePlan, rng: &mut R) {
+        let age = plan.initial_age_days as f64;
+        if age <= 0.0 {
+            return;
+        }
+        self.mwi_consumed = age * plan.wear_rate;
+        self.pcc = 1.0 + poisson(rng, age * 0.008) as f64;
+        let profile = plan.model.profile();
+        self.tlw_gb = profile.daily_write_gb * plan.write_intensity * age;
+        self.tlr_gb = profile.daily_read_gb * plan.read_intensity * age;
+        for &attr in plan.model.attributes() {
+            // Weekly-scan attributes fire on ~1/7 of days.
+            let rate = base_daily_rate(attr, false)
+                + (base_daily_rate(attr, true) - base_daily_rate(attr, false)) / 7.0;
+            if rate > 0.0 {
+                self.counters[Self::idx(attr)] = poisson(rng, rate * age) as f64;
+            }
+        }
+    }
+
+    /// The raw SMART value of `attr` given current state.
+    fn raw_value(&self, attr: SmartAttribute) -> f64 {
+        use SmartAttribute as A;
+        match attr {
+            A::Mwi => (self.mwi_consumed * 30.0).round(),
+            A::Poh => self.poh_hours.round(),
+            A::Pcc => self.pcc,
+            A::Tlw => self.tlw_gb.round(),
+            A::Tlr => self.tlr_gb.round(),
+            A::Et => round2(self.temp),
+            A::Aft => round2(self.aft),
+            A::Ars => {
+                let n = self.ars_normalized();
+                (n * 12.8).round()
+            }
+            _ => self.counter(attr),
+        }
+    }
+
+    /// `ARS_N`: reserved space depleted by sector reallocation plus any
+    /// mechanism-specific extra depletion.
+    fn ars_normalized(&self) -> f64 {
+        (100.0 - 0.6 * self.counter(SmartAttribute::Rsc) - self.ars_extra_depletion)
+            .clamp(1.0, 100.0)
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Background daily Poisson rate of an attribute's raw counter. `scan_day`
+/// gates attributes that only advance when the weekly offline media scan
+/// runs.
+fn base_daily_rate(attr: SmartAttribute, scan_day: bool) -> f64 {
+    use SmartAttribute as A;
+    match attr {
+        A::Rer => 0.08,
+        A::Rsc => 0.012,
+        A::Pfc | A::Efc => 0.004,
+        A::Plp => 0.0015,
+        A::Upl => 0.004,
+        A::Dec => 0.01,
+        A::Ete => 0.0015,
+        A::Uce => 0.01,
+        A::Cmdt => 0.005,
+        A::Rec => 0.006,
+        A::Psc => 0.02,
+        A::Cec => 0.004,
+        A::Oce => {
+            if scan_day {
+                0.06
+            } else {
+                0.0
+            }
+        }
+        // Gauges and usage attributes are not Poisson counters.
+        A::Poh | A::Pcc | A::Mwi | A::Ars | A::Et | A::Aft | A::Tlw | A::Tlr => 0.0,
+    }
+}
+
+/// The vendor-normalized value of `attr` given its raw value: a health gauge
+/// on `1..=100` that decreases as the raw indicator worsens.
+fn normalized_value(attr: SmartAttribute, raw: f64, state: &CounterState) -> f64 {
+    use SmartAttribute as A;
+    let n = match attr {
+        A::Mwi => 100.0 - state.mwi_consumed,
+        A::Ars => state.ars_normalized(),
+        A::Poh => 100.0 - raw * 100.0 / 87_600.0, // 10-year scale
+        A::Pcc => 100.0 - raw / 10.0,
+        A::Et | A::Aft => 100.0 - raw,
+        A::Tlw | A::Tlr => 100.0 - raw / 4000.0,
+        A::Rer => 100.0 - 0.1 * raw,
+        A::Psc => 100.0 - 2.0 * raw,
+        _ => 100.0 - 0.8 * raw,
+    };
+    n.clamp(1.0, 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::FeatureId;
+    use crate::config::FleetConfig;
+    use crate::gen::plan::{plan_drive, Destiny};
+    use crate::model::DriveModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> FleetConfig {
+        FleetConfig::balanced(10, 1).unwrap()
+    }
+
+    fn simulate_one(model: DriveModel, seed: u64) -> DriveRecord {
+        let config = config();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = plan_drive(model, &config, &mut rng);
+        simulate_drive(DriveId(1), &plan, config.days(), &mut rng)
+    }
+
+    fn forced_failure_plan(model: DriveModel, mechanism: FailureMechanism) -> DrivePlan {
+        let config = config();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut plan = plan_drive(model, &config, &mut rng);
+        plan.deploy_day = 0;
+        plan.destiny = Some(Destiny {
+            mechanism,
+            onset_day: 600,
+            failure_day: 660,
+        });
+        plan
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = simulate_one(DriveModel::Mc1, 5);
+        let b = simulate_one(DriveModel::Mc1, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn record_spans_window_for_healthy_drive() {
+        let config = config();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut plan = plan_drive(DriveModel::Ma1, &config, &mut rng);
+        plan.destiny = None;
+        let rec = simulate_drive(DriveId(2), &plan, config.days(), &mut rng);
+        assert_eq!(rec.last_day(), config.days() - 1);
+        assert!(!rec.is_failed());
+    }
+
+    #[test]
+    fn failed_drive_truncates_at_failure() {
+        let plan = forced_failure_plan(DriveModel::Mc1, FailureMechanism::MediaScanErrors);
+        let mut rng = StdRng::seed_from_u64(4);
+        let rec = simulate_drive(DriveId(3), &plan, config().days(), &mut rng);
+        assert!(rec.is_failed());
+        assert_eq!(rec.last_day(), 660);
+        assert_eq!(rec.failure.unwrap().day, 660);
+    }
+
+    #[test]
+    fn counters_are_monotone_nondecreasing() {
+        let rec = simulate_one(DriveModel::Mc1, 7);
+        for attr in [SmartAttribute::Uce, SmartAttribute::Rsc, SmartAttribute::Oce] {
+            let s = rec.series(FeatureId::raw(attr)).unwrap();
+            for w in s.windows(2) {
+                assert!(w[1] >= w[0], "{attr} decreased: {} -> {}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn mwi_n_is_monotone_nonincreasing() {
+        let rec = simulate_one(DriveModel::Mc1, 9);
+        let s = rec.series(FeatureId::normalized(SmartAttribute::Mwi)).unwrap();
+        for w in s.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6);
+        }
+        assert!(s.iter().all(|&v| (1.0..=100.0).contains(&v)));
+    }
+
+    #[test]
+    fn poh_grows_daily() {
+        let rec = simulate_one(DriveModel::Ma2, 11);
+        let s = rec.series(FeatureId::raw(SmartAttribute::Poh)).unwrap();
+        assert!((s[1] - s[0] - 24.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mechanism_ramp_is_visible_before_failure() {
+        let plan = forced_failure_plan(DriveModel::Mc1, FailureMechanism::MediaScanErrors);
+        let mut rng = StdRng::seed_from_u64(21);
+        let rec = simulate_drive(DriveId(4), &plan, config().days(), &mut rng);
+        let oce = rec.series(FeatureId::raw(SmartAttribute::Oce)).unwrap();
+        // OCE in the last 20 days must clearly exceed OCE 100 days earlier.
+        let late = oce[oce.len() - 1];
+        let early = oce[oce.len() - 100];
+        assert!(
+            late - early > 10.0,
+            "OCE ramp invisible: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn reserve_depletion_lowers_ars() {
+        let plan = forced_failure_plan(DriveModel::Mb1, FailureMechanism::ReserveDepletion);
+        let mut rng = StdRng::seed_from_u64(23);
+        let rec = simulate_drive(DriveId(5), &plan, config().days(), &mut rng);
+        let ars = rec.series(FeatureId::normalized(SmartAttribute::Ars)).unwrap();
+        let late = ars[ars.len() - 1];
+        let early = ars[ars.len() - 100];
+        assert!(late < early - 2.0, "ARS_N did not deplete: {early} -> {late}");
+    }
+
+    #[test]
+    fn normalized_values_stay_in_range() {
+        let rec = simulate_one(DriveModel::Mc2, 13);
+        for &attr in DriveModel::Mc2.attributes() {
+            let s = rec.series(FeatureId::normalized(attr)).unwrap();
+            for &v in &s {
+                assert!((1.0..=100.0).contains(&v), "{attr}_N = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn aged_drive_seeds_history() {
+        let config = config();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut plan = plan_drive(DriveModel::Mc1, &config, &mut rng);
+        plan.deploy_day = 0;
+        plan.initial_age_days = 500;
+        plan.destiny = None;
+        let rec = simulate_drive(DriveId(6), &plan, config.days(), &mut rng);
+        // POH on day 0 reflects 500 days of service.
+        let poh0 = rec.value_on(0, FeatureId::raw(SmartAttribute::Poh)).unwrap();
+        assert!((poh0 - 501.0 * 24.0).abs() < 1.0);
+        // Wear reflects age too.
+        let mwi0 = rec.value_on(0, FeatureId::normalized(SmartAttribute::Mwi)).unwrap();
+        assert!(mwi0 < 100.0);
+    }
+
+    #[test]
+    fn final_mwi_reported() {
+        let rec = simulate_one(DriveModel::Mc1, 17);
+        let m = rec.final_mwi_n().unwrap();
+        assert!((1.0..=100.0).contains(&m));
+    }
+}

@@ -1,0 +1,9 @@
+//! Fleet generation: per-drive lifecycle planning and daily SMART
+//! simulation.
+
+pub mod drive;
+pub mod noise;
+pub mod plan;
+
+pub use drive::simulate_drive;
+pub use plan::{plan_drive, Destiny, DrivePlan};

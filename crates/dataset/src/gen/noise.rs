@@ -1,0 +1,69 @@
+//! Small stochastic helpers for the simulator.
+
+use rand::{Rng, RngExt};
+
+/// Sample a Poisson-distributed count with rate `lambda` (Knuth's method —
+/// fine for the small per-day rates the simulator uses).
+///
+/// Returns 0 for non-positive `lambda`.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    // For the simulator's lambdas (< 10) Knuth is both exact and fast.
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l || k > 10_000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.random::<f64>() < p.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        for lambda in [0.1, 1.0, 4.0] {
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda) as u64).sum();
+            let mean = total as f64 / n as f64;
+            assert!((mean - lambda).abs() < 0.07 * lambda.max(1.0), "lambda {lambda}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!bernoulli(&mut rng, 0.0));
+        assert!(bernoulli(&mut rng, 1.0));
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_p() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..20_000).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate = {rate}");
+    }
+}

@@ -1,0 +1,357 @@
+//! Per-drive lifecycle planning: deployment, workload, wear trajectory, and
+//! (for defective drives) the failure destiny.
+//!
+//! Planning is shared by the cheap census path (lifecycle summaries only)
+//! and the full SMART-log simulation, so both views of a fleet agree on who
+//! fails, when, and why.
+
+use crate::config::FleetConfig;
+use crate::gen::noise::bernoulli;
+use crate::mechanism::{sample_mechanism, DriveTraits, FailureMechanism};
+use crate::model::DriveModel;
+use rand::{Rng, RngExt};
+use smart_stats::gaussian::sample_normal;
+
+/// The planned failure of a defective drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Destiny {
+    /// The failure mechanism.
+    pub mechanism: FailureMechanism,
+    /// Dataset day on which the defect starts ramping the mechanism's
+    /// attributes.
+    pub onset_day: u32,
+    /// Dataset day on which the drive fails (last observed day).
+    pub failure_day: u32,
+}
+
+/// The full lifecycle plan of one drive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrivePlan {
+    /// The drive model.
+    pub model: DriveModel,
+    /// First observed dataset day (0 when the drive predates the window).
+    pub deploy_day: u32,
+    /// Days in service before the window opened.
+    pub initial_age_days: u32,
+    /// Daily `MWI` consumption in percentage points.
+    pub wear_rate: f64,
+    /// Read workload relative to the model mean.
+    pub read_intensity: f64,
+    /// Write workload relative to the model mean.
+    pub write_intensity: f64,
+    /// Baseline enclosure temperature (°C).
+    pub temp_base: f64,
+    /// Day-of-week (0..7) on which the weekly offline media scan runs.
+    pub scan_offset: u32,
+    /// The failure destiny, or `None` for a drive that survives the window.
+    pub destiny: Option<Destiny>,
+}
+
+impl DrivePlan {
+    /// Last dataset day this drive is observed (failure day or window end).
+    pub fn last_day(&self, window_days: u32) -> u32 {
+        self.destiny
+            .map_or(window_days - 1, |d| d.failure_day.min(window_days - 1))
+    }
+
+    /// `MWI_N` on a given dataset day, before daily noise (the deterministic
+    /// wear trajectory).
+    pub fn projected_mwi_n(&self, day: u32) -> f64 {
+        let in_service = self.initial_age_days as f64 + day.saturating_sub(self.deploy_day) as f64;
+        (100.0 - in_service * self.wear_rate).clamp(1.0, 100.0)
+    }
+}
+
+/// Minimum number of observed days a mid-window arrival must have.
+const MIN_OBSERVED_DAYS: u32 = 90;
+/// Ramp duration bounds: a failing drive's counters accelerate for this many
+/// days before failure. The 30-day prediction horizon sits inside this
+/// window, so pre-failure signal exists but also bleeds slightly past the
+/// labeling boundary — the realistic source of false positives.
+const RAMP_MIN_DAYS: u32 = 25;
+const RAMP_MAX_DAYS: u32 = 90;
+
+/// Plan a single drive of `model` under `config`, consuming randomness from
+/// `rng`.
+pub fn plan_drive<R: Rng + ?Sized>(
+    model: DriveModel,
+    config: &FleetConfig,
+    rng: &mut R,
+) -> DrivePlan {
+    let profile = model.profile();
+    let days = config.days();
+
+    // Deployment: most drives predate the window; the rest arrive during it
+    // (leaving at least MIN_OBSERVED_DAYS of observation).
+    let (deploy_day, initial_age_days) = if bernoulli(rng, config.arrival_fraction()) {
+        let latest = days.saturating_sub(MIN_OBSERVED_DAYS).max(1);
+        (rng.random_range(0..latest), 0)
+    } else {
+        (0, rng.random_range(0..=config.max_initial_age_days()))
+    };
+
+    // Per-drive workload and wear draws. The lognormal multiplier is
+    // mean-normalized so the model's average wear rate matches its profile.
+    let wear_mult = mean_one_lognormal(rng, profile.wear_rate_sigma);
+    let wear_rate = profile.wear_rate_mean * wear_mult;
+    let read_intensity = mean_one_lognormal(rng, 0.4);
+    let write_intensity = mean_one_lognormal(rng, 0.4);
+    let temp_base = sample_normal(rng, profile.temp_mean, 2.5);
+    let scan_offset = rng.random_range(0..7);
+
+    let mut plan = DrivePlan {
+        model,
+        deploy_day,
+        initial_age_days,
+        wear_rate,
+        read_intensity,
+        write_intensity,
+        temp_base,
+        scan_offset,
+        destiny: None,
+    };
+
+    let observed_days = days - deploy_day;
+    let projected_final_mwi = plan.projected_mwi_n(days - 1);
+    let traits = DriveTraits {
+        initial_age_days,
+        read_intensity,
+        projected_final_mwi,
+    };
+
+    // Early-firmware failures (MC2): an independent failure mode for drives
+    // deployed before the fix shipped.
+    let scale = config.effective_failure_scale(model);
+    if let Some(era) = profile.firmware_era {
+        if deploy_day < era.deploy_before_day
+            && initial_age_days <= era.max_initial_age_days
+            && plan.projected_mwi_n(deploy_day) > era.min_mwi_at_failure + 1.0
+            && bernoulli(rng, era.failure_probability * config.failure_scale())
+        {
+            let onset_latest = era.onset_within_days.max(1);
+            let onset_day = deploy_day + rng.random_range(0..onset_latest);
+            let ramp = rng.random_range(RAMP_MIN_DAYS..=RAMP_MAX_DAYS);
+            // The bug only fires while the drive is still young in wear
+            // terms: cap the failure day at the last day with
+            // MWI_N >= min_mwi_at_failure.
+            let wear_cap_days = ((100.0 - era.min_mwi_at_failure) / wear_rate
+                - initial_age_days as f64)
+                .max(0.0) as u32;
+            let failure_day = (onset_day + ramp)
+                .min(days - 1)
+                .min(deploy_day + wear_cap_days);
+            if failure_day > onset_day {
+                plan.destiny = Some(Destiny {
+                    mechanism: FailureMechanism::FirmwareEarly,
+                    onset_day,
+                    failure_day,
+                });
+                return plan;
+            }
+        }
+    }
+
+    // Ordinary failures: a day-by-day hazard whose level tracks the model's
+    // AFR and whose shape follows the wear multiplier at the drive's
+    // *current* wear. Timing failures by this hazard is what puts wear-out
+    // casualties at genuinely low final MWI_N — the structure the paper's
+    // survival curves (Fig. 1) are built on.
+    let base_daily =
+        model.target_afr_percent() / 100.0 / 365.0 * scale / profile.afr_calibration;
+    let mut cumulative = Vec::with_capacity(observed_days as usize);
+    let mut total_hazard = 0.0;
+    for day in deploy_day..days {
+        total_hazard += base_daily * profile.wear_hazard.multiplier(plan.projected_mwi_n(day));
+        cumulative.push(total_hazard);
+    }
+    let p_fail = 1.0 - (-total_hazard).exp();
+    if bernoulli(rng, p_fail) {
+        // Failure day sampled proportionally to the daily hazard, then
+        // clamped so a pre-failure ramp fits inside the window.
+        let target = rng.random::<f64>() * total_hazard;
+        let idx = cumulative.partition_point(|&c| c < target) as u32;
+        let earliest = (deploy_day + 10).min(days - 1);
+        let failure_day = (deploy_day + idx).clamp(earliest, days - 1);
+        // Mechanism choice reflects the drive's wear at failure time.
+        let traits_at_failure = DriveTraits {
+            projected_final_mwi: plan.projected_mwi_n(failure_day),
+            ..traits
+        };
+        if let Some(mechanism) =
+            sample_mechanism(&profile.mechanisms, &traits_at_failure, rng.random())
+        {
+            let ramp = rng.random_range(RAMP_MIN_DAYS..=RAMP_MAX_DAYS);
+            let onset_day = failure_day.saturating_sub(ramp).max(deploy_day);
+            if failure_day > onset_day {
+                plan.destiny = Some(Destiny {
+                    mechanism,
+                    onset_day,
+                    failure_day,
+                });
+            }
+        }
+    }
+    plan
+}
+
+/// Lognormal multiplier with mean 1 (i.e. `exp(N(-σ²/2, σ²))`).
+fn mean_one_lognormal<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    sample_normal(rng, -sigma * sigma / 2.0, sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_config() -> FleetConfig {
+        FleetConfig::balanced(50, 9).unwrap()
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let config = test_config();
+        let a = plan_drive(DriveModel::Mc1, &config, &mut StdRng::seed_from_u64(5));
+        let b = plan_drive(DriveModel::Mc1, &config, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn destiny_days_are_ordered_and_in_window() {
+        let config = test_config();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..2000 {
+            let model = DriveModel::ALL[i % 6];
+            let plan = plan_drive(model, &config, &mut rng);
+            if let Some(d) = plan.destiny {
+                assert!(d.onset_day < d.failure_day, "onset before failure");
+                assert!(d.onset_day >= plan.deploy_day, "onset after deploy");
+                assert!(d.failure_day < config.days(), "failure inside window");
+            }
+        }
+    }
+
+    #[test]
+    fn failure_rate_scales_with_config() {
+        let lo = FleetConfig::builder()
+            .drives(DriveModel::Mc1, 1)
+            .failure_scale(1.0)
+            .seed(2)
+            .build()
+            .unwrap();
+        let hi = FleetConfig::builder()
+            .drives(DriveModel::Mc1, 1)
+            .failure_scale(8.0)
+            .seed(2)
+            .build()
+            .unwrap();
+        let count = |config: &FleetConfig| {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..3000)
+                .filter(|_| plan_drive(DriveModel::Mc1, config, &mut rng).destiny.is_some())
+                .count()
+        };
+        let n_lo = count(&lo);
+        let n_hi = count(&hi);
+        assert!(n_hi > n_lo * 4, "lo = {n_lo}, hi = {n_hi}");
+    }
+
+    #[test]
+    fn worn_drives_fail_more_often() {
+        // MC1 has a wear-hazard knee at MWI 30: drives projected to wear far
+        // down must fail more often.
+        let config = test_config();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut worn = (0usize, 0usize);
+        let mut fresh = (0usize, 0usize);
+        for _ in 0..6000 {
+            let plan = plan_drive(DriveModel::Mc1, &config, &mut rng);
+            let proj = plan.projected_mwi_n(config.days() - 1);
+            let bucket = if proj < 25.0 {
+                &mut worn
+            } else if proj > 60.0 {
+                &mut fresh
+            } else {
+                continue;
+            };
+            bucket.0 += 1;
+            bucket.1 += usize::from(plan.destiny.is_some());
+        }
+        assert!(worn.0 > 50 && fresh.0 > 50, "buckets too small: {worn:?} {fresh:?}");
+        let worn_rate = worn.1 as f64 / worn.0 as f64;
+        let fresh_rate = fresh.1 as f64 / fresh.0 as f64;
+        assert!(
+            worn_rate > 1.5 * fresh_rate,
+            "worn {worn_rate:.3} vs fresh {fresh_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn mc2_has_firmware_failures_only_early() {
+        let config = test_config();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut firmware = 0;
+        for _ in 0..8000 {
+            let plan = plan_drive(DriveModel::Mc2, &config, &mut rng);
+            if let Some(d) = plan.destiny {
+                if d.mechanism == FailureMechanism::FirmwareEarly {
+                    firmware += 1;
+                    let era = plan.model.profile().firmware_era.unwrap();
+                    assert!(plan.deploy_day < era.deploy_before_day);
+                    assert!(d.onset_day <= plan.deploy_day + era.onset_within_days);
+                }
+            }
+        }
+        assert!(firmware > 20, "firmware failures = {firmware}");
+    }
+
+    #[test]
+    fn non_mc2_models_never_fail_by_firmware() {
+        let config = test_config();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..3000 {
+            for model in [DriveModel::Ma1, DriveModel::Mb1, DriveModel::Mc1] {
+                let plan = plan_drive(model, &config, &mut rng);
+                if let Some(d) = plan.destiny {
+                    assert_ne!(d.mechanism, FailureMechanism::FirmwareEarly);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projected_mwi_decreases_with_time() {
+        let config = test_config();
+        let plan = plan_drive(DriveModel::Mc1, &config, &mut StdRng::seed_from_u64(19));
+        let early = plan.projected_mwi_n(plan.deploy_day);
+        let late = plan.projected_mwi_n(config.days() - 1);
+        assert!(late <= early);
+        assert!((1.0..=100.0).contains(&late));
+    }
+
+    #[test]
+    fn mean_one_lognormal_has_mean_one() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 30_000;
+        let mean: f64 =
+            (0..n).map(|_| mean_one_lognormal(&mut rng, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.03, "mean = {mean}");
+    }
+
+    #[test]
+    fn arrivals_have_enough_observation() {
+        let config = FleetConfig::builder()
+            .drives(DriveModel::Ma1, 1)
+            .arrival_fraction(1.0)
+            .seed(4)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..500 {
+            let plan = plan_drive(DriveModel::Ma1, &config, &mut rng);
+            assert_eq!(plan.initial_age_days, 0);
+            assert!(config.days() - plan.deploy_day >= MIN_OBSERVED_DAYS);
+        }
+    }
+}

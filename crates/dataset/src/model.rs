@@ -1,0 +1,636 @@
+//! Drive-model catalog: the six drive models of the paper (Table I / II)
+//! and their simulation profiles.
+
+use crate::attr::SmartAttribute;
+use crate::mechanism::{FailureMechanism, MechanismWeight};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// NAND flash technology of a drive model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlashTech {
+    /// Multi-level cell.
+    Mlc,
+    /// Triple-level cell.
+    Tlc,
+}
+
+impl fmt::Display for FlashTech {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlashTech::Mlc => "MLC",
+            FlashTech::Tlc => "TLC",
+        })
+    }
+}
+
+/// SSD vendor (anonymized as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Vendor {
+    /// Vendor MA.
+    Ma,
+    /// Vendor MB.
+    Mb,
+    /// Vendor MC.
+    Mc,
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Vendor::Ma => "MA",
+            Vendor::Mb => "MB",
+            Vendor::Mc => "MC",
+        })
+    }
+}
+
+/// The six drive models studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DriveModel {
+    /// Vendor MA, model 1 (MLC).
+    Ma1,
+    /// Vendor MA, model 2 (MLC).
+    Ma2,
+    /// Vendor MB, model 1 (MLC).
+    Mb1,
+    /// Vendor MB, model 2 (MLC).
+    Mb2,
+    /// Vendor MC, model 1 (TLC) — the most numerous model.
+    Mc1,
+    /// Vendor MC, model 2 (TLC).
+    Mc2,
+}
+
+impl fmt::Display for DriveModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl DriveModel {
+    /// All six models, in Table I order.
+    pub const ALL: [DriveModel; 6] = [
+        DriveModel::Ma1,
+        DriveModel::Ma2,
+        DriveModel::Mb1,
+        DriveModel::Mb2,
+        DriveModel::Mc1,
+        DriveModel::Mc2,
+    ];
+
+    /// Model name as used in the paper (`"MA1"` … `"MC2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DriveModel::Ma1 => "MA1",
+            DriveModel::Ma2 => "MA2",
+            DriveModel::Mb1 => "MB1",
+            DriveModel::Mb2 => "MB2",
+            DriveModel::Mc1 => "MC1",
+            DriveModel::Mc2 => "MC2",
+        }
+    }
+
+    /// Parse a model name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<DriveModel> {
+        let upper = name.to_ascii_uppercase();
+        DriveModel::ALL.iter().copied().find(|m| m.name() == upper)
+    }
+
+    /// The vendor of this model.
+    pub fn vendor(self) -> Vendor {
+        match self {
+            DriveModel::Ma1 | DriveModel::Ma2 => Vendor::Ma,
+            DriveModel::Mb1 | DriveModel::Mb2 => Vendor::Mb,
+            DriveModel::Mc1 | DriveModel::Mc2 => Vendor::Mc,
+        }
+    }
+
+    /// Flash technology (Table II).
+    pub fn flash_tech(self) -> FlashTech {
+        match self {
+            DriveModel::Mc1 | DriveModel::Mc2 => FlashTech::Tlc,
+            _ => FlashTech::Mlc,
+        }
+    }
+
+    /// Fraction of the fleet population (Table II "Total %").
+    pub fn population_share(self) -> f64 {
+        match self {
+            DriveModel::Ma1 => 0.100,
+            DriveModel::Ma2 => 0.257,
+            DriveModel::Mb1 => 0.089,
+            DriveModel::Mb2 => 0.104,
+            DriveModel::Mc1 => 0.404,
+            DriveModel::Mc2 => 0.046,
+        }
+    }
+
+    /// Target annualized failure rate in percent (Table II "AFR (%)").
+    pub fn target_afr_percent(self) -> f64 {
+        match self {
+            DriveModel::Ma1 => 2.36,
+            DriveModel::Ma2 => 0.46,
+            DriveModel::Mb1 => 2.52,
+            DriveModel::Mb2 => 0.71,
+            DriveModel::Mc1 => 3.29,
+            DriveModel::Mc2 => 3.92,
+        }
+    }
+
+    /// The SMART attributes this model reports (Table I).
+    ///
+    /// Table I of the source text is partially garbled by OCR; ambiguous
+    /// cells were reconstructed for consistency with Tables III–V (e.g. MB2
+    /// must report REC because `REC_N` is its top-ranked feature in
+    /// Table III).
+    pub fn attributes(self) -> &'static [SmartAttribute] {
+        use SmartAttribute as A;
+        match self {
+            DriveModel::Ma1 => &[
+                A::Rsc,
+                A::Poh,
+                A::Pcc,
+                A::Pfc,
+                A::Efc,
+                A::Mwi,
+                A::Plp,
+                A::Upl,
+                A::Ars,
+                A::Ete,
+                A::Uce,
+                A::Cmdt,
+                A::Et,
+                A::Aft,
+                A::Rec,
+                A::Psc,
+                A::Oce,
+                A::Cec,
+            ],
+            DriveModel::Ma2 => &[
+                A::Rsc,
+                A::Poh,
+                A::Pcc,
+                A::Pfc,
+                A::Efc,
+                A::Mwi,
+                A::Plp,
+                A::Upl,
+                A::Ars,
+                A::Dec,
+                A::Ete,
+                A::Uce,
+                A::Et,
+                A::Aft,
+                A::Psc,
+                A::Cec,
+                A::Tlw,
+                A::Tlr,
+            ],
+            DriveModel::Mb1 => &[
+                A::Rsc,
+                A::Poh,
+                A::Pcc,
+                A::Pfc,
+                A::Efc,
+                A::Mwi,
+                A::Ars,
+                A::Dec,
+                A::Ete,
+                A::Uce,
+                A::Et,
+                A::Aft,
+                A::Psc,
+                A::Cec,
+                A::Tlw,
+                A::Tlr,
+            ],
+            DriveModel::Mb2 => &[
+                A::Rsc,
+                A::Poh,
+                A::Pcc,
+                A::Pfc,
+                A::Efc,
+                A::Mwi,
+                A::Ars,
+                A::Dec,
+                A::Ete,
+                A::Uce,
+                A::Et,
+                A::Aft,
+                A::Rec,
+                A::Psc,
+                A::Cec,
+            ],
+            DriveModel::Mc1 => &[
+                A::Rer,
+                A::Rsc,
+                A::Poh,
+                A::Pcc,
+                A::Pfc,
+                A::Efc,
+                A::Mwi,
+                A::Upl,
+                A::Ars,
+                A::Dec,
+                A::Ete,
+                A::Uce,
+                A::Cmdt,
+                A::Et,
+                A::Aft,
+                A::Rec,
+                A::Psc,
+                A::Oce,
+                A::Cec,
+            ],
+            DriveModel::Mc2 => &[
+                A::Rer,
+                A::Rsc,
+                A::Poh,
+                A::Pcc,
+                A::Efc,
+                A::Mwi,
+                A::Upl,
+                A::Ars,
+                A::Ete,
+                A::Uce,
+                A::Cmdt,
+                A::Et,
+                A::Aft,
+                A::Rec,
+                A::Psc,
+                A::Oce,
+                A::Cec,
+            ],
+        }
+    }
+
+    /// Whether this model reports `attr`.
+    pub fn has_attribute(self, attr: SmartAttribute) -> bool {
+        self.attributes().contains(&attr)
+    }
+
+    /// Index of `attr` within [`DriveModel::attributes`], if reported.
+    pub fn attribute_index(self, attr: SmartAttribute) -> Option<usize> {
+        self.attributes().iter().position(|&a| a == attr)
+    }
+
+    /// The simulation profile for this model.
+    pub fn profile(self) -> ModelProfile {
+        ModelProfile::for_model(self)
+    }
+}
+
+/// Hazard multiplier applied as a function of a drive's projected end-of-life
+/// wear-out (its final `MWI_N`): drives projected to wear past `knee_mwi`
+/// have their failure probability scaled up linearly to `max_multiplier` at
+/// `MWI_N = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearHazard {
+    /// `MWI_N` below which the hazard multiplier starts to rise.
+    pub knee_mwi: f64,
+    /// Multiplier reached when `MWI_N` hits zero.
+    pub max_multiplier: f64,
+}
+
+impl WearHazard {
+    /// No wear-dependent hazard (flat multiplier of 1).
+    pub const FLAT: WearHazard = WearHazard {
+        knee_mwi: 0.0,
+        max_multiplier: 1.0,
+    };
+
+    /// The multiplier at a given `MWI_N` value.
+    ///
+    /// Below the knee the hazard *jumps* to the midpoint of its range and
+    /// then ramps linearly to `max_multiplier` at `MWI_N = 0`. The jump
+    /// models threshold-triggered wear-out failures and gives the survival
+    /// curve the kink at the knee that the paper's change-point analysis
+    /// finds (Fig. 1).
+    pub fn multiplier(&self, mwi_n: f64) -> f64 {
+        if mwi_n >= self.knee_mwi || self.knee_mwi <= 0.0 {
+            1.0
+        } else {
+            let frac = ((self.knee_mwi - mwi_n) / self.knee_mwi).clamp(0.0, 1.0);
+            1.0 + (0.75 + 0.25 * frac) * (self.max_multiplier - 1.0)
+        }
+    }
+}
+
+/// MC2's early-firmware failure mode: *young* drives deployed before the
+/// fix ship date suffer an elevated hazard of early-life `UCE`-signature
+/// failures. Because the casualties die young, their final `MWI_N` is high
+/// — the cause of the non-monotone survival curve in Fig. 1 and its change
+/// point at `MWI_N ≈ 72`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FirmwareEra {
+    /// Only drives deployed before this dataset day are affected.
+    pub deploy_before_day: u32,
+    /// Only drives with at most this much pre-window service age are
+    /// affected (keeps the casualties' final wear-out in a tight high-MWI
+    /// band).
+    pub max_initial_age_days: u32,
+    /// Probability that an affected drive develops the firmware failure
+    /// (scaled by the fleet's global failure scale).
+    pub failure_probability: f64,
+    /// Defect onset occurs within this many days after deployment.
+    pub onset_within_days: u32,
+    /// The bug only manifests while the drive's `MWI_N` is above this value
+    /// (the firmware path is exercised during early wear life), which gives
+    /// the survival curve its sharp edge — the paper's change point at 72.
+    pub min_mwi_at_failure: f64,
+}
+
+/// Simulation profile of a drive model: wear dynamics, background error
+/// rates, failure-mechanism mix, and wear-dependent hazard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Mean daily `MWI` consumption in percentage points.
+    pub wear_rate_mean: f64,
+    /// Lognormal sigma of the per-drive wear-rate draw.
+    pub wear_rate_sigma: f64,
+    /// Mean enclosure temperature (°C).
+    pub temp_mean: f64,
+    /// Mean daily written gigabytes (drives TLW and wear noise).
+    pub daily_write_gb: f64,
+    /// Mean daily read gigabytes (drives TLR).
+    pub daily_read_gb: f64,
+    /// Failure-mechanism mix (weights need not sum to 1; they are
+    /// normalized at sampling time).
+    pub mechanisms: Vec<MechanismWeight>,
+    /// Wear-dependent hazard.
+    pub wear_hazard: WearHazard,
+    /// Divisor calibrating the ordinary failure probability so that the
+    /// population-mean AFR matches the Table II target despite the
+    /// wear-hazard multiplier inflating it (the multiplier's population
+    /// mean exceeds 1 for models with a wear knee).
+    pub afr_calibration: f64,
+    /// Early-firmware era (MC2 only).
+    pub firmware_era: Option<FirmwareEra>,
+}
+
+impl ModelProfile {
+    /// The built-in profile for `model`.
+    pub fn for_model(model: DriveModel) -> ModelProfile {
+        use FailureMechanism as M;
+        match model {
+            DriveModel::Ma1 => ModelProfile {
+                wear_rate_mean: 0.050,
+                wear_rate_sigma: 0.95,
+                temp_mean: 30.0,
+                daily_write_gb: 220.0,
+                daily_read_gb: 300.0,
+                mechanisms: vec![
+                    MechanismWeight::new(M::PowerLossProtection, 0.45),
+                    MechanismWeight::new(M::WearOut, 0.28),
+                    MechanismWeight::new(M::ReallocationStorm, 0.17),
+                    MechanismWeight::new(M::AgeRelated, 0.10),
+                ],
+                wear_hazard: WearHazard {
+                    knee_mwi: 38.0,
+                    max_multiplier: 6.0,
+                },
+                afr_calibration: 1.55,
+                firmware_era: None,
+            },
+            DriveModel::Ma2 => ModelProfile {
+                wear_rate_mean: 0.034,
+                wear_rate_sigma: 0.95,
+                temp_mean: 29.0,
+                daily_write_gb: 150.0,
+                daily_read_gb: 520.0,
+                mechanisms: vec![
+                    MechanismWeight::new(M::AgeRelated, 0.35),
+                    MechanismWeight::new(M::PowerLossProtection, 0.25),
+                    MechanismWeight::new(M::ReadStress, 0.25),
+                    MechanismWeight::new(M::WearOut, 0.15),
+                ],
+                wear_hazard: WearHazard {
+                    knee_mwi: 34.0,
+                    max_multiplier: 6.0,
+                },
+                afr_calibration: 1.48,
+                firmware_era: None,
+            },
+            DriveModel::Mb1 => ModelProfile {
+                wear_rate_mean: 0.0022,
+                wear_rate_sigma: 0.30,
+                temp_mean: 31.0,
+                daily_write_gb: 40.0,
+                daily_read_gb: 260.0,
+                mechanisms: vec![
+                    MechanismWeight::new(M::ReserveDepletion, 0.60),
+                    MechanismWeight::new(M::UncorrectableMedia, 0.22),
+                    MechanismWeight::new(M::AgeRelated, 0.18),
+                ],
+                wear_hazard: WearHazard::FLAT,
+                afr_calibration: 1.05,
+                firmware_era: None,
+            },
+            DriveModel::Mb2 => ModelProfile {
+                wear_rate_mean: 0.0018,
+                wear_rate_sigma: 0.30,
+                temp_mean: 30.0,
+                daily_write_gb: 35.0,
+                daily_read_gb: 180.0,
+                mechanisms: vec![
+                    MechanismWeight::new(M::ReallocationStorm, 0.45),
+                    MechanismWeight::new(M::AgeRelated, 0.30),
+                    MechanismWeight::new(M::UncorrectableMedia, 0.25),
+                ],
+                wear_hazard: WearHazard::FLAT,
+                afr_calibration: 1.24,
+                firmware_era: None,
+            },
+            DriveModel::Mc1 => ModelProfile {
+                wear_rate_mean: 0.060,
+                wear_rate_sigma: 1.00,
+                temp_mean: 33.0,
+                daily_write_gb: 380.0,
+                daily_read_gb: 450.0,
+                mechanisms: vec![
+                    MechanismWeight::new(M::MediaScanErrors, 0.50),
+                    MechanismWeight::new(M::UncorrectableMedia, 0.30),
+                    MechanismWeight::new(M::WearOut, 0.20),
+                ],
+                wear_hazard: WearHazard {
+                    knee_mwi: 30.0,
+                    max_multiplier: 4.0,
+                },
+                afr_calibration: 1.30,
+                firmware_era: None,
+            },
+            DriveModel::Mc2 => ModelProfile {
+                wear_rate_mean: 0.055,
+                wear_rate_sigma: 0.90,
+                temp_mean: 34.0,
+                daily_write_gb: 340.0,
+                daily_read_gb: 400.0,
+                mechanisms: vec![
+                    MechanismWeight::new(M::UncorrectableMedia, 0.52),
+                    MechanismWeight::new(M::MediaScanErrors, 0.26),
+                    MechanismWeight::new(M::WearOut, 0.22),
+                ],
+                wear_hazard: WearHazard {
+                    knee_mwi: 40.0,
+                    max_multiplier: 2.0,
+                },
+                afr_calibration: 1.93,
+                firmware_era: Some(FirmwareEra {
+                    deploy_before_day: 260,
+                    max_initial_age_days: 280,
+                    failure_probability: 0.08,
+                    onset_within_days: 130,
+                    min_mwi_at_failure: 72.0,
+                }),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::SmartAttribute;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let total: f64 = DriveModel::ALL.iter().map(|m| m.population_share()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn tlc_models_have_higher_afr_than_mlc() {
+        // The paper observes TLC AFRs exceed MLC AFRs.
+        let max_mlc = DriveModel::ALL
+            .iter()
+            .filter(|m| m.flash_tech() == FlashTech::Mlc)
+            .map(|m| m.target_afr_percent())
+            .fold(0.0, f64::max);
+        for m in [DriveModel::Mc1, DriveModel::Mc2] {
+            assert!(m.target_afr_percent() > max_mlc);
+        }
+    }
+
+    #[test]
+    fn all_models_report_core_attributes() {
+        // RSC, POH, PCC, EFC, MWI, UCE, PSC, CEC are reported by all six
+        // models per Table I.
+        for m in DriveModel::ALL {
+            for attr in [
+                SmartAttribute::Rsc,
+                SmartAttribute::Poh,
+                SmartAttribute::Pcc,
+                SmartAttribute::Efc,
+                SmartAttribute::Mwi,
+                SmartAttribute::Uce,
+                SmartAttribute::Psc,
+                SmartAttribute::Cec,
+            ] {
+                assert!(m.has_attribute(attr), "{m} missing {attr}");
+            }
+        }
+    }
+
+    #[test]
+    fn vendor_specific_attributes() {
+        // PLP only on MA models.
+        assert!(DriveModel::Ma1.has_attribute(SmartAttribute::Plp));
+        assert!(DriveModel::Ma2.has_attribute(SmartAttribute::Plp));
+        for m in [DriveModel::Mb1, DriveModel::Mb2, DriveModel::Mc1, DriveModel::Mc2] {
+            assert!(!m.has_attribute(SmartAttribute::Plp));
+        }
+        // TLW/TLR only on MA2 and MB1.
+        for m in DriveModel::ALL {
+            let has_tlw = m.has_attribute(SmartAttribute::Tlw);
+            assert_eq!(has_tlw, m == DriveModel::Ma2 || m == DriveModel::Mb1);
+        }
+        // OCE on MA1, MC1, MC2 (needed for Tables III/IV).
+        for m in [DriveModel::Ma1, DriveModel::Mc1, DriveModel::Mc2] {
+            assert!(m.has_attribute(SmartAttribute::Oce));
+        }
+    }
+
+    #[test]
+    fn mb2_reports_rec_for_table_iii_consistency() {
+        assert!(DriveModel::Mb2.has_attribute(SmartAttribute::Rec));
+    }
+
+    #[test]
+    fn attribute_index_consistent() {
+        for m in DriveModel::ALL {
+            for (i, &a) in m.attributes().iter().enumerate() {
+                assert_eq!(m.attribute_index(a), Some(i));
+            }
+            assert_eq!(
+                m.attribute_index(SmartAttribute::Plp).is_some(),
+                m.has_attribute(SmartAttribute::Plp)
+            );
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for m in DriveModel::ALL {
+            assert_eq!(DriveModel::from_name(m.name()), Some(m));
+        }
+        assert_eq!(DriveModel::from_name("mc1"), Some(DriveModel::Mc1));
+        assert_eq!(DriveModel::from_name("XX9"), None);
+    }
+
+    #[test]
+    fn wear_hazard_multiplier_shape() {
+        let h = WearHazard {
+            knee_mwi: 40.0,
+            max_multiplier: 4.0,
+        };
+        assert_eq!(h.multiplier(80.0), 1.0);
+        assert_eq!(h.multiplier(40.0), 1.0);
+        // Just below the knee the hazard jumps to 75% of its range …
+        assert!((h.multiplier(39.999) - 3.25).abs() < 1e-2);
+        // … and ramps gently to the maximum at full wear.
+        assert!((h.multiplier(20.0) - 3.625).abs() < 1e-12);
+        assert!((h.multiplier(0.0) - 4.0).abs() < 1e-12);
+        assert_eq!(WearHazard::FLAT.multiplier(0.0), 1.0);
+    }
+
+    #[test]
+    fn profiles_have_visible_mechanism_signatures() {
+        // The simulator skips ramps on attributes a model does not report
+        // (vendors expose different telemetry), but every mechanism in a
+        // model's mix must ramp at least one attribute that model reports —
+        // otherwise its failures would be unpredictable by construction.
+        for m in DriveModel::ALL {
+            let profile = m.profile();
+            for mw in &profile.mechanisms {
+                let visible = mw
+                    .mechanism
+                    .ramps()
+                    .iter()
+                    .filter(|r| m.has_attribute(r.attr))
+                    .count();
+                assert!(
+                    visible > 0,
+                    "{m}: mechanism {:?} has no visible ramp attribute",
+                    mw.mechanism
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn only_mc2_has_firmware_era() {
+        for m in DriveModel::ALL {
+            assert_eq!(m.profile().firmware_era.is_some(), m == DriveModel::Mc2);
+        }
+    }
+
+    #[test]
+    fn mb_models_wear_slowly() {
+        // MB1/MB2 must keep a narrow MWI range over two years (no change
+        // point in Fig. 1). 730 days * rate must stay well under 5%.
+        for m in [DriveModel::Mb1, DriveModel::Mb2] {
+            assert!(m.profile().wear_rate_mean * 730.0 < 5.0);
+        }
+    }
+}

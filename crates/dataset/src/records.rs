@@ -1,0 +1,291 @@
+//! Fleet record types: drives, daily observations, and failures.
+
+use crate::attr::{FeatureId, ValueKind};
+use crate::mechanism::FailureMechanism;
+use crate::model::DriveModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique drive identifier within a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DriveId(pub u32);
+
+impl fmt::Display for DriveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "drive-{:06}", self.0)
+    }
+}
+
+/// The recorded failure of a drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// Dataset day of the failure (the drive's last observed day).
+    pub day: u32,
+    /// The underlying mechanism (ground truth — not visible to predictors).
+    pub mechanism: FailureMechanism,
+}
+
+/// Full SMART history of one drive.
+///
+/// Daily values are stored flat (day-major, `[attr][raw, normalized]` per
+/// day) to keep a multi-hundred-drive fleet within a few hundred megabytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveRecord {
+    /// Drive identifier.
+    pub id: DriveId,
+    /// Drive model.
+    pub model: DriveModel,
+    /// First observed dataset day.
+    pub deploy_day: u32,
+    /// Days in service before the dataset window opened.
+    pub initial_age_days: u32,
+    /// The failure, if the drive failed inside the window.
+    pub failure: Option<FailureRecord>,
+    values: Vec<f32>,
+    n_days: u32,
+}
+
+impl DriveRecord {
+    /// Assemble a record from flat day-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n_days * 2 * model.attributes().len()` —
+    /// this is a constructor for the simulator, which controls the layout.
+    pub fn from_flat_values(
+        id: DriveId,
+        model: DriveModel,
+        deploy_day: u32,
+        initial_age_days: u32,
+        failure: Option<FailureRecord>,
+        values: Vec<f32>,
+        n_days: u32,
+    ) -> Self {
+        let stride = 2 * model.attributes().len();
+        assert_eq!(
+            values.len(),
+            n_days as usize * stride,
+            "flat value buffer does not match {n_days} days × stride {stride}"
+        );
+        DriveRecord {
+            id,
+            model,
+            deploy_day,
+            initial_age_days,
+            failure,
+            values,
+            n_days,
+        }
+    }
+
+    /// Number of observed days.
+    pub fn n_days(&self) -> u32 {
+        self.n_days
+    }
+
+    /// Last observed dataset day.
+    pub fn last_day(&self) -> u32 {
+        self.deploy_day + self.n_days.saturating_sub(1)
+    }
+
+    /// Whether the drive failed within the window.
+    pub fn is_failed(&self) -> bool {
+        self.failure.is_some()
+    }
+
+    /// Whether the drive is observed on dataset day `day`.
+    pub fn observed_on(&self, day: u32) -> bool {
+        day >= self.deploy_day && day <= self.last_day()
+    }
+
+    /// The value of `feature` on dataset day `day`, if observed and the
+    /// model reports the attribute.
+    pub fn value_on(&self, day: u32, feature: FeatureId) -> Option<f64> {
+        if !self.observed_on(day) {
+            return None;
+        }
+        let attr_idx = self.model.attribute_index(feature.attr)?;
+        let stride = 2 * self.model.attributes().len();
+        let day_offset = (day - self.deploy_day) as usize;
+        let kind_offset = match feature.kind {
+            ValueKind::Raw => 0,
+            ValueKind::Normalized => 1,
+        };
+        Some(self.values[day_offset * stride + 2 * attr_idx + kind_offset] as f64)
+    }
+
+    /// The full observed series of `feature` (one value per observed day),
+    /// or `None` if the model does not report the attribute.
+    pub fn series(&self, feature: FeatureId) -> Option<Vec<f64>> {
+        let attr_idx = self.model.attribute_index(feature.attr)?;
+        let stride = 2 * self.model.attributes().len();
+        let kind_offset = match feature.kind {
+            ValueKind::Raw => 0,
+            ValueKind::Normalized => 1,
+        };
+        Some(
+            (0..self.n_days as usize)
+                .map(|d| self.values[d * stride + 2 * attr_idx + kind_offset] as f64)
+                .collect(),
+        )
+    }
+
+    /// The trailing slice (up to `width` days, ending at dataset day `day`
+    /// inclusive) of `feature`'s series — the window the pipeline's feature
+    /// generation consumes.
+    pub fn trailing_series(&self, day: u32, width: u32, feature: FeatureId) -> Option<Vec<f64>> {
+        if !self.observed_on(day) || width == 0 {
+            return None;
+        }
+        let attr_idx = self.model.attribute_index(feature.attr)?;
+        let stride = 2 * self.model.attributes().len();
+        let kind_offset = match feature.kind {
+            ValueKind::Raw => 0,
+            ValueKind::Normalized => 1,
+        };
+        let end = (day - self.deploy_day) as usize;
+        let start = (end + 1).saturating_sub(width as usize);
+        Some(
+            (start..=end)
+                .map(|d| self.values[d * stride + 2 * attr_idx + kind_offset] as f64)
+                .collect(),
+        )
+    }
+
+    /// `MWI_N` on the drive's last observed day — the wear-out coordinate of
+    /// the survival analysis.
+    pub fn final_mwi_n(&self) -> Option<f64> {
+        use crate::attr::SmartAttribute;
+        self.value_on(self.last_day(), FeatureId::normalized(SmartAttribute::Mwi))
+    }
+
+    /// Condense to a [`DriveSummary`].
+    pub fn summary(&self) -> DriveSummary {
+        DriveSummary {
+            id: self.id,
+            model: self.model,
+            deploy_day: self.deploy_day,
+            initial_age_days: self.initial_age_days,
+            observed_days: self.n_days,
+            final_mwi_n: self.final_mwi_n().unwrap_or(100.0),
+            failure: self.failure,
+        }
+    }
+}
+
+/// Lifecycle summary of a drive — all the census statistics (Table II,
+/// Fig. 1) need, at a fraction of the memory of a full record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriveSummary {
+    /// Drive identifier.
+    pub id: DriveId,
+    /// Drive model.
+    pub model: DriveModel,
+    /// First observed dataset day.
+    pub deploy_day: u32,
+    /// Days in service before the window opened.
+    pub initial_age_days: u32,
+    /// Number of observed days.
+    pub observed_days: u32,
+    /// `MWI_N` on the last observed day.
+    pub final_mwi_n: f64,
+    /// The failure, if any.
+    pub failure: Option<FailureRecord>,
+}
+
+impl DriveSummary {
+    /// Whether the drive failed within the window.
+    pub fn is_failed(&self) -> bool {
+        self.failure.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::SmartAttribute;
+
+    fn tiny_record() -> DriveRecord {
+        // MB2 reports 15 attributes; 2 days of data.
+        let model = DriveModel::Mb2;
+        let stride = 2 * model.attributes().len();
+        let mut values = vec![0.0f32; 2 * stride];
+        // Day 0, attribute 0 (RSC): raw 5, norm 95.
+        values[0] = 5.0;
+        values[1] = 95.0;
+        // Day 1, attribute 0: raw 6, norm 94.
+        values[stride] = 6.0;
+        values[stride + 1] = 94.0;
+        DriveRecord::from_flat_values(DriveId(7), model, 10, 100, None, values, 2)
+    }
+
+    #[test]
+    fn value_access() {
+        let r = tiny_record();
+        let rsc_r = FeatureId::raw(SmartAttribute::Rsc);
+        let rsc_n = FeatureId::normalized(SmartAttribute::Rsc);
+        assert_eq!(r.value_on(10, rsc_r), Some(5.0));
+        assert_eq!(r.value_on(11, rsc_r), Some(6.0));
+        assert_eq!(r.value_on(11, rsc_n), Some(94.0));
+        assert_eq!(r.value_on(9, rsc_r), None);
+        assert_eq!(r.value_on(12, rsc_r), None);
+    }
+
+    #[test]
+    fn unreported_attribute_is_none() {
+        let r = tiny_record();
+        // MB2 does not report OCE.
+        assert_eq!(r.value_on(10, FeatureId::raw(SmartAttribute::Oce)), None);
+        assert_eq!(r.series(FeatureId::raw(SmartAttribute::Oce)), None);
+    }
+
+    #[test]
+    fn series_spans_observed_days() {
+        let r = tiny_record();
+        let s = r.series(FeatureId::raw(SmartAttribute::Rsc)).unwrap();
+        assert_eq!(s, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn trailing_series_truncates() {
+        let r = tiny_record();
+        let s = r
+            .trailing_series(11, 7, FeatureId::raw(SmartAttribute::Rsc))
+            .unwrap();
+        assert_eq!(s, vec![5.0, 6.0]);
+        let s = r
+            .trailing_series(11, 1, FeatureId::raw(SmartAttribute::Rsc))
+            .unwrap();
+        assert_eq!(s, vec![6.0]);
+        assert!(r.trailing_series(9, 3, FeatureId::raw(SmartAttribute::Rsc)).is_none());
+    }
+
+    #[test]
+    fn last_day_and_observed() {
+        let r = tiny_record();
+        assert_eq!(r.last_day(), 11);
+        assert!(r.observed_on(10) && r.observed_on(11));
+        assert!(!r.observed_on(12));
+        assert!(!r.is_failed());
+    }
+
+    #[test]
+    fn summary_roundtrip() {
+        let r = tiny_record();
+        let s = r.summary();
+        assert_eq!(s.id, r.id);
+        assert_eq!(s.observed_days, 2);
+        assert!(!s.is_failed());
+    }
+
+    #[test]
+    #[should_panic(expected = "flat value buffer")]
+    fn wrong_buffer_size_panics() {
+        DriveRecord::from_flat_values(DriveId(0), DriveModel::Mb2, 0, 0, None, vec![0.0; 3], 2);
+    }
+
+    #[test]
+    fn drive_id_display() {
+        assert_eq!(DriveId(42).to_string(), "drive-000042");
+    }
+}

@@ -1,0 +1,139 @@
+//! Fleet-level summary statistics (the paper's Table II).
+
+use crate::model::{DriveModel, FlashTech};
+use crate::records::DriveSummary;
+use serde::{Deserialize, Serialize};
+
+/// Per-model summary statistics in the shape of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// The drive model.
+    pub model: DriveModel,
+    /// Flash technology.
+    pub flash: FlashTech,
+    /// Number of drives of this model.
+    pub drives: usize,
+    /// Number of failed drives of this model.
+    pub failures: usize,
+    /// Share of the whole population ("Total %").
+    pub population_share: f64,
+    /// Share of all failures ("Failures %").
+    pub failure_share: f64,
+    /// Annualized failure rate in percent, using the paper's formula
+    /// `AFR(%) = f × 365 × 100 / Σᵢ nᵢ` where `nᵢ` counts operational drives
+    /// on day `i` (equivalently, total drive-days).
+    pub afr_percent: f64,
+}
+
+/// Compute Table II statistics from drive summaries. Models with zero drives
+/// are omitted. Rows are in [`DriveModel::ALL`] order.
+pub fn summarize(summaries: &[DriveSummary]) -> Vec<ModelStats> {
+    let total_drives = summaries.len();
+    let total_failures = summaries.iter().filter(|s| s.is_failed()).count();
+    DriveModel::ALL
+        .iter()
+        .filter_map(|&model| {
+            let of_model: Vec<&DriveSummary> =
+                summaries.iter().filter(|s| s.model == model).collect();
+            if of_model.is_empty() {
+                return None;
+            }
+            let drives = of_model.len();
+            let failures = of_model.iter().filter(|s| s.is_failed()).count();
+            let drive_days: u64 = of_model.iter().map(|s| s.observed_days as u64).sum();
+            let afr_percent = if drive_days == 0 {
+                0.0
+            } else {
+                failures as f64 * 365.0 * 100.0 / drive_days as f64
+            };
+            Some(ModelStats {
+                model,
+                flash: model.flash_tech(),
+                drives,
+                failures,
+                population_share: drives as f64 / total_drives as f64,
+                failure_share: if total_failures == 0 {
+                    0.0
+                } else {
+                    failures as f64 / total_failures as f64
+                },
+                afr_percent,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::FailureMechanism;
+    use crate::records::{DriveId, FailureRecord};
+
+    fn summary(id: u32, model: DriveModel, observed: u32, failed: bool) -> DriveSummary {
+        DriveSummary {
+            id: DriveId(id),
+            model,
+            deploy_day: 0,
+            initial_age_days: 0,
+            observed_days: observed,
+            final_mwi_n: 90.0,
+            failure: failed.then_some(FailureRecord {
+                day: observed - 1,
+                mechanism: FailureMechanism::WearOut,
+            }),
+        }
+    }
+
+    #[test]
+    fn afr_formula_matches_paper() {
+        // 1 failure over 2 drives × 365 days = 730 drive-days:
+        // AFR = 1 × 365 × 100 / 730 = 50%.
+        let stats = summarize(&[
+            summary(0, DriveModel::Ma1, 365, true),
+            summary(1, DriveModel::Ma1, 365, false),
+        ]);
+        assert_eq!(stats.len(), 1);
+        assert!((stats[0].afr_percent - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shares_partition() {
+        let stats = summarize(&[
+            summary(0, DriveModel::Ma1, 100, true),
+            summary(1, DriveModel::Ma1, 100, false),
+            summary(2, DriveModel::Mc1, 100, true),
+            summary(3, DriveModel::Mc1, 100, true),
+        ]);
+        let pop: f64 = stats.iter().map(|s| s.population_share).sum();
+        let fail: f64 = stats.iter().map(|s| s.failure_share).sum();
+        assert!((pop - 1.0).abs() < 1e-9);
+        assert!((fail - 1.0).abs() < 1e-9);
+        let mc1 = stats.iter().find(|s| s.model == DriveModel::Mc1).unwrap();
+        assert!((mc1.failure_share - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_failures_handled() {
+        let stats = summarize(&[summary(0, DriveModel::Mb1, 200, false)]);
+        assert_eq!(stats[0].failures, 0);
+        assert_eq!(stats[0].failure_share, 0.0);
+        assert_eq!(stats[0].afr_percent, 0.0);
+    }
+
+    #[test]
+    fn empty_models_omitted() {
+        let stats = summarize(&[summary(0, DriveModel::Mb1, 200, false)]);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].model, DriveModel::Mb1);
+    }
+
+    #[test]
+    fn flash_tech_reported() {
+        let stats = summarize(&[
+            summary(0, DriveModel::Ma1, 10, false),
+            summary(1, DriveModel::Mc2, 10, false),
+        ]);
+        assert_eq!(stats[0].flash, FlashTech::Mlc);
+        assert_eq!(stats[1].flash, FlashTech::Tlc);
+    }
+}

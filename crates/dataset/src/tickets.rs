@@ -1,0 +1,84 @@
+//! Trouble tickets: the failure reports the maintenance system raises.
+
+use crate::records::{DriveId, DriveSummary};
+use crate::model::DriveModel;
+use serde::{Deserialize, Serialize};
+
+/// One trouble ticket: a drive failure detected by the rule-based monitoring
+/// daemons (§II-A of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TroubleTicket {
+    /// The failed drive.
+    pub drive_id: DriveId,
+    /// The drive's model.
+    pub model: DriveModel,
+    /// Dataset day of the failure.
+    pub day: u32,
+}
+
+/// Extract the trouble tickets from drive summaries, ordered by day then
+/// drive id.
+pub fn tickets_from_summaries(summaries: &[DriveSummary]) -> Vec<TroubleTicket> {
+    let mut tickets: Vec<TroubleTicket> = summaries
+        .iter()
+        .filter_map(|s| {
+            s.failure.map(|f| TroubleTicket {
+                drive_id: s.id,
+                model: s.model,
+                day: f.day,
+            })
+        })
+        .collect();
+    tickets.sort_by_key(|t| (t.day, t.drive_id));
+    tickets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::FailureMechanism;
+    use crate::records::FailureRecord;
+
+    fn summary(id: u32, day: Option<u32>) -> DriveSummary {
+        DriveSummary {
+            id: DriveId(id),
+            model: DriveModel::Ma1,
+            deploy_day: 0,
+            initial_age_days: 0,
+            observed_days: 100,
+            final_mwi_n: 90.0,
+            failure: day.map(|d| FailureRecord {
+                day: d,
+                mechanism: FailureMechanism::WearOut,
+            }),
+        }
+    }
+
+    #[test]
+    fn only_failures_get_tickets() {
+        let tickets = tickets_from_summaries(&[
+            summary(0, None),
+            summary(1, Some(50)),
+            summary(2, None),
+        ]);
+        assert_eq!(tickets.len(), 1);
+        assert_eq!(tickets[0].drive_id, DriveId(1));
+        assert_eq!(tickets[0].day, 50);
+    }
+
+    #[test]
+    fn tickets_sorted_by_day_then_id() {
+        let tickets = tickets_from_summaries(&[
+            summary(3, Some(80)),
+            summary(1, Some(20)),
+            summary(2, Some(20)),
+        ]);
+        let order: Vec<u32> = tickets.iter().map(|t| t.drive_id.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_gives_no_tickets() {
+        assert!(tickets_from_summaries(&[]).is_empty());
+    }
+}

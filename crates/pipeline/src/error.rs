@@ -1,0 +1,103 @@
+//! Error type for the prediction pipeline.
+
+use smart_dataset::DatasetError;
+use smart_stats::StatsError;
+use smart_trees::TreesError;
+use std::fmt;
+use wefr_core::WefrError;
+
+/// Errors produced by the failure-prediction pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Dataset-layer failure.
+    Dataset(DatasetError),
+    /// Statistics-layer failure.
+    Stats(StatsError),
+    /// Tree-learner failure.
+    Trees(TreesError),
+    /// Feature-selection failure.
+    Wefr(WefrError),
+    /// The pipeline was asked to run on degenerate data.
+    InvalidInput {
+        /// Description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Dataset(e) => write!(f, "dataset error: {e}"),
+            PipelineError::Stats(e) => write!(f, "statistics error: {e}"),
+            PipelineError::Trees(e) => write!(f, "tree learner error: {e}"),
+            PipelineError::Wefr(e) => write!(f, "feature selection error: {e}"),
+            PipelineError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Dataset(e) => Some(e),
+            PipelineError::Stats(e) => Some(e),
+            PipelineError::Trees(e) => Some(e),
+            PipelineError::Wefr(e) => Some(e),
+            PipelineError::InvalidInput { .. } => None,
+        }
+    }
+}
+
+impl From<DatasetError> for PipelineError {
+    fn from(e: DatasetError) -> Self {
+        PipelineError::Dataset(e)
+    }
+}
+
+impl From<StatsError> for PipelineError {
+    fn from(e: StatsError) -> Self {
+        PipelineError::Stats(e)
+    }
+}
+
+impl From<TreesError> for PipelineError {
+    fn from(e: TreesError) -> Self {
+        PipelineError::Trees(e)
+    }
+}
+
+impl From<WefrError> for PipelineError {
+    fn from(e: WefrError) -> Self {
+        PipelineError::Wefr(e)
+    }
+}
+
+impl PipelineError {
+    /// Shorthand for [`PipelineError::InvalidInput`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        PipelineError::InvalidInput {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = PipelineError::from(StatsError::empty("mean"));
+        assert!(e.to_string().contains("mean"));
+        assert!(e.source().is_some());
+        assert!(PipelineError::invalid("x").source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineError>();
+    }
+}

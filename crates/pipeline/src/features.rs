@@ -1,0 +1,152 @@
+//! Statistical feature generation (§V-A): each selected base feature
+//! expands into its current value plus max, min, mean, std, max−min, and
+//! weighted moving average over 3-day and 7-day trailing windows —
+//! 13 learning features per base feature.
+
+use crate::error::PipelineError;
+use smart_dataset::{DriveRecord, FeatureId};
+use smart_stats::window::{WindowStats, WINDOW_STAT_NAMES};
+
+/// The trailing-window widths of the paper.
+pub const WINDOW_WIDTHS: [u32; 2] = [3, 7];
+
+/// Number of expanded features per base feature (current value + 6 stats ×
+/// 2 windows).
+pub const EXPANSION_FACTOR: usize = 1 + 6 * WINDOW_WIDTHS.len();
+
+/// The expanded feature names for a set of base features, e.g.
+/// `OCE_R`, `OCE_R_w3_max`, …, `OCE_R_w7_wma`.
+pub fn expanded_feature_names(base: &[FeatureId]) -> Vec<String> {
+    let mut names = Vec::with_capacity(base.len() * EXPANSION_FACTOR);
+    for f in base {
+        let base_name = f.name();
+        names.push(base_name.clone());
+        for w in WINDOW_WIDTHS {
+            for stat in WINDOW_STAT_NAMES {
+                names.push(format!("{base_name}_w{w}_{stat}"));
+            }
+        }
+    }
+    names
+}
+
+/// Compute the expanded feature vector of one drive-day.
+///
+/// Returns the values in the same order as [`expanded_feature_names`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError::InvalidInput`] when the drive is not observed
+/// on `day` or does not report one of the base features.
+pub fn expand_sample(
+    drive: &DriveRecord,
+    day: u32,
+    base: &[FeatureId],
+) -> Result<Vec<f64>, PipelineError> {
+    let mut out = Vec::with_capacity(base.len() * EXPANSION_FACTOR);
+    for f in base {
+        let current = drive.value_on(day, *f).ok_or_else(|| {
+            PipelineError::invalid(format!(
+                "drive {} has no value for {f} on day {day}",
+                drive.id
+            ))
+        })?;
+        out.push(current);
+        for w in WINDOW_WIDTHS {
+            let window = drive
+                .trailing_series(day, w, *f)
+                .expect("value_on succeeded, so the window exists");
+            let stats = WindowStats::compute(&window).map_err(PipelineError::Stats)?;
+            out.extend_from_slice(&stats.to_array());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_dataset::{DriveModel, Fleet, FleetConfig, SmartAttribute};
+
+    fn drive() -> DriveRecord {
+        let config = FleetConfig::builder()
+            .days(200)
+            .seed(2)
+            .drives(DriveModel::Mc1, 1)
+            .build()
+            .unwrap();
+        Fleet::generate(&config).drives()[0].clone()
+    }
+
+    #[test]
+    fn names_have_expected_shape() {
+        let base = vec![
+            FeatureId::raw(SmartAttribute::Oce),
+            FeatureId::normalized(SmartAttribute::Mwi),
+        ];
+        let names = expanded_feature_names(&base);
+        assert_eq!(names.len(), 2 * EXPANSION_FACTOR);
+        assert_eq!(names[0], "OCE_R");
+        assert_eq!(names[1], "OCE_R_w3_max");
+        assert_eq!(names[12], "OCE_R_w7_wma");
+        assert_eq!(names[13], "MWI_N");
+    }
+
+    #[test]
+    fn expansion_matches_names_length() {
+        let d = drive();
+        let base = vec![
+            FeatureId::raw(SmartAttribute::Uce),
+            FeatureId::normalized(SmartAttribute::Mwi),
+        ];
+        let day = d.deploy_day + 50;
+        let values = expand_sample(&d, day, &base).unwrap();
+        assert_eq!(values.len(), expanded_feature_names(&base).len());
+        assert!(values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn window_stats_are_consistent_with_series() {
+        let d = drive();
+        let base = vec![FeatureId::raw(SmartAttribute::Poh)];
+        let day = d.deploy_day + 20;
+        let values = expand_sample(&d, day, &base).unwrap();
+        // POH grows by 24 per day, so the 3-day max is the current value
+        // and the 3-day min is current - 48.
+        let current = values[0];
+        let w3_max = values[1];
+        let w3_min = values[2];
+        assert_eq!(w3_max, current);
+        assert!((w3_min - (current - 48.0)).abs() < 1e-6);
+        // Range = max - min.
+        assert!((values[5] - (w3_max - w3_min)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_days_use_truncated_windows() {
+        let d = drive();
+        let base = vec![FeatureId::raw(SmartAttribute::Uce)];
+        // First observed day: all windows have width 1, so every stat
+        // equals the current value except std/range (zero).
+        let values = expand_sample(&d, d.deploy_day, &base).unwrap();
+        let current = values[0];
+        assert_eq!(values[1], current); // w3 max
+        assert_eq!(values[2], current); // w3 min
+        assert_eq!(values[4], 0.0); // w3 std
+        assert_eq!(values[5], 0.0); // w3 range
+    }
+
+    #[test]
+    fn unobserved_day_is_error() {
+        let d = drive();
+        let base = vec![FeatureId::raw(SmartAttribute::Uce)];
+        assert!(expand_sample(&d, d.last_day() + 1, &base).is_err());
+    }
+
+    #[test]
+    fn unreported_attribute_is_error() {
+        let d = drive(); // MC1 does not report PLP
+        let base = vec![FeatureId::raw(SmartAttribute::Plp)];
+        assert!(expand_sample(&d, d.deploy_day + 5, &base).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Sample labeling: a drive-day is positive when the drive fails within the
+//! prediction horizon (30 days in the paper, §II-B).
+
+use smart_dataset::DriveRecord;
+use serde::{Deserialize, Serialize};
+
+/// The paper's prediction horizon in days.
+pub const PAPER_HORIZON_DAYS: u32 = 30;
+
+/// A reference to one drive-day sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleRef {
+    /// Index of the drive within the fleet's drive list.
+    pub drive_index: usize,
+    /// Dataset day of the sample.
+    pub day: u32,
+    /// Failure-within-horizon label.
+    pub label: bool,
+}
+
+/// Whether the drive-day `(drive, day)` is a positive sample for `horizon`:
+/// the drive fails at most `horizon` days later (and has not failed yet).
+pub fn is_positive(drive: &DriveRecord, day: u32, horizon: u32) -> bool {
+    match drive.failure {
+        Some(f) => day <= f.day && f.day - day <= horizon,
+        None => false,
+    }
+}
+
+/// Iterate all labeled drive-days of one drive within `[from_day, to_day]`
+/// (inclusive), clipped to the drive's observation window.
+pub fn labeled_days<'a>(
+    drive: &'a DriveRecord,
+    drive_index: usize,
+    from_day: u32,
+    to_day: u32,
+    horizon: u32,
+) -> impl Iterator<Item = SampleRef> + 'a {
+    let start = from_day.max(drive.deploy_day);
+    let end = to_day.min(drive.last_day());
+    (start..=end.max(start)).filter(move |&d| d <= end).map(move |day| SampleRef {
+        drive_index,
+        day,
+        label: is_positive(drive, day, horizon),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_dataset::{DriveModel, Fleet, FleetConfig};
+
+    fn fleet() -> Fleet {
+        let config = FleetConfig::builder()
+            .days(400)
+            .seed(11)
+            .drives(DriveModel::Mc1, 40)
+            .failure_scale(8.0)
+            .build()
+            .unwrap();
+        Fleet::generate(&config)
+    }
+
+    #[test]
+    fn positive_window_is_horizon_before_failure() {
+        let fleet = fleet();
+        let failed = fleet
+            .drives()
+            .iter()
+            .find(|d| d.is_failed() && d.failure.unwrap().day > d.deploy_day + 60)
+            .expect("some failure");
+        let f_day = failed.failure.unwrap().day;
+        assert!(is_positive(failed, f_day, 30));
+        assert!(is_positive(failed, f_day.saturating_sub(30), 30));
+        assert!(!is_positive(failed, f_day.saturating_sub(31), 30));
+    }
+
+    #[test]
+    fn healthy_drive_is_never_positive() {
+        let fleet = fleet();
+        let healthy = fleet.drives().iter().find(|d| !d.is_failed()).unwrap();
+        for day in healthy.deploy_day..=healthy.last_day() {
+            assert!(!is_positive(healthy, day, 30));
+        }
+    }
+
+    #[test]
+    fn labeled_days_clip_to_observation() {
+        let fleet = fleet();
+        let drive = &fleet.drives()[0];
+        let samples: Vec<SampleRef> = labeled_days(drive, 0, 0, 10_000, 30).collect();
+        assert_eq!(samples.len() as u32, drive.n_days());
+        assert_eq!(samples[0].day, drive.deploy_day);
+        assert_eq!(samples.last().unwrap().day, drive.last_day());
+    }
+
+    #[test]
+    fn labeled_days_respect_range() {
+        let fleet = fleet();
+        let drive = fleet
+            .drives()
+            .iter()
+            .find(|d| d.deploy_day == 0 && d.n_days() > 100)
+            .unwrap();
+        let samples: Vec<SampleRef> = labeled_days(drive, 3, 50, 59, 30).collect();
+        assert_eq!(samples.len(), 10);
+        assert!(samples.iter().all(|s| (50..=59).contains(&s.day)));
+        assert!(samples.iter().all(|s| s.drive_index == 3));
+    }
+
+    #[test]
+    fn positive_count_matches_horizon() {
+        let fleet = fleet();
+        for drive in fleet.drives().iter().filter(|d| d.is_failed()) {
+            let f_day = drive.failure.unwrap().day;
+            let positives =
+                labeled_days(drive, 0, 0, 10_000, 30).filter(|s| s.label).count() as u32;
+            let expected = (f_day - drive.deploy_day + 1).min(31);
+            assert_eq!(positives, expected, "drive {}", drive.id);
+        }
+    }
+}

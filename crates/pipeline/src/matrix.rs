@@ -1,0 +1,295 @@
+//! Sample collection and matrix construction: from a simulated fleet to the
+//! matrices the rankers and learners consume.
+
+use crate::error::PipelineError;
+use crate::label::{labeled_days, SampleRef};
+use smart_dataset::{DriveModel, FeatureId, Fleet, SmartAttribute, ValueKind};
+use smart_stats::sampling::downsample_negatives;
+use smart_stats::FeatureMatrix;
+
+/// All base learning features of a drive model: the raw and normalized
+/// value of every attribute the model reports (§II-B: "we view raw and
+/// normalized values of each SMART attribute as two learning features").
+pub fn base_features(model: DriveModel) -> Vec<FeatureId> {
+    model
+        .attributes()
+        .iter()
+        .flat_map(|&attr| {
+            ValueKind::BOTH
+                .iter()
+                .map(move |&kind| FeatureId { attr, kind })
+        })
+        .collect()
+}
+
+/// Sampling policy for building training matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingConfig {
+    /// Prediction horizon in days.
+    pub horizon: u32,
+    /// Keep every `neg_stride`-th healthy drive-day (positives are always
+    /// kept). Must be ≥ 1.
+    pub neg_stride: u32,
+    /// After striding, downsample negatives to at most this multiple of the
+    /// positive count (`None` = keep all strided negatives).
+    pub downsample_ratio: Option<f64>,
+    /// Seed for the negative downsampling.
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            horizon: crate::label::PAPER_HORIZON_DAYS,
+            neg_stride: 7,
+            downsample_ratio: Some(4.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Collect labeled samples of `model` within `[from_day, to_day]`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::InvalidInput`] when `neg_stride == 0` or the
+/// range contains no samples.
+pub fn collect_samples(
+    fleet: &Fleet,
+    model: DriveModel,
+    from_day: u32,
+    to_day: u32,
+    config: &SamplingConfig,
+) -> Result<Vec<SampleRef>, PipelineError> {
+    if config.neg_stride == 0 {
+        return Err(PipelineError::invalid("neg_stride must be at least 1"));
+    }
+    let mut samples: Vec<SampleRef> = Vec::new();
+    for (drive_index, drive) in fleet.drives().iter().enumerate() {
+        if drive.model != model {
+            continue;
+        }
+        for s in labeled_days(drive, drive_index, from_day, to_day, config.horizon) {
+            if s.label || (s.day - drive.deploy_day) % config.neg_stride == 0 {
+                samples.push(s);
+            }
+        }
+    }
+    if samples.is_empty() {
+        return Err(PipelineError::invalid(format!(
+            "no samples of model {model} in days {from_day}..={to_day}"
+        )));
+    }
+    if let Some(ratio) = config.downsample_ratio {
+        let labels: Vec<bool> = samples.iter().map(|s| s.label).collect();
+        let kept = downsample_negatives(&labels, ratio, config.seed)?;
+        samples = kept.into_iter().map(|i| samples[i]).collect();
+    }
+    Ok(samples)
+}
+
+/// Build the base-feature matrix (one column per raw/normalized attribute
+/// value) for `samples`, along with labels and per-sample `MWI_N`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::InvalidInput`] for an empty sample list or
+/// samples referencing days a drive is not observed on.
+pub fn base_matrix(
+    fleet: &Fleet,
+    model: DriveModel,
+    samples: &[SampleRef],
+) -> Result<(FeatureMatrix, Vec<bool>, Vec<f64>), PipelineError> {
+    if samples.is_empty() {
+        return Err(PipelineError::invalid("no samples"));
+    }
+    let features = base_features(model);
+    let names: Vec<String> = features.iter().map(FeatureId::name).collect();
+    let mwi_feature = FeatureId::normalized(SmartAttribute::Mwi);
+
+    let mut columns = vec![Vec::with_capacity(samples.len()); features.len()];
+    let mut labels = Vec::with_capacity(samples.len());
+    let mut mwi = Vec::with_capacity(samples.len());
+    for s in samples {
+        let drive = &fleet.drives()[s.drive_index];
+        for (col, f) in features.iter().enumerate() {
+            let v = drive.value_on(s.day, *f).ok_or_else(|| {
+                PipelineError::invalid(format!(
+                    "drive {} lacks {f} on day {}",
+                    drive.id, s.day
+                ))
+            })?;
+            columns[col].push(v);
+        }
+        labels.push(s.label);
+        mwi.push(
+            drive
+                .value_on(s.day, mwi_feature)
+                .expect("every model reports MWI"),
+        );
+    }
+    let matrix = FeatureMatrix::from_columns(names, columns).map_err(PipelineError::Stats)?;
+    Ok((matrix, labels, mwi))
+}
+
+/// Build the expanded (windowed-statistics) matrix for `samples` over the
+/// given base features.
+///
+/// # Errors
+///
+/// Propagates expansion failures (unobserved days, unreported attributes).
+pub fn expanded_matrix(
+    fleet: &Fleet,
+    samples: &[SampleRef],
+    base: &[FeatureId],
+) -> Result<(FeatureMatrix, Vec<bool>), PipelineError> {
+    if samples.is_empty() || base.is_empty() {
+        return Err(PipelineError::invalid(
+            "expanded_matrix needs samples and at least one base feature",
+        ));
+    }
+    let names = crate::features::expanded_feature_names(base);
+    let mut rows = Vec::with_capacity(samples.len());
+    let mut labels = Vec::with_capacity(samples.len());
+    for s in samples {
+        let drive = &fleet.drives()[s.drive_index];
+        rows.push(crate::features::expand_sample(drive, s.day, base)?);
+        labels.push(s.label);
+    }
+    let matrix = FeatureMatrix::from_rows(names, &rows).map_err(PipelineError::Stats)?;
+    Ok((matrix, labels))
+}
+
+/// Per-drive `(final MWI_N, failed)` pairs *as of* `as_of_day` — the
+/// survival snapshot available at training time (no peeking past the
+/// training boundary).
+pub fn survival_pairs(fleet: &Fleet, model: DriveModel, as_of_day: u32) -> Vec<(f64, bool)> {
+    fleet
+        .drives_of_model(model)
+        .filter(|d| d.deploy_day <= as_of_day)
+        .filter_map(|d| {
+            let day = d.last_day().min(as_of_day);
+            let mwi = d.value_on(day, FeatureId::normalized(SmartAttribute::Mwi))?;
+            let failed = d.failure.is_some_and(|f| f.day <= as_of_day);
+            Some((mwi, failed))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_dataset::FleetConfig;
+
+    fn fleet() -> Fleet {
+        let config = FleetConfig::builder()
+            .days(400)
+            .seed(5)
+            .drives(DriveModel::Mc1, 50)
+            .failure_scale(8.0)
+            .build()
+            .unwrap();
+        Fleet::generate(&config)
+    }
+
+    #[test]
+    fn base_features_cover_both_kinds() {
+        let features = base_features(DriveModel::Mc1);
+        assert_eq!(features.len(), 2 * DriveModel::Mc1.attributes().len());
+        assert!(features.contains(&FeatureId::raw(SmartAttribute::Oce)));
+        assert!(features.contains(&FeatureId::normalized(SmartAttribute::Oce)));
+    }
+
+    #[test]
+    fn collect_keeps_all_positives() {
+        let fleet = fleet();
+        let config = SamplingConfig {
+            downsample_ratio: None,
+            ..SamplingConfig::default()
+        };
+        let samples = collect_samples(&fleet, DriveModel::Mc1, 0, 399, &config).unwrap();
+        let expected_pos: usize = fleet
+            .drives_of_model(DriveModel::Mc1)
+            .filter_map(|d| d.failure)
+            .map(|f| (f.day.min(399).saturating_sub(0) + 1).min(31) as usize)
+            .sum();
+        let got_pos = samples.iter().filter(|s| s.label).count();
+        // All positive drive-days within the window are kept.
+        assert!(got_pos >= expected_pos.saturating_sub(31), "{got_pos} vs {expected_pos}");
+        assert!(got_pos > 0);
+    }
+
+    #[test]
+    fn downsampling_caps_negatives() {
+        let fleet = fleet();
+        let config = SamplingConfig {
+            downsample_ratio: Some(2.0),
+            ..SamplingConfig::default()
+        };
+        let samples = collect_samples(&fleet, DriveModel::Mc1, 0, 399, &config).unwrap();
+        let pos = samples.iter().filter(|s| s.label).count();
+        let neg = samples.len() - pos;
+        assert!(neg <= 2 * pos + 1, "pos {pos}, neg {neg}");
+    }
+
+    #[test]
+    fn collect_rejects_missing_model() {
+        let fleet = fleet();
+        assert!(collect_samples(
+            &fleet,
+            DriveModel::Ma1,
+            0,
+            399,
+            &SamplingConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn base_matrix_shape_and_mwi() {
+        let fleet = fleet();
+        let samples =
+            collect_samples(&fleet, DriveModel::Mc1, 0, 200, &SamplingConfig::default()).unwrap();
+        let (m, labels, mwi) = base_matrix(&fleet, DriveModel::Mc1, &samples).unwrap();
+        assert_eq!(m.n_rows(), samples.len());
+        assert_eq!(m.n_features(), 2 * DriveModel::Mc1.attributes().len());
+        assert_eq!(labels.len(), samples.len());
+        assert_eq!(mwi.len(), samples.len());
+        assert!(mwi.iter().all(|&v| (1.0..=100.0).contains(&v)));
+        assert!(m.column_index("OCE_R").is_some());
+    }
+
+    #[test]
+    fn expanded_matrix_shape() {
+        let fleet = fleet();
+        let samples =
+            collect_samples(&fleet, DriveModel::Mc1, 100, 200, &SamplingConfig::default())
+                .unwrap();
+        let base = vec![
+            FeatureId::raw(SmartAttribute::Oce),
+            FeatureId::raw(SmartAttribute::Uce),
+        ];
+        let (m, labels) = expanded_matrix(&fleet, &samples, &base).unwrap();
+        assert_eq!(m.n_features(), 2 * crate::features::EXPANSION_FACTOR);
+        assert_eq!(m.n_rows(), labels.len());
+    }
+
+    #[test]
+    fn expanded_matrix_rejects_empty() {
+        let fleet = fleet();
+        assert!(expanded_matrix(&fleet, &[], &[FeatureId::raw(SmartAttribute::Uce)]).is_err());
+    }
+
+    #[test]
+    fn survival_pairs_respect_as_of_day() {
+        let fleet = fleet();
+        let early = survival_pairs(&fleet, DriveModel::Mc1, 100);
+        let late = survival_pairs(&fleet, DriveModel::Mc1, 399);
+        let early_failures = early.iter().filter(|(_, f)| *f).count();
+        let late_failures = late.iter().filter(|(_, f)| *f).count();
+        assert!(late_failures >= early_failures);
+        // A drive that fails on day 300 is healthy as of day 100.
+        let total_failed = fleet.drives_of_model(DriveModel::Mc1).filter(|d| d.is_failed()).count();
+        assert_eq!(late_failures, total_failed);
+    }
+}

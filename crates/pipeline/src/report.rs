@@ -1,0 +1,150 @@
+//! Result formatting: plain-text tables in the shape of the paper's, plus
+//! JSON export for downstream tooling.
+
+use crate::evaluate::EvalMetrics;
+use crate::experiment::MethodResult;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Render one metric as the paper prints it (`63%`).
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// Render a P/R/F0.5 triple.
+pub fn prf(m: &EvalMetrics) -> String {
+    format!("{} {} {}", pct(m.precision), pct(m.recall), pct(m.f_half))
+}
+
+/// Render a Table-VI-style block: one row per method, columns
+/// `P R F0.5` per model plus the micro-averaged "All drive models" triple.
+///
+/// `rows` maps method label → (per-model results in display order, overall).
+pub fn render_method_table(
+    model_names: &[&str],
+    rows: &[(String, Vec<EvalMetrics>, EvalMetrics)],
+) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<24}", "Method");
+    for name in model_names {
+        let _ = write!(out, " | {:^17}", name);
+    }
+    let _ = writeln!(out, " | {:^17}", "All drive models");
+    let width = 24 + (model_names.len() + 1) * 20;
+    let _ = writeln!(out, "{}", "-".repeat(width));
+    for (label, per_model, overall) in rows {
+        let _ = write!(out, "{label:<24}");
+        for m in per_model {
+            let _ = write!(out, " | {:^17}", prf(m));
+        }
+        let _ = writeln!(out, " | {:^17}", prf(overall));
+    }
+    out
+}
+
+/// Serialize any result payload as pretty JSON.
+///
+/// # Panics
+///
+/// Panics only if serialization of an in-memory value fails, which for
+/// these plain data types cannot happen.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("plain data serializes")
+}
+
+/// Write a JSON result file alongside a printed table, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_json<T: Serialize>(path: &std::path::Path, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, to_json(value))
+}
+
+/// Group per-(model, method) results into table rows ordered by method.
+pub fn rows_from_results(
+    method_order: &[String],
+    results: &[MethodResult],
+) -> Vec<(String, Vec<EvalMetrics>, EvalMetrics)> {
+    method_order
+        .iter()
+        .map(|label| {
+            let of_method: Vec<&MethodResult> =
+                results.iter().filter(|r| &r.method == label).collect();
+            let per_model: Vec<EvalMetrics> = of_method.iter().map(|r| r.overall).collect();
+            let overall = EvalMetrics::micro_average(of_method.iter().map(|r| &r.overall));
+            (label.clone(), per_model, overall)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_dataset::DriveModel;
+
+    fn metrics(tp: usize, fp: usize, fn_: usize) -> EvalMetrics {
+        EvalMetrics::from_counts(tp, fp, fn_)
+    }
+
+    #[test]
+    fn pct_formats_like_paper() {
+        assert_eq!(pct(0.63), "63%");
+        assert_eq!(pct(0.006), "1%");
+        assert_eq!(pct(1.0), "100%");
+    }
+
+    #[test]
+    fn table_contains_all_rows_and_columns() {
+        let rows = vec![
+            (
+                "No feature selection".to_string(),
+                vec![metrics(5, 5, 8), metrics(4, 6, 18)],
+                metrics(9, 11, 26),
+            ),
+            (
+                "WEFR".to_string(),
+                vec![metrics(7, 3, 6), metrics(6, 4, 16)],
+                metrics(13, 7, 22),
+            ),
+        ];
+        let table = render_method_table(&["MA1", "MC1"], &rows);
+        assert!(table.contains("No feature selection"));
+        assert!(table.contains("WEFR"));
+        assert!(table.contains("MA1"));
+        assert!(table.contains("All drive models"));
+        assert_eq!(table.lines().count(), 4);
+    }
+
+    #[test]
+    fn rows_from_results_micro_averages() {
+        let mk = |model, method: &str, tp| MethodResult {
+            method: method.to_string(),
+            model,
+            per_phase: vec![],
+            overall: metrics(tp, 1, 1),
+            selected_fraction: None,
+        };
+        let results = vec![
+            mk(DriveModel::Ma1, "WEFR", 3),
+            mk(DriveModel::Mc1, "WEFR", 5),
+        ];
+        let rows = rows_from_results(&["WEFR".to_string()], &results);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.len(), 2);
+        assert_eq!(rows[0].2.tp, 8);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = metrics(1, 2, 3);
+        let json = to_json(&m);
+        assert!(json.contains("precision"));
+        let back: EvalMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,165 @@
+//! Pearson and Spearman correlation coefficients.
+
+use crate::rank::average_ranks;
+use crate::{Result, StatsError};
+
+/// Pearson linear correlation coefficient between `xs` and `ys`.
+///
+/// Returns `0.0` when either series is constant (zero variance): a constant
+/// feature carries no linear information about the target, and the selector
+/// layer treats a zero score as "uninformative" rather than erroring out.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] when lengths differ and
+/// [`StatsError::EmptyInput`] when either slice is empty.
+///
+/// ```
+/// # use smart_stats::correlation::pearson;
+/// # fn main() -> Result<(), smart_stats::StatsError> {
+/// let r = pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0])?;
+/// assert!((r + 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::mismatch("pearson", xs.len(), ys.len()));
+    }
+    if xs.is_empty() {
+        return Err(StatsError::empty("pearson"));
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation coefficient between `xs` and `ys`.
+///
+/// Computed as the Pearson correlation of the average-rank transforms, which
+/// handles ties correctly (unlike the `1 - 6Σd²/n(n²-1)` shortcut).
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] when lengths differ,
+/// [`StatsError::EmptyInput`] when either slice is empty, and
+/// [`StatsError::NonFinite`] when a value is NaN.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::mismatch("spearman", xs.len(), ys.len()));
+    }
+    let rx = average_ranks(xs)?;
+    let ry = average_ranks(ys)?;
+    pearson(&rx, &ry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let r = pearson(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_mismatch_is_error() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        // Hand-computed: x = [1,2,3,5], y = [2,1,4,6]
+        // sxy = 10.25, sxx = 8.75, syy = 14.75 => r = 10.25/sqrt(129.0625)
+        let r = pearson(&[1.0, 2.0, 3.0, 5.0], &[2.0, 1.0, 4.0, 6.0]).unwrap();
+        assert!((r - 10.25 / 129.0625f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_nonlinear() {
+        // y = x^3 is monotone: Spearman = 1, Pearson < 1.
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.powi(3)).collect();
+        let s = spearman(&xs, &ys).unwrap();
+        let p = pearson(&xs, &ys).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(p < 1.0);
+    }
+
+    #[test]
+    fn spearman_with_ties() {
+        // Ranks: x -> [1, 2.5, 2.5, 4], y -> [1, 3, 2, 4]
+        // Pearson of ranks = 4.5 / sqrt(4.5 * 5) = 3 / sqrt(10)
+        let s = spearman(&[1.0, 2.0, 2.0, 3.0], &[1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert!((s - 3.0 / 10.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pearson_in_unit_interval(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let r = pearson(&xs, &ys).unwrap();
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+
+        #[test]
+        fn prop_pearson_symmetric(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            prop_assert!((pearson(&xs, &ys).unwrap() - pearson(&ys, &xs).unwrap()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_pearson_shift_scale_invariant(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..60),
+            a in 0.1f64..10.0,
+            b in -100.0f64..100.0,
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let scaled: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+            let r1 = pearson(&xs, &ys).unwrap();
+            let r2 = pearson(&scaled, &ys).unwrap();
+            prop_assert!((r1 - r2).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_spearman_monotone_transform_invariant(
+            pairs in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 3..60),
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            // exp is strictly monotone, so Spearman must not change.
+            let txs: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+            let s1 = spearman(&xs, &ys).unwrap();
+            let s2 = spearman(&txs, &ys).unwrap();
+            prop_assert!((s1 - s2).abs() < 1e-9);
+        }
+    }
+}

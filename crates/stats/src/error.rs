@@ -1,0 +1,107 @@
+//! Error type for statistical computations.
+
+use std::fmt;
+
+/// Errors produced by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// An input slice was empty where at least one element is required.
+    EmptyInput {
+        /// Name of the routine that rejected the input.
+        context: &'static str,
+    },
+    /// Two paired inputs had different lengths.
+    LengthMismatch {
+        /// Name of the routine that rejected the input.
+        context: &'static str,
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// An input contained a NaN or infinite value.
+    NonFinite {
+        /// Name of the routine that rejected the input.
+        context: &'static str,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the routine that rejected the parameter.
+        context: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput { context } => {
+                write!(f, "{context}: input must not be empty")
+            }
+            StatsError::LengthMismatch {
+                context,
+                left,
+                right,
+            } => write!(
+                f,
+                "{context}: paired inputs have mismatched lengths ({left} vs {right})"
+            ),
+            StatsError::NonFinite { context } => {
+                write!(f, "{context}: input contains a non-finite value")
+            }
+            StatsError::InvalidParameter { context, message } => {
+                write!(f, "{context}: invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+impl StatsError {
+    /// Shorthand for [`StatsError::EmptyInput`].
+    pub fn empty(context: &'static str) -> Self {
+        StatsError::EmptyInput { context }
+    }
+
+    /// Shorthand for [`StatsError::LengthMismatch`].
+    pub fn mismatch(context: &'static str, left: usize, right: usize) -> Self {
+        StatsError::LengthMismatch {
+            context,
+            left,
+            right,
+        }
+    }
+
+    /// Shorthand for [`StatsError::InvalidParameter`].
+    pub fn invalid(context: &'static str, message: impl Into<String>) -> Self {
+        StatsError::InvalidParameter {
+            context,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::empty("pearson");
+        assert!(e.to_string().contains("pearson"));
+        let e = StatsError::mismatch("spearman", 3, 4);
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('4'));
+        let e = StatsError::invalid("quantile", "q must be in [0, 1]");
+        assert!(e.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,49 @@
+//! Statistical primitives for SMART-log failure prediction.
+//!
+//! This crate is the numeric substrate of the WEFR reproduction. It contains
+//! the hand-rolled statistics that the feature-selection and prediction
+//! layers build on:
+//!
+//! * [`descriptive`] — means, variances, quantiles, z-scores.
+//! * [`rank`] — average-rank transforms (with tie handling).
+//! * [`correlation`] — Pearson and Spearman correlation.
+//! * [`kendall`] — Kendall-tau rank distance between two feature rankings.
+//! * [`window`] — rolling-window statistics (max/min/mean/std/range/WMA)
+//!   used for statistical feature generation.
+//! * [`threshold`] — single-feature threshold sweeps (TPR/FPR/Youden J)
+//!   backing the J-index selector.
+//! * [`gaussian`] — normal pdf/cdf/erf and seeded Box–Muller sampling.
+//! * [`matrix`] — the column-major [`FeatureMatrix`] shared by the tree
+//!   learners and the feature rankers.
+//! * [`sampling`] — seeded bootstrap / subsampling helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use smart_stats::correlation::pearson;
+//!
+//! # fn main() -> Result<(), smart_stats::StatsError> {
+//! let x = [1.0, 2.0, 3.0, 4.0];
+//! let y = [2.0, 4.0, 6.0, 8.0];
+//! let r = pearson(&x, &y)?;
+//! assert!((r - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod correlation;
+pub mod descriptive;
+pub mod error;
+pub mod gaussian;
+pub mod kendall;
+pub mod matrix;
+pub mod rank;
+pub mod sampling;
+pub mod threshold;
+pub mod window;
+
+pub use error::StatsError;
+pub use matrix::FeatureMatrix;
+
+/// Crate-wide `Result` alias.
+pub type Result<T> = std::result::Result<T, StatsError>;

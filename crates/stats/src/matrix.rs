@@ -1,0 +1,332 @@
+//! Column-major feature matrix shared by the rankers and tree learners.
+
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A dense, column-major matrix of learning features.
+///
+/// Each column is one learning feature (e.g. `OCE_R`, the raw value of the
+/// Offline-scan Uncorrectable Error count); each row is one sample (one
+/// drive-day). Column-major storage suits both the correlation rankers
+/// (which scan one feature at a time) and CART split search (which sorts one
+/// feature at a time).
+///
+/// # Example
+///
+/// ```
+/// use smart_stats::FeatureMatrix;
+///
+/// # fn main() -> Result<(), smart_stats::StatsError> {
+/// let m = FeatureMatrix::from_columns(
+///     vec!["a".into(), "b".into()],
+///     vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+/// )?;
+/// assert_eq!(m.n_rows(), 2);
+/// assert_eq!(m.column(1), &[3.0, 4.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    names: Vec<String>,
+    columns: Vec<Vec<f64>>,
+    n_rows: usize,
+}
+
+impl FeatureMatrix {
+    /// Build a matrix from named columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::LengthMismatch`] if `names` and `columns`
+    /// differ in length or any two columns differ in length, and
+    /// [`StatsError::NonFinite`] if any value is NaN or infinite.
+    pub fn from_columns(names: Vec<String>, columns: Vec<Vec<f64>>) -> Result<Self> {
+        if names.len() != columns.len() {
+            return Err(StatsError::mismatch(
+                "FeatureMatrix::from_columns",
+                names.len(),
+                columns.len(),
+            ));
+        }
+        let n_rows = columns.first().map_or(0, Vec::len);
+        for col in &columns {
+            if col.len() != n_rows {
+                return Err(StatsError::mismatch(
+                    "FeatureMatrix::from_columns",
+                    n_rows,
+                    col.len(),
+                ));
+            }
+            if col.iter().any(|v| !v.is_finite()) {
+                return Err(StatsError::NonFinite {
+                    context: "FeatureMatrix::from_columns",
+                });
+            }
+        }
+        Ok(FeatureMatrix {
+            names,
+            columns,
+            n_rows,
+        })
+    }
+
+    /// Build a matrix from rows (each row one sample, in column order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::LengthMismatch`] if any row's length differs
+    /// from `names.len()` and [`StatsError::NonFinite`] for NaN/infinite
+    /// values.
+    pub fn from_rows(names: Vec<String>, rows: &[Vec<f64>]) -> Result<Self> {
+        let n_cols = names.len();
+        let mut columns = vec![Vec::with_capacity(rows.len()); n_cols];
+        for row in rows {
+            if row.len() != n_cols {
+                return Err(StatsError::mismatch(
+                    "FeatureMatrix::from_rows",
+                    n_cols,
+                    row.len(),
+                ));
+            }
+            for (c, &v) in row.iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        FeatureMatrix::from_columns(names, columns)
+    }
+
+    /// Number of samples (rows).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of learning features (columns).
+    pub fn n_features(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Feature names, in column order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The values of feature `col` across all samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= n_features()`.
+    pub fn column(&self, col: usize) -> &[f64] {
+        &self.columns[col]
+    }
+
+    /// Look up a column index by feature name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Single cell access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.columns[col][row]
+    }
+
+    /// Materialize row `row` as a vector in column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= n_rows()`.
+    pub fn row(&self, row: usize) -> Vec<f64> {
+        assert!(row < self.n_rows, "row {row} out of bounds");
+        self.columns.iter().map(|c| c[row]).collect()
+    }
+
+    /// A new matrix containing only the given columns, in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if any index is out of
+    /// bounds.
+    pub fn select_columns(&self, cols: &[usize]) -> Result<Self> {
+        let mut names = Vec::with_capacity(cols.len());
+        let mut columns = Vec::with_capacity(cols.len());
+        for &c in cols {
+            if c >= self.n_features() {
+                return Err(StatsError::invalid(
+                    "FeatureMatrix::select_columns",
+                    format!("column index {c} out of bounds ({} features)", self.n_features()),
+                ));
+            }
+            names.push(self.names[c].clone());
+            columns.push(self.columns[c].clone());
+        }
+        Ok(FeatureMatrix {
+            names,
+            columns,
+            n_rows: self.n_rows,
+        })
+    }
+
+    /// A new matrix containing only the given rows, in the given order
+    /// (duplicates allowed — useful for bootstrap resampling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if any index is out of
+    /// bounds.
+    pub fn select_rows(&self, rows: &[usize]) -> Result<Self> {
+        for &r in rows {
+            if r >= self.n_rows {
+                return Err(StatsError::invalid(
+                    "FeatureMatrix::select_rows",
+                    format!("row index {r} out of bounds ({} rows)", self.n_rows),
+                ));
+            }
+        }
+        let columns: Vec<Vec<f64>> = self
+            .columns
+            .iter()
+            .map(|col| rows.iter().map(|&r| col[r]).collect())
+            .collect();
+        Ok(FeatureMatrix {
+            names: self.names.clone(),
+            columns,
+            n_rows: rows.len(),
+        })
+    }
+
+    /// Append the rows of `other` (must have identical feature names).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if the schemas differ.
+    pub fn append_rows(&mut self, other: &FeatureMatrix) -> Result<()> {
+        if self.names != other.names {
+            return Err(StatsError::invalid(
+                "FeatureMatrix::append_rows",
+                "feature name schemas differ",
+            ));
+        }
+        for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
+            dst.extend_from_slice(src);
+        }
+        self.n_rows += other.n_rows;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FeatureMatrix {
+        FeatureMatrix::from_columns(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                vec![1.0, 2.0, 3.0],
+                vec![10.0, 20.0, 30.0],
+                vec![100.0, 200.0, 300.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let m = sample();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_features(), 3);
+    }
+
+    #[test]
+    fn from_rows_matches_from_columns() {
+        let m = FeatureMatrix::from_rows(
+            vec!["a".into(), "b".into()],
+            &[vec![1.0, 10.0], vec![2.0, 20.0]],
+        )
+        .unwrap();
+        assert_eq!(m.column(0), &[1.0, 2.0]);
+        assert_eq!(m.column(1), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn rejects_ragged_columns() {
+        assert!(FeatureMatrix::from_columns(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0], vec![1.0, 2.0]],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(
+            FeatureMatrix::from_columns(vec!["a".into()], vec![vec![f64::NAN]]).is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_name_count_mismatch() {
+        assert!(FeatureMatrix::from_columns(vec!["a".into()], vec![]).is_err());
+    }
+
+    #[test]
+    fn row_and_value_access() {
+        let m = sample();
+        assert_eq!(m.row(1), vec![2.0, 20.0, 200.0]);
+        assert_eq!(m.value(2, 1), 30.0);
+    }
+
+    #[test]
+    fn select_columns_reorders() {
+        let m = sample().select_columns(&[2, 0]).unwrap();
+        assert_eq!(m.feature_names(), &["c".to_string(), "a".to_string()]);
+        assert_eq!(m.column(0), &[100.0, 200.0, 300.0]);
+    }
+
+    #[test]
+    fn select_columns_out_of_bounds() {
+        assert!(sample().select_columns(&[5]).is_err());
+    }
+
+    #[test]
+    fn select_rows_with_duplicates() {
+        let m = sample().select_rows(&[0, 0, 2]).unwrap();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.column(0), &[1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn append_rows_works() {
+        let mut m = sample();
+        let other = sample();
+        m.append_rows(&other).unwrap();
+        assert_eq!(m.n_rows(), 6);
+        assert_eq!(m.column(0), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn append_rows_rejects_schema_mismatch() {
+        let mut m = sample();
+        let other = FeatureMatrix::from_columns(vec!["x".into()], vec![vec![1.0]]).unwrap();
+        assert!(m.append_rows(&other).is_err());
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let m = sample();
+        assert_eq!(m.column_index("b"), Some(1));
+        assert_eq!(m.column_index("zzz"), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = sample();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: FeatureMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

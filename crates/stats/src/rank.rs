@@ -1,0 +1,170 @@
+//! Rank transforms with average-rank tie handling.
+
+use crate::{Result, StatsError};
+
+/// Average ranks (1-based) of `xs`, assigning tied values the mean of the
+/// ranks they span — the convention Spearman correlation requires.
+///
+/// ```
+/// # use smart_stats::rank::average_ranks;
+/// let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]).unwrap();
+/// assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for empty input and
+/// [`StatsError::NonFinite`] if any element is NaN (NaNs are unrankable).
+pub fn average_ranks(xs: &[f64]) -> Result<Vec<f64>> {
+    if xs.is_empty() {
+        return Err(StatsError::empty("average_ranks"));
+    }
+    if xs.iter().any(|x| x.is_nan()) {
+        return Err(StatsError::NonFinite {
+            context: "average_ranks",
+        });
+    }
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN checked above"));
+
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        // Find the run of ties starting at sorted position `i`.
+        let mut j = i + 1;
+        while j < order.len() && xs[order[j]] == xs[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; a run spanning sorted positions i..j gets the
+        // mean of (i+1)..=j.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    Ok(ranks)
+}
+
+/// Dense ordering of indices by **descending** score: position 0 holds the
+/// index of the highest score. Ties break by lower index first, which makes
+/// the ordering deterministic.
+///
+/// This is the canonical "ranking" representation used by the feature
+/// rankers: a permutation of `0..n`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for empty input and
+/// [`StatsError::NonFinite`] if any score is NaN.
+pub fn descending_order(scores: &[f64]) -> Result<Vec<usize>> {
+    if scores.is_empty() {
+        return Err(StatsError::empty("descending_order"));
+    }
+    if scores.iter().any(|s| s.is_nan()) {
+        return Err(StatsError::NonFinite {
+            context: "descending_order",
+        });
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("NaN checked above")
+            .then(a.cmp(&b))
+    });
+    Ok(order)
+}
+
+/// Inverse of an ordering: `positions[i]` is the 0-based rank position of
+/// item `i` within `order`.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..order.len()`.
+pub fn positions_from_order(order: &[usize]) -> Vec<usize> {
+    let mut positions = vec![usize::MAX; order.len()];
+    for (pos, &item) in order.iter().enumerate() {
+        assert!(
+            item < order.len() && positions[item] == usize::MAX,
+            "order must be a permutation of 0..n"
+        );
+        positions[item] = pos;
+    }
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ranks_without_ties() {
+        let r = average_ranks(&[30.0, 10.0, 20.0]).unwrap();
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_all_tied() {
+        let r = average_ranks(&[7.0; 5]).unwrap();
+        assert_eq!(r, vec![3.0; 5]);
+    }
+
+    #[test]
+    fn ranks_reject_nan() {
+        assert!(average_ranks(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn descending_order_basic() {
+        let order = descending_order(&[0.1, 0.9, 0.5]).unwrap();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn descending_order_tie_breaks_by_index() {
+        let order = descending_order(&[0.5, 0.5, 0.9]).unwrap();
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn positions_invert_order() {
+        let order = vec![2, 0, 1];
+        assert_eq!(positions_from_order(&order), vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn positions_reject_non_permutation() {
+        positions_from_order(&[0, 0, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ranks_sum_is_invariant(xs in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+            // Sum of average ranks always equals n(n+1)/2 regardless of ties.
+            let n = xs.len() as f64;
+            let r = average_ranks(&xs).unwrap();
+            let sum: f64 = r.iter().sum();
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_order_then_positions_roundtrip(xs in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+            let order = descending_order(&xs).unwrap();
+            let positions = positions_from_order(&order);
+            for (pos, &item) in order.iter().enumerate() {
+                prop_assert_eq!(positions[item], pos);
+            }
+        }
+
+        #[test]
+        fn prop_order_sorts_descending(xs in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+            let order = descending_order(&xs).unwrap();
+            for w in order.windows(2) {
+                prop_assert!(xs[w[0]] >= xs[w[1]]);
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Seeded sampling helpers: bootstrap resampling, subsampling without
+//! replacement, and class-stratified downsampling.
+
+use crate::{Result, StatsError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// `n` bootstrap indices drawn uniformly with replacement from `0..n`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] when `n == 0`.
+pub fn bootstrap_indices<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Result<Vec<usize>> {
+    if n == 0 {
+        return Err(StatsError::empty("bootstrap_indices"));
+    }
+    Ok((0..n).map(|_| rng.random_range(0..n)).collect())
+}
+
+/// Indices of `0..n` **not** drawn by `bootstrap` — the out-of-bag set used
+/// for permutation importance.
+pub fn out_of_bag_indices(bootstrap: &[usize], n: usize) -> Vec<usize> {
+    let mut in_bag = vec![false; n];
+    for &i in bootstrap {
+        if i < n {
+            in_bag[i] = true;
+        }
+    }
+    (0..n).filter(|&i| !in_bag[i]).collect()
+}
+
+/// `k` distinct indices sampled uniformly without replacement from `0..n`
+/// (partial Fisher–Yates).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] when `k > n`.
+pub fn sample_without_replacement<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+) -> Result<Vec<usize>> {
+    if k > n {
+        return Err(StatsError::invalid(
+            "sample_without_replacement",
+            format!("cannot draw {k} distinct items from {n}"),
+        ));
+    }
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    Ok(pool)
+}
+
+/// Downsample the majority (negative) class of a binary-labeled index set so
+/// that `#negatives <= ratio * #positives`. All positives are kept; order is
+/// deterministic for a fixed seed. Returns the retained sample indices,
+/// sorted ascending.
+///
+/// This mirrors the class-imbalance handling the SSD failure-prediction
+/// pipeline needs: positive drive-days are rare (AFR of a few percent) and
+/// training on every negative drive-day is both slow and counterproductive.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] when `ratio <= 0`.
+pub fn downsample_negatives(
+    labels: &[bool],
+    ratio: f64,
+    seed: u64,
+) -> Result<Vec<usize>> {
+    if ratio <= 0.0 {
+        return Err(StatsError::invalid(
+            "downsample_negatives",
+            "ratio must be positive",
+        ));
+    }
+    let positives: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
+    let mut negatives: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i]).collect();
+    let keep = ((positives.len() as f64 * ratio).ceil() as usize).min(negatives.len());
+    // Keep at least one negative when negatives exist but positives are
+    // absent, so downstream learners always see the majority class.
+    let keep = if positives.is_empty() {
+        negatives.len().min(1).max(keep)
+    } else {
+        keep
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    negatives.shuffle(&mut rng);
+    negatives.truncate(keep);
+    let mut kept: Vec<usize> = positives.into_iter().chain(negatives).collect();
+    kept.sort_unstable();
+    Ok(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bootstrap_has_right_length_and_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = bootstrap_indices(&mut rng, 50).unwrap();
+        assert_eq!(idx.len(), 50);
+        assert!(idx.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn bootstrap_empty_is_error() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(bootstrap_indices(&mut rng, 0).is_err());
+    }
+
+    #[test]
+    fn oob_complements_bootstrap() {
+        let boot = vec![0, 0, 1, 1];
+        let oob = out_of_bag_indices(&boot, 4);
+        assert_eq!(oob, vec![2, 3]);
+    }
+
+    #[test]
+    fn oob_is_roughly_a_third() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let boot = bootstrap_indices(&mut rng, n).unwrap();
+        let oob = out_of_bag_indices(&boot, n);
+        let frac = oob.len() as f64 / n as f64;
+        // e^-1 ≈ 0.3679
+        assert!((frac - 0.3679).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn swor_draws_distinct() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = sample_without_replacement(&mut rng, 10, 10).unwrap();
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn swor_rejects_oversample() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(sample_without_replacement(&mut rng, 3, 4).is_err());
+    }
+
+    #[test]
+    fn downsample_keeps_all_positives() {
+        let labels: Vec<bool> = (0..100).map(|i| i % 10 == 0).collect();
+        let kept = downsample_negatives(&labels, 3.0, 7).unwrap();
+        for i in (0..100).filter(|i| i % 10 == 0) {
+            assert!(kept.contains(&i));
+        }
+        // 10 positives, ratio 3 -> at most 30 negatives.
+        assert!(kept.len() <= 40);
+    }
+
+    #[test]
+    fn downsample_is_deterministic() {
+        let labels: Vec<bool> = (0..50).map(|i| i % 7 == 0).collect();
+        let a = downsample_negatives(&labels, 2.0, 5).unwrap();
+        let b = downsample_negatives(&labels, 2.0, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn downsample_rejects_bad_ratio() {
+        assert!(downsample_negatives(&[true, false], 0.0, 1).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_swor_in_range(n in 1usize..100, seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let k = n / 2;
+            let s = sample_without_replacement(&mut rng, n, k).unwrap();
+            prop_assert_eq!(s.len(), k);
+            prop_assert!(s.iter().all(|&i| i < n));
+            let mut dedup = s.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), k);
+        }
+
+        #[test]
+        fn prop_downsample_bounds(
+            labels in proptest::collection::vec(any::<bool>(), 1..200),
+            ratio in 0.5f64..5.0,
+            seed in 0u64..50,
+        ) {
+            let kept = downsample_negatives(&labels, ratio, seed).unwrap();
+            let pos = labels.iter().filter(|&&l| l).count();
+            let kept_neg = kept.iter().filter(|&&i| !labels[i]).count();
+            let expected_cap = ((pos as f64 * ratio).ceil() as usize)
+                .min(labels.len() - pos)
+                .max(usize::from(pos == 0 && labels.len() > pos));
+            prop_assert!(kept_neg <= expected_cap.max(1));
+            // Sorted and unique.
+            for w in kept.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

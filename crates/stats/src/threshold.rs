@@ -1,0 +1,204 @@
+//! Single-feature threshold sweeps: TPR/FPR curves and the Youden J
+//! statistic that backs the paper's J-index feature selector.
+
+use crate::{Result, StatsError};
+
+/// One operating point of a threshold sweep over a single feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Decision threshold: predict positive when `value >= threshold`.
+    pub threshold: f64,
+    /// True-positive rate (sensitivity) at this threshold.
+    pub tpr: f64,
+    /// False-positive rate (1 - specificity) at this threshold.
+    pub fpr: f64,
+}
+
+impl OperatingPoint {
+    /// Youden J statistic `sensitivity + specificity - 1 = tpr - fpr`.
+    pub fn youden_j(&self) -> f64 {
+        self.tpr - self.fpr
+    }
+}
+
+/// Sweep all distinct values of `values` as thresholds against boolean
+/// `labels`, evaluating both orientations (`>= t` and `<= t` predicting
+/// positive) and returning the best operating point by Youden J.
+///
+/// Evaluating both orientations makes the score orientation-free: an
+/// attribute whose *low* values indicate failure (e.g. remaining reserved
+/// space) scores as high as one whose *high* values do.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] when lengths differ,
+/// [`StatsError::EmptyInput`] when the input is empty, and
+/// [`StatsError::InvalidParameter`] when labels are single-class (J is
+/// undefined without both classes).
+pub fn best_youden(values: &[f64], labels: &[bool]) -> Result<OperatingPoint> {
+    if values.len() != labels.len() {
+        return Err(StatsError::mismatch(
+            "best_youden",
+            values.len(),
+            labels.len(),
+        ));
+    }
+    if values.is_empty() {
+        return Err(StatsError::empty("best_youden"));
+    }
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return Err(StatsError::invalid(
+            "best_youden",
+            "labels must contain both classes",
+        ));
+    }
+
+    // Sort indices by value descending; sweep thresholds from high to low so
+    // that at each step everything at or above the threshold is predicted
+    // positive for the ">=" orientation.
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut best = OperatingPoint {
+        threshold: f64::INFINITY,
+        tpr: 0.0,
+        fpr: 0.0,
+    };
+    let mut best_j = f64::NEG_INFINITY;
+
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < order.len() {
+        // Consume the whole tie-group so ties share one operating point.
+        let v = values[order[i]];
+        while i < order.len() && values[order[i]] == v {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let tpr = tp as f64 / positives as f64;
+        let fpr = fp as f64 / negatives as f64;
+        // ">= v" orientation.
+        let j_ge = tpr - fpr;
+        if j_ge > best_j {
+            best_j = j_ge;
+            best = OperatingPoint {
+                threshold: v,
+                tpr,
+                fpr,
+            };
+        }
+        // "< v predicts positive" is the complement set, so its J is exactly
+        // -j_ge with swapped rates.
+        if -j_ge > best_j {
+            best_j = -j_ge;
+            best = OperatingPoint {
+                threshold: v,
+                tpr: 1.0 - tpr,
+                fpr: 1.0 - fpr,
+            };
+        }
+    }
+    Ok(best)
+}
+
+/// The J-index of a feature: the best achievable Youden J over all
+/// thresholds and both orientations, in `[0, 1]`.
+///
+/// # Errors
+///
+/// Same conditions as [`best_youden`].
+pub fn j_index(values: &[f64], labels: &[bool]) -> Result<f64> {
+    best_youden(values, labels).map(|p| p.youden_j().max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_separator_scores_one() {
+        let values = [1.0, 2.0, 3.0, 10.0, 11.0, 12.0];
+        let labels = [false, false, false, true, true, true];
+        let j = j_index(&values, &labels).unwrap();
+        assert!((j - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_separator_scores_one() {
+        // Low values indicate failure.
+        let values = [10.0, 11.0, 12.0, 1.0, 2.0, 3.0];
+        let labels = [false, false, false, true, true, true];
+        let j = j_index(&values, &labels).unwrap();
+        assert!((j - 1.0).abs() < 1e-12, "j = {j}");
+    }
+
+    #[test]
+    fn useless_feature_scores_near_zero() {
+        // Same value for both classes: no threshold separates anything.
+        let values = [5.0, 5.0, 5.0, 5.0];
+        let labels = [true, false, true, false];
+        let j = j_index(&values, &labels).unwrap();
+        assert!(j.abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_separator_scores_between() {
+        let values = [1.0, 2.0, 3.0, 2.5, 10.0, 11.0];
+        let labels = [false, false, false, true, true, true];
+        let j = j_index(&values, &labels).unwrap();
+        assert!(j > 0.5 && j < 1.0, "j = {j}");
+    }
+
+    #[test]
+    fn single_class_is_error() {
+        assert!(j_index(&[1.0, 2.0], &[true, true]).is_err());
+    }
+
+    #[test]
+    fn best_point_reports_threshold() {
+        let values = [1.0, 2.0, 8.0, 9.0];
+        let labels = [false, false, true, true];
+        let p = best_youden(&values, &labels).unwrap();
+        assert_eq!(p.tpr, 1.0);
+        assert_eq!(p.fpr, 0.0);
+        assert_eq!(p.threshold, 8.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_j_in_unit_interval(
+            samples in proptest::collection::vec((-1e3f64..1e3, any::<bool>()), 4..80),
+        ) {
+            let values: Vec<f64> = samples.iter().map(|s| s.0).collect();
+            let flip: Vec<bool> = samples.iter().map(|s| s.1).collect();
+            prop_assume!(flip.iter().any(|&b| b) && flip.iter().any(|&b| !b));
+            let j = j_index(&values, &flip).unwrap();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&j));
+        }
+
+        #[test]
+        fn prop_j_orientation_free(
+            samples in proptest::collection::vec((-1e3f64..1e3, any::<bool>()), 4..60),
+        ) {
+            let values: Vec<f64> = samples.iter().map(|s| s.0).collect();
+            let flip: Vec<bool> = samples.iter().map(|s| s.1).collect();
+            prop_assume!(flip.iter().any(|&b| b) && flip.iter().any(|&b| !b));
+            let negated: Vec<f64> = values.iter().map(|v| -v).collect();
+            let j1 = j_index(&values, &flip).unwrap();
+            let j2 = j_index(&negated, &flip).unwrap();
+            prop_assert!((j1 - j2).abs() < 1e-9, "j1 = {j1}, j2 = {j2}");
+        }
+    }
+}

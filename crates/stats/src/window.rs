@@ -1,0 +1,165 @@
+//! Rolling-window statistics for feature generation.
+//!
+//! The prediction pipeline expands each selected base feature into
+//! statistical features over 3-day and 7-day windows: maximum, minimum,
+//! mean, standard deviation, max−min range, and weighted moving average
+//! (§V-A of the paper). [`WindowStats`] computes all six in one pass over a
+//! window.
+
+use crate::descriptive;
+use crate::{Result, StatsError};
+
+/// The six windowed statistics the pipeline derives per base feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Window maximum.
+    pub max: f64,
+    /// Window minimum.
+    pub min: f64,
+    /// Window mean.
+    pub mean: f64,
+    /// Window population standard deviation.
+    pub std: f64,
+    /// `max - min`.
+    pub range: f64,
+    /// Weighted moving average (linear weights, most recent heaviest).
+    pub wma: f64,
+}
+
+/// Names of the six statistics in the order [`WindowStats::to_array`] emits
+/// them. Used to build derived-feature names like `OCE_R_max3`.
+pub const WINDOW_STAT_NAMES: [&str; 6] = ["max", "min", "mean", "std", "range", "wma"];
+
+impl WindowStats {
+    /// Compute all six statistics over `window` (oldest value first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty window and
+    /// [`StatsError::NonFinite`] if the window contains NaN.
+    pub fn compute(window: &[f64]) -> Result<Self> {
+        if window.is_empty() {
+            return Err(StatsError::empty("WindowStats::compute"));
+        }
+        let max = descriptive::max(window)?;
+        let min = descriptive::min(window)?;
+        let mean = descriptive::mean(window)?;
+        let std = descriptive::population_std(window)?;
+        let wma = descriptive::weighted_moving_average(window)?;
+        Ok(WindowStats {
+            max,
+            min,
+            mean,
+            std,
+            range: max - min,
+            wma,
+        })
+    }
+
+    /// The statistics as an array in [`WINDOW_STAT_NAMES`] order.
+    pub fn to_array(self) -> [f64; 6] {
+        [self.max, self.min, self.mean, self.std, self.range, self.wma]
+    }
+}
+
+/// Compute [`WindowStats`] over the trailing window of length `width` ending
+/// at index `end` (inclusive) of `series`. When fewer than `width`
+/// observations exist, the available prefix is used — matching how a
+/// production pipeline scores drives that have just been deployed.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `width == 0` or
+/// `end >= series.len()`, plus any error from [`WindowStats::compute`].
+pub fn trailing_window_stats(series: &[f64], end: usize, width: usize) -> Result<WindowStats> {
+    if width == 0 {
+        return Err(StatsError::invalid(
+            "trailing_window_stats",
+            "width must be positive",
+        ));
+    }
+    if end >= series.len() {
+        return Err(StatsError::invalid(
+            "trailing_window_stats",
+            format!("end index {end} out of bounds for series of length {}", series.len()),
+        ));
+    }
+    let start = (end + 1).saturating_sub(width);
+    WindowStats::compute(&series[start..=end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stats_over_simple_window() {
+        let s = WindowStats::compute(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.range, 2.0);
+        // WMA = (1*1 + 2*2 + 3*3)/6 = 14/6
+        assert!((s.wma - 14.0 / 6.0).abs() < 1e-12);
+        // population std of [1,2,3] = sqrt(2/3)
+        assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_is_error() {
+        assert!(WindowStats::compute(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_window_truncates_at_start() {
+        let series = [10.0, 20.0, 30.0, 40.0];
+        // end = 1, width = 7 -> uses [10, 20]
+        let s = trailing_window_stats(&series, 1, 7).unwrap();
+        assert_eq!(s.mean, 15.0);
+    }
+
+    #[test]
+    fn trailing_window_exact_width() {
+        let series = [10.0, 20.0, 30.0, 40.0];
+        let s = trailing_window_stats(&series, 3, 3).unwrap();
+        assert_eq!(s.mean, 30.0);
+        assert_eq!(s.min, 20.0);
+    }
+
+    #[test]
+    fn trailing_window_rejects_bad_args() {
+        assert!(trailing_window_stats(&[1.0], 0, 0).is_err());
+        assert!(trailing_window_stats(&[1.0], 1, 3).is_err());
+    }
+
+    #[test]
+    fn to_array_matches_names() {
+        let s = WindowStats::compute(&[4.0, 8.0]).unwrap();
+        let arr = s.to_array();
+        assert_eq!(arr.len(), WINDOW_STAT_NAMES.len());
+        assert_eq!(arr[0], s.max);
+        assert_eq!(arr[5], s.wma);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stats_consistent(xs in proptest::collection::vec(-1e4f64..1e4, 1..30)) {
+            let s = WindowStats::compute(&xs).unwrap();
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.range >= -1e-9);
+            prop_assert!(s.std >= 0.0);
+            prop_assert!(s.wma >= s.min - 1e-9 && s.wma <= s.max + 1e-9);
+        }
+
+        #[test]
+        fn prop_constant_window_degenerates(v in -1e4f64..1e4, n in 1usize..20) {
+            let s = WindowStats::compute(&vec![v; n]).unwrap();
+            prop_assert!((s.max - v).abs() < 1e-12);
+            prop_assert!((s.min - v).abs() < 1e-12);
+            prop_assert!(s.range.abs() < 1e-12);
+            prop_assert!(s.std.abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for tree learners.
+
+use std::fmt;
+
+/// Errors produced by tree training and prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreesError {
+    /// The training set was empty.
+    EmptyTraining,
+    /// Features and targets had different lengths.
+    LengthMismatch {
+        /// Number of samples in the feature matrix.
+        features: usize,
+        /// Number of targets.
+        targets: usize,
+    },
+    /// A hyperparameter was outside its valid domain.
+    InvalidParameter {
+        /// Description of the violation.
+        message: String,
+    },
+    /// Prediction input did not match the trained schema.
+    SchemaMismatch {
+        /// Number of features the model was trained on.
+        trained: usize,
+        /// Number of features in the prediction input.
+        given: usize,
+    },
+}
+
+impl fmt::Display for TreesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreesError::EmptyTraining => write!(f, "training set is empty"),
+            TreesError::LengthMismatch { features, targets } => write!(
+                f,
+                "feature matrix has {features} samples but {targets} targets were given"
+            ),
+            TreesError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+            TreesError::SchemaMismatch { trained, given } => write!(
+                f,
+                "model was trained on {trained} features but input has {given}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TreesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TreesError::EmptyTraining.to_string().contains("empty"));
+        let e = TreesError::LengthMismatch {
+            features: 10,
+            targets: 9,
+        };
+        assert!(e.to_string().contains("10") && e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TreesError>();
+    }
+}

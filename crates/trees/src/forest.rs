@@ -1,0 +1,502 @@
+//! Random Forest classifier: bagged CART trees with per-node feature
+//! subsampling, out-of-bag scoring, and both impurity-based and permutation
+//! feature importances.
+//!
+//! The paper uses Random Forest both as its prediction model (100 trees,
+//! depth 13) and as one of the five preliminary feature-selection approaches
+//! (via feature importance, §II-C).
+
+use crate::config::{MaxFeatures, TreeConfig};
+use crate::error::TreesError;
+use crate::tree::RegressionTree;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use smart_stats::sampling::{bootstrap_indices, out_of_bag_indices};
+use smart_stats::FeatureMatrix;
+
+/// Random Forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees (paper: 100).
+    pub n_trees: usize,
+    /// Per-tree configuration. Defaults to depth 13 with √F features per
+    /// node.
+    pub tree: TreeConfig,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of worker threads for training and importance computation
+    /// (`None` = available parallelism).
+    pub n_threads: Option<usize>,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            tree: TreeConfig {
+                max_features: MaxFeatures::Sqrt,
+                ..TreeConfig::default()
+            },
+            seed: 0,
+            n_threads: None,
+        }
+    }
+}
+
+/// A trained Random Forest classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    oob_rows: Vec<Vec<usize>>,
+    n_features: usize,
+    config: ForestConfig,
+}
+
+impl RandomForest {
+    /// Train a forest on `data` against boolean `labels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreesError::EmptyTraining`] for an empty matrix,
+    /// [`TreesError::LengthMismatch`] when labels don't cover the matrix,
+    /// and [`TreesError::InvalidParameter`] for degenerate configuration.
+    pub fn fit(
+        data: &FeatureMatrix,
+        labels: &[bool],
+        config: &ForestConfig,
+    ) -> Result<Self, TreesError> {
+        config.tree.validate()?;
+        if config.n_trees == 0 {
+            return Err(TreesError::InvalidParameter {
+                message: "n_trees must be at least 1".to_string(),
+            });
+        }
+        if data.n_rows() == 0 {
+            return Err(TreesError::EmptyTraining);
+        }
+        if labels.len() != data.n_rows() {
+            return Err(TreesError::LengthMismatch {
+                features: data.n_rows(),
+                targets: labels.len(),
+            });
+        }
+        let targets: Vec<f64> = labels.iter().map(|&l| f64::from(u8::from(l))).collect();
+
+        let n_threads = effective_threads(config.n_threads, config.n_trees);
+        let results: Vec<(RegressionTree, Vec<usize>)> = run_indexed_parallel(
+            config.n_trees,
+            n_threads,
+            |tree_idx| {
+                let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, tree_idx as u64));
+                let bootstrap =
+                    bootstrap_indices(&mut rng, data.n_rows()).expect("n_rows checked > 0");
+                let oob = out_of_bag_indices(&bootstrap, data.n_rows());
+                let tree = RegressionTree::fit(data, &targets, &bootstrap, &config.tree, &mut rng)
+                    .expect("validated inputs");
+                (tree, oob)
+            },
+        );
+
+        let (trees, oob_rows) = results.into_iter().unzip();
+        Ok(RandomForest {
+            trees,
+            oob_rows,
+            n_features: data.n_features(),
+            config: *config,
+        })
+    }
+
+    /// Predicted failure probability for every row (mean over trees).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreesError::SchemaMismatch`] when the feature count differs
+    /// from training.
+    pub fn predict_proba(&self, data: &FeatureMatrix) -> Result<Vec<f64>, TreesError> {
+        if data.n_features() != self.n_features {
+            return Err(TreesError::SchemaMismatch {
+                trained: self.n_features,
+                given: data.n_features(),
+            });
+        }
+        let mut sums = vec![0.0; data.n_rows()];
+        for tree in &self.trees {
+            for (row, sum) in sums.iter_mut().enumerate() {
+                *sum += tree.predict_row(data, row);
+            }
+        }
+        let n = self.trees.len() as f64;
+        Ok(sums.into_iter().map(|s| s / n).collect())
+    }
+
+    /// Out-of-bag probability per training row (`None` for rows that were
+    /// in-bag for every tree).
+    pub fn oob_proba(&self, data: &FeatureMatrix) -> Result<Vec<Option<f64>>, TreesError> {
+        if data.n_features() != self.n_features {
+            return Err(TreesError::SchemaMismatch {
+                trained: self.n_features,
+                given: data.n_features(),
+            });
+        }
+        let mut sums = vec![0.0; data.n_rows()];
+        let mut counts = vec![0u32; data.n_rows()];
+        for (tree, oob) in self.trees.iter().zip(&self.oob_rows) {
+            for &row in oob {
+                sums[row] += tree.predict_row(data, row);
+                counts[row] += 1;
+            }
+        }
+        Ok(sums
+            .into_iter()
+            .zip(counts)
+            .map(|(s, c)| (c > 0).then(|| s / c as f64))
+            .collect())
+    }
+
+    /// Out-of-bag accuracy at a 0.5 threshold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema mismatches; returns
+    /// [`TreesError::LengthMismatch`] when `labels` don't cover `data`.
+    pub fn oob_score(&self, data: &FeatureMatrix, labels: &[bool]) -> Result<f64, TreesError> {
+        if labels.len() != data.n_rows() {
+            return Err(TreesError::LengthMismatch {
+                features: data.n_rows(),
+                targets: labels.len(),
+            });
+        }
+        let proba = self.oob_proba(data)?;
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (p, &label) in proba.iter().zip(labels) {
+            if let Some(p) = p {
+                total += 1;
+                if (*p >= 0.5) == label {
+                    correct += 1;
+                }
+            }
+        }
+        Ok(if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        })
+    }
+
+    /// Mean decrease in impurity (gain) per feature, normalized to sum to 1
+    /// (all-zero when the forest made no splits).
+    pub fn impurity_importances(&self) -> Vec<f64> {
+        let mut totals = vec![0.0; self.n_features];
+        for tree in &self.trees {
+            for (t, g) in totals.iter_mut().zip(tree.gain_importances()) {
+                *t += g;
+            }
+        }
+        normalize(&mut totals);
+        totals
+    }
+
+    /// Breiman OOB permutation importance: for each tree and feature,
+    /// the decrease in OOB accuracy when that feature's values are permuted
+    /// within the tree's OOB set, averaged over trees and normalized to sum
+    /// to 1 (negative raw scores are clamped to zero first).
+    ///
+    /// This is the "degree of reduction of classification accuracy after
+    /// adding noises to a learning feature" the paper describes (§II-C).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema/length mismatches.
+    pub fn permutation_importances(
+        &self,
+        data: &FeatureMatrix,
+        labels: &[bool],
+    ) -> Result<Vec<f64>, TreesError> {
+        if data.n_features() != self.n_features {
+            return Err(TreesError::SchemaMismatch {
+                trained: self.n_features,
+                given: data.n_features(),
+            });
+        }
+        if labels.len() != data.n_rows() {
+            return Err(TreesError::LengthMismatch {
+                features: data.n_rows(),
+                targets: labels.len(),
+            });
+        }
+
+        let n_threads = effective_threads(self.config.n_threads, self.trees.len());
+        let per_tree: Vec<Vec<f64>> = run_indexed_parallel(self.trees.len(), n_threads, |t| {
+            self.tree_permutation_importance(t, data, labels)
+        });
+
+        let mut totals = vec![0.0; self.n_features];
+        for tree_scores in &per_tree {
+            for (t, s) in totals.iter_mut().zip(tree_scores) {
+                *t += s.max(0.0);
+            }
+        }
+        normalize(&mut totals);
+        Ok(totals)
+    }
+
+    /// Permutation importance of every feature for one tree's OOB set.
+    fn tree_permutation_importance(
+        &self,
+        tree_idx: usize,
+        data: &FeatureMatrix,
+        labels: &[bool],
+    ) -> Vec<f64> {
+        // Cap OOB evaluation size to bound cost on large training sets.
+        const MAX_OOB: usize = 512;
+        let tree = &self.trees[tree_idx];
+        let oob = &self.oob_rows[tree_idx];
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.config.seed ^ 0xA5A5, tree_idx as u64));
+        let rows: Vec<usize> = if oob.len() > MAX_OOB {
+            smart_stats::sampling::sample_without_replacement(&mut rng, oob.len(), MAX_OOB)
+                .expect("MAX_OOB <= len")
+                .into_iter()
+                .map(|i| oob[i])
+                .collect()
+        } else {
+            oob.clone()
+        };
+        if rows.is_empty() {
+            return vec![0.0; self.n_features];
+        }
+
+        // Materialize the OOB submatrix once; permute one column at a time.
+        let sub = data.select_rows(&rows).expect("valid oob rows");
+        let sub_labels: Vec<bool> = rows.iter().map(|&r| labels[r]).collect();
+        let baseline = accuracy_of_tree(tree, &sub, &sub_labels);
+
+        (0..self.n_features)
+            .map(|feature| {
+                let mut permuted = sub.column(feature).to_vec();
+                shuffle(&mut permuted, &mut rng);
+                let mut columns: Vec<Vec<f64>> =
+                    (0..sub.n_features()).map(|c| sub.column(c).to_vec()).collect();
+                columns[feature] = permuted;
+                let shuffled =
+                    FeatureMatrix::from_columns(sub.feature_names().to_vec(), columns)
+                        .expect("same shape");
+                baseline - accuracy_of_tree(tree, &shuffled, &sub_labels)
+            })
+            .collect()
+    }
+
+    /// The trained trees.
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// Number of features the forest was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+fn accuracy_of_tree(tree: &RegressionTree, data: &FeatureMatrix, labels: &[bool]) -> f64 {
+    let correct = (0..data.n_rows())
+        .filter(|&r| (tree.predict_row(data, r) >= 0.5) == labels[r])
+        .count();
+    correct as f64 / data.n_rows().max(1) as f64
+}
+
+fn shuffle(xs: &mut [f64], rng: &mut StdRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+fn normalize(xs: &mut [f64]) {
+    let total: f64 = xs.iter().sum();
+    if total > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= total;
+        }
+    }
+}
+
+pub(crate) fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+pub(crate) fn effective_threads(requested: Option<usize>, work_items: usize) -> usize {
+    let available = std::thread::available_parallelism().map_or(4, usize::from);
+    requested.unwrap_or(available).clamp(1, work_items.max(1))
+}
+
+/// Run `f(0..n)` across `n_threads` OS threads, preserving index order in
+/// the result.
+pub(crate) fn run_indexed_parallel<T, F>(n: usize, n_threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n_threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(n_threads);
+    std::thread::scope(|scope| {
+        for (start, slice) in (0..n)
+            .step_by(chunk)
+            .zip(results.chunks_mut(chunk))
+        {
+            let f = &f;
+            scope.spawn(move || {
+                for (offset, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(start + offset));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    /// Synthetic task: y = (x0 > 0.5), x1 correlated, x2 noise.
+    fn make_data(n: usize, seed: u64) -> (FeatureMatrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x0: f64 = rng.random();
+            let x1 = x0 * 0.7 + rng.random::<f64>() * 0.3;
+            let x2: f64 = rng.random();
+            labels.push(x0 > 0.5);
+            rows.push(vec![x0, x1, x2]);
+        }
+        (
+            FeatureMatrix::from_rows(vec!["signal".into(), "proxy".into(), "noise".into()], &rows)
+                .unwrap(),
+            labels,
+        )
+    }
+
+    fn small_config() -> ForestConfig {
+        ForestConfig {
+            n_trees: 30,
+            seed: 1,
+            ..ForestConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_simple_threshold_task() {
+        let (data, labels) = make_data(400, 2);
+        let forest = RandomForest::fit(&data, &labels, &small_config()).unwrap();
+        let proba = forest.predict_proba(&data).unwrap();
+        let correct = proba
+            .iter()
+            .zip(&labels)
+            .filter(|(p, &l)| (**p >= 0.5) == l)
+            .count();
+        assert!(correct as f64 / labels.len() as f64 > 0.97);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (data, labels) = make_data(200, 3);
+        let a = RandomForest::fit(&data, &labels, &small_config()).unwrap();
+        let b = RandomForest::fit(&data, &labels, &small_config()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let (data, labels) = make_data(200, 3);
+        let mut c1 = small_config();
+        c1.n_threads = Some(1);
+        let mut c4 = small_config();
+        c4.n_threads = Some(4);
+        let a = RandomForest::fit(&data, &labels, &c1).unwrap();
+        let b = RandomForest::fit(&data, &labels, &c4).unwrap();
+        assert_eq!(a.trees(), b.trees());
+    }
+
+    #[test]
+    fn oob_score_is_high_on_learnable_task() {
+        let (data, labels) = make_data(400, 5);
+        let forest = RandomForest::fit(&data, &labels, &small_config()).unwrap();
+        let score = forest.oob_score(&data, &labels).unwrap();
+        assert!(score > 0.9, "oob = {score}");
+    }
+
+    #[test]
+    fn importances_rank_signal_over_noise() {
+        let (data, labels) = make_data(400, 7);
+        let forest = RandomForest::fit(&data, &labels, &small_config()).unwrap();
+        let mdi = forest.impurity_importances();
+        assert!(mdi[0] > mdi[2], "mdi = {mdi:?}");
+        let perm = forest.permutation_importances(&data, &labels).unwrap();
+        assert!(perm[0] > perm[2], "perm = {perm:?}");
+        assert!(perm[0] > perm[1], "signal must beat its noisy proxy: {perm:?}");
+        // Normalized.
+        assert!((mdi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((perm.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched_input() {
+        let (data, labels) = make_data(50, 9);
+        assert!(matches!(
+            RandomForest::fit(&data, &labels[..10], &small_config()),
+            Err(TreesError::LengthMismatch { .. })
+        ));
+        let mut c = small_config();
+        c.n_trees = 0;
+        assert!(RandomForest::fit(&data, &labels, &c).is_err());
+    }
+
+    #[test]
+    fn predict_rejects_schema_mismatch() {
+        let (data, labels) = make_data(50, 11);
+        let forest = RandomForest::fit(&data, &labels, &small_config()).unwrap();
+        let narrow = FeatureMatrix::from_columns(vec!["x".into()], vec![vec![1.0]]).unwrap();
+        assert!(matches!(
+            forest.predict_proba(&narrow),
+            Err(TreesError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn single_class_training_predicts_that_class() {
+        let (data, _) = make_data(60, 13);
+        let labels = vec![false; 60];
+        let forest = RandomForest::fit(&data, &labels, &small_config()).unwrap();
+        let proba = forest.predict_proba(&data).unwrap();
+        assert!(proba.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn run_indexed_parallel_preserves_order() {
+        let out = run_indexed_parallel(17, 4, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        let out = run_indexed_parallel(3, 1, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+        let out: Vec<usize> = run_indexed_parallel(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mix_seed_spreads_indices() {
+        let a = mix_seed(1, 0);
+        let b = mix_seed(1, 1);
+        assert_ne!(a, b);
+        assert_ne!(mix_seed(1, 0), mix_seed(2, 0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Best-split search for one feature under the variance-reduction (MSE)
+//! criterion.
+//!
+//! For binary 0/1 targets, variance reduction orders splits identically to
+//! Gini gain (weighted variance `Σ nᶜ·pᶜ(1-pᶜ)` is exactly half the weighted
+//! Gini), so one criterion serves classification trees, Random Forest, and
+//! gradient-boosting regression trees alike.
+
+/// A candidate split of one feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Split {
+    /// Threshold: rows with `value <= threshold` go left.
+    pub threshold: f64,
+    /// Variance-reduction gain, in units of `Σ(y - ȳ)²` removed.
+    pub gain: f64,
+    /// Number of rows in the left child.
+    pub n_left: usize,
+}
+
+/// Find the best split of a feature given `(value, target)` pairs.
+///
+/// `pairs` is sorted in place by value. Returns `None` when no split
+/// satisfies `min_samples_leaf` on both sides or no split has positive gain
+/// (e.g. the feature is constant).
+pub fn best_split(pairs: &mut [(f64, f64)], min_samples_leaf: usize) -> Option<Split> {
+    let n = pairs.len();
+    if n < 2 * min_samples_leaf {
+        return None;
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("feature values must be finite"));
+
+    let total_sum: f64 = pairs.iter().map(|p| p.1).sum();
+    // gain(k) = S_L²/n_L + S_R²/n_R - S²/n  (the Σy² terms cancel).
+    let base = total_sum * total_sum / n as f64;
+
+    let mut best: Option<Split> = None;
+    let mut left_sum = 0.0;
+    for k in 1..n {
+        left_sum += pairs[k - 1].1;
+        // Can't split between equal values.
+        if pairs[k - 1].0 == pairs[k].0 {
+            continue;
+        }
+        if k < min_samples_leaf || n - k < min_samples_leaf {
+            continue;
+        }
+        let right_sum = total_sum - left_sum;
+        let gain = left_sum * left_sum / k as f64 + right_sum * right_sum / (n - k) as f64 - base;
+        if gain > best.map_or(1e-12, |b| b.gain) {
+            // Threshold = the left boundary value, with `<=` semantics.
+            // (A midpoint can round back onto a boundary when adjacent
+            // values are nearly equal, silently moving the tie group.)
+            let threshold = pairs[k - 1].0;
+            best = Some(Split {
+                threshold,
+                gain,
+                n_left: k,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_separation() {
+        let mut pairs = vec![(1.0, 0.0), (2.0, 0.0), (10.0, 1.0), (11.0, 1.0)];
+        let s = best_split(&mut pairs, 1).unwrap();
+        assert_eq!(s.threshold, 2.0);
+        assert_eq!(s.n_left, 2);
+        // Total SSE of [0,0,1,1] around mean 0.5 is 1.0; a perfect split
+        // removes all of it.
+        assert!((s.gain - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_feature_has_no_split() {
+        let mut pairs = vec![(5.0, 0.0), (5.0, 1.0), (5.0, 0.0)];
+        assert!(best_split(&mut pairs, 1).is_none());
+    }
+
+    #[test]
+    fn constant_target_has_no_split() {
+        let mut pairs = vec![(1.0, 1.0), (2.0, 1.0), (3.0, 1.0)];
+        assert!(best_split(&mut pairs, 1).is_none());
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let mut pairs = vec![(1.0, 0.0), (2.0, 1.0), (3.0, 1.0), (4.0, 1.0)];
+        let s = best_split(&mut pairs, 2);
+        if let Some(s) = s {
+            assert!(s.n_left >= 2 && pairs.len() - s.n_left >= 2);
+        }
+        let mut pairs = vec![(1.0, 0.0), (2.0, 1.0)];
+        assert!(best_split(&mut pairs, 2).is_none());
+    }
+
+    #[test]
+    fn threshold_is_left_boundary() {
+        let mut pairs = vec![(0.0, 0.0), (4.0, 1.0)];
+        let s = best_split(&mut pairs, 1).unwrap();
+        assert_eq!(s.threshold, 0.0);
+    }
+
+    #[test]
+    fn picks_strongest_boundary() {
+        // Feature: target flips at value 5 (one error) vs at value 2 (clean).
+        let mut pairs = vec![
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (3.0, 1.0),
+            (4.0, 1.0),
+            (5.0, 1.0),
+            (6.0, 1.0),
+        ];
+        let s = best_split(&mut pairs, 1).unwrap();
+        assert_eq!(s.threshold, 2.0, "threshold {}", s.threshold);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gain_is_nonnegative_and_bounded(
+            mut pairs in proptest::collection::vec((-100.0f64..100.0, 0.0f64..1.0), 2..60),
+        ) {
+            if let Some(s) = best_split(&mut pairs, 1) {
+                prop_assert!(s.gain > 0.0);
+                // Gain can't exceed the total SSE.
+                let n = pairs.len() as f64;
+                let mean: f64 = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+                let sse: f64 = pairs.iter().map(|p| (p.1 - mean).powi(2)).sum();
+                prop_assert!(s.gain <= sse + 1e-9);
+                prop_assert!(s.n_left >= 1 && s.n_left < pairs.len());
+            }
+        }
+
+        #[test]
+        fn prop_split_separates_values(
+            mut pairs in proptest::collection::vec((-100.0f64..100.0, 0.0f64..1.0), 2..60),
+        ) {
+            if let Some(s) = best_split(&mut pairs, 1) {
+                // After the in-place sort, rows 0..n_left are <= threshold.
+                for (i, &(v, _)) in pairs.iter().enumerate() {
+                    if i < s.n_left {
+                        prop_assert!(v <= s.threshold);
+                    } else {
+                        prop_assert!(v > s.threshold);
+                    }
+                }
+            }
+        }
+    }
+}

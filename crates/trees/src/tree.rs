@@ -1,0 +1,495 @@
+//! CART regression tree with per-node feature subsampling.
+//!
+//! One tree type serves all three learners in this crate: trained on 0/1
+//! targets its leaf means are class probabilities (classification /
+//! Random Forest); trained on gradients it is a boosting stage whose leaf
+//! values the booster re-labels with Newton steps.
+
+use crate::config::TreeConfig;
+use crate::error::TreesError;
+use crate::split::best_split;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use smart_stats::sampling::sample_without_replacement;
+use smart_stats::FeatureMatrix;
+
+/// A node of the tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+        n_samples: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A trained CART regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    gain_by_feature: Vec<f64>,
+    splits_by_feature: Vec<u32>,
+}
+
+impl RegressionTree {
+    /// Fit a tree on the rows `rows` of `data` against `targets` (indexed by
+    /// row id, so `targets.len() == data.n_rows()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreesError::EmptyTraining`] when `rows` is empty,
+    /// [`TreesError::LengthMismatch`] when targets don't cover the matrix,
+    /// and [`TreesError::InvalidParameter`] from config validation.
+    pub fn fit<R: Rng + ?Sized>(
+        data: &FeatureMatrix,
+        targets: &[f64],
+        rows: &[usize],
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> Result<Self, TreesError> {
+        config.validate()?;
+        if rows.is_empty() {
+            return Err(TreesError::EmptyTraining);
+        }
+        if targets.len() != data.n_rows() {
+            return Err(TreesError::LengthMismatch {
+                features: data.n_rows(),
+                targets: targets.len(),
+            });
+        }
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features: data.n_features(),
+            gain_by_feature: vec![0.0; data.n_features()],
+            splits_by_feature: vec![0; data.n_features()],
+        };
+        let mut rows = rows.to_vec();
+        tree.build(data, targets, &mut rows, 0, config, rng);
+        Ok(tree)
+    }
+
+    /// Recursively build the subtree for `rows`; returns the node index.
+    fn build<R: Rng + ?Sized>(
+        &mut self,
+        data: &FeatureMatrix,
+        targets: &[f64],
+        rows: &mut [usize],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> usize {
+        let n = rows.len();
+        let mean = rows.iter().map(|&r| targets[r]).sum::<f64>() / n as f64;
+        let constant = rows.iter().all(|&r| (targets[r] - mean).abs() < 1e-12);
+
+        if depth >= config.max_depth || n < config.min_samples_split || constant {
+            return self.push_leaf(mean, n);
+        }
+
+        // Per-node feature subsampling (the Random Forest ingredient).
+        let k = config.max_features.resolve(data.n_features());
+        let candidates = sample_without_replacement(rng, data.n_features(), k)
+            .expect("k <= n_features by construction");
+
+        let mut best: Option<(usize, crate::split::Split)> = None;
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(n);
+        for &feature in &candidates {
+            let col = data.column(feature);
+            pairs.clear();
+            pairs.extend(rows.iter().map(|&r| (col[r], targets[r])));
+            if let Some(split) = best_split(&mut pairs, config.min_samples_leaf) {
+                if best.as_ref().is_none_or(|(_, b)| split.gain > b.gain) {
+                    best = Some((feature, split));
+                }
+            }
+        }
+
+        let Some((feature, split)) = best else {
+            return self.push_leaf(mean, n);
+        };
+
+        self.gain_by_feature[feature] += split.gain;
+        self.splits_by_feature[feature] += 1;
+
+        // Partition rows in place around the threshold.
+        let col = data.column(feature);
+        rows.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).expect("finite values"));
+        let n_left = rows.iter().take_while(|&&r| col[r] <= split.threshold).count();
+        debug_assert_eq!(n_left, split.n_left);
+
+        // Reserve this node's slot before recursing so children line up.
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            value: mean,
+            n_samples: n,
+        });
+        let (left_rows, right_rows) = rows.split_at_mut(n_left);
+        let left = self.build(data, targets, left_rows, depth + 1, config, rng);
+        let right = self.build(data, targets, right_rows, depth + 1, config, rng);
+        self.nodes[node_idx] = Node::Split {
+            feature,
+            threshold: split.threshold,
+            left,
+            right,
+        };
+        node_idx
+    }
+
+    fn push_leaf(&mut self, value: f64, n_samples: usize) -> usize {
+        self.nodes.push(Node::Leaf { value, n_samples });
+        self.nodes.len() - 1
+    }
+
+    /// Index of the leaf that row `row` of `data` falls into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different feature count than the training
+    /// matrix or `row` is out of bounds.
+    pub fn apply(&self, data: &FeatureMatrix, row: usize) -> usize {
+        assert_eq!(
+            data.n_features(),
+            self.n_features,
+            "feature count mismatch at prediction"
+        );
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { .. } => return idx,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if data.value(row, *feature) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicted value for row `row` of `data`.
+    pub fn predict_row(&self, data: &FeatureMatrix, row: usize) -> f64 {
+        match &self.nodes[self.apply(data, row)] {
+            Node::Leaf { value, .. } => *value,
+            Node::Split { .. } => unreachable!("apply returns a leaf"),
+        }
+    }
+
+    /// Predicted values for every row of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreesError::SchemaMismatch`] if the feature count differs
+    /// from training.
+    pub fn predict(&self, data: &FeatureMatrix) -> Result<Vec<f64>, TreesError> {
+        if data.n_features() != self.n_features {
+            return Err(TreesError::SchemaMismatch {
+                trained: self.n_features,
+                given: data.n_features(),
+            });
+        }
+        Ok((0..data.n_rows()).map(|r| self.predict_row(data, r)).collect())
+    }
+
+    /// Overwrite the value of leaf `leaf_idx` (the boosting Newton step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_idx` is not a leaf.
+    pub fn set_leaf_value(&mut self, leaf_idx: usize, value: f64) {
+        match &mut self.nodes[leaf_idx] {
+            Node::Leaf { value: v, .. } => *v = value,
+            Node::Split { .. } => panic!("node {leaf_idx} is not a leaf"),
+        }
+    }
+
+    /// Total variance-reduction gain contributed by each feature.
+    pub fn gain_importances(&self) -> &[f64] {
+        &self.gain_by_feature
+    }
+
+    /// Number of splits on each feature.
+    pub fn split_counts(&self) -> &[u32] {
+        &self.splits_by_feature
+    }
+
+    /// Number of features the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Total number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum depth of the tree (root = 0; a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MaxFeatures;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_data() -> (FeatureMatrix, Vec<f64>) {
+        // XOR of two binary features: needs depth 2. Combo counts are
+        // deliberately unbalanced — a perfectly balanced XOR has zero gain
+        // for every single split and greedy CART cannot enter it.
+        let combos = [
+            (0.0, 0.0, 14usize),
+            (1.0, 0.0, 6),
+            (0.0, 1.0, 12),
+            (1.0, 1.0, 8),
+        ];
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        let mut i = 0u64;
+        for (a, b, count) in combos {
+            for _ in 0..count {
+                // Hash-scrambled noise, decorrelated from the label blocks.
+                let noise = (i.wrapping_mul(2_654_435_761) % 97) as f64 * 0.01;
+                rows.push(vec![a, b, noise]);
+                targets.push(if (a == 1.0) != (b == 1.0) { 1.0 } else { 0.0 });
+                i += 1;
+            }
+        }
+        (
+            FeatureMatrix::from_rows(vec!["a".into(), "b".into(), "noise".into()], &rows).unwrap(),
+            targets,
+        )
+    }
+
+    fn all_rows(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn learns_xor_exactly() {
+        let (data, targets) = xor_data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = RegressionTree::fit(
+            &data,
+            &targets,
+            &all_rows(data.n_rows()),
+            &TreeConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let preds = tree.predict(&data).unwrap();
+        for (p, t) in preds.iter().zip(&targets) {
+            assert!((p - t).abs() < 1e-9, "pred {p} target {t}");
+        }
+    }
+
+    #[test]
+    fn max_depth_zero_is_single_leaf() {
+        let (data, targets) = xor_data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree =
+            RegressionTree::fit(&data, &targets, &all_rows(data.n_rows()), &config, &mut rng)
+                .unwrap();
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.depth(), 0);
+        // The single leaf predicts the global positive rate (18/40).
+        let positives = targets.iter().sum::<f64>();
+        let p = tree.predict_row(&data, 0);
+        assert!((p - positives / targets.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let (data, targets) = xor_data();
+        for max_depth in [1, 2, 3] {
+            let mut rng = StdRng::seed_from_u64(2);
+            let config = TreeConfig {
+                max_depth,
+                ..TreeConfig::default()
+            };
+            let tree =
+                RegressionTree::fit(&data, &targets, &all_rows(data.n_rows()), &config, &mut rng)
+                    .unwrap();
+            assert!(tree.depth() <= max_depth);
+        }
+    }
+
+    #[test]
+    fn importances_ignore_noise_feature() {
+        let (data, targets) = xor_data();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = RegressionTree::fit(
+            &data,
+            &targets,
+            &all_rows(data.n_rows()),
+            &TreeConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let gains = tree.gain_importances();
+        assert!(gains[0] > 0.0 && gains[1] > 0.0);
+        // All informative splits should land on a and b; noise may appear but
+        // with negligible gain.
+        assert!(gains[2] < 0.05 * (gains[0] + gains[1]));
+    }
+
+    #[test]
+    fn empty_rows_is_error() {
+        let (data, targets) = xor_data();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(
+            RegressionTree::fit(&data, &targets, &[], &TreeConfig::default(), &mut rng),
+            Err(TreesError::EmptyTraining)
+        );
+    }
+
+    #[test]
+    fn target_length_mismatch_is_error() {
+        let (data, _) = xor_data();
+        let mut rng = StdRng::seed_from_u64(4);
+        let short = vec![0.0; 3];
+        assert!(matches!(
+            RegressionTree::fit(&data, &short, &[0, 1], &TreeConfig::default(), &mut rng),
+            Err(TreesError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn predict_rejects_schema_mismatch() {
+        let (data, targets) = xor_data();
+        let mut rng = StdRng::seed_from_u64(5);
+        let tree = RegressionTree::fit(
+            &data,
+            &targets,
+            &all_rows(data.n_rows()),
+            &TreeConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let narrow =
+            FeatureMatrix::from_columns(vec!["a".into()], vec![vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            tree.predict(&narrow),
+            Err(TreesError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn leaf_relabeling_changes_predictions() {
+        let (data, targets) = xor_data();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut tree = RegressionTree::fit(
+            &data,
+            &targets,
+            &all_rows(data.n_rows()),
+            &TreeConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let leaf = tree.apply(&data, 0);
+        tree.set_leaf_value(leaf, 42.0);
+        assert_eq!(tree.predict_row(&data, 0), 42.0);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let data = FeatureMatrix::from_columns(
+            vec!["x".into()],
+            vec![vec![1.0, 2.0, 3.0, 4.0]],
+        )
+        .unwrap();
+        let targets = vec![7.0; 4];
+        let mut rng = StdRng::seed_from_u64(7);
+        let tree =
+            RegressionTree::fit(&data, &targets, &[0, 1, 2, 3], &TreeConfig::default(), &mut rng)
+                .unwrap();
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict_row(&data, 2), 7.0);
+    }
+
+    #[test]
+    fn subset_rows_are_respected() {
+        // Train only on rows where target == 0; prediction must be 0.
+        let (data, targets) = xor_data();
+        let zero_rows: Vec<usize> = (0..data.n_rows()).filter(|&r| targets[r] == 0.0).collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let tree = RegressionTree::fit(&data, &targets, &zero_rows, &TreeConfig::default(), &mut rng)
+            .unwrap();
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict_row(&data, 0), 0.0);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let (data, targets) = xor_data();
+        let config = TreeConfig {
+            max_features: MaxFeatures::Count(2),
+            ..TreeConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let tree =
+            RegressionTree::fit(&data, &targets, &all_rows(data.n_rows()), &config, &mut rng)
+                .unwrap();
+        // With 2 of 3 features per node it may need more depth, but the fit
+        // must still reduce error well below the 0.25 variance baseline.
+        let preds = tree.predict(&data).unwrap();
+        let mse: f64 = preds
+            .iter()
+            .zip(&targets)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / targets.len() as f64;
+        assert!(mse < 0.1, "mse = {mse}");
+    }
+
+    #[test]
+    fn n_leaves_counts() {
+        let (data, targets) = xor_data();
+        let mut rng = StdRng::seed_from_u64(10);
+        let tree = RegressionTree::fit(
+            &data,
+            &targets,
+            &all_rows(data.n_rows()),
+            &TreeConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(tree.n_leaves() + tree.n_leaves() - 1, tree.n_nodes());
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: simulate a small SSD fleet, run WEFR, and print the selected
+//! learning features.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use smart_dataset::{DriveModel, Fleet, FleetConfig};
+use smart_pipeline::{base_matrix, collect_samples, survival_pairs, SamplingConfig};
+use wefr_core::{SelectionInput, Wefr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate one year of daily SMART logs for 150 MC1 drives.
+    let config = FleetConfig::builder()
+        .days(365)
+        .seed(42)
+        .drives(DriveModel::Mc1, 150)
+        .failure_scale(8.0)
+        .build()?;
+    let fleet = Fleet::generate(&config);
+    println!(
+        "fleet: {} drives, {} failures",
+        fleet.drives().len(),
+        fleet.n_failures()
+    );
+
+    // 2. Collect labeled drive-day samples and the base feature matrix.
+    let samples = collect_samples(&fleet, DriveModel::Mc1, 0, 364, &SamplingConfig::default())?;
+    let (matrix, labels, mwi) = base_matrix(&fleet, DriveModel::Mc1, &samples)?;
+    println!(
+        "samples: {} ({} positive), features: {}",
+        matrix.n_rows(),
+        labels.iter().filter(|&&l| l).count(),
+        matrix.n_features()
+    );
+
+    // 3. Run WEFR: five rankers in parallel, outlier removal, mean-rank
+    //    aggregation, automated count, wear-out grouping.
+    let survival = survival_pairs(&fleet, DriveModel::Mc1, 364);
+    let wefr = Wefr::default();
+    let selection = wefr.select(&SelectionInput {
+        data: &matrix,
+        labels: &labels,
+        mwi_per_sample: Some(&mwi),
+        survival: Some(&survival),
+    })?;
+
+    println!(
+        "\nselected {} of {} features ({:.0}%):",
+        selection.global.selected.len(),
+        matrix.n_features(),
+        selection.global.selected_fraction() * 100.0
+    );
+    for name in &selection.global.selected_names {
+        println!("  {name}");
+    }
+    for outcome in &selection.global.ensemble.outcomes {
+        println!(
+            "ranker {:<20} mean Kendall distance {:>7.1} {}",
+            outcome.ranker,
+            outcome.mean_distance,
+            if outcome.kept { "" } else { "(discarded as outlier)" }
+        );
+    }
+    match &selection.wearout {
+        Some(w) => println!(
+            "\nwear-out change point at MWI_N = {}: low group keeps {:?}, high group keeps {:?}",
+            w.change_point.mwi_threshold, w.low.selected_names, w.high.selected_names
+        ),
+        None => println!("\nno wear-out change point at this scale"),
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Dataset I/O integration: CSV export/import round-trips a simulated
+//! fleet, and trouble tickets stay consistent with the records.
+
+use smart_dataset::csv::{export_smart_csv, export_tickets_csv, import_smart_csv};
+use smart_dataset::{tickets_from_summaries, DriveModel, Fleet, FleetConfig};
+
+fn fleet() -> Fleet {
+    let config = FleetConfig::builder()
+        .days(180)
+        .seed(17)
+        .drives(DriveModel::Ma1, 6)
+        .drives(DriveModel::Mb2, 6)
+        .drives(DriveModel::Mc2, 6)
+        .failure_scale(8.0)
+        .build()
+        .expect("valid config");
+    Fleet::generate(&config)
+}
+
+#[test]
+fn csv_roundtrip_preserves_fleet_structure() {
+    let fleet = fleet();
+    let tickets = tickets_from_summaries(&fleet.summaries());
+    let mut smart_csv = Vec::new();
+    export_smart_csv(&fleet, &mut smart_csv).expect("export succeeds");
+
+    let imported =
+        import_smart_csv(smart_csv.as_slice(), &tickets, fleet.config().clone()).expect("import");
+    assert_eq!(imported.drives().len(), fleet.drives().len());
+    assert_eq!(imported.n_failures(), fleet.n_failures());
+    for (orig, imp) in fleet.drives().iter().zip(imported.drives()) {
+        assert_eq!(orig.id, imp.id);
+        assert_eq!(orig.model, imp.model);
+        assert_eq!(orig.n_days(), imp.n_days());
+        // Spot-check a mid-life day across all of the model's features.
+        let day = orig.deploy_day + orig.n_days() / 2;
+        for &attr in orig.model.attributes() {
+            for kind in smart_dataset::ValueKind::BOTH {
+                let f = smart_dataset::FeatureId { attr, kind };
+                assert_eq!(orig.value_on(day, f), imp.value_on(day, f), "{f} day {day}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tickets_match_failed_drives() {
+    let fleet = fleet();
+    let tickets = tickets_from_summaries(&fleet.summaries());
+    assert_eq!(tickets.len(), fleet.n_failures());
+    for t in &tickets {
+        let drive = &fleet.drives()[t.drive_id.0 as usize];
+        assert_eq!(drive.failure.expect("ticketed drive failed").day, t.day);
+        assert_eq!(drive.model, t.model);
+        assert_eq!(drive.last_day(), t.day, "drives stop reporting at failure");
+    }
+}
+
+#[test]
+fn ticket_csv_is_well_formed() {
+    let fleet = fleet();
+    let tickets = tickets_from_summaries(&fleet.summaries());
+    let mut out = Vec::new();
+    export_tickets_csv(&tickets, &mut out).expect("export succeeds");
+    let text = String::from_utf8(out).expect("utf8");
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("drive_id,model,day"));
+    for (line, ticket) in lines.zip(&tickets) {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0], ticket.drive_id.0.to_string());
+        assert_eq!(fields[2], ticket.day.to_string());
+    }
+}

@@ -1,0 +1,60 @@
+//! Cross-crate determinism: fixed seeds reproduce byte-identical fleets,
+//! selections, and experiment metrics; different seeds do not.
+
+use smart_dataset::{Census, DriveModel, Fleet, FleetConfig};
+use smart_pipeline::experiment::{run_method, ExperimentConfig, Method};
+use smart_pipeline::{base_matrix, collect_samples, SamplingConfig};
+use wefr_core::{SelectionInput, Wefr};
+
+fn config(seed: u64) -> FleetConfig {
+    FleetConfig::builder()
+        .days(365)
+        .seed(seed)
+        .drives(DriveModel::Mc1, 100)
+        .failure_scale(8.0)
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn fleet_and_census_are_reproducible() {
+    let a = Fleet::generate(&config(7));
+    let b = Fleet::generate(&config(7));
+    assert_eq!(a, b);
+    let ca = Census::generate(&config(7));
+    let cb = Census::generate(&config(7));
+    assert_eq!(ca, cb);
+    let c = Fleet::generate(&config(8));
+    assert_ne!(a, c);
+}
+
+#[test]
+fn selection_is_reproducible_across_runs() {
+    let fleet = Fleet::generate(&config(9));
+    let samples = collect_samples(
+        &fleet,
+        DriveModel::Mc1,
+        0,
+        364,
+        &SamplingConfig::default(),
+    )
+    .unwrap();
+    let (matrix, labels, _) = base_matrix(&fleet, DriveModel::Mc1, &samples).unwrap();
+    let a = Wefr::default()
+        .select(&SelectionInput::basic(&matrix, &labels))
+        .unwrap();
+    let b = Wefr::default()
+        .select(&SelectionInput::basic(&matrix, &labels))
+        .unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn experiment_metrics_are_reproducible() {
+    let fleet = Fleet::generate(&config(10));
+    let exp_config = ExperimentConfig::quick(5);
+    let a = run_method(&fleet, DriveModel::Mc1, Method::NoSelection, &exp_config).unwrap();
+    let b = run_method(&fleet, DriveModel::Mc1, Method::NoSelection, &exp_config).unwrap();
+    assert_eq!(a.overall, b.overall);
+    assert_eq!(a.per_phase, b.per_phase);
+}

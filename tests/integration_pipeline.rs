@@ -1,0 +1,105 @@
+//! End-to-end pipeline integration: the full method matrix runs on a small
+//! fleet and produces sane, comparable metrics.
+
+use smart_dataset::{DriveModel, Fleet, FleetConfig};
+use smart_pipeline::experiment::{
+    run_method, run_percentage_sweep, run_updating_comparison, ExperimentConfig, Method,
+    SelectorKind,
+};
+
+fn fleet() -> Fleet {
+    let config = FleetConfig::builder()
+        .days(365)
+        .seed(23)
+        .drives(DriveModel::Mc1, 150)
+        .failure_scale(8.0)
+        .build()
+        .expect("valid config");
+    Fleet::generate(&config)
+}
+
+fn exp_config() -> ExperimentConfig {
+    ExperimentConfig::quick(3)
+}
+
+#[test]
+fn method_matrix_produces_sane_metrics() {
+    let fleet = fleet();
+    let config = exp_config();
+    for method in [
+        Method::NoSelection,
+        Method::Selector {
+            kind: SelectorKind::Pearson,
+            percent: Some(0.3),
+        },
+        Method::Wefr,
+    ] {
+        let r = run_method(&fleet, DriveModel::Mc1, method, &config).expect("method runs");
+        assert_eq!(r.per_phase.len(), 3);
+        assert!((0.0..=1.0).contains(&r.overall.precision), "{method:?}");
+        assert!((0.0..=1.0).contains(&r.overall.recall));
+        assert!((0.0..=1.0).contains(&r.overall.f_half));
+        // Fixed recall: the pooled recall must be at or above the target
+        // (the threshold search guarantees >=).
+        assert!(
+            r.overall.recall + 1e-9 >= smart_pipeline::paper_target_recall(DriveModel::Mc1),
+            "recall {} below target",
+            r.overall.recall
+        );
+    }
+}
+
+#[test]
+fn selection_beats_no_selection_on_f_half() {
+    // The central claim of the paper, at smoke scale: picking the
+    // mechanism features cannot be much worse than using everything, and
+    // is usually better. Allow slack for small-sample noise.
+    let fleet = fleet();
+    let config = exp_config();
+    let none = run_method(&fleet, DriveModel::Mc1, Method::NoSelection, &config).unwrap();
+    let wefr = run_method(&fleet, DriveModel::Mc1, Method::Wefr, &config).unwrap();
+    assert!(
+        wefr.overall.f_half + 0.12 >= none.overall.f_half,
+        "WEFR {:.3} much worse than no-selection {:.3}",
+        wefr.overall.f_half,
+        none.overall.f_half
+    );
+    let frac = wefr.selected_fraction.expect("WEFR reports a fraction");
+    assert!(frac < 1.0, "WEFR kept everything ({frac})");
+}
+
+#[test]
+fn percentage_sweep_brackets_wefr() {
+    let fleet = fleet();
+    let config = exp_config();
+    let sweep = run_percentage_sweep(&fleet, DriveModel::Mc1, &config).unwrap();
+    assert_eq!(sweep.points.len(), config.tune_grid.len());
+    for p in &sweep.points {
+        assert!((0.0..=1.0).contains(&p.f_half));
+    }
+    assert!((0.0..=1.0).contains(&sweep.wefr_percent));
+    // WEFR's automated point must be competitive with the sweep (within
+    // noise) — the Exp#2 claim.
+    let best = sweep
+        .points
+        .iter()
+        .map(|p| p.f_half)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        sweep.wefr_f_half + 0.15 >= best,
+        "WEFR {:.3} far below best fixed {best:.3}",
+        sweep.wefr_f_half
+    );
+}
+
+#[test]
+fn updating_comparison_runs_on_mc1() {
+    let fleet = fleet();
+    let config = exp_config();
+    let r = run_updating_comparison(&fleet, DriveModel::Mc1, &config).unwrap();
+    assert!((0.0..=1.0).contains(&r.wefr_all.precision));
+    assert!((0.0..=1.0).contains(&r.no_update_all.precision));
+    assert_eq!(r.thresholds.len(), 3);
+    // When a change point exists, cohort metrics exist in matched pairs.
+    assert_eq!(r.wefr_low.is_some(), r.no_update_low.is_some());
+}

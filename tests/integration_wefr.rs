@@ -1,0 +1,115 @@
+//! End-to-end integration: fleet simulation → base matrix → WEFR selection
+//! recovers the failure-mechanism features the simulator planted.
+
+use smart_dataset::{DriveModel, Fleet, FleetConfig};
+use smart_pipeline::{base_matrix, collect_samples, survival_pairs, SamplingConfig};
+use wefr_core::{SelectionInput, Wefr};
+
+fn mc1_fleet(seed: u64) -> Fleet {
+    let config = FleetConfig::builder()
+        .days(365)
+        .seed(seed)
+        .drives(DriveModel::Mc1, 150)
+        .failure_scale(8.0)
+        .build()
+        .expect("valid config");
+    Fleet::generate(&config)
+}
+
+fn select(fleet: &Fleet) -> wefr_core::WefrSelection {
+    let samples = collect_samples(
+        fleet,
+        DriveModel::Mc1,
+        0,
+        364,
+        &SamplingConfig::default(),
+    )
+    .expect("samples exist");
+    let (matrix, labels, mwi) = base_matrix(fleet, DriveModel::Mc1, &samples).expect("matrix");
+    let survival = survival_pairs(fleet, DriveModel::Mc1, 364);
+    Wefr::default()
+        .select(&SelectionInput {
+            data: &matrix,
+            labels: &labels,
+            mwi_per_sample: Some(&mwi),
+            survival: Some(&survival),
+        })
+        .expect("selection succeeds")
+}
+
+#[test]
+fn wefr_recovers_mc1_mechanism_features() {
+    let fleet = mc1_fleet(1);
+    let selection = select(&fleet);
+
+    // MC1 failures are driven by media-scan and uncorrectable errors
+    // (OCE/UCE signatures). The selected set must include at least one of
+    // the signature counters, and the top of the ranking must be
+    // mechanism-related, not noise.
+    let names = &selection.global.selected_names;
+    assert!(
+        names.iter().any(|n| n.starts_with("OCE") || n.starts_with("UCE")),
+        "selected = {names:?}"
+    );
+    // The selection must actually cut something.
+    assert!(selection.global.selected_fraction() < 1.0);
+    assert!(!names.is_empty());
+}
+
+#[test]
+fn wefr_keeps_most_rankers() {
+    let fleet = mc1_fleet(2);
+    let selection = select(&fleet);
+    let kept = selection
+        .global
+        .ensemble
+        .outcomes
+        .iter()
+        .filter(|o| o.kept)
+        .count();
+    // The 1.96-sigma rule discards at most a clear minority.
+    assert!(kept >= 4, "kept = {kept}");
+}
+
+#[test]
+fn trivial_features_rank_last() {
+    let fleet = mc1_fleet(3);
+    let selection = select(&fleet);
+    let ensemble = &selection.global.ensemble;
+    // PSC (pending sectors, pure noise in the simulator) must not be a
+    // top-3 feature.
+    let top3: Vec<&str> = ensemble.top_names(3);
+    assert!(
+        !top3.iter().any(|n| n.starts_with("PSC")),
+        "top3 = {top3:?}"
+    );
+}
+
+#[test]
+fn selection_survives_label_noise() {
+    // Flipping a small fraction of labels must not topple the ensemble:
+    // the top feature family should stay mechanism-related.
+    let fleet = mc1_fleet(4);
+    let samples = collect_samples(
+        &fleet,
+        DriveModel::Mc1,
+        0,
+        364,
+        &SamplingConfig::default(),
+    )
+    .unwrap();
+    let (matrix, mut labels, _) = base_matrix(&fleet, DriveModel::Mc1, &samples).unwrap();
+    for i in (0..labels.len()).step_by(29) {
+        labels[i] = !labels[i];
+    }
+    let selection = Wefr::default()
+        .select(&SelectionInput::basic(&matrix, &labels))
+        .unwrap();
+    let top5: Vec<&str> = selection.global.ensemble.top_names(5);
+    assert!(
+        top5.iter().any(|n| {
+            n.starts_with("OCE") || n.starts_with("UCE") || n.starts_with("CMDT")
+        }),
+        "top5 after noise = {top5:?}"
+    );
+}
