@@ -1,16 +1,17 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out:
 //! BOCPD versus binary segmentation, permutation versus impurity Random
 //! Forest importance, and the complexity-threshold scan.
+//!
+//! Run with `cargo bench --bench ablations` (add `-- --quick` for a smoke
+//! run); results land in `results/BENCH_<group>.json`.
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rng::rngs::StdRng;
+use rng::{Rng, SeedableRng};
 use smart_changepoint::binseg;
 use smart_changepoint::bocpd::{change_probabilities, BocpdConfig};
 use smart_complexity::{automated_feature_count, ThresholdConfig};
 use smart_stats::FeatureMatrix;
-use std::hint::black_box;
+use wefr_bench::timing::Group;
 use wefr_core::rankers::forest::{ForestImportance, ForestRanker};
 use wefr_core::FeatureRanker;
 
@@ -24,21 +25,18 @@ fn survival_series(n: usize, knee: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-fn bench_changepoint_detectors(c: &mut Criterion) {
+fn bench_changepoint_detectors() {
     let series = survival_series(95, 60, 1);
     let config = BocpdConfig::default();
-    let mut group = c.benchmark_group("changepoint");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
-    group.sample_size(10);
-    group.bench_function("bocpd", |b| {
-        b.iter(|| black_box(change_probabilities(&series, &config).expect("valid")));
+    let mut group = Group::from_env("changepoint");
+    group.bench("bocpd", || {
+        change_probabilities(&series, &config).expect("valid")
     });
-    group.bench_function("binseg_single", |b| {
-        b.iter(|| black_box(binseg::best_split(&series, 4).expect("valid")));
+    group.bench("binseg_single", || {
+        binseg::best_split(&series, 4).expect("valid")
     });
-    group.bench_function("binseg_recursive", |b| {
-        b.iter(|| black_box(binseg::segment(&series, 4, 0.05).expect("valid")));
+    group.bench("binseg_recursive", || {
+        binseg::segment(&series, 4, 0.05).expect("valid")
     });
     group.finish();
 }
@@ -51,7 +49,11 @@ fn training_data(n: usize, seed: u64) -> (FeatureMatrix, Vec<bool>) {
             labels
                 .iter()
                 .map(|&l| {
-                    let signal = if f < 4 && l { 4.0 / (f + 1) as f64 } else { 0.0 };
+                    let signal = if f < 4 && l {
+                        4.0 / (f + 1) as f64
+                    } else {
+                        0.0
+                    };
                     signal + rng.random::<f64>()
                 })
                 .collect()
@@ -64,46 +66,36 @@ fn training_data(n: usize, seed: u64) -> (FeatureMatrix, Vec<bool>) {
     )
 }
 
-fn bench_forest_importances(c: &mut Criterion) {
+fn bench_forest_importances() {
     let (matrix, labels) = training_data(1500, 2);
-    let mut group = c.benchmark_group("forest_importance");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
-    group.sample_size(10);
+    let mut group = Group::from_env("forest_importance");
     let permutation = ForestRanker::with_seed(3);
-    group.bench_function("permutation", |b| {
-        b.iter(|| black_box(permutation.rank(&matrix, &labels).expect("two-class")));
+    group.bench("permutation", || {
+        permutation.rank(&matrix, &labels).expect("two-class")
     });
     let impurity = ForestRanker {
         importance: ForestImportance::Impurity,
         ..ForestRanker::with_seed(3)
     };
-    group.bench_function("impurity", |b| {
-        b.iter(|| black_box(impurity.rank(&matrix, &labels).expect("two-class")));
+    group.bench("impurity", || {
+        impurity.rank(&matrix, &labels).expect("two-class")
     });
     group.finish();
 }
 
-fn bench_complexity_scan(c: &mut Criterion) {
+fn bench_complexity_scan() {
     let (matrix, labels) = training_data(3000, 4);
     let order: Vec<usize> = (0..matrix.n_features()).collect();
     let config = ThresholdConfig::default();
-    let mut group = c.benchmark_group("complexity");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
-    group.sample_size(10);
-    group.bench_function("threshold_scan", |b| {
-        b.iter(|| {
-            black_box(automated_feature_count(&matrix, &labels, &order, &config).expect("valid"))
-        });
+    let mut group = Group::from_env("complexity");
+    group.bench("threshold_scan", || {
+        automated_feature_count(&matrix, &labels, &order, &config).expect("valid")
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_changepoint_detectors,
-    bench_forest_importances,
-    bench_complexity_scan
-);
-criterion_main!(benches);
+fn main() {
+    bench_changepoint_detectors();
+    bench_forest_importances();
+    bench_complexity_scan();
+}

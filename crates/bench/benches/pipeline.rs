@@ -1,33 +1,27 @@
 //! Pipeline-stage benchmarks: fleet simulation, statistical feature
 //! expansion, predictor training, and batch scoring.
+//!
+//! Run with `cargo bench --bench pipeline` (add `-- --quick` for a smoke
+//! run); results land in `results/BENCH_<group>.json`.
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
 use smart_dataset::{DriveModel, Fleet, FleetConfig};
-use smart_pipeline::{
-    collect_samples, FailurePredictor, PredictorConfig, SamplingConfig,
-};
 use smart_pipeline::matrix::{base_features, expanded_matrix};
-use std::hint::black_box;
+use smart_pipeline::{collect_samples, FailurePredictor, PredictorConfig, SamplingConfig};
+use wefr_bench::timing::Group;
 
-fn bench_fleet_generation(c: &mut Criterion) {
+fn bench_fleet_generation() {
     let config = FleetConfig::builder()
         .days(365)
         .seed(1)
         .drives(DriveModel::Mc1, 50)
         .build()
         .expect("valid");
-    let mut group = c.benchmark_group("dataset");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
-    group.sample_size(10);
-    group.bench_function("fleet_50_drives_1y", |b| {
-        b.iter(|| black_box(Fleet::generate(&config)));
-    });
+    let mut group = Group::from_env("dataset");
+    group.bench("fleet_50_drives_1y", || Fleet::generate(&config));
     group.finish();
 }
 
-fn bench_feature_expansion(c: &mut Criterion) {
+fn bench_feature_expansion() {
     let config = FleetConfig::builder()
         .days(365)
         .seed(2)
@@ -40,12 +34,9 @@ fn bench_feature_expansion(c: &mut Criterion) {
         .expect("samples");
     let base = base_features(DriveModel::Mc1);
 
-    let mut group = c.benchmark_group("pipeline");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
-    group.sample_size(10);
-    group.bench_function("expand_matrix", |b| {
-        b.iter(|| black_box(expanded_matrix(&fleet, &samples, &base).expect("expansion")));
+    let mut group = Group::from_env("pipeline");
+    group.bench("expand_matrix", || {
+        expanded_matrix(&fleet, &samples, &base).expect("expansion")
     });
 
     let predictor_config = PredictorConfig {
@@ -53,22 +44,19 @@ fn bench_feature_expansion(c: &mut Criterion) {
         max_depth: 10,
         ..PredictorConfig::default()
     };
-    group.bench_function("train_rf_30_trees", |b| {
-        b.iter(|| {
-            black_box(
-                FailurePredictor::train(&fleet, &samples, &base, &predictor_config)
-                    .expect("training"),
-            )
-        });
+    group.bench("train_rf_30_trees", || {
+        FailurePredictor::train(&fleet, &samples, &base, &predictor_config).expect("training")
     });
 
-    let predictor = FailurePredictor::train(&fleet, &samples, &base, &predictor_config)
-        .expect("training");
-    group.bench_function("score_batch", |b| {
-        b.iter(|| black_box(predictor.score_samples(&fleet, &samples).expect("scoring")));
+    let predictor =
+        FailurePredictor::train(&fleet, &samples, &base, &predictor_config).expect("training");
+    group.bench("score_batch", || {
+        predictor.score_samples(&fleet, &samples).expect("scoring")
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_fleet_generation, bench_feature_expansion);
-criterion_main!(benches);
+fn main() {
+    bench_fleet_generation();
+    bench_feature_expansion();
+}

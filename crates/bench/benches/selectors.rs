@@ -1,13 +1,14 @@
-//! Criterion benchmarks backing Exp#4: the runtime of each preliminary
+//! Timing benchmarks backing Exp#4: the runtime of each preliminary
 //! selector and of parallel WEFR on an MC1-shaped base matrix.
+//!
+//! Run with `cargo bench --bench selectors` (add `-- --quick` for a smoke
+//! run); results land in `results/BENCH_<group>.json`.
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rng::rngs::StdRng;
+use rng::{Rng, SeedableRng};
 use smart_pipeline::experiment::SelectorKind;
 use smart_stats::FeatureMatrix;
-use std::hint::black_box;
+use wefr_bench::timing::Group;
 use wefr_core::{SelectionInput, Wefr, WefrConfig};
 
 /// An MC1-shaped synthetic base matrix: 38 features (19 attributes × 2),
@@ -38,22 +39,19 @@ fn synthetic_matrix(n_rows: usize, seed: u64) -> (FeatureMatrix, Vec<bool>) {
     )
 }
 
-fn bench_selectors(c: &mut Criterion) {
+fn bench_selectors() {
     let (matrix, labels) = synthetic_matrix(2000, 1);
-    let mut group = c.benchmark_group("selector_rank");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
-    group.sample_size(10);
+    let mut group = Group::from_env("selector_rank");
     for kind in SelectorKind::ALL {
         let ranker = kind.build(7);
-        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
-            b.iter(|| black_box(ranker.rank(&matrix, &labels).expect("two-class")));
+        group.bench(kind.label(), || {
+            ranker.rank(&matrix, &labels).expect("two-class")
         });
     }
     group.finish();
 }
 
-fn bench_wefr(c: &mut Criterion) {
+fn bench_wefr() {
     let (matrix, labels) = synthetic_matrix(2000, 2);
     let mut rng = StdRng::seed_from_u64(3);
     let mwi: Vec<f64> = (0..matrix.n_rows())
@@ -65,56 +63,41 @@ fn bench_wefr(c: &mut Criterion) {
         ..WefrConfig::default()
     });
 
-    let mut group = c.benchmark_group("wefr_select");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
-    group.sample_size(10);
-    group.bench_function("global_only", |b| {
-        b.iter(|| {
-            black_box(
-                wefr.select(&SelectionInput::basic(&matrix, &labels))
-                    .expect("selection"),
-            )
-        });
+    let mut group = Group::from_env("wefr_select");
+    group.bench("global_only", || {
+        wefr.select(&SelectionInput::basic(&matrix, &labels))
+            .expect("selection")
     });
-    group.bench_function("with_wearout", |b| {
-        b.iter(|| {
-            black_box(
-                wefr.select(&SelectionInput {
-                    data: &matrix,
-                    labels: &labels,
-                    mwi_per_sample: Some(&mwi),
-                    survival: Some(&survival),
-                })
-                .expect("selection"),
-            )
-        });
+    group.bench("with_wearout", || {
+        wefr.select(&SelectionInput {
+            data: &matrix,
+            labels: &labels,
+            mwi_per_sample: Some(&mwi),
+            survival: Some(&survival),
+        })
+        .expect("selection")
     });
     group.finish();
 }
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wefr_scaling_rows");
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(5));
-    group.sample_size(10);
+fn bench_scaling() {
+    let mut group = Group::from_env("wefr_scaling_rows");
     for rows in [500usize, 2000, 8000] {
         let (matrix, labels) = synthetic_matrix(rows, 4);
         let wefr = Wefr::new(WefrConfig {
             seed: 7,
             ..WefrConfig::default()
         });
-        group.bench_function(BenchmarkId::from_parameter(rows), |b| {
-            b.iter(|| {
-                black_box(
-                    wefr.select(&SelectionInput::basic(&matrix, &labels))
-                        .expect("selection"),
-                )
-            });
+        group.bench(&format!("{rows}"), || {
+            wefr.select(&SelectionInput::basic(&matrix, &labels))
+                .expect("selection")
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_selectors, bench_wefr, bench_scaling);
-criterion_main!(benches);
+fn main() {
+    bench_selectors();
+    bench_wefr();
+    bench_scaling();
+}

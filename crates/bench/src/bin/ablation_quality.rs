@@ -42,7 +42,10 @@ fn ablate_changepoint_detectors(opts: &RunOptions) {
     let work = curve.coarsened(25);
 
     match curve.detect_change_point_default().expect("valid config") {
-        Some(cp) => println!("BOCPD + z-score:      MWI_N = {} (z = {:.1})", cp.mwi_threshold, cp.z_score),
+        Some(cp) => println!(
+            "BOCPD + z-score:      MWI_N = {} (z = {:.1})",
+            cp.mwi_threshold, cp.z_score
+        ),
         None => println!("BOCPD + z-score:      none detected"),
     }
     let rates = work.smoothed_rates();
@@ -109,8 +112,7 @@ fn ablate_outlier_removal(opts: &RunOptions) {
             )
         })
         .collect();
-    let clean =
-        ensemble_rankings(&rankings, PAPER_OUTLIER_SIGMA).expect("well-formed rankings");
+    let clean = ensemble_rankings(&rankings, PAPER_OUTLIER_SIGMA).expect("well-formed rankings");
 
     // Adversary: the exact reverse of the clean ensemble order.
     let n = matrix.n_features();
@@ -120,20 +122,21 @@ fn ablate_outlier_removal(opts: &RunOptions) {
     }
     rankings.push((
         "adversary".to_string(),
-        FeatureRanking::from_scores(matrix.feature_names().to_vec(), scores)
-            .expect("valid scores"),
+        FeatureRanking::from_scores(matrix.feature_names().to_vec(), scores).expect("valid scores"),
     ));
 
     let with_removal =
         ensemble_rankings(&rankings, PAPER_OUTLIER_SIGMA).expect("well-formed rankings");
-    let without_removal =
-        ensemble_rankings(&rankings, 1e9).expect("well-formed rankings"); // threshold never trips
+    let without_removal = ensemble_rankings(&rankings, 1e9).expect("well-formed rankings"); // threshold never trips
 
     let dist = |order: &[usize]| {
         smart_stats::kendall::normalized_kendall_tau_distance(&clean.order, order)
             .expect("same features")
     };
-    println!("discarded by 1.96-sigma rule: {:?}", with_removal.discarded());
+    println!(
+        "discarded by 1.96-sigma rule: {:?}",
+        with_removal.discarded()
+    );
     println!(
         "distance from clean ensemble:  with removal = {:.3}, without = {:.3}",
         dist(&with_removal.order),

@@ -30,13 +30,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     for bin in BINARIES.iter().chain(std::iter::once(&"exp4_runtime")) {
         eprintln!("\n>>> {bin}");
-        let status = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
-            .args(&args)
-            .status();
+        let status = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .with_file_name(bin),
+        )
+        .args(&args)
+        .status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => eprintln!("{bin} exited with {s}"),
-            Err(e) => eprintln!("failed to launch {bin}: {e} (build with `cargo build -p wefr-bench --bins`)"),
+            Err(e) => eprintln!(
+                "failed to launch {bin}: {e} (build with `cargo build -p wefr-bench --bins`)"
+            ),
         }
     }
 }

@@ -19,7 +19,12 @@ fn main() {
     );
     println!("{}", "-".repeat(7 + 4 * 22));
 
-    let candidates = [DriveModel::Ma1, DriveModel::Ma2, DriveModel::Mc1, DriveModel::Mc2];
+    let candidates = [
+        DriveModel::Ma1,
+        DriveModel::Ma2,
+        DriveModel::Mc1,
+        DriveModel::Mc2,
+    ];
     let mut results = Vec::new();
     for model in opts.models().into_iter().filter(|m| candidates.contains(m)) {
         eprintln!("comparing updating on {model} ...");

@@ -7,26 +7,31 @@
 //! from-scratch selectors have different relative costs than the Python
 //! stack the paper used (see EXPERIMENTS.md).
 
-use serde::Serialize;
 use smart_dataset::DriveModel;
 use smart_pipeline::experiment::SelectorKind;
 use std::time::Instant;
 use wefr_bench::{characterization_matrix, print_header, RunOptions};
 use wefr_core::{SelectionInput, Wefr, WefrConfig};
 
-#[derive(Serialize)]
 struct RuntimeRow {
     method: String,
     mean_seconds: f64,
     rounds: usize,
 }
 
+json::impl_to_json!(RuntimeRow {
+    method,
+    mean_seconds,
+    rounds
+});
+
 fn main() {
     let opts = RunOptions::from_args();
     let fleet = opts.fleet();
     // MC1 — the most numerous model, as in the paper.
     let (matrix, labels, mwi) = characterization_matrix(&fleet, DriveModel::Mc1, opts.seed);
-    let survival = smart_pipeline::survival_pairs(&fleet, DriveModel::Mc1, fleet.config().days() - 1);
+    let survival =
+        smart_pipeline::survival_pairs(&fleet, DriveModel::Mc1, fleet.config().days() - 1);
     // The paper averages 20 rounds on a 16-core server; a handful of rounds
     // is all a single-core box can afford, and the relative shape is stable.
     let rounds = if opts.quick { 2 } else { 3 };

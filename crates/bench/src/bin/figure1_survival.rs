@@ -4,17 +4,21 @@
 //! Prints each model's curve as an ASCII strip plus the detected change
 //! point; `--out` writes the full series for replotting.
 
-use serde::Serialize;
 use smart_changepoint::survival::SurvivalCurve;
 
 use wefr_bench::{print_header, RunOptions};
 
-#[derive(Serialize)]
 struct ModelCurve {
     model: String,
     points: Vec<(u32, f64, usize)>,
     change_point: Option<(u32, f64)>,
 }
+
+json::impl_to_json!(ModelCurve {
+    model,
+    points,
+    change_point
+});
 
 fn main() {
     let opts = RunOptions::from_args();
@@ -67,9 +71,17 @@ fn render_strip(curve: &SurvivalCurve, change_point: Option<u32>) {
     for p in curve.points() {
         let level = (p.rate * (GLYPHS.len() - 1) as f64).round() as usize;
         strip.push(GLYPHS[level.min(GLYPHS.len() - 1)]);
-        axis.push(if Some(p.mwi) == change_point { '^' } else { ' ' });
+        axis.push(if Some(p.mwi) == change_point {
+            '^'
+        } else {
+            ' '
+        });
     }
-    println!("rate (MWI_N {} -> {}):", curve.points().first().map_or(0, |p| p.mwi), curve.points().last().map_or(0, |p| p.mwi));
+    println!(
+        "rate (MWI_N {} -> {}):",
+        curve.points().first().map_or(0, |p| p.mwi),
+        curve.points().last().map_or(0, |p| p.mwi)
+    );
     println!("  [{strip}]");
     if change_point.is_some() {
         println!("   {axis} (^ = change point)");

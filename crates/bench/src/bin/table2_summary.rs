@@ -17,7 +17,15 @@ fn main() {
     print_header("Table II: summary of statistics");
     println!(
         "{:<8} {:<6} {:>8} {:>9} {:>8} {:>10} {:>8} | {:>9} {:>8}",
-        "Model", "Flash", "Drives", "Failures", "Total%", "Failures%", "AFR(%)", "paper T%", "paperAFR"
+        "Model",
+        "Flash",
+        "Drives",
+        "Failures",
+        "Total%",
+        "Failures%",
+        "AFR(%)",
+        "paper T%",
+        "paperAFR"
     );
     println!("{}", "-".repeat(92));
     for s in &stats {
@@ -43,10 +51,15 @@ fn main() {
             .map(|s| s.afr_percent)
             .unwrap_or(0.0)
     };
-    let max_mlc = [DriveModel::Ma1, DriveModel::Ma2, DriveModel::Mb1, DriveModel::Mb2]
-        .iter()
-        .map(|&m| afr(m))
-        .fold(0.0, f64::max);
+    let max_mlc = [
+        DriveModel::Ma1,
+        DriveModel::Ma2,
+        DriveModel::Mb1,
+        DriveModel::Mb2,
+    ]
+    .iter()
+    .map(|&m| afr(m))
+    .fold(0.0, f64::max);
     println!(
         "\nTLC AFRs exceed all MLC AFRs: {}",
         if afr(DriveModel::Mc1) > max_mlc && afr(DriveModel::Mc2) > max_mlc {

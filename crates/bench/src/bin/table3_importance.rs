@@ -1,16 +1,16 @@
 //! Table III — top and last three important learning features per drive
 //! model, by Random Forest feature-importance ranking.
 
-use serde::Serialize;
 use wefr_bench::{characterization_matrix, print_header, RunOptions};
 use wefr_core::{FeatureRanker, ForestRanker};
 
-#[derive(Serialize)]
 struct ModelImportance {
     model: String,
     top3: Vec<(String, f64)>,
     last3: Vec<(String, f64)>,
 }
+
+json::impl_to_json!(ModelImportance { model, top3, last3 });
 
 fn main() {
     let opts = RunOptions::from_args();

@@ -2,17 +2,17 @@
 //! feature-selection approaches, demonstrating that the approaches disagree
 //! (the motivation for robust ensembling).
 
-use serde::Serialize;
 use smart_dataset::DriveModel;
 use smart_pipeline::experiment::SelectorKind;
 use smart_stats::kendall::normalized_kendall_tau_distance;
 use wefr_bench::{characterization_matrix, print_header, RunOptions};
 
-#[derive(Serialize)]
 struct SelectorTop {
     selector: String,
     top5: Vec<String>,
 }
+
+json::impl_to_json!(SelectorTop { selector, top5 });
 
 fn main() {
     let opts = RunOptions::from_args();

@@ -1,14 +1,12 @@
 //! Table V — top-five Random-Forest feature rankings per low/high `MWI_N`
 //! group, after splitting each model at its survival-rate change point.
 
-use serde::Serialize;
 use smart_dataset::DriveModel;
 use smart_pipeline::experiment::wearout_survival;
 use wefr_bench::{characterization_matrix, print_header, RunOptions};
 use wefr_core::wearout::{detect_wearout_threshold, split_rows_by_mwi};
 use wefr_core::{FeatureRanker, ForestRanker};
 
-#[derive(Serialize)]
 struct GroupRanking {
     model: String,
     threshold: u32,
@@ -16,16 +14,32 @@ struct GroupRanking {
     high_top5: Vec<String>,
 }
 
+json::impl_to_json!(GroupRanking {
+    model,
+    threshold,
+    low_top5,
+    high_top5
+});
+
 fn main() {
     let opts = RunOptions::from_args();
     let fleet = opts.fleet();
     print_header("Table V: top-5 RF features per MWI_N group");
 
-    let candidates = [DriveModel::Ma1, DriveModel::Ma2, DriveModel::Mc1, DriveModel::Mc2];
+    let candidates = [
+        DriveModel::Ma1,
+        DriveModel::Ma2,
+        DriveModel::Mc1,
+        DriveModel::Mc2,
+    ];
     let mut results = Vec::new();
     for model in opts.models().into_iter().filter(|m| candidates.contains(m)) {
-        let survival =
-            wearout_survival(&fleet, model, fleet.config().days() - 1, &opts.experiment_config());
+        let survival = wearout_survival(
+            &fleet,
+            model,
+            fleet.config().days() - 1,
+            &opts.experiment_config(),
+        );
         let cp = detect_wearout_threshold(
             &survival,
             &smart_changepoint::BocpdConfig::default(),
@@ -49,7 +63,9 @@ fn main() {
             if !sub_labels.iter().any(|&l| l) || !sub_labels.iter().any(|&l| !l) {
                 return None;
             }
-            let ranking = ForestRanker::with_seed(opts.seed).rank(&sub, &sub_labels).ok()?;
+            let ranking = ForestRanker::with_seed(opts.seed)
+                .rank(&sub, &sub_labels)
+                .ok()?;
             Some(ranking.top_names(5).iter().map(|s| s.to_string()).collect())
         };
 

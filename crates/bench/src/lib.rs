@@ -17,6 +17,8 @@ use smart_dataset::{Census, DriveModel, Fleet, FleetConfig};
 use smart_pipeline::experiment::ExperimentConfig;
 use std::path::PathBuf;
 
+pub mod timing;
+
 /// Parsed command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
@@ -165,8 +167,8 @@ impl RunOptions {
     ///
     /// Panics on an invalid configuration (impossible for parsed options).
     pub fn census(&self) -> Census {
-        let config = FleetConfig::proportional(self.census_total, self.seed)
-            .expect("valid census config");
+        let config =
+            FleetConfig::proportional(self.census_total, self.seed).expect("valid census config");
         Census::generate(&config)
     }
 
@@ -191,7 +193,7 @@ impl RunOptions {
     }
 
     /// Write a JSON result file when `--out` was given.
-    pub fn write_json<T: serde::Serialize>(&self, name: &str, value: &T) {
+    pub fn write_json<T: json::ToJson>(&self, name: &str, value: &T) {
         if let Some(dir) = &self.out_dir {
             let path = dir.join(format!("{name}.json"));
             if let Err(e) = smart_pipeline::report::write_json(&path, value) {
@@ -265,7 +267,10 @@ mod tests {
         assert_eq!(opts.days, 365);
         assert_eq!(opts.seed, 7);
         assert!(opts.quick);
-        assert_eq!(opts.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(
+            opts.out_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/x"))
+        );
         assert_eq!(opts.models(), vec![DriveModel::Ma1, DriveModel::Mc1]);
     }
 

@@ -1,0 +1,328 @@
+//! Minimal timing harness for the in-repo benchmarks.
+//!
+//! Replaces criterion with the small subset the experiment suite needs:
+//! a warmup phase, a median-of-N measurement, human-readable console lines,
+//! and machine-readable `BENCH_<group>.json` files.
+//!
+//! Environment knobs (all optional):
+//!
+//! ```text
+//! WEFR_BENCH_SAMPLES  timed samples per benchmark (default 10)
+//! WEFR_BENCH_WARMUP   warmup iterations per benchmark (default 2)
+//! WEFR_BENCH_OUT      directory for BENCH_<group>.json files
+//!                     (default results/; empty string disables writing)
+//! ```
+//!
+//! Passing `--quick` on the bench command line (`cargo bench -- --quick`)
+//! drops to 3 samples and 1 warmup iteration for smoke runs.
+
+use std::time::Instant;
+
+/// Target wall-clock duration of one timed sample. Fast closures are
+/// batched until a sample takes at least this long, so sub-millisecond
+/// benchmarks do not degenerate into timer-resolution noise.
+const MIN_SAMPLE_SECONDS: f64 = 0.005;
+
+/// How many timed samples and warmup iterations to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// Untimed warmup iterations before measurement.
+    pub warmup: u32,
+    /// Timed samples; the reported duration is their median.
+    pub samples: u32,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            warmup: 2,
+            samples: 10,
+        }
+    }
+}
+
+impl TimingConfig {
+    /// The configuration for this process: defaults, overridden by the
+    /// `WEFR_BENCH_*` environment variables, overridden by `--quick` in
+    /// `args` (other arguments — e.g. the `--bench` flag cargo passes —
+    /// are ignored).
+    pub fn from_env(args: &[String]) -> TimingConfig {
+        let mut config = TimingConfig::default();
+        if let Some(v) = env_u32("WEFR_BENCH_WARMUP") {
+            config.warmup = v;
+        }
+        if let Some(v) = env_u32("WEFR_BENCH_SAMPLES") {
+            config.samples = v.max(1);
+        }
+        if args.iter().any(|a| a == "--quick") {
+            config.warmup = config.warmup.min(1);
+            config.samples = config.samples.min(3);
+        }
+        config
+    }
+}
+
+fn env_u32(name: &str) -> Option<u32> {
+    let text = std::env::var(name).ok()?;
+    match text.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name} must be a non-negative integer, got {text:?}"),
+    }
+}
+
+/// The result of timing one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark name, unique within its group.
+    pub name: String,
+    /// Number of timed samples taken.
+    pub samples: u32,
+    /// Closure invocations per sample (batched for fast closures).
+    pub iters_per_sample: u32,
+    /// Median per-invocation duration in seconds.
+    pub median_seconds: f64,
+    /// Mean per-invocation duration in seconds.
+    pub mean_seconds: f64,
+    /// Fastest per-invocation duration in seconds.
+    pub min_seconds: f64,
+    /// Slowest per-invocation duration in seconds.
+    pub max_seconds: f64,
+}
+
+json::impl_json!(Measurement {
+    name,
+    samples,
+    iters_per_sample,
+    median_seconds,
+    mean_seconds,
+    min_seconds,
+    max_seconds,
+});
+
+/// A named group of benchmarks, mirroring criterion's `benchmark_group`.
+///
+/// # Example
+///
+/// ```
+/// let mut group = wefr_bench::timing::Group::new(
+///     "doc",
+///     wefr_bench::timing::TimingConfig { warmup: 1, samples: 3 },
+/// );
+/// group.bench("sum", || (0..100u64).sum::<u64>());
+/// let report = group.finish_to(None); // no JSON file in doctests
+/// assert_eq!(report.measurements.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    config: TimingConfig,
+    measurements: Vec<Measurement>,
+}
+
+/// A completed group: everything `BENCH_<group>.json` records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Group name (the `<group>` in `BENCH_<group>.json`).
+    pub group: String,
+    /// Timed samples per benchmark.
+    pub samples: u32,
+    /// Warmup iterations per benchmark.
+    pub warmup: u32,
+    /// One entry per `bench` call, in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+json::impl_json!(Report {
+    group,
+    samples,
+    warmup,
+    measurements,
+});
+
+impl Group {
+    /// Start a group named `name` with an explicit configuration.
+    pub fn new(name: &str, config: TimingConfig) -> Group {
+        Group {
+            name: name.to_string(),
+            config,
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Start a group configured from the environment and command line.
+    pub fn from_env(name: &str) -> Group {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Group::new(name, TimingConfig::from_env(&args))
+    }
+
+    /// Time `f` (warmup, then median-of-N) and record the measurement.
+    /// The closure's return value is passed through [`std::hint::black_box`]
+    /// so its computation is not optimized away.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        for _ in 0..self.config.warmup {
+            std::hint::black_box(f());
+        }
+        // Batch fast closures so one sample is long enough to time.
+        let probe = time_iters(&mut f, 1);
+        let iters_per_sample = if probe >= MIN_SAMPLE_SECONDS {
+            1
+        } else {
+            ((MIN_SAMPLE_SECONDS / probe.max(1e-9)).ceil() as u32).clamp(1, 1_000_000)
+        };
+        let mut per_iter: Vec<f64> = (0..self.config.samples)
+            .map(|_| time_iters(&mut f, iters_per_sample) / iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = median_of_sorted(&per_iter);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let measurement = Measurement {
+            name: name.to_string(),
+            samples: self.config.samples,
+            iters_per_sample,
+            median_seconds: median,
+            mean_seconds: mean,
+            min_seconds: per_iter[0],
+            max_seconds: per_iter[per_iter.len() - 1],
+        };
+        println!(
+            "{}/{name:<24} median {:>12}  (min {}, max {}, {} samples)",
+            self.name,
+            format_duration(median),
+            format_duration(measurement.min_seconds),
+            format_duration(measurement.max_seconds),
+            self.config.samples,
+        );
+        self.measurements.push(measurement);
+    }
+
+    /// Finish the group: print a summary and write `BENCH_<group>.json` to
+    /// the output directory (`WEFR_BENCH_OUT`, default `results/`; set it
+    /// to the empty string to skip writing).
+    pub fn finish(self) -> Report {
+        let dir = match std::env::var("WEFR_BENCH_OUT") {
+            Ok(d) if d.is_empty() => None,
+            Ok(d) => Some(std::path::PathBuf::from(d)),
+            Err(_) => Some(std::path::PathBuf::from("results")),
+        };
+        self.finish_to(dir.as_deref())
+    }
+
+    /// Finish the group, writing `BENCH_<group>.json` under `dir` when one
+    /// is given.
+    pub fn finish_to(self, dir: Option<&std::path::Path>) -> Report {
+        let report = Report {
+            group: self.name,
+            samples: self.config.samples,
+            warmup: self.config.warmup,
+            measurements: self.measurements,
+        };
+        if let Some(dir) = dir {
+            let path = dir.join(format!("BENCH_{}.json", report.group));
+            match std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&path, json::to_string_pretty(&report) + "\n"))
+            {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+            }
+        }
+        report
+    }
+}
+
+fn time_iters<T>(f: &mut impl FnMut() -> T, iters: u32) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} µs", seconds * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TimingConfig {
+        TimingConfig {
+            warmup: 1,
+            samples: 3,
+        }
+    }
+
+    #[test]
+    fn measures_a_closure() {
+        let mut group = Group::new("unit", tiny());
+        let mut calls = 0u32;
+        group.bench("count", || {
+            calls += 1;
+            calls
+        });
+        let report = group.finish_to(None);
+        assert_eq!(report.measurements.len(), 1);
+        let m = &report.measurements[0];
+        assert_eq!(m.name, "count");
+        assert_eq!(m.samples, 3);
+        // warmup + probe + samples×iters invocations all happened.
+        assert!(calls >= 1 + 1 + 3);
+        assert!(m.min_seconds <= m.median_seconds);
+        assert!(m.median_seconds <= m.max_seconds);
+        assert!(m.median_seconds >= 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut group = Group::new("unit_json", tiny());
+        group.bench("noop", || 0u8);
+        let report = group.finish_to(None);
+        let text = json::to_string_pretty(&report);
+        let back: Report = json::from_str(&text).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn writes_bench_json_file() {
+        let dir = std::env::temp_dir().join("wefr_bench_timing_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut group = Group::new("unit_file", tiny());
+        group.bench("noop", || 0u8);
+        group.finish_to(Some(&dir));
+        let text = std::fs::read_to_string(dir.join("BENCH_unit_file.json")).unwrap();
+        let back: Report = json::from_str(&text).unwrap();
+        assert_eq!(back.group, "unit_file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quick_flag_and_env_shrink_the_run() {
+        let args = vec!["--bench".to_string(), "--quick".to_string()];
+        let config = TimingConfig::from_env(&args);
+        assert!(config.samples <= 3);
+        assert!(config.warmup <= 1);
+    }
+
+    #[test]
+    fn fast_closures_are_batched() {
+        let mut group = Group::new("unit_batch", tiny());
+        group.bench("trivial", || 1u64 + 1);
+        let report = group.finish_to(None);
+        assert!(report.measurements[0].iters_per_sample > 1);
+    }
+}

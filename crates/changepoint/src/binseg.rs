@@ -2,10 +2,9 @@
 //! Bayesian online change-point detection (see DESIGN.md §4).
 
 use crate::error::ChangepointError;
-use serde::{Deserialize, Serialize};
 
 /// A change point found by binary segmentation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegBoundary {
     /// First index of the right-hand segment.
     pub index: usize,
@@ -53,8 +52,7 @@ pub fn best_split(
             left_sum + series[k - 1]
         };
         let right_sum = total - left_sum;
-        let gain =
-            left_sum * left_sum / k as f64 + right_sum * right_sum / (n - k) as f64 - base;
+        let gain = left_sum * left_sum / k as f64 + right_sum * right_sum / (n - k) as f64 - base;
         if gain > best.map_or(1e-12, |b| b.gain) {
             best = Some(SegBoundary { index: k, gain });
         }

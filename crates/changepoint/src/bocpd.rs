@@ -9,11 +9,10 @@
 
 use crate::error::ChangepointError;
 use crate::normal_gamma::NormalGamma;
-use serde::{Deserialize, Serialize};
 use smart_stats::descriptive::{mean, population_std};
 
 /// BOCPD configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BocpdConfig {
     /// Constant hazard: prior probability of a change at each step
     /// (`1 / expected run length`).
@@ -162,8 +161,8 @@ pub fn change_probabilities(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
     use smart_stats::gaussian::sample_normal;
 
     fn step_series(n1: usize, mu1: f64, n2: usize, mu2: f64, seed: u64) -> Vec<f64> {
@@ -186,7 +185,10 @@ mod tests {
         let peak = (38..=42).map(|i| probs[i]).fold(0.0, f64::max);
         let elsewhere = probs[10..30].iter().fold(0.0f64, |a, &b| a.max(b));
         assert!(peak > 0.5, "peak = {peak}");
-        assert!(peak > 5.0 * elsewhere, "peak {peak} vs elsewhere {elsewhere}");
+        assert!(
+            peak > 5.0 * elsewhere,
+            "peak {peak} vs elsewhere {elsewhere}"
+        );
     }
 
     #[test]

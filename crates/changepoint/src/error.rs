@@ -26,7 +26,10 @@ impl fmt::Display for ChangepointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ChangepointError::SeriesTooShort { len, required } => {
-                write!(f, "series of length {len} is too short (need at least {required})")
+                write!(
+                    f,
+                    "series of length {len} is too short (need at least {required})"
+                )
             }
             ChangepointError::NonFinite => write!(f, "series contains a non-finite value"),
             ChangepointError::InvalidParameter { message } => {
@@ -44,7 +47,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ChangepointError::SeriesTooShort { len: 2, required: 8 };
+        let e = ChangepointError::SeriesTooShort {
+            len: 2,
+            required: 8,
+        };
         assert!(e.to_string().contains('2') && e.to_string().contains('8'));
     }
 

@@ -2,10 +2,8 @@
 //! and precision, including the Student-t posterior-predictive density that
 //! Bayesian online change-point detection needs.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of a Normal-Gamma distribution over (mean, precision).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NormalGamma {
     /// Prior mean.
     pub mu: f64,

@@ -4,14 +4,13 @@
 //! the most significant one is selected (§III-C).
 
 use crate::error::ChangepointError;
-use serde::{Deserialize, Serialize};
 use smart_stats::descriptive::z_scores;
 
 /// The paper's z-score threshold.
 pub const PAPER_Z_THRESHOLD: f64 = 2.5;
 
 /// A significant change point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SignificantPoint {
     /// Index into the analyzed series.
     pub index: usize,
@@ -33,7 +32,10 @@ pub fn significant_points(
     z_threshold: f64,
 ) -> Result<Vec<SignificantPoint>, ChangepointError> {
     if change_probs.is_empty() {
-        return Err(ChangepointError::SeriesTooShort { len: 0, required: 1 });
+        return Err(ChangepointError::SeriesTooShort {
+            len: 0,
+            required: 1,
+        });
     }
     if z_threshold <= 0.0 {
         return Err(ChangepointError::InvalidParameter {
@@ -72,7 +74,9 @@ pub fn most_significant_point(
     change_probs: &[f64],
     z_threshold: f64,
 ) -> Result<Option<SignificantPoint>, ChangepointError> {
-    Ok(significant_points(change_probs, z_threshold)?.into_iter().next())
+    Ok(significant_points(change_probs, z_threshold)?
+        .into_iter()
+        .next())
 }
 
 #[cfg(test)]

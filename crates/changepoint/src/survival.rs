@@ -8,10 +8,9 @@
 use crate::bocpd::{change_probabilities, BocpdConfig};
 use crate::error::ChangepointError;
 use crate::significance::{most_significant_point, PAPER_Z_THRESHOLD};
-use serde::{Deserialize, Serialize};
 
 /// One point of a survival curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SurvivalPoint {
     /// The `MWI_N` value (integer bucket, 1..=100).
     pub mwi: u32,
@@ -25,13 +24,13 @@ pub struct SurvivalPoint {
 
 /// A survival curve over `MWI_N`, ordered by *descending* `MWI_N` (the
 /// direction of wear progression, matching how the paper reads Fig. 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SurvivalCurve {
     points: Vec<SurvivalPoint>,
 }
 
 /// A change point detected on a survival curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WearoutChangePoint {
     /// The `MWI_N` value at which the survival behaviour changes — the
     /// threshold WEFR uses to split low- and high-wear groups.
@@ -95,7 +94,8 @@ impl SurvivalCurve {
     /// the paper skips change-point analysis for MB1/MB2 because their
     /// `MWI_N` range is too small.
     pub fn has_meaningful_range(&self, width: u32) -> bool {
-        self.mwi_range().is_some_and(|(min, max)| max - min >= width)
+        self.mwi_range()
+            .is_some_and(|(min, max)| max - min >= width)
     }
 
     /// Detect the most significant change point of the survival rate using
@@ -182,8 +182,8 @@ impl SurvivalCurve {
                 Some(last) => {
                     let total = last.total + t;
                     let survivors = last.survivors + s;
-                    last.mwi = ((last.mwi as f64 * last.total as f64 + w) / total as f64)
-                        .round() as u32;
+                    last.mwi =
+                        ((last.mwi as f64 * last.total as f64 + w) / total as f64).round() as u32;
                     last.total = total;
                     last.survivors = survivors;
                     last.rate = survivors as f64 / total as f64;

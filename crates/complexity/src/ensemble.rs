@@ -1,12 +1,11 @@
-//! The ensemble complexity measure `F` of Seijo-Pardo et al. [26]:
+//! The ensemble complexity measure `F` of Seijo-Pardo et al. \[26\]:
 //! `F = (1/F1 + F2 + 1/F3) / d`, oriented so that *higher F = harder
 //! problem*.
 
 use crate::measures::SubsetMeasures;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the ensemble measure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnsembleConfig {
     /// Normalizing divisor. The paper prints `/2`; with three ensembled
     /// measures the mean (`3`) is used here — see DESIGN.md §2. The divisor

@@ -50,9 +50,14 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ComplexityError::LengthMismatch { values: 5, labels: 4 };
+        let e = ComplexityError::LengthMismatch {
+            values: 5,
+            labels: 4,
+        };
         assert!(e.to_string().contains('5') && e.to_string().contains('4'));
-        assert!(ComplexityError::SingleClass.to_string().contains("single class"));
+        assert!(ComplexityError::SingleClass
+            .to_string()
+            .contains("single class"));
     }
 
     #[test]

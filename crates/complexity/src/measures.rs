@@ -12,10 +12,9 @@
 //!   the maximum over its features. *Higher = easier.*
 
 use crate::error::ComplexityError;
-use serde::{Deserialize, Serialize};
 
 /// The three per-feature complexity measures.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FeatureMeasures {
     /// Fisher's discriminant ratio (higher = easier).
     pub fisher: f64,
@@ -32,7 +31,10 @@ pub struct FeatureMeasures {
 /// Returns [`ComplexityError::EmptyInput`],
 /// [`ComplexityError::LengthMismatch`], or
 /// [`ComplexityError::SingleClass`] for degenerate inputs.
-pub fn feature_measures(values: &[f64], labels: &[bool]) -> Result<FeatureMeasures, ComplexityError> {
+pub fn feature_measures(
+    values: &[f64],
+    labels: &[bool],
+) -> Result<FeatureMeasures, ComplexityError> {
     if values.is_empty() {
         return Err(ComplexityError::EmptyInput);
     }
@@ -128,7 +130,7 @@ fn feature_efficiency(pos: &[f64], neg: &[f64], total: usize) -> f64 {
 
 /// The subset-level measures of a growing feature prefix, foldable one
 /// feature at a time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubsetMeasures {
     /// `max` of per-feature Fisher ratios.
     pub f1: f64,
@@ -161,7 +163,6 @@ impl SubsetMeasures {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn separated() -> (Vec<f64>, Vec<bool>) {
         let values = vec![1.0, 2.0, 3.0, 10.0, 11.0, 12.0];
@@ -248,43 +249,36 @@ mod tests {
         assert_eq!(e.f3, 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_measures_in_range(
-            samples in proptest::collection::vec((-1e3f64..1e3, any::<bool>()), 4..80),
-        ) {
-            let values: Vec<f64> = samples.iter().map(|s| s.0).collect();
-            let labels: Vec<bool> = samples.iter().map(|s| s.1).collect();
-            prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
-            let m = feature_measures(&values, &labels).unwrap();
-            prop_assert!(m.fisher >= 0.0);
-            prop_assert!((0.0..=1.0).contains(&m.overlap));
-            prop_assert!((0.0..=1.0).contains(&m.efficiency));
-        }
+    fn gen_labeled(g: &mut rng::prop::Gen, min: usize, max: usize) -> (Vec<f64>, Vec<bool>) {
+        let n = g.usize_in(min, max);
+        (g.vec_f64(n, n, -1e3, 1e3), g.vec_bool_mixed(n, n))
+    }
 
-        #[test]
-        fn prop_subset_monotone(
-            samples in proptest::collection::vec((-1e3f64..1e3, any::<bool>()), 4..40),
-            samples2 in proptest::collection::vec((-1e3f64..1e3, any::<bool>()), 4..40),
-        ) {
+    #[test]
+    fn prop_measures_in_range() {
+        rng::prop_check!(|g| {
+            let (values, labels) = gen_labeled(g, 4, 79);
+            let m = feature_measures(&values, &labels).unwrap();
+            assert!(m.fisher >= 0.0);
+            assert!((0.0..=1.0).contains(&m.overlap));
+            assert!((0.0..=1.0).contains(&m.efficiency));
+        });
+    }
+
+    #[test]
+    fn prop_subset_monotone() {
+        rng::prop_check!(|g| {
             // Adding a feature can only keep or improve F1/F3 and keep or
             // shrink F2.
-            let mk = |s: &[(f64, bool)]| {
-                let values: Vec<f64> = s.iter().map(|x| x.0).collect();
-                let labels: Vec<bool> = s.iter().map(|x| x.1).collect();
-                (values, labels)
-            };
-            let (v1, l1) = mk(&samples);
-            let (v2, l2) = mk(&samples2);
-            prop_assume!(l1.iter().any(|&l| l) && l1.iter().any(|&l| !l));
-            prop_assume!(l2.iter().any(|&l| l) && l2.iter().any(|&l| !l));
+            let (v1, l1) = gen_labeled(g, 4, 39);
+            let (v2, l2) = gen_labeled(g, 4, 39);
             let m1 = feature_measures(&v1, &l1).unwrap();
             let m2 = feature_measures(&v2, &l2).unwrap();
             let one = SubsetMeasures::empty().with_feature(&m1);
             let two = one.with_feature(&m2);
-            prop_assert!(two.f1 >= one.f1);
-            prop_assert!(two.f2 <= one.f2);
-            prop_assert!(two.f3 >= one.f3);
-        }
+            assert!(two.f1 >= one.f1);
+            assert!(two.f2 <= one.f2);
+            assert!(two.f3 >= one.f3);
+        });
     }
 }

@@ -1,5 +1,5 @@
 //! Automated feature-count selection (§IV-C of the paper, after
-//! Seijo-Pardo et al. [27]): scan the aggregated ranking top-down, score
+//! Seijo-Pardo et al. \[27\]): scan the aggregated ranking top-down, score
 //! each prefix with `e = α·F + (1−α)·ξ` (complexity of the prefix plus a
 //! linearly growing size penalty), seed with the top `log₂(#features)`
 //! features, and stop as soon as `e` stops improving.
@@ -7,11 +7,10 @@
 use crate::ensemble::{ensemble_complexity, EnsembleConfig};
 use crate::error::ComplexityError;
 use crate::measures::{feature_measures, SubsetMeasures};
-use serde::{Deserialize, Serialize};
 use smart_stats::FeatureMatrix;
 
 /// Configuration of the automated scan.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThresholdConfig {
     /// Weight of the complexity term (paper: `α = 0.75`).
     pub alpha: f64,
@@ -29,7 +28,7 @@ impl Default for ThresholdConfig {
 }
 
 /// One evaluated prefix of the scan.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScanPoint {
     /// Number of features in the prefix.
     pub count: usize,
@@ -42,7 +41,7 @@ pub struct ScanPoint {
 }
 
 /// Outcome of the automated scan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScanResult {
     /// The selected feature count.
     pub chosen: usize,
@@ -134,8 +133,8 @@ pub fn automated_feature_count(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rng::rngs::StdRng;
+    use rng::{RngExt, SeedableRng};
 
     /// `n_good` informative features followed by `n_noise` noise features.
     fn make_data(n_good: usize, n_noise: usize, n_rows: usize) -> (FeatureMatrix, Vec<bool>) {

@@ -4,7 +4,6 @@
 
 use crate::error::WefrError;
 use crate::ranking::FeatureRanking;
-use serde::{Deserialize, Serialize};
 use smart_stats::descriptive::{mean, population_std};
 use smart_stats::kendall::kendall_tau_distance;
 
@@ -12,7 +11,7 @@ use smart_stats::kendall::kendall_tau_distance;
 pub const PAPER_OUTLIER_SIGMA: f64 = 1.96;
 
 /// Diagnostics for one ranker's participation in the ensemble.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankerOutcome {
     /// Ranker name.
     pub ranker: String,
@@ -23,7 +22,7 @@ pub struct RankerOutcome {
 }
 
 /// The aggregated ensemble ranking.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnsembleRanking {
     /// Feature names, in column order.
     pub names: Vec<String>,
@@ -55,7 +54,10 @@ pub fn ensemble_rankings(
 ) -> Result<EnsembleRanking, WefrError> {
     if rankings.len() < 2 {
         return Err(WefrError::InvalidInput {
-            message: format!("ensembling needs at least 2 rankings, got {}", rankings.len()),
+            message: format!(
+                "ensembling needs at least 2 rankings, got {}",
+                rankings.len()
+            ),
         });
     }
     if outlier_sigma <= 0.0 {
@@ -174,8 +176,7 @@ mod tests {
         for (pos, &col) in order.iter().enumerate() {
             scores[col] = (names.len() - pos) as f64;
         }
-        FeatureRanking::from_scores(names.iter().map(|s| s.to_string()).collect(), scores)
-            .unwrap()
+        FeatureRanking::from_scores(names.iter().map(|s| s.to_string()).collect(), scores).unwrap()
     }
 
     const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
@@ -251,9 +252,7 @@ mod tests {
         )
         .is_err());
         let r2 = ranking_from_order(&NAMES, &[1, 0, 2, 3, 4]);
-        assert!(
-            ensemble_rankings(&[("x".to_string(), r), ("y".to_string(), r2)], 0.0).is_err()
-        );
+        assert!(ensemble_rankings(&[("x".to_string(), r), ("y".to_string(), r2)], 0.0).is_err());
     }
 
     #[test]

@@ -42,6 +42,4 @@ pub use rankers::{
 };
 pub use ranking::FeatureRanking;
 pub use update::{UpdateDecision, UpdateMonitor};
-pub use wefr::{
-    GroupSelection, SelectionInput, Wefr, WefrConfig, WefrSelection, WearoutSelection,
-};
+pub use wefr::{GroupSelection, SelectionInput, WearoutSelection, Wefr, WefrConfig, WefrSelection};

@@ -2,8 +2,9 @@
 //!
 //! The paper runs the five feature-selection approaches in parallel, which
 //! is why WEFR's runtime tracks the slowest single approach (Exp#4,
-//! Table VIII). Rankers run on scoped worker threads (crossbeam), one per
-//! ranker.
+//! Table VIII). Rankers run on scoped worker threads (`std::thread::scope`),
+//! one per ranker by default, or on a bounded pool via
+//! [`run_rankers_with_threads`].
 
 use crate::error::WefrError;
 use crate::ranker::FeatureRanker;
@@ -12,6 +13,8 @@ use smart_stats::FeatureMatrix;
 
 /// Run every ranker over the same data, in parallel, returning the named
 /// rankings in input order.
+///
+/// Equivalent to [`run_rankers_with_threads`] with one worker per ranker.
 ///
 /// # Errors
 ///
@@ -23,23 +26,62 @@ pub fn run_rankers(
     data: &FeatureMatrix,
     labels: &[bool],
 ) -> Result<Vec<(String, FeatureRanking)>, WefrError> {
+    run_rankers_with_threads(rankers, data, labels, rankers.len().max(1))
+}
+
+/// Run every ranker over the same data on at most `max_threads` scoped
+/// worker threads, returning the named rankings in input order.
+///
+/// Rankers are dealt to workers round-robin by index, so the assignment —
+/// and therefore the result, which is ordered by ranker index regardless of
+/// completion order — is independent of scheduling. Results are
+/// bit-identical across `max_threads` values; the knob only trades latency
+/// for parallelism.
+///
+/// # Errors
+///
+/// Returns [`WefrError::RankerFailed`] for the first ranker (in input
+/// order) that failed, and [`WefrError::InvalidInput`] when no rankers are
+/// given or `max_threads` is zero.
+pub fn run_rankers_with_threads(
+    rankers: &[Box<dyn FeatureRanker>],
+    data: &FeatureMatrix,
+    labels: &[bool],
+    max_threads: usize,
+) -> Result<Vec<(String, FeatureRanking)>, WefrError> {
     if rankers.is_empty() {
         return Err(WefrError::InvalidInput {
             message: "no rankers configured".to_string(),
         });
     }
+    if max_threads == 0 {
+        return Err(WefrError::InvalidInput {
+            message: "max_threads must be at least 1".to_string(),
+        });
+    }
 
-    let results: Vec<Result<FeatureRanking, WefrError>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = rankers
-            .iter()
-            .map(|ranker| scope.spawn(move |_| ranker.rank(data, labels)))
+    let workers = max_threads.min(rankers.len());
+    let results: Vec<Result<FeatureRanking, WefrError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                scope.spawn(move || {
+                    rankers
+                        .iter()
+                        .enumerate()
+                        .skip(worker)
+                        .step_by(workers)
+                        .map(|(index, ranker)| (index, ranker.rank(data, labels)))
+                        .collect::<Vec<_>>()
+                })
+            })
             .collect();
-        handles
+        let mut indexed: Vec<(usize, Result<FeatureRanking, WefrError>)> = handles
             .into_iter()
-            .map(|h| h.join().expect("ranker thread must not panic"))
-            .collect()
-    })
-    .expect("crossbeam scope must not panic");
+            .flat_map(|h| h.join().expect("ranker thread must not panic"))
+            .collect();
+        indexed.sort_by_key(|(index, _)| *index);
+        indexed.into_iter().map(|(_, result)| result).collect()
+    });
 
     rankers
         .iter()
@@ -69,11 +111,8 @@ mod tests {
             .collect();
         let noise: Vec<f64> = (0..60).map(|i| ((i * 31) % 17) as f64).collect();
         (
-            FeatureMatrix::from_columns(
-                vec!["signal".into(), "noise".into()],
-                vec![signal, noise],
-            )
-            .unwrap(),
+            FeatureMatrix::from_columns(vec!["signal".into(), "noise".into()], vec![signal, noise])
+                .unwrap(),
             labels,
         )
     }
@@ -105,17 +144,35 @@ mod tests {
     }
 
     #[test]
+    fn worker_count_does_not_change_results() {
+        let (m, l) = data();
+        let rankers = default_rankers(4);
+        let baseline = run_rankers_with_threads(&rankers, &m, &l, 1).unwrap();
+        for threads in [2, 3, 5, 8] {
+            let run = run_rankers_with_threads(&rankers, &m, &l, threads).unwrap();
+            assert_eq!(run, baseline, "results diverged at {threads} threads");
+        }
+    }
+
+    #[test]
     fn failure_is_attributed_to_the_ranker() {
         let (m, _) = data();
         let one_class = vec![true; m.n_rows()];
         let rankers = default_rankers(3);
         let err = run_rankers(&rankers, &m, &one_class).unwrap_err();
-        assert!(matches!(err, WefrError::RankerFailed { ranker: "pearson", .. }));
+        assert!(matches!(
+            err,
+            WefrError::RankerFailed {
+                ranker: "pearson",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn empty_ranker_list_is_invalid() {
         let (m, l) = data();
         assert!(run_rankers(&[], &m, &l).is_err());
+        assert!(run_rankers_with_threads(&default_rankers(1), &m, &l, 0).is_err());
     }
 }

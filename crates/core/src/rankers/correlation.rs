@@ -34,7 +34,7 @@ impl FeatureRanker for PearsonRanker {
 }
 
 /// Ranks features by the absolute Spearman rank correlation between the
-/// feature and the 0/1 failure label (the approach of Alter et al. [1]).
+/// feature and the 0/1 failure label (the approach of Alter et al. \[1\]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpearmanRanker;
 

@@ -1,4 +1,4 @@
-//! Random-Forest importance ranker (the approach of Narayanan et al. [21]).
+//! Random-Forest importance ranker (the approach of Narayanan et al. \[21\]).
 
 use crate::error::WefrError;
 use crate::ranker::{validate_input, FeatureRanker};
@@ -67,8 +67,8 @@ impl FeatureRanker for ForestRanker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rng::rngs::StdRng;
+    use rng::{RngExt, SeedableRng};
 
     fn data() -> (FeatureMatrix, Vec<bool>) {
         let mut rng = StdRng::seed_from_u64(3);
@@ -80,11 +80,8 @@ mod tests {
             .collect();
         let noise: Vec<f64> = (0..n).map(|_| rng.random()).collect();
         (
-            FeatureMatrix::from_columns(
-                vec!["signal".into(), "noise".into()],
-                vec![signal, noise],
-            )
-            .unwrap(),
+            FeatureMatrix::from_columns(vec!["signal".into(), "noise".into()], vec![signal, noise])
+                .unwrap(),
             labels,
         )
     }

@@ -68,8 +68,8 @@ impl FeatureRanker for GradientBoostingRanker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rng::rngs::StdRng;
+    use rng::{RngExt, SeedableRng};
 
     fn data() -> (FeatureMatrix, Vec<bool>) {
         let mut rng = StdRng::seed_from_u64(9);
@@ -81,11 +81,8 @@ mod tests {
             .collect();
         let noise: Vec<f64> = (0..n).map(|_| rng.random()).collect();
         (
-            FeatureMatrix::from_columns(
-                vec!["signal".into(), "noise".into()],
-                vec![signal, noise],
-            )
-            .unwrap(),
+            FeatureMatrix::from_columns(vec!["signal".into(), "noise".into()], vec![signal, noise])
+                .unwrap(),
             labels,
         )
     }

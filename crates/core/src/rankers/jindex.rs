@@ -1,4 +1,4 @@
-//! J-index ranker: the Youden-index-based approach of Lu et al. [16].
+//! J-index ranker: the Youden-index-based approach of Lu et al. \[16\].
 
 use crate::error::WefrError;
 use crate::ranker::{validate_input, FeatureRanker};
@@ -59,12 +59,10 @@ mod tests {
         let labels = vec![false, false, true, true];
         let up = vec![1.0, 2.0, 9.0, 10.0];
         let down: Vec<f64> = up.iter().map(|v| -v).collect();
-        let m = FeatureMatrix::from_columns(vec!["up".into(), "down".into()], vec![up, down])
-            .unwrap();
+        let m =
+            FeatureMatrix::from_columns(vec!["up".into(), "down".into()], vec![up, down]).unwrap();
         let r = JIndexRanker::new().rank(&m, &labels).unwrap();
-        assert!(
-            (r.score_of("up").unwrap() - r.score_of("down").unwrap()).abs() < 1e-12
-        );
+        assert!((r.score_of("up").unwrap() - r.score_of("down").unwrap()).abs() < 1e-12);
     }
 
     #[test]

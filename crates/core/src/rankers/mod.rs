@@ -35,7 +35,13 @@ mod tests {
         let names: Vec<&str> = rankers.iter().map(|r| r.name()).collect();
         assert_eq!(
             names,
-            vec!["pearson", "spearman", "j-index", "random-forest", "gradient-boosting"]
+            vec![
+                "pearson",
+                "spearman",
+                "j-index",
+                "random-forest",
+                "gradient-boosting"
+            ]
         );
     }
 }

@@ -2,11 +2,10 @@
 //! feature-selection approach.
 
 use crate::error::WefrError;
-use serde::{Deserialize, Serialize};
 use smart_stats::rank::{descending_order, positions_from_order};
 
 /// A ranking of learning features by importance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureRanking {
     names: Vec<String>,
     scores: Vec<f64>,
@@ -24,11 +23,7 @@ impl FeatureRanking {
     pub fn from_scores(names: Vec<String>, scores: Vec<f64>) -> Result<Self, WefrError> {
         if names.len() != scores.len() {
             return Err(WefrError::InvalidInput {
-                message: format!(
-                    "{} names but {} scores",
-                    names.len(),
-                    scores.len()
-                ),
+                message: format!("{} names but {} scores", names.len(), scores.len()),
             });
         }
         let order = descending_order(&scores).map_err(WefrError::Stats)?;

@@ -2,10 +2,8 @@
 //! change points of MWI_N (one week in our case) and updates the selected
 //! features".
 
-use serde::{Deserialize, Serialize};
-
 /// What a periodic check concluded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdateDecision {
     /// First check ever: select features now.
     InitialSelection,
@@ -36,7 +34,7 @@ impl UpdateDecision {
 
 /// Tracks when the wear-out change point was last checked and what it was,
 /// and decides when feature selection must be refreshed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdateMonitor {
     period_days: u32,
     tolerance: u32,
@@ -105,7 +103,10 @@ mod tests {
     fn first_check_is_initial_selection() {
         let mut m = UpdateMonitor::weekly();
         assert!(m.due(0));
-        assert_eq!(m.record_check(0, Some(40)), UpdateDecision::InitialSelection);
+        assert_eq!(
+            m.record_check(0, Some(40)),
+            UpdateDecision::InitialSelection
+        );
         assert!(UpdateDecision::InitialSelection.requires_reselection());
     }
 
@@ -134,7 +135,10 @@ mod tests {
             m.record_check(28, Some(50)),
             UpdateDecision::ThresholdMoved { from: 43, to: 50 }
         );
-        assert_eq!(m.record_check(35, None), UpdateDecision::ThresholdDisappeared);
+        assert_eq!(
+            m.record_check(35, None),
+            UpdateDecision::ThresholdDisappeared
+        );
         assert_eq!(m.record_check(42, None), UpdateDecision::Unchanged);
     }
 

@@ -1,13 +1,12 @@
 //! Wear-out grouping (§IV-D): detect the survival-rate change point over
 //! `MWI_N` and split samples into low- and high-wear groups at it.
 
-use serde::{Deserialize, Serialize};
 use smart_changepoint::bocpd::BocpdConfig;
 use smart_changepoint::survival::{SurvivalCurve, WearoutChangePoint};
 use smart_changepoint::ChangepointError;
 
 /// Sample-row split at an `MWI_N` threshold.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WearoutSplit {
     /// The `MWI_N` threshold (from the change point).
     pub threshold: u32,
@@ -82,14 +81,16 @@ mod tests {
     #[test]
     fn detects_kneed_fleet() {
         let drives: Vec<(f64, bool)> = (5..=95)
-            .flat_map(|mwi| {
-                (0..25).map(move |i| (mwi as f64, i < if mwi < 35 { 12 } else { 1 }))
-            })
+            .flat_map(|mwi| (0..25).map(move |i| (mwi as f64, i < if mwi < 35 { 12 } else { 1 })))
             .collect();
         let cp = detect_wearout_threshold(&drives, &BocpdConfig::default(), 2.5, 3)
             .unwrap()
             .expect("knee must be detected");
-        assert!((30..=40).contains(&cp.mwi_threshold), "got {}", cp.mwi_threshold);
+        assert!(
+            (30..=40).contains(&cp.mwi_threshold),
+            "got {}",
+            cp.mwi_threshold
+        );
     }
 
     #[test]
@@ -97,8 +98,10 @@ mod tests {
         let drives: Vec<(f64, bool)> = (97..=100)
             .flat_map(|mwi| (0..30).map(move |i| (mwi as f64, i < 2)))
             .collect();
-        assert!(detect_wearout_threshold(&drives, &BocpdConfig::default(), 2.5, 3)
-            .unwrap()
-            .is_none());
+        assert!(
+            detect_wearout_threshold(&drives, &BocpdConfig::default(), 2.5, 3)
+                .unwrap()
+                .is_none()
+        );
     }
 }

@@ -6,7 +6,6 @@ use crate::parallel::run_rankers;
 use crate::ranker::FeatureRanker;
 use crate::rankers::default_rankers;
 use crate::wearout::{detect_wearout_threshold, split_rows_by_mwi};
-use serde::{Deserialize, Serialize};
 use smart_changepoint::bocpd::BocpdConfig;
 use smart_changepoint::significance::PAPER_Z_THRESHOLD;
 use smart_changepoint::survival::WearoutChangePoint;
@@ -14,7 +13,7 @@ use smart_complexity::{automated_feature_count, ScanResult, ThresholdConfig};
 use smart_stats::FeatureMatrix;
 
 /// WEFR configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WefrConfig {
     /// Seed for the stochastic rankers (Random Forest, boosting).
     pub seed: u64,
@@ -81,7 +80,7 @@ impl<'a> SelectionInput<'a> {
 }
 
 /// The selection produced for one group of samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupSelection {
     /// The robust ensemble ranking (with per-ranker diagnostics).
     pub ensemble: EnsembleRanking,
@@ -101,7 +100,7 @@ impl GroupSelection {
 }
 
 /// Per-wear-out-group selections (lines 9–15 of Algorithm 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WearoutSelection {
     /// The detected change point.
     pub change_point: WearoutChangePoint,
@@ -112,7 +111,7 @@ pub struct WearoutSelection {
 }
 
 /// The full output of a WEFR run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WefrSelection {
     /// Selection over all samples (always produced).
     pub global: GroupSelection,
@@ -297,8 +296,7 @@ impl Wefr {
     ) -> Result<GroupSelection, WefrError> {
         let rankings = run_rankers(&self.rankers, data, labels)?;
         let ensemble = ensemble_rankings(&rankings, self.config.outlier_sigma)?;
-        let scan =
-            automated_feature_count(data, labels, &ensemble.order, &self.config.threshold)?;
+        let scan = automated_feature_count(data, labels, &ensemble.order, &self.config.threshold)?;
         let selected: Vec<usize> = ensemble.order[..scan.chosen].to_vec();
         let selected_names = selected
             .iter()
@@ -316,8 +314,8 @@ impl Wefr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rng::rngs::StdRng;
+    use rng::{RngExt, SeedableRng};
 
     /// A synthetic drive-sample population with wear-dependent signal:
     /// below MWI 40 failures follow `wear_feature`; above it they follow
@@ -361,8 +359,10 @@ mod tests {
         let wefr = Wefr::default();
         let sel = wefr.select(&SelectionInput::basic(&data, &labels)).unwrap();
         assert!(sel.wearout.is_none());
-        assert!(!sel.global.selected_names.contains(&"PSC_N".to_string())
-            || sel.global.selected_names.len() < 3);
+        assert!(
+            !sel.global.selected_names.contains(&"PSC_N".to_string())
+                || sel.global.selected_names.len() < 3
+        );
         assert!(sel.global.selected_fraction() <= 1.0);
     }
 
@@ -450,11 +450,7 @@ mod tests {
         // All samples at MWI 95..100: no change point possible.
         let (data, labels, _, _) = wearout_population(400, 7);
         let mwi: Vec<f64> = (0..data.n_rows()).map(|i| 95.0 + (i % 5) as f64).collect();
-        let survival: Vec<(f64, bool)> = mwi
-            .iter()
-            .zip(&labels)
-            .map(|(&m, &f)| (m, f))
-            .collect();
+        let survival: Vec<(f64, bool)> = mwi.iter().zip(&labels).map(|(&m, &f)| (m, f)).collect();
         let sel = Wefr::default()
             .select(&SelectionInput {
                 data: &data,

@@ -1,12 +1,11 @@
 //! SMART attribute schema: the 22 attributes of the paper's Table I and the
 //! raw/normalized learning-feature identifiers derived from them.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// The 22 SMART attributes collected across the six drive models (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[non_exhaustive]
 pub enum SmartAttribute {
     /// Raw Read Error Rate.
@@ -141,7 +140,10 @@ impl SmartAttribute {
     /// Parse a short code (case-insensitive), e.g. `"OCE"`.
     pub fn from_code(code: &str) -> Option<SmartAttribute> {
         let upper = code.to_ascii_uppercase();
-        SmartAttribute::ALL.iter().copied().find(|a| a.code() == upper)
+        SmartAttribute::ALL
+            .iter()
+            .copied()
+            .find(|a| a.code() == upper)
     }
 }
 
@@ -153,7 +155,7 @@ impl fmt::Display for SmartAttribute {
 
 /// Whether a learning feature is the raw or the vendor-normalized value of
 /// its SMART attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ValueKind {
     /// The raw counter/gauge value (`_R` suffix in the paper).
     Raw,
@@ -176,7 +178,7 @@ impl ValueKind {
 
 /// A learning feature: the raw or normalized value of one SMART attribute,
 /// e.g. `OCE_R` or `MWI_N`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FeatureId {
     /// The SMART attribute.
     pub attr: SmartAttribute,

@@ -2,7 +2,6 @@
 
 use crate::error::DatasetError;
 use crate::model::DriveModel;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Length of the paper's dataset window: two years of daily SMART logs.
@@ -30,7 +29,7 @@ pub const DEFAULT_DAYS: u32 = 730;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
     days: u32,
     seed: u64,
@@ -108,10 +107,7 @@ impl FleetConfig {
 
     /// Models with at least one drive configured.
     pub fn models(&self) -> impl Iterator<Item = DriveModel> + '_ {
-        self.drives
-            .iter()
-            .filter(|(_, &n)| n > 0)
-            .map(|(&m, _)| m)
+        self.drives.iter().filter(|(_, &n)| n > 0).map(|(&m, _)| m)
     }
 
     /// Global failure-probability multiplier.
@@ -132,6 +128,87 @@ impl FleetConfig {
     /// Fraction of drives deployed *during* the window rather than before.
     pub fn arrival_fraction(&self) -> f64 {
         self.arrival_fraction
+    }
+}
+
+// Written by hand rather than via `json::impl_json!` because the two
+// BTreeMaps are keyed by `DriveModel`, which serializes as its variant name.
+impl json::ToJson for FleetConfig {
+    fn to_json(&self) -> json::Value {
+        let model_map = |fields: Vec<(String, json::Value)>| json::Value::Object(fields);
+        json::Value::Object(vec![
+            ("days".to_string(), json::ToJson::to_json(&self.days)),
+            ("seed".to_string(), json::ToJson::to_json(&self.seed)),
+            (
+                "drives".to_string(),
+                model_map(
+                    self.drives
+                        .iter()
+                        .map(|(m, n)| (m.name().to_string(), json::ToJson::to_json(n)))
+                        .collect(),
+                ),
+            ),
+            (
+                "failure_scale".to_string(),
+                json::ToJson::to_json(&self.failure_scale),
+            ),
+            (
+                "per_model_scale".to_string(),
+                model_map(
+                    self.per_model_scale
+                        .iter()
+                        .map(|(m, s)| (m.name().to_string(), json::ToJson::to_json(s)))
+                        .collect(),
+                ),
+            ),
+            (
+                "max_initial_age_days".to_string(),
+                json::ToJson::to_json(&self.max_initial_age_days),
+            ),
+            (
+                "arrival_fraction".to_string(),
+                json::ToJson::to_json(&self.arrival_fraction),
+            ),
+        ])
+    }
+}
+
+impl json::FromJson for FleetConfig {
+    fn from_json(value: &json::Value) -> Result<FleetConfig, json::JsonError> {
+        fn model_map<V: json::FromJson>(
+            value: &json::Value,
+            key: &str,
+        ) -> Result<BTreeMap<DriveModel, V>, json::JsonError> {
+            value
+                .field(key)
+                .ok_or_else(|| json::JsonError::missing_field(key))?
+                .as_object()
+                .ok_or_else(|| json::JsonError::conversion(format!("{key} must be an object")))?
+                .iter()
+                .map(|(name, v)| {
+                    let model = DriveModel::from_name(name).ok_or_else(|| {
+                        json::JsonError::conversion(format!("unknown drive model {name:?}"))
+                    })?;
+                    Ok((model, V::from_json(v)?))
+                })
+                .collect()
+        }
+        fn field<V: json::FromJson>(value: &json::Value, key: &str) -> Result<V, json::JsonError> {
+            V::from_json(
+                value
+                    .field(key)
+                    .ok_or_else(|| json::JsonError::missing_field(key))?,
+            )
+        }
+        Ok(FleetConfig {
+            days: field(value, "days")?,
+            seed: field(value, "seed")?,
+            drives: model_map(value, "drives")?,
+            failure_scale: field(value, "failure_scale")?,
+            per_model_scale: model_map(value, "per_model_scale")?,
+            max_initial_age_days: field(value, "max_initial_age_days")?,
+            arrival_fraction: field(value, "arrival_fraction")?,
+        })
     }
 }
 
@@ -270,7 +347,9 @@ mod tests {
             assert_eq!(c.drives_for(m), 50);
         }
         // MA2 gets the boost.
-        assert!(c.effective_failure_scale(DriveModel::Ma2) > c.effective_failure_scale(DriveModel::Ma1));
+        assert!(
+            c.effective_failure_scale(DriveModel::Ma2) > c.effective_failure_scale(DriveModel::Ma1)
+        );
     }
 
     #[test]
@@ -339,10 +418,17 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let c = FleetConfig::balanced(10, 3).unwrap();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        let text = json::to_string(&c);
+        let back: FleetConfig = json::from_str(&text).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn json_rejects_unknown_model_key() {
+        let c = FleetConfig::balanced(10, 3).unwrap();
+        let text = json::to_string(&c).replace("MA1", "ZZ9");
+        assert!(json::from_str::<FleetConfig>(&text).is_err());
     }
 }

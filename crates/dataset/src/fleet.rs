@@ -4,9 +4,8 @@ use crate::config::FleetConfig;
 use crate::gen::{plan_drive, simulate_drive};
 use crate::model::DriveModel;
 use crate::records::{DriveId, DriveRecord, DriveSummary, FailureRecord};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 
 /// A fully simulated fleet: daily SMART logs for every drive.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fleet {
     config: FleetConfig,
     drives: Vec<DriveRecord>,
@@ -42,8 +41,7 @@ impl Fleet {
             for _ in 0..config.drives_for(model) {
                 let mut rng = drive_rng(config.seed(), global_index);
                 let plan = plan_drive(model, config, &mut rng);
-                let record =
-                    simulate_drive(DriveId(global_index), &plan, config.days(), &mut rng);
+                let record = simulate_drive(DriveId(global_index), &plan, config.days(), &mut rng);
                 drives.push(record);
                 global_index += 1;
             }
@@ -93,7 +91,7 @@ impl Fleet {
 /// as [`Fleet::generate`], so the two views of one configuration agree on
 /// which drives fail, when, and why. Final `MWI_N` is the deterministic wear
 /// projection rather than the noisy simulated value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Census {
     config: FleetConfig,
     summaries: Vec<DriveSummary>,
@@ -205,13 +203,23 @@ mod tests {
             assert_eq!(rec.failure, sum.failure);
             assert_eq!(rec.n_days(), sum.observed_days);
             // Census MWI is the noise-free projection; must be close to the
-            // simulated value.
+            // simulated value. Wear-out casualties consume wear 3× faster
+            // after onset (which the projection ignores), so for them the
+            // simulated value may sit well below — but never above — the
+            // projection.
             let simulated = rec.final_mwi_n().unwrap();
+            let wear_out = rec
+                .failure
+                .is_some_and(|f| f.mechanism == crate::mechanism::FailureMechanism::WearOut);
+            let diverged = if wear_out {
+                simulated - sum.final_mwi_n >= 8.0
+            } else {
+                (simulated - sum.final_mwi_n).abs() >= 8.0
+            };
             assert!(
-                (simulated - sum.final_mwi_n).abs() < 8.0,
+                !diverged,
                 "drive {}: simulated {simulated}, projected {}",
-                rec.id,
-                sum.final_mwi_n
+                rec.id, sum.final_mwi_n
             );
         }
     }
@@ -234,7 +242,11 @@ mod tests {
     fn some_failures_occur_at_default_scale() {
         let config = FleetConfig::balanced(60, 5).unwrap();
         let census = Census::generate(&config);
-        assert!(census.n_failures() > 10, "failures = {}", census.n_failures());
+        assert!(
+            census.n_failures() > 10,
+            "failures = {}",
+            census.n_failures()
+        );
         // And not everything fails.
         assert!(census.n_failures() < census.summaries().len() / 2);
     }

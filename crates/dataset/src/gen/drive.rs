@@ -5,7 +5,7 @@ use crate::gen::noise::{bernoulli, poisson};
 use crate::gen::plan::DrivePlan;
 use crate::mechanism::FailureMechanism;
 use crate::records::{DriveId, DriveRecord, FailureRecord};
-use rand::{Rng, RngExt};
+use rng::Rng;
 use smart_stats::gaussian::sample_normal;
 
 /// Probability per day that a healthy drive emits a transient error burst —
@@ -53,10 +53,14 @@ pub fn simulate_drive<R: Rng + ?Sized>(
             state.pcc += 1.0;
         }
         let weekly = 1.0 + 0.15 * (2.0 * std::f64::consts::PI * day as f64 / 7.0).sin();
-        state.tlw_gb += (profile.daily_write_gb * plan.write_intensity * weekly
+        state.tlw_gb += (profile.daily_write_gb
+            * plan.write_intensity
+            * weekly
             * (0.8 + 0.4 * rng.random::<f64>()))
         .max(0.0);
-        state.tlr_gb += (profile.daily_read_gb * plan.read_intensity * weekly
+        state.tlr_gb += (profile.daily_read_gb
+            * plan.read_intensity
+            * weekly
             * (0.8 + 0.4 * rng.random::<f64>()))
         .max(0.0);
 
@@ -271,8 +275,8 @@ mod tests {
     use crate::config::FleetConfig;
     use crate::gen::plan::{plan_drive, Destiny};
     use crate::model::DriveModel;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
 
     fn config() -> FleetConfig {
         FleetConfig::balanced(10, 1).unwrap()
@@ -329,7 +333,11 @@ mod tests {
     #[test]
     fn counters_are_monotone_nondecreasing() {
         let rec = simulate_one(DriveModel::Mc1, 7);
-        for attr in [SmartAttribute::Uce, SmartAttribute::Rsc, SmartAttribute::Oce] {
+        for attr in [
+            SmartAttribute::Uce,
+            SmartAttribute::Rsc,
+            SmartAttribute::Oce,
+        ] {
             let s = rec.series(FeatureId::raw(attr)).unwrap();
             for w in s.windows(2) {
                 assert!(w[1] >= w[0], "{attr} decreased: {} -> {}", w[0], w[1]);
@@ -340,7 +348,9 @@ mod tests {
     #[test]
     fn mwi_n_is_monotone_nonincreasing() {
         let rec = simulate_one(DriveModel::Mc1, 9);
-        let s = rec.series(FeatureId::normalized(SmartAttribute::Mwi)).unwrap();
+        let s = rec
+            .series(FeatureId::normalized(SmartAttribute::Mwi))
+            .unwrap();
         for w in s.windows(2) {
             assert!(w[1] <= w[0] + 1e-6);
         }
@@ -374,10 +384,15 @@ mod tests {
         let plan = forced_failure_plan(DriveModel::Mb1, FailureMechanism::ReserveDepletion);
         let mut rng = StdRng::seed_from_u64(23);
         let rec = simulate_drive(DriveId(5), &plan, config().days(), &mut rng);
-        let ars = rec.series(FeatureId::normalized(SmartAttribute::Ars)).unwrap();
+        let ars = rec
+            .series(FeatureId::normalized(SmartAttribute::Ars))
+            .unwrap();
         let late = ars[ars.len() - 1];
         let early = ars[ars.len() - 100];
-        assert!(late < early - 2.0, "ARS_N did not deplete: {early} -> {late}");
+        assert!(
+            late < early - 2.0,
+            "ARS_N did not deplete: {early} -> {late}"
+        );
     }
 
     #[test]
@@ -401,10 +416,14 @@ mod tests {
         plan.destiny = None;
         let rec = simulate_drive(DriveId(6), &plan, config.days(), &mut rng);
         // POH on day 0 reflects 500 days of service.
-        let poh0 = rec.value_on(0, FeatureId::raw(SmartAttribute::Poh)).unwrap();
+        let poh0 = rec
+            .value_on(0, FeatureId::raw(SmartAttribute::Poh))
+            .unwrap();
         assert!((poh0 - 501.0 * 24.0).abs() < 1.0);
         // Wear reflects age too.
-        let mwi0 = rec.value_on(0, FeatureId::normalized(SmartAttribute::Mwi)).unwrap();
+        let mwi0 = rec
+            .value_on(0, FeatureId::normalized(SmartAttribute::Mwi))
+            .unwrap();
         assert!(mwi0 < 100.0);
     }
 

@@ -1,6 +1,6 @@
 //! Small stochastic helpers for the simulator.
 
-use rand::{Rng, RngExt};
+use rng::Rng;
 
 /// Sample a Poisson-distributed count with rate `lambda` (Knuth's method —
 /// fine for the small per-day rates the simulator uses).
@@ -31,8 +31,8 @@ pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
 
     #[test]
     fn poisson_zero_lambda() {
@@ -48,7 +48,10 @@ mod tests {
         for lambda in [0.1, 1.0, 4.0] {
             let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda) as u64).sum();
             let mean = total as f64 / n as f64;
-            assert!((mean - lambda).abs() < 0.07 * lambda.max(1.0), "lambda {lambda}: mean {mean}");
+            assert!(
+                (mean - lambda).abs() < 0.07 * lambda.max(1.0),
+                "lambda {lambda}: mean {mean}"
+            );
         }
     }
 

@@ -9,7 +9,7 @@ use crate::config::FleetConfig;
 use crate::gen::noise::bernoulli;
 use crate::mechanism::{sample_mechanism, DriveTraits, FailureMechanism};
 use crate::model::DriveModel;
-use rand::{Rng, RngExt};
+use rng::Rng;
 use smart_stats::gaussian::sample_normal;
 
 /// The planned failure of a defective drive.
@@ -156,8 +156,7 @@ pub fn plan_drive<R: Rng + ?Sized>(
     // *current* wear. Timing failures by this hazard is what puts wear-out
     // casualties at genuinely low final MWI_N — the structure the paper's
     // survival curves (Fig. 1) are built on.
-    let base_daily =
-        model.target_afr_percent() / 100.0 / 365.0 * scale / profile.afr_calibration;
+    let base_daily = model.target_afr_percent() / 100.0 / 365.0 * scale / profile.afr_calibration;
     let mut cumulative = Vec::with_capacity(observed_days as usize);
     let mut total_hazard = 0.0;
     for day in deploy_day..days {
@@ -202,8 +201,8 @@ fn mean_one_lognormal<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
 
     fn test_config() -> FleetConfig {
         FleetConfig::balanced(50, 9).unwrap()
@@ -249,7 +248,11 @@ mod tests {
         let count = |config: &FleetConfig| {
             let mut rng = StdRng::seed_from_u64(3);
             (0..3000)
-                .filter(|_| plan_drive(DriveModel::Mc1, config, &mut rng).destiny.is_some())
+                .filter(|_| {
+                    plan_drive(DriveModel::Mc1, config, &mut rng)
+                        .destiny
+                        .is_some()
+                })
                 .count()
         };
         let n_lo = count(&lo);
@@ -278,7 +281,10 @@ mod tests {
             bucket.0 += 1;
             bucket.1 += usize::from(plan.destiny.is_some());
         }
-        assert!(worn.0 > 50 && fresh.0 > 50, "buckets too small: {worn:?} {fresh:?}");
+        assert!(
+            worn.0 > 50 && fresh.0 > 50,
+            "buckets too small: {worn:?} {fresh:?}"
+        );
         let worn_rate = worn.1 as f64 / worn.0 as f64;
         let fresh_rate = fresh.1 as f64 / fresh.0 as f64;
         assert!(
@@ -334,8 +340,10 @@ mod tests {
     fn mean_one_lognormal_has_mean_one() {
         let mut rng = StdRng::seed_from_u64(23);
         let n = 30_000;
-        let mean: f64 =
-            (0..n).map(|_| mean_one_lognormal(&mut rng, 0.5)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| mean_one_lognormal(&mut rng, 0.5))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0).abs() < 0.03, "mean = {mean}");
     }
 

@@ -8,10 +8,9 @@
 //! top-ranked features (Table III of the paper).
 
 use crate::attr::SmartAttribute;
-use serde::{Deserialize, Serialize};
 
 /// One attribute ramp of a failure mechanism.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttrRamp {
     /// The attribute whose raw counter accelerates.
     pub attr: SmartAttribute,
@@ -39,7 +38,7 @@ impl AttrRamp {
 }
 
 /// The failure mechanisms the simulator models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum FailureMechanism {
     /// Power-loss-protection capacitor degradation (MA vendor signature).
@@ -182,7 +181,7 @@ impl FailureMechanism {
 }
 
 /// A weighted entry in a drive model's mechanism mix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MechanismWeight {
     /// The mechanism.
     pub mechanism: FailureMechanism,
@@ -239,7 +238,6 @@ pub fn sample_mechanism(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn traits() -> DriveTraits {
         DriveTraits {
@@ -337,9 +335,12 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_sample_always_from_mix(u in 0.0f64..1.0, age in 0u32..700, mwi in 0.0f64..100.0) {
+    #[test]
+    fn prop_sample_always_from_mix() {
+        rng::prop_check!(|g| {
+            let u = g.f64_in(0.0, 1.0);
+            let age = g.u64_in(0, 699) as u32;
+            let mwi = g.f64_in(0.0, 100.0);
             let mix = [
                 MechanismWeight::new(FailureMechanism::WearOut, 0.5),
                 MechanismWeight::new(FailureMechanism::AgeRelated, 0.3),
@@ -351,19 +352,20 @@ mod tests {
                 projected_final_mwi: mwi,
             };
             let got = sample_mechanism(&mix, &t, u).unwrap();
-            prop_assert!(mix.iter().any(|mw| mw.mechanism == got));
-        }
+            assert!(mix.iter().any(|mw| mw.mechanism == got));
+        });
+    }
 
-        #[test]
-        fn prop_ramp_monotone_in_progress(
-            p1 in 0.0f64..1.0,
-            p2 in 0.0f64..1.0,
-            rate in 0.01f64..10.0,
-            exp in 0.5f64..3.0,
-        ) {
+    #[test]
+    fn prop_ramp_monotone_in_progress() {
+        rng::prop_check!(|g| {
+            let p1 = g.f64_in(0.0, 1.0);
+            let p2 = g.f64_in(0.0, 1.0);
+            let rate = g.f64_in(0.01, 10.0);
+            let exp = g.f64_in(0.5, 3.0);
             let ramp = AttrRamp::new(SmartAttribute::Uce, rate, exp);
             let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-            prop_assert!(ramp.increment_at(lo) <= ramp.increment_at(hi) + 1e-12);
-        }
+            assert!(ramp.increment_at(lo) <= ramp.increment_at(hi) + 1e-12);
+        });
     }
 }

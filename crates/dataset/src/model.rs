@@ -3,17 +3,18 @@
 
 use crate::attr::SmartAttribute;
 use crate::mechanism::{FailureMechanism, MechanismWeight};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// NAND flash technology of a drive model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlashTech {
     /// Multi-level cell.
     Mlc,
     /// Triple-level cell.
     Tlc,
 }
+
+json::impl_json_enum!(FlashTech { Mlc => "MLC", Tlc => "TLC" });
 
 impl fmt::Display for FlashTech {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -25,7 +26,7 @@ impl fmt::Display for FlashTech {
 }
 
 /// SSD vendor (anonymized as in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Vendor {
     /// Vendor MA.
     Ma,
@@ -46,7 +47,7 @@ impl fmt::Display for Vendor {
 }
 
 /// The six drive models studied in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DriveModel {
     /// Vendor MA, model 1 (MLC).
     Ma1,
@@ -61,6 +62,15 @@ pub enum DriveModel {
     /// Vendor MC, model 2 (TLC).
     Mc2,
 }
+
+json::impl_json_enum!(DriveModel {
+    Ma1 => "MA1",
+    Ma2 => "MA2",
+    Mb1 => "MB1",
+    Mb2 => "MB2",
+    Mc1 => "MC1",
+    Mc2 => "MC2",
+});
 
 impl fmt::Display for DriveModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -285,7 +295,7 @@ impl DriveModel {
 /// wear-out (its final `MWI_N`): drives projected to wear past `knee_mwi`
 /// have their failure probability scaled up linearly to `max_multiplier` at
 /// `MWI_N = 0`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WearHazard {
     /// `MWI_N` below which the hazard multiplier starts to rise.
     pub knee_mwi: f64,
@@ -322,7 +332,7 @@ impl WearHazard {
 /// failures. Because the casualties die young, their final `MWI_N` is high
 /// — the cause of the non-monotone survival curve in Fig. 1 and its change
 /// point at `MWI_N ≈ 72`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FirmwareEra {
     /// Only drives deployed before this dataset day are affected.
     pub deploy_before_day: u32,
@@ -343,7 +353,7 @@ pub struct FirmwareEra {
 
 /// Simulation profile of a drive model: wear dynamics, background error
 /// rates, failure-mechanism mix, and wear-dependent hazard.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelProfile {
     /// Mean daily `MWI` consumption in percentage points.
     pub wear_rate_mean: f64,
@@ -537,7 +547,12 @@ mod tests {
         // PLP only on MA models.
         assert!(DriveModel::Ma1.has_attribute(SmartAttribute::Plp));
         assert!(DriveModel::Ma2.has_attribute(SmartAttribute::Plp));
-        for m in [DriveModel::Mb1, DriveModel::Mb2, DriveModel::Mc1, DriveModel::Mc2] {
+        for m in [
+            DriveModel::Mb1,
+            DriveModel::Mb2,
+            DriveModel::Mc1,
+            DriveModel::Mc2,
+        ] {
             assert!(!m.has_attribute(SmartAttribute::Plp));
         }
         // TLW/TLR only on MA2 and MB1.

@@ -3,11 +3,10 @@
 use crate::attr::{FeatureId, ValueKind};
 use crate::mechanism::FailureMechanism;
 use crate::model::DriveModel;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Unique drive identifier within a fleet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DriveId(pub u32);
 
 impl fmt::Display for DriveId {
@@ -17,7 +16,7 @@ impl fmt::Display for DriveId {
 }
 
 /// The recorded failure of a drive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FailureRecord {
     /// Dataset day of the failure (the drive's last observed day).
     pub day: u32,
@@ -29,7 +28,7 @@ pub struct FailureRecord {
 ///
 /// Daily values are stored flat (day-major, `[attr][raw, normalized]` per
 /// day) to keep a multi-hundred-drive fleet within a few hundred megabytes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriveRecord {
     /// Drive identifier.
     pub id: DriveId,
@@ -175,7 +174,7 @@ impl DriveRecord {
 
 /// Lifecycle summary of a drive — all the census statistics (Table II,
 /// Fig. 1) need, at a fraction of the memory of a full record.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DriveSummary {
     /// Drive identifier.
     pub id: DriveId,
@@ -257,7 +256,9 @@ mod tests {
             .trailing_series(11, 1, FeatureId::raw(SmartAttribute::Rsc))
             .unwrap();
         assert_eq!(s, vec![6.0]);
-        assert!(r.trailing_series(9, 3, FeatureId::raw(SmartAttribute::Rsc)).is_none());
+        assert!(r
+            .trailing_series(9, 3, FeatureId::raw(SmartAttribute::Rsc))
+            .is_none());
     }
 
     #[test]

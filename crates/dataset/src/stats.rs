@@ -2,10 +2,9 @@
 
 use crate::model::{DriveModel, FlashTech};
 use crate::records::DriveSummary;
-use serde::{Deserialize, Serialize};
 
 /// Per-model summary statistics in the shape of Table II.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelStats {
     /// The drive model.
     pub model: DriveModel,
@@ -24,6 +23,16 @@ pub struct ModelStats {
     /// on day `i` (equivalently, total drive-days).
     pub afr_percent: f64,
 }
+
+json::impl_json!(ModelStats {
+    model,
+    flash,
+    drives,
+    failures,
+    population_share,
+    failure_share,
+    afr_percent,
+});
 
 /// Compute Table II statistics from drive summaries. Models with zero drives
 /// are omitted. Rows are in [`DriveModel::ALL`] order.

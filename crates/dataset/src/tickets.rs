@@ -1,12 +1,11 @@
 //! Trouble tickets: the failure reports the maintenance system raises.
 
-use crate::records::{DriveId, DriveSummary};
 use crate::model::DriveModel;
-use serde::{Deserialize, Serialize};
+use crate::records::{DriveId, DriveSummary};
 
 /// One trouble ticket: a drive failure detected by the rule-based monitoring
 /// daemons (§II-A of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TroubleTicket {
     /// The failed drive.
     pub drive_id: DriveId,
@@ -56,11 +55,8 @@ mod tests {
 
     #[test]
     fn only_failures_get_tickets() {
-        let tickets = tickets_from_summaries(&[
-            summary(0, None),
-            summary(1, Some(50)),
-            summary(2, None),
-        ]);
+        let tickets =
+            tickets_from_summaries(&[summary(0, None), summary(1, Some(50)), summary(2, None)]);
         assert_eq!(tickets.len(), 1);
         assert_eq!(tickets[0].drive_id, DriveId(1));
         assert_eq!(tickets[0].day, 50);

@@ -1,0 +1,155 @@
+//! Golden-file JSON tests: the exact serialized forms of `FleetConfig` and
+//! `EvalMetrics` are pinned here, together with the crate-wide escape and
+//! non-finite-number policies and malformed-input error behavior.
+//!
+//! These goldens are a compatibility contract: experiment binaries write
+//! these shapes into `results/`, and any change to them must be deliberate.
+
+use smart_dataset::{DriveModel, FleetConfig};
+use smart_pipeline::EvalMetrics;
+
+const FLEET_CONFIG_GOLDEN: &str = r#"{
+  "days": 365,
+  "seed": 42,
+  "drives": {
+    "MC1": 150
+  },
+  "failure_scale": 8.0,
+  "per_model_scale": {
+    "MA2": 4.0
+  },
+  "max_initial_age_days": 540,
+  "arrival_fraction": 0.25
+}"#;
+
+const EVAL_METRICS_GOLDEN: &str = r#"{
+  "tp": 3,
+  "fp": 1,
+  "fn_": 3,
+  "precision": 0.75,
+  "recall": 0.5,
+  "f_half": 0.6875
+}"#;
+
+fn golden_config() -> FleetConfig {
+    FleetConfig::builder()
+        .days(365)
+        .seed(42)
+        .drives(DriveModel::Mc1, 150)
+        .failure_scale(8.0)
+        .per_model_scale(DriveModel::Ma2, 4.0)
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn fleet_config_matches_golden_and_round_trips() {
+    let config = golden_config();
+    assert_eq!(json::to_string_pretty(&config), FLEET_CONFIG_GOLDEN);
+    let back: FleetConfig = json::from_str(FLEET_CONFIG_GOLDEN).expect("golden parses");
+    assert_eq!(back, config);
+}
+
+#[test]
+fn eval_metrics_matches_golden_and_round_trips() {
+    let metrics = EvalMetrics {
+        tp: 3,
+        fp: 1,
+        fn_: 3,
+        precision: 0.75,
+        recall: 0.5,
+        f_half: 0.6875,
+    };
+    assert_eq!(json::to_string_pretty(&metrics), EVAL_METRICS_GOLDEN);
+    let back: EvalMetrics = json::from_str(EVAL_METRICS_GOLDEN).expect("golden parses");
+    assert_eq!(back, metrics);
+}
+
+#[test]
+fn seed_survives_at_full_u64_precision() {
+    let config = FleetConfig::builder()
+        .days(365)
+        .seed(u64::MAX)
+        .drives(DriveModel::Ma1, 1)
+        .build()
+        .expect("valid config");
+    let back: FleetConfig = json::from_str(&json::to_string(&config)).expect("round trip");
+    assert_eq!(back.seed(), u64::MAX);
+}
+
+#[test]
+fn string_escapes_round_trip() {
+    let weird = "quote \" backslash \\ newline \n tab \t unicode \u{1F4BE} nul-ish \u{0001}";
+    let text = json::to_string(&weird.to_string());
+    assert!(text.contains(r#"\""#) && text.contains(r"\\") && text.contains(r"\n"));
+    let back: String = json::from_str(&text).expect("escaped string parses");
+    assert_eq!(back, weird);
+    // Escaped astral-plane input uses a surrogate pair.
+    let disk: String = json::from_str(r#""💾""#).expect("surrogate pair parses");
+    assert_eq!(disk, "\u{1F4BE}");
+}
+
+#[test]
+fn non_finite_numbers_serialize_as_null_and_read_back_as_nan() {
+    // Policy: JSON has no NaN/Infinity literals, so non-finite values are
+    // written as null, and null reads back as NaN for f64 fields.
+    let metrics = EvalMetrics {
+        tp: 0,
+        fp: 0,
+        fn_: 0,
+        precision: f64::NAN,
+        recall: f64::INFINITY,
+        f_half: f64::NEG_INFINITY,
+    };
+    let text = json::to_string(&metrics);
+    assert!(!text.contains("NaN") && !text.contains("inf"));
+    assert!(text.contains("\"precision\":null"));
+    let back: EvalMetrics = json::from_str(&text).expect("null-laden metrics parse");
+    assert!(back.precision.is_nan());
+    assert!(back.recall.is_nan());
+    assert!(back.f_half.is_nan());
+}
+
+#[test]
+fn malformed_inputs_are_rejected_with_errors() {
+    let cases: [&str; 7] = [
+        "",
+        "{",
+        r#"{"days": }"#,
+        r#"{"days": 365"#,
+        "[1, 2,]",
+        r#"{"days": 365} trailing"#,
+        "\"unterminated",
+    ];
+    for case in cases {
+        assert!(
+            json::from_str::<FleetConfig>(case).is_err(),
+            "malformed input {case:?} was accepted"
+        );
+    }
+    // Structurally valid JSON that violates the FleetConfig schema.
+    assert!(
+        json::from_str::<FleetConfig>("{}").is_err(),
+        "missing fields"
+    );
+    let unknown_model = FLEET_CONFIG_GOLDEN.replace("MC1", "ZZ9");
+    assert!(
+        json::from_str::<FleetConfig>(&unknown_model).is_err(),
+        "unknown drive model key was accepted"
+    );
+    let wrong_type = FLEET_CONFIG_GOLDEN.replace("365", "\"365\"");
+    assert!(
+        json::from_str::<FleetConfig>(&wrong_type).is_err(),
+        "string where a number belongs was accepted"
+    );
+}
+
+#[test]
+fn json_errors_carry_positions_for_parse_failures() {
+    let err = json::from_str::<FleetConfig>(r#"{"days": 365,"#).expect_err("must fail");
+    let message = err.to_string();
+    assert!(
+        message.contains("at byte"),
+        "parse error lacks a position: {message}"
+    );
+}

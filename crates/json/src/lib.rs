@@ -1,0 +1,275 @@
+//! Dependency-free JSON for the WEFR workspace: a recursive-descent parser,
+//! compact and pretty writers, and [`ToJson`]/[`FromJson`] conversion traits
+//! with `macro_rules!` helpers that replace the `serde`/`serde_json` derive
+//! stack (DESIGN.md §5).
+//!
+//! Design points:
+//!
+//! * Objects preserve insertion order (`Vec<(String, Value)>`), so written
+//!   reports are stable and diffable run to run.
+//! * Numbers keep their integer identity ([`Number::PosInt`] /
+//!   [`Number::NegInt`] / [`Number::Float`]) so `u64` seeds survive
+//!   round-trips exactly — an `f64`-only representation would silently
+//!   corrupt seeds above 2⁵³.
+//! * Non-finite floats (`NaN`, `±∞`) are written as `null`, matching what
+//!   `serde_json` did for the metrics reports; reading `null` back into an
+//!   `f64` yields `NaN`.
+//! * The pretty writer emits the same 2-space-indent layout `serde_json`'s
+//!   `to_string_pretty` produced, so existing `results/*.json` and
+//!   `BENCH_*.json` consumers keep working.
+//!
+//! ```
+//! let value = json::parse(r#"{"name": "wefr", "features": [1, 2, 3]}"#).unwrap();
+//! assert_eq!(value.field("name").and_then(json::Value::as_str), Some("wefr"));
+//! let text = json::to_string_pretty_value(&value);
+//! assert_eq!(json::parse(&text).unwrap(), value);
+//! ```
+
+mod convert;
+mod parser;
+mod writer;
+
+pub use convert::{from_str, from_value, to_string, to_string_pretty, FromJson, ToJson};
+pub use parser::parse;
+pub use writer::{to_string_pretty_value, to_string_value};
+
+/// A parsed JSON number, preserving integer identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer (anything that fits `u64`).
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A number with a fractional part or exponent, or outside integer
+    /// range.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64` (always possible, possibly lossy for huge ints).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer (floats with an
+    /// exact non-negative integral value included).
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(_) => None,
+            Number::Float(v) => {
+                if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 {
+                    Some(v as u64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The value as `i64` if it is an integer in `i64` range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v >= i64::MIN as f64 && v < i64::MAX as f64 {
+                    Some(v as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (see [`Number`]).
+    Number(Number),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object by key; `None` for missing keys or
+    /// non-objects.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`; `null` reads as `NaN` (the write-side policy
+    /// maps non-finite floats to `null`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of the node kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A parse or conversion failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+    /// Byte offset in the input for parse errors; `None` for conversion
+    /// errors.
+    position: Option<usize>,
+}
+
+impl JsonError {
+    /// A parse error at `position` (byte offset).
+    pub fn at(position: usize, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            position: Some(position),
+        }
+    }
+
+    /// A conversion (typed-decode) error.
+    pub fn conversion(message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            position: None,
+        }
+    }
+
+    /// A missing-object-field conversion error.
+    pub fn missing_field(field: &str) -> JsonError {
+        JsonError::conversion(format!("missing field {field:?}"))
+    }
+
+    /// A wrong-node-kind conversion error.
+    pub fn type_error(expected: &str, got: &Value) -> JsonError {
+        JsonError::conversion(format!("expected {expected}, got {}", got.kind()))
+    }
+
+    /// The byte offset of a parse error, when known.
+    pub fn position(&self) -> Option<usize> {
+        self.position
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.position {
+            Some(pos) => write!(f, "{} at byte {pos}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup_and_accessors() {
+        let value = parse(r#"{"a": 1, "b": [true, null], "c": "x"}"#).unwrap();
+        assert_eq!(value.field("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(value.field("c").and_then(Value::as_str), Some("x"));
+        let b = value.field("b").and_then(Value::as_array).unwrap();
+        assert_eq!(b[0].as_bool(), Some(true));
+        assert!(b[1].as_f64().unwrap().is_nan());
+        assert!(value.field("missing").is_none());
+    }
+
+    #[test]
+    fn number_identity_preserved() {
+        let big = u64::MAX - 1;
+        let value = parse(&big.to_string()).unwrap();
+        assert_eq!(value.as_u64(), Some(big));
+        let neg = parse("-42").unwrap();
+        assert_eq!(neg.as_i64(), Some(-42));
+        assert_eq!(neg.as_u64(), None);
+        let fraction = parse("1.5").unwrap();
+        assert_eq!(fraction.as_f64(), Some(1.5));
+        assert_eq!(fraction.as_u64(), None);
+    }
+
+    #[test]
+    fn errors_render_with_position() {
+        let err = parse("[1,").unwrap_err();
+        assert!(err.position().is_some());
+        assert!(err.to_string().contains("at byte"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Recursive-descent JSON parser.
+//!
+//! Accepts RFC 8259 documents: any value at the top level, full escape
+//! handling including `\uXXXX` surrogate pairs, and integer/float
+//! distinction (see [`Number`]). Trailing garbage after the document is an
+//! error. Recursion depth is capped so adversarial inputs fail cleanly
+//! instead of overflowing the stack.
+
+use crate::{JsonError, Number, Value};
+
+/// Maximum nesting depth before the parser bails out.
+const MAX_DEPTH: usize = 128;
+
+/// Parse one JSON document from `input`.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(JsonError::at(
+            parser.pos,
+            "trailing characters after JSON document",
+        ));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::at(
+                self.pos,
+                format!("expected {:?}", byte as char),
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(JsonError::at(self.pos, format!("expected {literal:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::at(self.pos, "nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(JsonError::at(
+                self.pos,
+                format!("unexpected character {:?}", other as char),
+            )),
+            None => Err(JsonError::at(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(JsonError::at(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(JsonError::at(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::at(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::at(self.pos, "unescaped control character"));
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so boundaries
+                    // are guaranteed valid).
+                    let rest = &self.bytes[self.pos..];
+                    let ch = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError::at(self.pos, "invalid UTF-8"))?
+                        .chars()
+                        .next()
+                        .expect("peeked non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let byte = self
+            .peek()
+            .ok_or_else(|| JsonError::at(self.pos, "unterminated escape"))?;
+        self.pos += 1;
+        Ok(match byte {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{0008}',
+            b'f' => '\u{000C}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => return self.unicode_escape(),
+            other => {
+                return Err(JsonError::at(
+                    self.pos - 1,
+                    format!("invalid escape character {:?}", other as char),
+                ))
+            }
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        let start = self.pos;
+        let chunk = self
+            .bytes
+            .get(start..start + 4)
+            .ok_or_else(|| JsonError::at(start, "truncated \\u escape"))?;
+        let text =
+            std::str::from_utf8(chunk).map_err(|_| JsonError::at(start, "invalid \\u escape"))?;
+        let code = u16::from_str_radix(text, 16)
+            .map_err(|_| JsonError::at(start, "invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: must be followed by \uXXXX low surrogate.
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let second = self.hex4()?;
+                if (0xDC00..0xE000).contains(&second) {
+                    let combined = 0x10000
+                        + ((u32::from(first) - 0xD800) << 10)
+                        + (u32::from(second) - 0xDC00);
+                    return char::from_u32(combined)
+                        .ok_or_else(|| JsonError::at(self.pos, "invalid surrogate pair"));
+                }
+            }
+            return Err(JsonError::at(self.pos, "unpaired high surrogate"));
+        }
+        if (0xDC00..0xE000).contains(&first) {
+            return Err(JsonError::at(self.pos, "unpaired low surrogate"));
+        }
+        char::from_u32(u32::from(first))
+            .ok_or_else(|| JsonError::at(self.pos, "invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: 0, or 1-9 followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(JsonError::at(self.pos, "invalid number")),
+        }
+        let mut is_integer = true;
+        if self.peek() == Some(b'.') {
+            is_integer = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::at(self.pos, "invalid number: missing fraction"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_integer = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::at(self.pos, "invalid number: missing exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number spans ASCII bytes");
+        let number = if is_integer {
+            if let Ok(v) = text.parse::<u64>() {
+                Number::PosInt(v)
+            } else if let Ok(v) = text.parse::<i64>() {
+                Number::NegInt(v)
+            } else {
+                // Integer literal outside 64-bit range: keep as float.
+                Number::Float(
+                    text.parse::<f64>()
+                        .map_err(|_| JsonError::at(start, "invalid number"))?,
+                )
+            }
+        } else {
+            Number::Float(
+                text.parse::<f64>()
+                    .map_err(|_| JsonError::at(start, "invalid number"))?,
+            )
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("0").unwrap(), Value::Number(Number::PosInt(0)));
+        assert_eq!(parse("-7").unwrap(), Value::Number(Number::NegInt(-7)));
+        assert_eq!(
+            parse("2.5e-3").unwrap(),
+            Value::Number(Number::Float(0.0025))
+        );
+        assert_eq!(parse("  \"hi\"  ").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let value = parse(r#"{"a": [1, {"b": []}], "c": {}}"#).unwrap();
+        let a = value.field("a").and_then(Value::as_array).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(
+            a[1].field("b")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(0)
+        );
+        assert_eq!(
+            value.field("c").and_then(Value::as_object).map(<[_]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let value = parse(r#"{"z": 1, "a": 2, "m": 3}"#).unwrap();
+        let keys: Vec<&str> = value
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn decodes_escapes() {
+        let value = parse(r#""a\"b\\c\/d\b\f\n\r\t""#).unwrap();
+        assert_eq!(value.as_str(), Some("a\"b\\c/d\u{8}\u{c}\n\r\t"));
+    }
+
+    #[test]
+    fn decodes_unicode_escapes_and_surrogate_pairs() {
+        assert_eq!(parse(r#""é""#).unwrap().as_str(), Some("é"));
+        assert_eq!(parse(r#""✓""#).unwrap().as_str(), Some("✓"));
+        // U+1F600 as a surrogate pair.
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "[1 2]",
+            r#"{"a" 1}"#,
+            r#"{"a": }"#,
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "truee",
+            r#""unterminated"#,
+            r#""bad \q escape""#,
+            r#""\u12""#,
+            r#""\ud800""#,
+            r#""\udc00""#,
+            "[1] extra",
+            "\"ctrl \u{0001} char\"",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_fails_cleanly() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn huge_integers_degrade_to_float() {
+        let value = parse("123456789012345678901234567890").unwrap();
+        assert!(matches!(value, Value::Number(Number::Float(_))));
+    }
+}

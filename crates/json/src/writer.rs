@@ -1,0 +1,187 @@
+//! Compact and pretty JSON writers.
+//!
+//! The pretty layout matches what `serde_json::to_string_pretty` produced
+//! (2-space indent, `"key": value`, empty containers on one line) so the
+//! `results/*.json` and `BENCH_*.json` artifacts keep their shape across the
+//! migration. Non-finite floats are written as `null` — JSON has no NaN.
+
+use crate::{Number, Value};
+
+/// Serialize compactly (no whitespace).
+pub fn to_string_value(value: &Value) -> String {
+    let mut out = String::new();
+    write_compact(value, &mut out);
+    out
+}
+
+/// Serialize with 2-space-indent pretty layout.
+pub fn to_string_pretty_value(value: &Value) -> String {
+    let mut out = String::new();
+    write_pretty(value, 0, &mut out);
+    out
+}
+
+fn write_number(number: Number, out: &mut String) {
+    match number {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) => {
+            if !v.is_finite() {
+                out.push_str("null");
+            } else if v.fract() == 0.0 && v.abs() < 1e16 {
+                // Keep the decimal point so floats stay floats on re-parse.
+                out.push_str(&format!("{v:.1}"));
+            } else {
+                out.push_str(&format!("{v}"));
+            }
+        }
+    }
+}
+
+fn write_string(text: &str, out: &mut String) {
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty(value: &Value, depth: usize, out: &mut String) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                write_string(key, out);
+                out.push_str(": ");
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_round_trips() {
+        let text = r#"{"a":[1,2.5,null,true],"b":{"c":"d\ne"}}"#;
+        let value = parse(text).unwrap();
+        assert_eq!(to_string_value(&value), text);
+    }
+
+    #[test]
+    fn pretty_matches_expected_layout() {
+        let value =
+            parse(r#"{"name": "wefr", "scores": [1, 2], "empty": {}, "none": []}"#).unwrap();
+        let expected = "{\n  \"name\": \"wefr\",\n  \"scores\": [\n    1,\n    2\n  ],\n  \"empty\": {},\n  \"none\": []\n}";
+        assert_eq!(to_string_pretty_value(&value), expected);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let value = Value::Array(vec![
+            Value::Number(Number::Float(f64::NAN)),
+            Value::Number(Number::Float(f64::INFINITY)),
+            Value::Number(Number::Float(f64::NEG_INFINITY)),
+            Value::Number(Number::Float(1.5)),
+        ]);
+        assert_eq!(to_string_value(&value), "[null,null,null,1.5]");
+    }
+
+    #[test]
+    fn floats_keep_their_decimal_point() {
+        let value = Value::Number(Number::Float(4.0));
+        assert_eq!(to_string_value(&value), "4.0");
+        let reparsed = parse("4.0").unwrap();
+        assert_eq!(reparsed, value);
+        assert_eq!(to_string_value(&Value::Number(Number::Float(-0.0))), "-0.0");
+    }
+
+    #[test]
+    fn escapes_are_written_and_reparsed() {
+        let original = Value::String("quote \" slash \\ newline \n tab \t ctrl \u{0001} é".into());
+        let text = to_string_value(&original);
+        assert!(text.contains("\\u0001"));
+        assert_eq!(parse(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn integers_round_trip_exactly() {
+        for raw in ["0", "-1", "9007199254740993", "18446744073709551615"] {
+            let value = parse(raw).unwrap();
+            assert_eq!(to_string_value(&value), raw);
+        }
+    }
+}

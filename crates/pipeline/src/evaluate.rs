@@ -6,11 +6,10 @@
 use crate::error::PipelineError;
 use crate::label::SampleRef;
 use crate::train::FailurePredictor;
-use serde::{Deserialize, Serialize};
 use smart_dataset::{DriveModel, Fleet};
 
 /// The per-drive outcome of scoring one test phase.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DriveScore {
     /// Index of the drive within the fleet's drive list.
     pub drive_index: usize,
@@ -25,7 +24,7 @@ pub struct DriveScore {
 }
 
 /// Precision / recall / F0.5 with the underlying confusion counts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalMetrics {
     /// True positives (drives).
     pub tp: usize,
@@ -40,6 +39,15 @@ pub struct EvalMetrics {
     /// F0.5-score (precision weighted twice as heavily as recall).
     pub f_half: f64,
 }
+
+json::impl_json!(EvalMetrics {
+    tp,
+    fp,
+    fn_,
+    precision,
+    recall,
+    f_half
+});
 
 impl EvalMetrics {
     /// Compute metrics from confusion counts.
@@ -125,16 +133,17 @@ pub fn score_phase(
             })
             .collect();
         let scores = predictor.score_samples(fleet, &samples)?;
-        let (best_idx, best) = scores
-            .iter()
-            .enumerate()
-            .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                if v > bv {
-                    (i, v)
-                } else {
-                    (bi, bv)
-                }
-            });
+        let (best_idx, best) =
+            scores
+                .iter()
+                .enumerate()
+                .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
         let actual = drive
             .failure
             .is_some_and(|f| f.day >= test_start && f.day <= test_end.saturating_add(horizon));
@@ -180,7 +189,11 @@ pub fn metrics_at_fixed_recall(
     // Candidate thresholds: the distinct drive scores, descending. Flagged
     // set = drives with score >= threshold.
     let mut order: Vec<&DriveScore> = scores.iter().collect();
-    order.sort_by(|a, b| b.max_score.partial_cmp(&a.max_score).expect("finite scores"));
+    order.sort_by(|a, b| {
+        b.max_score
+            .partial_cmp(&a.max_score)
+            .expect("finite scores")
+    });
 
     let mut tp = 0usize;
     let mut fp = 0usize;
@@ -198,10 +211,7 @@ pub fn metrics_at_fixed_recall(
         }
         let recall = tp as f64 / positives as f64;
         if recall + 1e-12 >= target_recall {
-            return Ok((
-                EvalMetrics::from_counts(tp, fp, positives - tp),
-                threshold,
-            ));
+            return Ok((EvalMetrics::from_counts(tp, fp, positives - tp), threshold));
         }
     }
     // All drives flagged: recall is 1.0 by construction.

@@ -8,7 +8,6 @@ use crate::label::SampleRef;
 use crate::matrix::{base_features, base_matrix, collect_samples, survival_pairs, SamplingConfig};
 use crate::split::{paper_phases, Phase};
 use crate::train::{FailurePredictor, PredictorConfig};
-use serde::{Deserialize, Serialize};
 use smart_dataset::{DriveModel, FeatureId, Fleet, SmartAttribute};
 use wefr_core::{
     FeatureRanker, ForestRanker, GradientBoostingRanker, JIndexRanker, PearsonRanker,
@@ -16,7 +15,7 @@ use wefr_core::{
 };
 
 /// The five state-of-the-art selectors the paper compares against (§II-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SelectorKind {
     /// Pearson correlation.
     Pearson,
@@ -64,7 +63,7 @@ impl SelectorKind {
 }
 
 /// A feature-selection method under evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Method {
     /// All learning features (the paper's "No feature selection" row).
     NoSelection,
@@ -162,12 +161,13 @@ impl ExperimentConfig {
     }
 
     fn recall_for(&self, model: DriveModel) -> f64 {
-        self.target_recall.unwrap_or_else(|| paper_target_recall(model))
+        self.target_recall
+            .unwrap_or_else(|| paper_target_recall(model))
     }
 }
 
 /// The outcome of running one method on one model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MethodResult {
     /// Method label (paper table row name).
     pub method: String,
@@ -181,6 +181,14 @@ pub struct MethodResult {
     /// `None` for methods without a meaningful fraction.
     pub selected_fraction: Option<f64>,
 }
+
+json::impl_json!(MethodResult {
+    method,
+    model,
+    per_phase,
+    overall,
+    selected_fraction
+});
 
 /// The predictor(s) trained for one phase: single, or routed by wear-out
 /// group.
@@ -239,8 +247,7 @@ impl PhasePredictor {
                         }
                     }
                     let actual = drive.failure.is_some_and(|f| {
-                        f.day >= phase.test_start
-                            && f.day <= phase.test_end.saturating_add(horizon)
+                        f.day >= phase.test_start && f.day <= phase.test_end.saturating_add(horizon)
                     });
                     out.push(DriveScore {
                         drive_index,
@@ -356,21 +363,10 @@ pub fn run_phase(
             let ranking = kind.build(seed).rank(&matrix, &labels)?;
             let pct = match percent {
                 Some(p) => p,
-                None => tune_percent(
-                    fleet,
-                    model,
-                    &ranking,
-                    &all_base,
-                    config,
-                    phase,
-                    seed,
-                )?,
+                None => tune_percent(fleet, model, &ranking, &all_base, config, phase, seed)?,
             };
             let n = percent_to_count(pct, all_base.len())?;
-            let base: Vec<FeatureId> = ranking.order()[..n]
-                .iter()
-                .map(|&c| all_base[c])
-                .collect();
+            let base: Vec<FeatureId> = ranking.order()[..n].iter().map(|&c| all_base[c]).collect();
             let p = train_single(fleet, &fit_samples, &base, config, seed)?;
             (p, Some(n as f64 / all_base.len() as f64))
         }
@@ -532,13 +528,23 @@ fn tune_percent(
     };
     let fit_samples = collect_samples(fleet, model, fit_start, fit_end, &sampling)?;
 
-    let mut best = (config.tune_grid.first().copied().unwrap_or(1.0), f64::NEG_INFINITY);
+    let mut best = (
+        config.tune_grid.first().copied().unwrap_or(1.0),
+        f64::NEG_INFINITY,
+    );
     for &pct in &config.tune_grid {
         let n = percent_to_count(pct, all_base.len())?;
         let base: Vec<FeatureId> = ranking.order()[..n].iter().map(|&c| all_base[c]).collect();
         let predictor =
             FailurePredictor::train(fleet, &fit_samples, &base, &predictor_config(config, seed))?;
-        let scores = score_phase(&predictor, fleet, model, val_start, val_end, config.sampling.horizon);
+        let scores = score_phase(
+            &predictor,
+            fleet,
+            model,
+            val_start,
+            val_end,
+            config.sampling.horizon,
+        );
         // A validation slice with no failures cannot rank candidates; skip.
         let Ok(scores) = scores else { continue };
         let Ok((metrics, _)) = metrics_at_fixed_recall(&scores, config.recall_for(model)) else {
@@ -555,7 +561,9 @@ fn tune_percent(
 /// drives scored by the same group model (see the grouped-scoring comment).
 fn quantile_normalize(scores: &mut [DriveScore], from_low: &[bool]) {
     for group in [true, false] {
-        let idx: Vec<usize> = (0..scores.len()).filter(|&i| from_low[i] == group).collect();
+        let idx: Vec<usize> = (0..scores.len())
+            .filter(|&i| from_low[i] == group)
+            .collect();
         if idx.is_empty() {
             continue;
         }
@@ -572,9 +580,7 @@ fn quantile_normalize(scores: &mut [DriveScore], from_low: &[bool]) {
         let mut pos = 0;
         while pos < n {
             let mut end = pos + 1;
-            while end < n
-                && scores[order[end]].max_score == scores[order[pos]].max_score
-            {
+            while end < n && scores[order[end]].max_score == scores[order[pos]].max_score {
                 end += 1;
             }
             let q = (pos + end - 1) as f64 / 2.0 / (n.max(2) - 1) as f64;
@@ -621,7 +627,7 @@ fn split_samples_by_mwi(
 }
 
 /// One point of the Exp#2 fixed-percentage sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// Fraction of features kept.
     pub percent: f64,
@@ -629,10 +635,12 @@ pub struct SweepPoint {
     pub f_half: f64,
 }
 
+json::impl_json!(SweepPoint { percent, f_half });
+
 /// The Exp#2 result for one model: F0.5 across fixed selected-feature
 /// percentages versus WEFR's automatically chosen count, both over the same
 /// ensemble ranking (isolating the automated-count component).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepResult {
     /// Drive model.
     pub model: DriveModel,
@@ -643,6 +651,13 @@ pub struct SweepResult {
     /// WEFR's pooled F0.5.
     pub wefr_f_half: f64,
 }
+
+json::impl_json!(SweepResult {
+    model,
+    points,
+    wefr_percent,
+    wefr_f_half
+});
 
 /// Run the Exp#2 sweep on one model: for every fraction in the tune grid,
 /// keep that fraction of the *ensemble* ranking and measure pooled F0.5 at
@@ -693,37 +708,33 @@ pub fn run_percentage_sweep(
         });
     }
 
-    let evaluate_count =
-        |count_for: &dyn Fn(&PhasePrep) -> usize| -> Result<f64, PipelineError> {
-            let mut pooled = Vec::new();
-            for prep in &preps {
-                let n = count_for(prep).clamp(1, n_features);
-                let base: Vec<FeatureId> =
-                    prep.order[..n].iter().map(|&c| all_base[c]).collect();
-                let predictor = FailurePredictor::train(
-                    fleet,
-                    &prep.fit_samples,
-                    &base,
-                    &predictor_config(config, prep.seed),
-                )?;
-                pooled.extend(score_phase(
-                    &predictor,
-                    fleet,
-                    model,
-                    prep.phase.test_start,
-                    prep.phase.test_end,
-                    config.sampling.horizon,
-                )?);
-            }
-            let (metrics, _) = metrics_at_fixed_recall(&pooled, config.recall_for(model))?;
-            Ok(metrics.f_half)
-        };
+    let evaluate_count = |count_for: &dyn Fn(&PhasePrep) -> usize| -> Result<f64, PipelineError> {
+        let mut pooled = Vec::new();
+        for prep in &preps {
+            let n = count_for(prep).clamp(1, n_features);
+            let base: Vec<FeatureId> = prep.order[..n].iter().map(|&c| all_base[c]).collect();
+            let predictor = FailurePredictor::train(
+                fleet,
+                &prep.fit_samples,
+                &base,
+                &predictor_config(config, prep.seed),
+            )?;
+            pooled.extend(score_phase(
+                &predictor,
+                fleet,
+                model,
+                prep.phase.test_start,
+                prep.phase.test_end,
+                config.sampling.horizon,
+            )?);
+        }
+        let (metrics, _) = metrics_at_fixed_recall(&pooled, config.recall_for(model))?;
+        Ok(metrics.f_half)
+    };
 
     let mut points = Vec::with_capacity(config.tune_grid.len());
     for &pct in &config.tune_grid {
-        let f_half = evaluate_count(&|_| {
-            ((pct * n_features as f64).round() as usize).max(1)
-        })?;
+        let f_half = evaluate_count(&|_| ((pct * n_features as f64).round() as usize).max(1))?;
         points.push(SweepPoint {
             percent: pct,
             f_half,
@@ -743,7 +754,7 @@ pub fn run_percentage_sweep(
 
 /// The Exp#3 comparison on one model: WEFR with and without wear-out
 /// updating, on all drives and on the low-MWI cohort.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UpdatingResult {
     /// Drive model.
     pub model: DriveModel,
@@ -758,6 +769,15 @@ pub struct UpdatingResult {
     /// The change-point thresholds used per phase (where detected).
     pub thresholds: Vec<Option<f64>>,
 }
+
+json::impl_json!(UpdatingResult {
+    model,
+    wefr_all,
+    no_update_all,
+    wefr_low,
+    no_update_low,
+    thresholds,
+});
 
 /// Run the Exp#3 comparison (Table VII) on one model.
 ///
@@ -932,8 +952,7 @@ mod tests {
     fn wefr_no_update_runs() {
         let fleet = quick_fleet();
         let config = ExperimentConfig::quick(3);
-        let result =
-            run_method(&fleet, DriveModel::Mc1, Method::WefrNoUpdate, &config).unwrap();
+        let result = run_method(&fleet, DriveModel::Mc1, Method::WefrNoUpdate, &config).unwrap();
         assert!(result.selected_fraction.unwrap() <= 1.0);
         assert!(result.overall.tp + result.overall.fn_ > 0);
     }
@@ -982,7 +1001,7 @@ mod tests {
         // middling drive of the hot group no longer outranks the top drive
         // of the cold group.
         let mut scores: Vec<DriveScore> = [
-            (0, 0.80, true),  // low group
+            (0, 0.80, true), // low group
             (1, 0.90, true),
             (2, 1.00, true),
             (3, 0.00, false), // high group

@@ -2,13 +2,12 @@
 //! prediction horizon (30 days in the paper, §II-B).
 
 use smart_dataset::DriveRecord;
-use serde::{Deserialize, Serialize};
 
 /// The paper's prediction horizon in days.
 pub const PAPER_HORIZON_DAYS: u32 = 30;
 
 /// A reference to one drive-day sample.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SampleRef {
     /// Index of the drive within the fleet's drive list.
     pub drive_index: usize,
@@ -38,11 +37,13 @@ pub fn labeled_days<'a>(
 ) -> impl Iterator<Item = SampleRef> + 'a {
     let start = from_day.max(drive.deploy_day);
     let end = to_day.min(drive.last_day());
-    (start..=end.max(start)).filter(move |&d| d <= end).map(move |day| SampleRef {
-        drive_index,
-        day,
-        label: is_positive(drive, day, horizon),
-    })
+    (start..=end.max(start))
+        .filter(move |&d| d <= end)
+        .map(move |day| SampleRef {
+            drive_index,
+            day,
+            label: is_positive(drive, day, horizon),
+        })
 }
 
 #[cfg(test)]
@@ -113,8 +114,9 @@ mod tests {
         let fleet = fleet();
         for drive in fleet.drives().iter().filter(|d| d.is_failed()) {
             let f_day = drive.failure.unwrap().day;
-            let positives =
-                labeled_days(drive, 0, 0, 10_000, 30).filter(|s| s.label).count() as u32;
+            let positives = labeled_days(drive, 0, 0, 10_000, 30)
+                .filter(|s| s.label)
+                .count() as u32;
             let expected = (f_day - drive.deploy_day + 1).min(31);
             assert_eq!(positives, expected, "drive {}", drive.id);
         }

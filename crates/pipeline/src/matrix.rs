@@ -114,10 +114,7 @@ pub fn base_matrix(
         let drive = &fleet.drives()[s.drive_index];
         for (col, f) in features.iter().enumerate() {
             let v = drive.value_on(s.day, *f).ok_or_else(|| {
-                PipelineError::invalid(format!(
-                    "drive {} lacks {f} on day {}",
-                    drive.id, s.day
-                ))
+                PipelineError::invalid(format!("drive {} lacks {f} on day {}", drive.id, s.day))
             })?;
             columns[col].push(v);
         }
@@ -215,7 +212,10 @@ mod tests {
             .sum();
         let got_pos = samples.iter().filter(|s| s.label).count();
         // All positive drive-days within the window are kept.
-        assert!(got_pos >= expected_pos.saturating_sub(31), "{got_pos} vs {expected_pos}");
+        assert!(
+            got_pos >= expected_pos.saturating_sub(31),
+            "{got_pos} vs {expected_pos}"
+        );
         assert!(got_pos > 0);
     }
 
@@ -235,14 +235,9 @@ mod tests {
     #[test]
     fn collect_rejects_missing_model() {
         let fleet = fleet();
-        assert!(collect_samples(
-            &fleet,
-            DriveModel::Ma1,
-            0,
-            399,
-            &SamplingConfig::default()
-        )
-        .is_err());
+        assert!(
+            collect_samples(&fleet, DriveModel::Ma1, 0, 399, &SamplingConfig::default()).is_err()
+        );
     }
 
     #[test]
@@ -262,9 +257,14 @@ mod tests {
     #[test]
     fn expanded_matrix_shape() {
         let fleet = fleet();
-        let samples =
-            collect_samples(&fleet, DriveModel::Mc1, 100, 200, &SamplingConfig::default())
-                .unwrap();
+        let samples = collect_samples(
+            &fleet,
+            DriveModel::Mc1,
+            100,
+            200,
+            &SamplingConfig::default(),
+        )
+        .unwrap();
         let base = vec![
             FeatureId::raw(SmartAttribute::Oce),
             FeatureId::raw(SmartAttribute::Uce),
@@ -289,7 +289,10 @@ mod tests {
         let late_failures = late.iter().filter(|(_, f)| *f).count();
         assert!(late_failures >= early_failures);
         // A drive that fails on day 300 is healthy as of day 100.
-        let total_failed = fleet.drives_of_model(DriveModel::Mc1).filter(|d| d.is_failed()).count();
+        let total_failed = fleet
+            .drives_of_model(DriveModel::Mc1)
+            .filter(|d| d.is_failed())
+            .count();
         assert_eq!(late_failures, total_failed);
     }
 }

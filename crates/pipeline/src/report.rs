@@ -3,7 +3,6 @@
 
 use crate::evaluate::EvalMetrics;
 use crate::experiment::MethodResult;
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// Render one metric as the paper prints it (`63%`).
@@ -43,13 +42,8 @@ pub fn render_method_table(
 }
 
 /// Serialize any result payload as pretty JSON.
-///
-/// # Panics
-///
-/// Panics only if serialization of an in-memory value fails, which for
-/// these plain data types cannot happen.
-pub fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("plain data serializes")
+pub fn to_json<T: json::ToJson + ?Sized>(value: &T) -> String {
+    json::to_string_pretty(value)
 }
 
 /// Write a JSON result file alongside a printed table, creating parent
@@ -58,7 +52,10 @@ pub fn to_json<T: Serialize>(value: &T) -> String {
 /// # Errors
 ///
 /// Propagates I/O failures.
-pub fn write_json<T: Serialize>(path: &std::path::Path, value: &T) -> std::io::Result<()> {
+pub fn write_json<T: json::ToJson + ?Sized>(
+    path: &std::path::Path,
+    value: &T,
+) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -142,9 +139,9 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let m = metrics(1, 2, 3);
-        let json = to_json(&m);
-        assert!(json.contains("precision"));
-        let back: EvalMetrics = serde_json::from_str(&json).unwrap();
+        let text = to_json(&m);
+        assert!(text.contains("precision"));
+        let back: EvalMetrics = json::from_str(&text).unwrap();
         assert_eq!(back, m);
     }
 }

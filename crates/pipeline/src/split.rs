@@ -4,13 +4,12 @@
 //! validation.
 
 use crate::error::PipelineError;
-use serde::{Deserialize, Serialize};
 
 /// The paper's month count over the dataset window.
 pub const MONTHS: u32 = 24;
 
 /// One evaluation phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Phase {
     /// Training days `[0, train_end]` (inclusive), minus the validation
     /// tail.

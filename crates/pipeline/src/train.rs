@@ -91,8 +91,8 @@ impl FailurePredictor {
     pub fn score_drive_day(&self, drive: &DriveRecord, day: u32) -> Result<f64, PipelineError> {
         let row = crate::features::expand_sample(drive, day, &self.base)?;
         let names = crate::features::expanded_feature_names(&self.base);
-        let matrix =
-            FeatureMatrix::from_rows(names, std::slice::from_ref(&row)).map_err(PipelineError::Stats)?;
+        let matrix = FeatureMatrix::from_rows(names, std::slice::from_ref(&row))
+            .map_err(PipelineError::Stats)?;
         Ok(self.forest.predict_proba(&matrix)?[0])
     }
 

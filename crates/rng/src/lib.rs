@@ -1,0 +1,429 @@
+//! Deterministic, dependency-free random numbers for the WEFR workspace.
+//!
+//! The workspace builds hermetically (no registry crates — DESIGN.md §5), so
+//! this crate replaces the external `rand` crate with the two primitives the
+//! simulation and learners actually need:
+//!
+//! * **SplitMix64** — seed expansion from a single `u64` (Steele, Lea &
+//!   Flood, OOPSLA 2014). Used only to initialize generator state, never as
+//!   the stream generator itself.
+//! * **xoshiro256++** — the stream generator (Blackman & Vigna 2019):
+//!   256 bits of state, period 2²⁵⁶−1, passes BigCrush, and is fast enough
+//!   to disappear inside fleet simulation.
+//!
+//! The API mirrors the subset of `rand` the call sites used
+//! ([`SeedableRng::seed_from_u64`], [`Rng::random`], [`Rng::random_range`],
+//! [`seq::SliceRandom::shuffle`]) so the migration is a re-import, not a
+//! rewrite. Determinism is the contract: for a fixed seed, every method
+//! yields the identical value sequence on every platform — identical seeds
+//! must yield identical rankings (EFSIS; Zhang & Jonassen 2018).
+
+pub mod prop;
+pub mod seq;
+
+/// SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used for seed expansion and for decorrelating derived seeds (e.g. one
+/// seed per tree from a forest seed plus a tree index).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose full state is derived from `seed` by
+    /// SplitMix64 expansion. Equal seeds give equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A source of uniformly distributed random bits plus the derived draws the
+/// workspace uses.
+///
+/// The only required method is [`Rng::next_u64`]; everything else is
+/// provided. Generic draws work through [`Sample`] (whole-type draws) and
+/// [`SampleRange`] (range draws), both implemented for the primitive types
+/// the call sites need.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits (upper half of
+    /// [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly distributed value of `T` (`f64`/`f32` in `[0, 1)`,
+    /// integers over their whole domain, `bool` fair).
+    fn random<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly distributed value in `range` (half-open `lo..hi` or
+    /// inclusive `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Alias of [`Rng`] kept for call-site compatibility with the old `rand`
+/// import style — `use rng::RngExt` brings the same methods into scope.
+pub use self::Rng as RngExt;
+
+/// The xoshiro256++ generator — the workspace's standard RNG.
+///
+/// # Example
+///
+/// ```
+/// use rng::{Rng, SeedableRng, StdRng};
+///
+/// let mut a = StdRng::seed_from_u64(42);
+/// let mut b = StdRng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x: f64 = a.random();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Build from raw state. At least one word must be non-zero; an
+    /// all-zero state is replaced by SplitMix64 expansion of 0 (the
+    /// all-zero state is the one fixed point of the generator).
+    pub fn from_state(state: [u64; 4]) -> StdRng {
+        if state == [0; 4] {
+            StdRng::seed_from_u64(0)
+        } else {
+            StdRng { s: state }
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Generators named like the `rand` module the call sites imported from.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// A type drawable uniformly from its natural domain via [`Rng::random`].
+pub trait Sample: Sized {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` with 24 random mantissa bits.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($ty:ty),+) => {$(
+        impl Sample for $ty {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Unbiased uniform draw in `[0, n)` (Lemire's multiply-with-rejection).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    let mut m = u128::from(rng.next_u64()) * u128::from(n);
+    if (m as u64) < n {
+        // Rejection threshold: 2^64 mod n.
+        let threshold = n.wrapping_neg() % n;
+        while (m as u64) < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(n);
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// A range drawable uniformly via [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_uint {
+    ($($ty:ty),+) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = u64::from(self.end - self.start);
+                self.start + uniform_below(rng, span) as $ty
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = u64::from(hi - lo) + 1;
+                // span never overflows: hi - lo <= u32::MAX here.
+                lo + uniform_below(rng, span) as $ty
+            }
+        }
+    )+};
+}
+
+impl_range_uint!(u8, u16, u32);
+
+macro_rules! impl_range_wide_uint {
+    ($($ty:ty),+) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $ty
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                match (hi - lo).checked_add(1) {
+                    Some(span) => lo + uniform_below(rng, span as u64) as $ty,
+                    // Full-domain inclusive range: raw 64 bits are uniform.
+                    None => rng.next_u64() as $ty,
+                }
+            }
+        }
+    )+};
+}
+
+impl_range_wide_uint!(u64, usize);
+
+macro_rules! impl_range_sint {
+    ($($ty:ty => $uty:ty),+) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as $uty).wrapping_sub(self.start as $uty) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $ty)
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as $uty).wrapping_sub(lo as $uty) as u64;
+                match span.checked_add(1) {
+                    Some(span) => lo.wrapping_add(uniform_below(rng, span) as $ty),
+                    None => rng.next_u64() as $ty,
+                }
+            }
+        }
+    )+};
+}
+
+impl_range_sint!(i32 => u32, i64 => u64);
+
+macro_rules! impl_range_float {
+    ($($ty:ty),+) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range in random_range");
+                let unit: $ty = rng.random();
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )+};
+}
+
+impl_range_float!(f64, f32);
+
+/// Derive a decorrelated seed from a base seed and a stream index
+/// (SplitMix64 over the pair) — the standard per-tree / per-drive seeding
+/// pattern across the workspace.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut state = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_reference_vector() {
+        // First outputs from state 0, per the reference implementation
+        // (Steele, Lea & Flood; widely published test vector).
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(splitmix64(&mut s), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_state_is_rescued() {
+        let mut rng = StdRng::from_state([0; 4]);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_plausible_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn range_draws_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let a: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&a));
+            let b: u32 = rng.random_range(0..=6);
+            assert!(b <= 6);
+            let c: i64 = rng.random_range(-50..50);
+            assert!((-50..50).contains(&c));
+            let d: f64 = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seen = {seen:?}");
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let trues = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "trues = {trues}");
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_streams() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        let c = derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_seed(42, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: usize = rng.random_range(5..5);
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random()
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

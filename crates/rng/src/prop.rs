@@ -1,0 +1,228 @@
+//! A seeded property-test harness: the in-repo replacement for `proptest!`.
+//!
+//! A property is an ordinary closure over a [`Gen`]; the harness runs it for
+//! `PROP_CASES` generated inputs (default 64) and, when a case panics,
+//! prints the exact environment variables that replay that single case
+//! before re-raising the panic:
+//!
+//! ```text
+//! property failed on case 17 (case seed 0x53a9...)
+//! replay with: PROP_SEED=0x53a9... PROP_CASES=1 cargo test -q <test name>
+//! ```
+//!
+//! Unlike `proptest` there is no shrinking — inputs are kept small by
+//! construction instead (generators take explicit bounds), which has proven
+//! enough for the numeric properties this workspace checks.
+//!
+//! ```
+//! rng::prop_check!(|g| {
+//!     let mut xs = g.vec_f64(1, 50, -10.0, 10.0);
+//!     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+//!     assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+//! });
+//! ```
+
+use crate::seq::SliceRandom;
+use crate::{derive_seed, Rng, SeedableRng, StdRng};
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Default base seed — fixed so CI runs are reproducible end to end.
+pub const DEFAULT_SEED: u64 = 0x5EED_CAFE_F00D_D15C;
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name} must be a u64 (decimal or 0x-hex), got {raw:?}"),
+    }
+}
+
+/// Run `property` against generated inputs; panics (after printing replay
+/// instructions) on the first failing case.
+///
+/// Honours two environment variables: `PROP_CASES` (number of cases) and
+/// `PROP_SEED` (base seed; case 0 uses it verbatim, so
+/// `PROP_SEED=<case seed> PROP_CASES=1` replays one exact case).
+pub fn run_cases<F: Fn(&mut Gen)>(property: F) {
+    let cases = env_u64("PROP_CASES").unwrap_or(u64::from(DEFAULT_CASES));
+    let base = env_u64("PROP_SEED").unwrap_or(DEFAULT_SEED);
+    for case in 0..cases {
+        let case_seed = if case == 0 {
+            base
+        } else {
+            derive_seed(base, case)
+        };
+        let mut gen = Gen::new(case_seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut gen)));
+        if let Err(payload) = outcome {
+            eprintln!("property failed on case {case} (case seed {case_seed:#x})");
+            eprintln!("replay with: PROP_SEED={case_seed:#x} PROP_CASES=1 cargo test -q");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Declare a property test body: `prop_check!(|g| { ... })`.
+///
+/// `g` is a [`Gen`]. The macro simply forwards to
+/// [`run_cases`] — it exists so property tests read declaratively at the
+/// call site, mirroring the old `proptest!` blocks.
+#[macro_export]
+macro_rules! prop_check {
+    (|$g:ident| $body:expr) => {
+        $crate::prop::run_cases(|$g: &mut $crate::prop::Gen| $body)
+    };
+}
+
+/// A bounded-input generator handed to each property case.
+///
+/// Every helper draws from the case's own deterministically seeded
+/// [`StdRng`], so a case is fully reproduced by its seed alone.
+pub struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    /// Build the generator for one case seed.
+    pub fn new(seed: u64) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Direct access to the underlying RNG for draws the helpers don't
+    /// cover.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.random_range(lo..hi)
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive, like proptest's `lo..=hi`).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.random_range(lo..=hi)
+    }
+
+    /// Uniform `u64` in `[lo, hi]`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.random_range(lo..=hi)
+    }
+
+    /// Uniform `i64` in `[lo, hi]`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.random_range(lo..=hi)
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.random()
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.rng.random_bool(p)
+    }
+
+    /// Vector of `f64` in `[lo, hi)` with length in `[min_len, max_len]`.
+    pub fn vec_f64(&mut self, min_len: usize, max_len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| self.f64_in(lo, hi)).collect()
+    }
+
+    /// Vector of fair coins with length in `[min_len, max_len]`.
+    pub fn vec_bool(&mut self, min_len: usize, max_len: usize) -> Vec<bool> {
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| self.bool()).collect()
+    }
+
+    /// Vector of fair coins guaranteed to contain at least one `true` and
+    /// one `false` (replaces `prop_assume!` filters on mixed-class labels).
+    pub fn vec_bool_mixed(&mut self, min_len: usize, max_len: usize) -> Vec<bool> {
+        let len = self.usize_in(min_len.max(2), max_len.max(2));
+        let mut labels: Vec<bool> = (0..len).map(|_| self.bool()).collect();
+        let i = self.usize_in(0, len - 1);
+        let mut j = self.usize_in(0, len - 1);
+        if j == i {
+            j = (j + 1) % len;
+        }
+        labels[i] = true;
+        labels[j] = false;
+        labels
+    }
+
+    /// A uniformly random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut self.rng);
+        perm
+    }
+
+    /// Shuffle an existing vector in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        xs.shuffle(&mut self.rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties_run_and_pass() {
+        prop_check!(|g| {
+            let xs = g.vec_f64(1, 30, -5.0, 5.0);
+            assert!(xs.iter().all(|x| (-5.0..5.0).contains(x)));
+        });
+    }
+
+    #[test]
+    fn mixed_labels_always_have_both_classes() {
+        prop_check!(|g| {
+            let labels = g.vec_bool_mixed(1, 40);
+            assert!(labels.iter().any(|&l| l));
+            assert!(labels.iter().any(|&l| !l));
+        });
+    }
+
+    #[test]
+    fn permutation_is_complete() {
+        prop_check!(|g| {
+            let n = g.usize_in(1, 25);
+            let mut perm = g.permutation(n);
+            perm.sort_unstable();
+            assert_eq!(perm, (0..n).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn failing_property_panics_with_payload() {
+        let outcome = std::panic::catch_unwind(|| {
+            prop_check!(|g| {
+                let x = g.f64_in(0.0, 1.0);
+                assert!(x < 0.0, "always fails");
+            });
+        });
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn cases_are_deterministic_for_fixed_seed() {
+        let draw = |seed| {
+            let mut g = Gen::new(seed);
+            (g.f64_in(0.0, 1.0), g.usize_in(0, 100), g.vec_bool(1, 10))
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+}

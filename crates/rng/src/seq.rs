@@ -1,0 +1,128 @@
+//! Sequence operations over an [`crate::Rng`]: in-place shuffling and
+//! the bootstrap-sampling shims used by `smart-stats` and the tree learners.
+
+use crate::Rng;
+
+/// In-place random reordering of slices (Fisher–Yates).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffle the slice uniformly in place. Deterministic for a fixed
+    /// generator state.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+/// `n` indices drawn uniformly with replacement from `[0, n)` — one
+/// bootstrap resample, as used by bagged trees and stability selection.
+pub fn bootstrap_indices<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    (0..n).map(|_| rng.random_range(0..n)).collect()
+}
+
+/// `k` distinct indices drawn uniformly from `[0, n)`, in random order
+/// (partial Fisher–Yates).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot draw {k} distinct items from {n}");
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut xs: Vec<usize> = (0..50).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut xs: Vec<usize> = (0..20).collect();
+            xs.shuffle(&mut rng);
+            xs
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*xs.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn bootstrap_indices_in_range_with_repeats() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let idx = bootstrap_indices(&mut rng, 100);
+        assert_eq!(idx.len(), 100);
+        assert!(idx.iter().all(|&i| i < 100));
+        let distinct: std::collections::BTreeSet<_> = idx.iter().collect();
+        assert!(distinct.len() < 100, "bootstrap should repeat some indices");
+    }
+
+    #[test]
+    fn swor_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let idx = sample_without_replacement(&mut rng, 30, 10);
+        assert_eq!(idx.len(), 10);
+        assert!(idx.iter().all(|&i| i < 30));
+        let distinct: std::collections::BTreeSet<_> = idx.iter().collect();
+        assert_eq!(distinct.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn swor_rejects_oversized_k() {
+        let mut rng = StdRng::seed_from_u64(5);
+        sample_without_replacement(&mut rng, 3, 4);
+    }
+}

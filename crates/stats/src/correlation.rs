@@ -70,7 +70,6 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn pearson_perfect_positive() {
@@ -115,51 +114,52 @@ mod tests {
         assert!((s - 3.0 / 10.0f64.sqrt()).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn prop_pearson_in_unit_interval(
-            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
-        ) {
-            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    fn gen_pairs(g: &mut rng::prop::Gen, min: usize, max: usize) -> (Vec<f64>, Vec<f64>) {
+        let n = g.usize_in(min, max);
+        (g.vec_f64(n, n, -1e3, 1e3), g.vec_f64(n, n, -1e3, 1e3))
+    }
+
+    #[test]
+    fn prop_pearson_in_unit_interval() {
+        rng::prop_check!(|g| {
+            let (xs, ys) = gen_pairs(g, 2, 99);
             let r = pearson(&xs, &ys).unwrap();
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
-        }
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        });
+    }
 
-        #[test]
-        fn prop_pearson_symmetric(
-            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
-        ) {
-            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-            prop_assert!((pearson(&xs, &ys).unwrap() - pearson(&ys, &xs).unwrap()).abs() < 1e-9);
-        }
+    #[test]
+    fn prop_pearson_symmetric() {
+        rng::prop_check!(|g| {
+            let (xs, ys) = gen_pairs(g, 2, 99);
+            assert!((pearson(&xs, &ys).unwrap() - pearson(&ys, &xs).unwrap()).abs() < 1e-9);
+        });
+    }
 
-        #[test]
-        fn prop_pearson_shift_scale_invariant(
-            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..60),
-            a in 0.1f64..10.0,
-            b in -100.0f64..100.0,
-        ) {
-            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    #[test]
+    fn prop_pearson_shift_scale_invariant() {
+        rng::prop_check!(|g| {
+            let (xs, ys) = gen_pairs(g, 2, 59);
+            let a = g.f64_in(0.1, 10.0);
+            let b = g.f64_in(-100.0, 100.0);
             let scaled: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
             let r1 = pearson(&xs, &ys).unwrap();
             let r2 = pearson(&scaled, &ys).unwrap();
-            prop_assert!((r1 - r2).abs() < 1e-6);
-        }
+            assert!((r1 - r2).abs() < 1e-6);
+        });
+    }
 
-        #[test]
-        fn prop_spearman_monotone_transform_invariant(
-            pairs in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 3..60),
-        ) {
-            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    #[test]
+    fn prop_spearman_monotone_transform_invariant() {
+        rng::prop_check!(|g| {
+            let n = g.usize_in(3, 59);
+            let xs = g.vec_f64(n, n, -50.0, 50.0);
+            let ys = g.vec_f64(n, n, -50.0, 50.0);
             // exp is strictly monotone, so Spearman must not change.
             let txs: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
             let s1 = spearman(&xs, &ys).unwrap();
             let s2 = spearman(&txs, &ys).unwrap();
-            prop_assert!((s1 - s2).abs() < 1e-9);
-        }
+            assert!((s1 - s2).abs() < 1e-9);
+        });
     }
 }

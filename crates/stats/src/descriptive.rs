@@ -118,7 +118,10 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
         return Err(StatsError::invalid("quantile", "q must be in [0, 1]"));
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile input must not contain NaN"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("quantile input must not contain NaN")
+    });
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -182,7 +185,6 @@ pub fn weighted_moving_average(xs: &[f64]) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn mean_of_constants() {
@@ -260,35 +262,43 @@ mod tests {
         assert!((weighted_moving_average(&[4.0; 7]).unwrap() - 4.0).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn prop_mean_bounded_by_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+    #[test]
+    fn prop_mean_bounded_by_min_max() {
+        rng::prop_check!(|g| {
+            let xs = g.vec_f64(1, 99, -1e6, 1e6);
             let m = mean(&xs).unwrap();
-            prop_assert!(m >= min(&xs).unwrap() - 1e-9);
-            prop_assert!(m <= max(&xs).unwrap() + 1e-9);
-        }
+            assert!(m >= min(&xs).unwrap() - 1e-9);
+            assert!(m <= max(&xs).unwrap() + 1e-9);
+        });
+    }
 
-        #[test]
-        fn prop_variance_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
-            prop_assert!(population_variance(&xs).unwrap() >= 0.0);
-            prop_assert!(sample_variance(&xs).unwrap() >= 0.0);
-        }
+    #[test]
+    fn prop_variance_nonnegative() {
+        rng::prop_check!(|g| {
+            let xs = g.vec_f64(1, 99, -1e6, 1e6);
+            assert!(population_variance(&xs).unwrap() >= 0.0);
+            assert!(sample_variance(&xs).unwrap() >= 0.0);
+        });
+    }
 
-        #[test]
-        fn prop_quantile_monotone(
-            xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
-            q1 in 0.0f64..1.0,
-            q2 in 0.0f64..1.0,
-        ) {
+    #[test]
+    fn prop_quantile_monotone() {
+        rng::prop_check!(|g| {
+            let xs = g.vec_f64(1, 49, -1e6, 1e6);
+            let q1 = g.f64_in(0.0, 1.0);
+            let q2 = g.f64_in(0.0, 1.0);
             let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-            prop_assert!(quantile(&xs, lo).unwrap() <= quantile(&xs, hi).unwrap() + 1e-9);
-        }
+            assert!(quantile(&xs, lo).unwrap() <= quantile(&xs, hi).unwrap() + 1e-9);
+        });
+    }
 
-        #[test]
-        fn prop_wma_between_min_and_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+    #[test]
+    fn prop_wma_between_min_and_max() {
+        rng::prop_check!(|g| {
+            let xs = g.vec_f64(1, 49, -1e6, 1e6);
             let w = weighted_moving_average(&xs).unwrap();
-            prop_assert!(w >= min(&xs).unwrap() - 1e-9);
-            prop_assert!(w <= max(&xs).unwrap() + 1e-9);
-        }
+            assert!(w >= min(&xs).unwrap() - 1e-9);
+            assert!(w <= max(&xs).unwrap() + 1e-9);
+        });
     }
 }

@@ -2,7 +2,7 @@
 //! Box–Muller sampling (used by the fleet simulator, which deliberately
 //! avoids extra distribution crates).
 
-use rand::{Rng, RngExt};
+use rng::Rng;
 
 /// Standard normal probability density at `x`.
 pub fn std_normal_pdf(x: f64) -> f64 {
@@ -17,7 +17,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -51,8 +52,8 @@ pub fn sample_log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
 
     #[test]
     fn pdf_peak_at_zero() {

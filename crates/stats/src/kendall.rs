@@ -84,11 +84,13 @@ fn checked_positions(order: &[usize]) -> Result<Vec<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn adjacent_swap_costs_one() {
-        assert_eq!(kendall_tau_distance(&[0, 1, 2, 3], &[1, 0, 2, 3]).unwrap(), 1);
+        assert_eq!(
+            kendall_tau_distance(&[0, 1, 2, 3], &[1, 0, 2, 3]).unwrap(),
+            1
+        );
     }
 
     #[test]
@@ -122,45 +124,49 @@ mod tests {
         assert_eq!(normalized_kendall_tau_distance(&[0], &[0]).unwrap(), 0.0);
     }
 
-    fn permutation_strategy(n: usize) -> impl Strategy<Value = Vec<usize>> {
-        Just((0..n).collect::<Vec<_>>()).prop_shuffle()
-    }
-
-    proptest! {
-        #[test]
-        fn prop_distance_symmetric(n in 2usize..12, seed in 0u64..1000) {
-            let _ = seed;
+    #[test]
+    fn prop_distance_symmetric() {
+        rng::prop_check!(|g| {
+            let n = g.usize_in(2, 11);
             let a: Vec<usize> = (0..n).collect();
-            // Derive b deterministically from the seed by rotating.
-            let rot = (seed as usize) % n;
+            // Derive b from a by rotating.
+            let rot = g.usize_in(0, n - 1);
             let b: Vec<usize> = (0..n).map(|i| (i + rot) % n).collect();
-            prop_assert_eq!(
+            assert_eq!(
                 kendall_tau_distance(&a, &b).unwrap(),
                 kendall_tau_distance(&b, &a).unwrap()
             );
-        }
+        });
+    }
 
-        #[test]
-        fn prop_distance_zero_iff_equal(a in permutation_strategy(8)) {
-            prop_assert_eq!(kendall_tau_distance(&a, &a).unwrap(), 0);
-        }
+    #[test]
+    fn prop_distance_zero_iff_equal() {
+        rng::prop_check!(|g| {
+            let a = g.permutation(8);
+            assert_eq!(kendall_tau_distance(&a, &a).unwrap(), 0);
+        });
+    }
 
-        #[test]
-        fn prop_triangle_inequality(
-            a in permutation_strategy(7),
-            b in permutation_strategy(7),
-            c in permutation_strategy(7),
-        ) {
+    #[test]
+    fn prop_triangle_inequality() {
+        rng::prop_check!(|g| {
+            let a = g.permutation(7);
+            let b = g.permutation(7);
+            let c = g.permutation(7);
             let ab = kendall_tau_distance(&a, &b).unwrap();
             let bc = kendall_tau_distance(&b, &c).unwrap();
             let ac = kendall_tau_distance(&a, &c).unwrap();
-            prop_assert!(ac <= ab + bc);
-        }
+            assert!(ac <= ab + bc);
+        });
+    }
 
-        #[test]
-        fn prop_distance_bounded(a in permutation_strategy(9), b in permutation_strategy(9)) {
+    #[test]
+    fn prop_distance_bounded() {
+        rng::prop_check!(|g| {
+            let a = g.permutation(9);
+            let b = g.permutation(9);
             let d = kendall_tau_distance(&a, &b).unwrap();
-            prop_assert!(d <= 9 * 8 / 2);
-        }
+            assert!(d <= 9 * 8 / 2);
+        });
     }
 }

@@ -1,7 +1,6 @@
 //! Column-major feature matrix shared by the rankers and tree learners.
 
 use crate::{Result, StatsError};
-use serde::{Deserialize, Serialize};
 
 /// A dense, column-major matrix of learning features.
 ///
@@ -26,12 +25,18 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureMatrix {
     names: Vec<String>,
     columns: Vec<Vec<f64>>,
     n_rows: usize,
 }
+
+json::impl_json!(FeatureMatrix {
+    names,
+    columns,
+    n_rows
+});
 
 impl FeatureMatrix {
     /// Build a matrix from named columns.
@@ -157,7 +162,10 @@ impl FeatureMatrix {
             if c >= self.n_features() {
                 return Err(StatsError::invalid(
                     "FeatureMatrix::select_columns",
-                    format!("column index {c} out of bounds ({} features)", self.n_features()),
+                    format!(
+                        "column index {c} out of bounds ({} features)",
+                        self.n_features()
+                    ),
                 ));
             }
             names.push(self.names[c].clone());
@@ -263,9 +271,7 @@ mod tests {
 
     #[test]
     fn rejects_nan() {
-        assert!(
-            FeatureMatrix::from_columns(vec!["a".into()], vec![vec![f64::NAN]]).is_err()
-        );
+        assert!(FeatureMatrix::from_columns(vec!["a".into()], vec![vec![f64::NAN]]).is_err());
     }
 
     #[test]
@@ -323,10 +329,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let m = sample();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: FeatureMatrix = serde_json::from_str(&json).unwrap();
+        let text = json::to_string(&m);
+        let back: FeatureMatrix = json::from_str(&text).unwrap();
         assert_eq!(m, back);
     }
 }

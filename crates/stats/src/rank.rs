@@ -97,7 +97,6 @@ pub fn positions_from_order(order: &[usize]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn ranks_without_ties() {
@@ -140,31 +139,38 @@ mod tests {
         positions_from_order(&[0, 0, 1]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_ranks_sum_is_invariant(xs in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+    #[test]
+    fn prop_ranks_sum_is_invariant() {
+        rng::prop_check!(|g| {
             // Sum of average ranks always equals n(n+1)/2 regardless of ties.
+            let xs = g.vec_f64(1, 59, -1e3, 1e3);
             let n = xs.len() as f64;
             let r = average_ranks(&xs).unwrap();
             let sum: f64 = r.iter().sum();
-            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
-        }
+            assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        });
+    }
 
-        #[test]
-        fn prop_order_then_positions_roundtrip(xs in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+    #[test]
+    fn prop_order_then_positions_roundtrip() {
+        rng::prop_check!(|g| {
+            let xs = g.vec_f64(1, 59, -1e3, 1e3);
             let order = descending_order(&xs).unwrap();
             let positions = positions_from_order(&order);
             for (pos, &item) in order.iter().enumerate() {
-                prop_assert_eq!(positions[item], pos);
+                assert_eq!(positions[item], pos);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn prop_order_sorts_descending(xs in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+    #[test]
+    fn prop_order_sorts_descending() {
+        rng::prop_check!(|g| {
+            let xs = g.vec_f64(1, 59, -1e3, 1e3);
             let order = descending_order(&xs).unwrap();
             for w in order.windows(2) {
-                prop_assert!(xs[w[0]] >= xs[w[1]]);
+                assert!(xs[w[0]] >= xs[w[1]]);
             }
-        }
+        });
     }
 }

@@ -2,9 +2,9 @@
 //! replacement, and class-stratified downsampling.
 
 use crate::{Result, StatsError};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, RngExt, SeedableRng};
+use rng::rngs::StdRng;
+use rng::seq::SliceRandom;
+use rng::{Rng, SeedableRng};
 
 /// `n` bootstrap indices drawn uniformly with replacement from `0..n`.
 ///
@@ -68,11 +68,7 @@ pub fn sample_without_replacement<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns [`StatsError::InvalidParameter`] when `ratio <= 0`.
-pub fn downsample_negatives(
-    labels: &[bool],
-    ratio: f64,
-    seed: u64,
-) -> Result<Vec<usize>> {
+pub fn downsample_negatives(labels: &[bool], ratio: f64, seed: u64) -> Result<Vec<usize>> {
     if ratio <= 0.0 {
         return Err(StatsError::invalid(
             "downsample_negatives",
@@ -100,9 +96,8 @@ pub fn downsample_negatives(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
 
     #[test]
     fn bootstrap_has_right_length_and_range() {
@@ -175,37 +170,39 @@ mod tests {
         assert!(downsample_negatives(&[true, false], 0.0, 1).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_swor_in_range(n in 1usize..100, seed in 0u64..100) {
-            let mut rng = StdRng::seed_from_u64(seed);
+    #[test]
+    fn prop_swor_in_range() {
+        rng::prop_check!(|g| {
+            let n = g.usize_in(1, 99);
+            let mut rng = StdRng::seed_from_u64(g.u64_in(0, 99));
             let k = n / 2;
             let s = sample_without_replacement(&mut rng, n, k).unwrap();
-            prop_assert_eq!(s.len(), k);
-            prop_assert!(s.iter().all(|&i| i < n));
+            assert_eq!(s.len(), k);
+            assert!(s.iter().all(|&i| i < n));
             let mut dedup = s.clone();
             dedup.sort_unstable();
             dedup.dedup();
-            prop_assert_eq!(dedup.len(), k);
-        }
+            assert_eq!(dedup.len(), k);
+        });
+    }
 
-        #[test]
-        fn prop_downsample_bounds(
-            labels in proptest::collection::vec(any::<bool>(), 1..200),
-            ratio in 0.5f64..5.0,
-            seed in 0u64..50,
-        ) {
+    #[test]
+    fn prop_downsample_bounds() {
+        rng::prop_check!(|g| {
+            let labels = g.vec_bool(1, 199);
+            let ratio = g.f64_in(0.5, 5.0);
+            let seed = g.u64_in(0, 49);
             let kept = downsample_negatives(&labels, ratio, seed).unwrap();
             let pos = labels.iter().filter(|&&l| l).count();
             let kept_neg = kept.iter().filter(|&&i| !labels[i]).count();
             let expected_cap = ((pos as f64 * ratio).ceil() as usize)
                 .min(labels.len() - pos)
                 .max(usize::from(pos == 0 && labels.len() > pos));
-            prop_assert!(kept_neg <= expected_cap.max(1));
+            assert!(kept_neg <= expected_cap.max(1));
             // Sorted and unique.
             for w in kept.windows(2) {
-                prop_assert!(w[0] < w[1]);
+                assert!(w[0] < w[1]);
             }
-        }
+        });
     }
 }

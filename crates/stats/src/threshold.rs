@@ -125,7 +125,6 @@ pub fn j_index(values: &[f64], labels: &[bool]) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn perfect_separator_scores_one() {
@@ -176,29 +175,27 @@ mod tests {
         assert_eq!(p.threshold, 8.0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_j_in_unit_interval(
-            samples in proptest::collection::vec((-1e3f64..1e3, any::<bool>()), 4..80),
-        ) {
-            let values: Vec<f64> = samples.iter().map(|s| s.0).collect();
-            let flip: Vec<bool> = samples.iter().map(|s| s.1).collect();
-            prop_assume!(flip.iter().any(|&b| b) && flip.iter().any(|&b| !b));
+    #[test]
+    fn prop_j_in_unit_interval() {
+        rng::prop_check!(|g| {
+            let n = g.usize_in(4, 79);
+            let values = g.vec_f64(n, n, -1e3, 1e3);
+            let flip = g.vec_bool_mixed(n, n);
             let j = j_index(&values, &flip).unwrap();
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&j));
-        }
+            assert!((0.0..=1.0 + 1e-9).contains(&j));
+        });
+    }
 
-        #[test]
-        fn prop_j_orientation_free(
-            samples in proptest::collection::vec((-1e3f64..1e3, any::<bool>()), 4..60),
-        ) {
-            let values: Vec<f64> = samples.iter().map(|s| s.0).collect();
-            let flip: Vec<bool> = samples.iter().map(|s| s.1).collect();
-            prop_assume!(flip.iter().any(|&b| b) && flip.iter().any(|&b| !b));
+    #[test]
+    fn prop_j_orientation_free() {
+        rng::prop_check!(|g| {
+            let n = g.usize_in(4, 59);
+            let values = g.vec_f64(n, n, -1e3, 1e3);
+            let flip = g.vec_bool_mixed(n, n);
             let negated: Vec<f64> = values.iter().map(|v| -v).collect();
             let j1 = j_index(&values, &flip).unwrap();
             let j2 = j_index(&negated, &flip).unwrap();
-            prop_assert!((j1 - j2).abs() < 1e-9, "j1 = {j1}, j2 = {j2}");
-        }
+            assert!((j1 - j2).abs() < 1e-9, "j1 = {j1}, j2 = {j2}");
+        });
     }
 }

@@ -58,7 +58,9 @@ impl WindowStats {
 
     /// The statistics as an array in [`WINDOW_STAT_NAMES`] order.
     pub fn to_array(self) -> [f64; 6] {
-        [self.max, self.min, self.mean, self.std, self.range, self.wma]
+        [
+            self.max, self.min, self.mean, self.std, self.range, self.wma,
+        ]
     }
 }
 
@@ -81,7 +83,10 @@ pub fn trailing_window_stats(series: &[f64], end: usize, width: usize) -> Result
     if end >= series.len() {
         return Err(StatsError::invalid(
             "trailing_window_stats",
-            format!("end index {end} out of bounds for series of length {}", series.len()),
+            format!(
+                "end index {end} out of bounds for series of length {}",
+                series.len()
+            ),
         ));
     }
     let start = (end + 1).saturating_sub(width);
@@ -91,7 +96,6 @@ pub fn trailing_window_stats(series: &[f64], end: usize, width: usize) -> Result
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn stats_over_simple_window() {
@@ -142,24 +146,29 @@ mod tests {
         assert_eq!(arr[5], s.wma);
     }
 
-    proptest! {
-        #[test]
-        fn prop_stats_consistent(xs in proptest::collection::vec(-1e4f64..1e4, 1..30)) {
+    #[test]
+    fn prop_stats_consistent() {
+        rng::prop_check!(|g| {
+            let xs = g.vec_f64(1, 29, -1e4, 1e4);
             let s = WindowStats::compute(&xs).unwrap();
-            prop_assert!(s.min <= s.mean + 1e-9);
-            prop_assert!(s.mean <= s.max + 1e-9);
-            prop_assert!(s.range >= -1e-9);
-            prop_assert!(s.std >= 0.0);
-            prop_assert!(s.wma >= s.min - 1e-9 && s.wma <= s.max + 1e-9);
-        }
+            assert!(s.min <= s.mean + 1e-9);
+            assert!(s.mean <= s.max + 1e-9);
+            assert!(s.range >= -1e-9);
+            assert!(s.std >= 0.0);
+            assert!(s.wma >= s.min - 1e-9 && s.wma <= s.max + 1e-9);
+        });
+    }
 
-        #[test]
-        fn prop_constant_window_degenerates(v in -1e4f64..1e4, n in 1usize..20) {
+    #[test]
+    fn prop_constant_window_degenerates() {
+        rng::prop_check!(|g| {
+            let v = g.f64_in(-1e4, 1e4);
+            let n = g.usize_in(1, 19);
             let s = WindowStats::compute(&vec![v; n]).unwrap();
-            prop_assert!((s.max - v).abs() < 1e-12);
-            prop_assert!((s.min - v).abs() < 1e-12);
-            prop_assert!(s.range.abs() < 1e-12);
-            prop_assert!(s.std.abs() < 1e-9);
-        }
+            assert!((s.max - v).abs() < 1e-12);
+            assert!((s.min - v).abs() < 1e-12);
+            assert!(s.range.abs() < 1e-12);
+            assert!(s.std.abs() < 1e-9);
+        });
     }
 }

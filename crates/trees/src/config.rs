@@ -1,10 +1,9 @@
 //! Tree hyperparameter configuration.
 
 use crate::error::TreesError;
-use serde::{Deserialize, Serialize};
 
 /// How many candidate features a tree node considers when searching splits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MaxFeatures {
     /// All features (plain CART).
     All,
@@ -30,7 +29,7 @@ impl MaxFeatures {
 }
 
 /// Hyperparameters of a single tree.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeConfig {
     /// Maximum tree depth (root = depth 0). The paper's prediction model
     /// uses 13.

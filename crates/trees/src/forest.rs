@@ -9,14 +9,13 @@
 use crate::config::{MaxFeatures, TreeConfig};
 use crate::error::TreesError;
 use crate::tree::RegressionTree;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use rng::rngs::StdRng;
+use rng::{RngExt, SeedableRng};
 use smart_stats::sampling::{bootstrap_indices, out_of_bag_indices};
 use smart_stats::FeatureMatrix;
 
 /// Random Forest hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForestConfig {
     /// Number of trees (paper: 100).
     pub n_trees: usize,
@@ -45,7 +44,7 @@ impl Default for ForestConfig {
 }
 
 /// A trained Random Forest classifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForest {
     trees: Vec<RegressionTree>,
     oob_rows: Vec<Vec<usize>>,
@@ -84,10 +83,8 @@ impl RandomForest {
         let targets: Vec<f64> = labels.iter().map(|&l| f64::from(u8::from(l))).collect();
 
         let n_threads = effective_threads(config.n_threads, config.n_trees);
-        let results: Vec<(RegressionTree, Vec<usize>)> = run_indexed_parallel(
-            config.n_trees,
-            n_threads,
-            |tree_idx| {
+        let results: Vec<(RegressionTree, Vec<usize>)> =
+            run_indexed_parallel(config.n_trees, n_threads, |tree_idx| {
                 let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, tree_idx as u64));
                 let bootstrap =
                     bootstrap_indices(&mut rng, data.n_rows()).expect("n_rows checked > 0");
@@ -95,8 +92,7 @@ impl RandomForest {
                 let tree = RegressionTree::fit(data, &targets, &bootstrap, &config.tree, &mut rng)
                     .expect("validated inputs");
                 (tree, oob)
-            },
-        );
+            });
 
         let (trees, oob_rows) = results.into_iter().unzip();
         Ok(RandomForest {
@@ -276,12 +272,12 @@ impl RandomForest {
             .map(|feature| {
                 let mut permuted = sub.column(feature).to_vec();
                 shuffle(&mut permuted, &mut rng);
-                let mut columns: Vec<Vec<f64>> =
-                    (0..sub.n_features()).map(|c| sub.column(c).to_vec()).collect();
+                let mut columns: Vec<Vec<f64>> = (0..sub.n_features())
+                    .map(|c| sub.column(c).to_vec())
+                    .collect();
                 columns[feature] = permuted;
-                let shuffled =
-                    FeatureMatrix::from_columns(sub.feature_names().to_vec(), columns)
-                        .expect("same shape");
+                let shuffled = FeatureMatrix::from_columns(sub.feature_names().to_vec(), columns)
+                    .expect("same shape");
                 baseline - accuracy_of_tree(tree, &shuffled, &sub_labels)
             })
             .collect()
@@ -345,10 +341,7 @@ where
     let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(n_threads);
     std::thread::scope(|scope| {
-        for (start, slice) in (0..n)
-            .step_by(chunk)
-            .zip(results.chunks_mut(chunk))
-        {
+        for (start, slice) in (0..n).step_by(chunk).zip(results.chunks_mut(chunk)) {
             let f = &f;
             scope.spawn(move || {
                 for (offset, slot) in slice.iter_mut().enumerate() {
@@ -366,7 +359,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngExt;
+    use rng::RngExt;
 
     /// Synthetic task: y = (x0 > 0.5), x1 correlated, x2 noise.
     fn make_data(n: usize, seed: u64) -> (FeatureMatrix, Vec<bool>) {
@@ -444,7 +437,10 @@ mod tests {
         assert!(mdi[0] > mdi[2], "mdi = {mdi:?}");
         let perm = forest.permutation_importances(&data, &labels).unwrap();
         assert!(perm[0] > perm[2], "perm = {perm:?}");
-        assert!(perm[0] > perm[1], "signal must beat its noisy proxy: {perm:?}");
+        assert!(
+            perm[0] > perm[1],
+            "signal must beat its noisy proxy: {perm:?}"
+        );
         // Normalized.
         assert!((mdi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!((perm.iter().sum::<f64>() - 1.0).abs() < 1e-9);

@@ -6,14 +6,13 @@ use crate::config::{MaxFeatures, TreeConfig};
 use crate::error::TreesError;
 use crate::forest::mix_seed;
 use crate::tree::RegressionTree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use rng::rngs::StdRng;
+use rng::SeedableRng;
 use smart_stats::sampling::sample_without_replacement;
 use smart_stats::FeatureMatrix;
 
 /// Gradient-boosting hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoostingConfig {
     /// Number of boosting rounds (paper: 100 trees).
     pub n_rounds: usize,
@@ -45,7 +44,7 @@ impl Default for BoostingConfig {
 }
 
 /// A trained gradient-boosted classifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GradientBoosting {
     stages: Vec<RegressionTree>,
     base_score: f64,
@@ -114,8 +113,7 @@ impl GradientBoosting {
                 (0..n).collect()
             };
 
-            let mut tree =
-                RegressionTree::fit(data, &residuals, &rows, &config.tree, &mut rng)?;
+            let mut tree = RegressionTree::fit(data, &residuals, &rows, &config.tree, &mut rng)?;
 
             // Newton re-labeling: leaf value = Σ(y-p) / Σ p(1-p).
             let mut grad_sum: Vec<f64> = vec![0.0; tree.n_nodes()];
@@ -221,7 +219,7 @@ fn normalize(xs: &mut [f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{RngExt, SeedableRng};
+    use rng::{RngExt, SeedableRng};
 
     fn make_data(n: usize, seed: u64) -> (FeatureMatrix, Vec<bool>) {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -27,7 +27,10 @@ pub fn best_split(pairs: &mut [(f64, f64)], min_samples_leaf: usize) -> Option<S
     if n < 2 * min_samples_leaf {
         return None;
     }
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("feature values must be finite"));
+    pairs.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("feature values must be finite")
+    });
 
     let total_sum: f64 = pairs.iter().map(|p| p.1).sum();
     // gain(k) = S_L²/n_L + S_R²/n_R - S²/n  (the Σy² terms cancel).
@@ -64,7 +67,6 @@ pub fn best_split(pairs: &mut [(f64, f64)], min_samples_leaf: usize) -> Option<S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn perfect_separation() {
@@ -122,36 +124,43 @@ mod tests {
         assert_eq!(s.threshold, 2.0, "threshold {}", s.threshold);
     }
 
-    proptest! {
-        #[test]
-        fn prop_gain_is_nonnegative_and_bounded(
-            mut pairs in proptest::collection::vec((-100.0f64..100.0, 0.0f64..1.0), 2..60),
-        ) {
+    fn gen_split_pairs(g: &mut rng::prop::Gen) -> Vec<(f64, f64)> {
+        let n = g.usize_in(2, 59);
+        (0..n)
+            .map(|_| (g.f64_in(-100.0, 100.0), g.f64_in(0.0, 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn prop_gain_is_nonnegative_and_bounded() {
+        rng::prop_check!(|g| {
+            let mut pairs = gen_split_pairs(g);
             if let Some(s) = best_split(&mut pairs, 1) {
-                prop_assert!(s.gain > 0.0);
+                assert!(s.gain > 0.0);
                 // Gain can't exceed the total SSE.
                 let n = pairs.len() as f64;
                 let mean: f64 = pairs.iter().map(|p| p.1).sum::<f64>() / n;
                 let sse: f64 = pairs.iter().map(|p| (p.1 - mean).powi(2)).sum();
-                prop_assert!(s.gain <= sse + 1e-9);
-                prop_assert!(s.n_left >= 1 && s.n_left < pairs.len());
+                assert!(s.gain <= sse + 1e-9);
+                assert!(s.n_left >= 1 && s.n_left < pairs.len());
             }
-        }
+        });
+    }
 
-        #[test]
-        fn prop_split_separates_values(
-            mut pairs in proptest::collection::vec((-100.0f64..100.0, 0.0f64..1.0), 2..60),
-        ) {
+    #[test]
+    fn prop_split_separates_values() {
+        rng::prop_check!(|g| {
+            let mut pairs = gen_split_pairs(g);
             if let Some(s) = best_split(&mut pairs, 1) {
                 // After the in-place sort, rows 0..n_left are <= threshold.
                 for (i, &(v, _)) in pairs.iter().enumerate() {
                     if i < s.n_left {
-                        prop_assert!(v <= s.threshold);
+                        assert!(v <= s.threshold);
                     } else {
-                        prop_assert!(v > s.threshold);
+                        assert!(v > s.threshold);
                     }
                 }
             }
-        }
+        });
     }
 }

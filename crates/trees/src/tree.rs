@@ -8,13 +8,12 @@
 use crate::config::TreeConfig;
 use crate::error::TreesError;
 use crate::split::best_split;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rng::Rng;
 use smart_stats::sampling::sample_without_replacement;
 use smart_stats::FeatureMatrix;
 
 /// A node of the tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         value: f64,
@@ -29,7 +28,7 @@ enum Node {
 }
 
 /// A trained CART regression tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegressionTree {
     nodes: Vec<Node>,
     n_features: usize,
@@ -120,7 +119,10 @@ impl RegressionTree {
         // Partition rows in place around the threshold.
         let col = data.column(feature);
         rows.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).expect("finite values"));
-        let n_left = rows.iter().take_while(|&&r| col[r] <= split.threshold).count();
+        let n_left = rows
+            .iter()
+            .take_while(|&&r| col[r] <= split.threshold)
+            .count();
         debug_assert_eq!(n_left, split.n_left);
 
         // Reserve this node's slot before recursing so children line up.
@@ -199,7 +201,9 @@ impl RegressionTree {
                 given: data.n_features(),
             });
         }
-        Ok((0..data.n_rows()).map(|r| self.predict_row(data, r)).collect())
+        Ok((0..data.n_rows())
+            .map(|r| self.predict_row(data, r))
+            .collect())
     }
 
     /// Overwrite the value of leaf `leaf_idx` (the boosting Newton step).
@@ -262,8 +266,8 @@ impl RegressionTree {
 mod tests {
     use super::*;
     use crate::config::MaxFeatures;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
 
     fn xor_data() -> (FeatureMatrix, Vec<f64>) {
         // XOR of two binary features: needs depth 2. Combo counts are
@@ -402,8 +406,7 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let narrow =
-            FeatureMatrix::from_columns(vec!["a".into()], vec![vec![0.0, 1.0]]).unwrap();
+        let narrow = FeatureMatrix::from_columns(vec!["a".into()], vec![vec![0.0, 1.0]]).unwrap();
         assert!(matches!(
             tree.predict(&narrow),
             Err(TreesError::SchemaMismatch { .. })
@@ -429,16 +432,18 @@ mod tests {
 
     #[test]
     fn constant_target_yields_single_leaf() {
-        let data = FeatureMatrix::from_columns(
-            vec!["x".into()],
-            vec![vec![1.0, 2.0, 3.0, 4.0]],
-        )
-        .unwrap();
+        let data =
+            FeatureMatrix::from_columns(vec!["x".into()], vec![vec![1.0, 2.0, 3.0, 4.0]]).unwrap();
         let targets = vec![7.0; 4];
         let mut rng = StdRng::seed_from_u64(7);
-        let tree =
-            RegressionTree::fit(&data, &targets, &[0, 1, 2, 3], &TreeConfig::default(), &mut rng)
-                .unwrap();
+        let tree = RegressionTree::fit(
+            &data,
+            &targets,
+            &[0, 1, 2, 3],
+            &TreeConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(tree.n_nodes(), 1);
         assert_eq!(tree.predict_row(&data, 2), 7.0);
     }
@@ -449,8 +454,14 @@ mod tests {
         let (data, targets) = xor_data();
         let zero_rows: Vec<usize> = (0..data.n_rows()).filter(|&r| targets[r] == 0.0).collect();
         let mut rng = StdRng::seed_from_u64(8);
-        let tree = RegressionTree::fit(&data, &targets, &zero_rows, &TreeConfig::default(), &mut rng)
-            .unwrap();
+        let tree = RegressionTree::fit(
+            &data,
+            &targets,
+            &zero_rows,
+            &TreeConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(tree.n_nodes(), 1);
         assert_eq!(tree.predict_row(&data, 0), 0.0);
     }

@@ -10,8 +10,7 @@
 
 use smart_dataset::{DriveModel, Fleet, FleetConfig};
 use smart_pipeline::{
-    base_matrix, collect_samples, survival_pairs, FailurePredictor, PredictorConfig,
-    SamplingConfig,
+    base_matrix, collect_samples, survival_pairs, FailurePredictor, PredictorConfig, SamplingConfig,
 };
 use wefr_core::{SelectionInput, UpdateMonitor, Wefr};
 
@@ -24,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .failure_scale(8.0)
         .build()?;
     let fleet = Fleet::generate(&config);
-    println!("monitoring {} MC1 drives for {days} days", fleet.drives().len());
+    println!(
+        "monitoring {} MC1 drives for {days} days",
+        fleet.drives().len()
+    );
 
     // --- Weekly change-point monitoring over the operating period ---
     let mut monitor = UpdateMonitor::weekly();
@@ -52,8 +54,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Final selection + prediction for the last month ---
     let train_end = days - 31;
-    let samples =
-        collect_samples(&fleet, DriveModel::Mc1, 0, train_end, &SamplingConfig::default())?;
+    let samples = collect_samples(
+        &fleet,
+        DriveModel::Mc1,
+        0,
+        train_end,
+        &SamplingConfig::default(),
+    )?;
     let (matrix, labels, mwi) = base_matrix(&fleet, DriveModel::Mc1, &samples)?;
     let survival = survival_pairs(&fleet, DriveModel::Mc1, train_end);
     let selection = wefr.select(&SelectionInput {
@@ -104,7 +111,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 caught += 1;
                 flagged += 1;
                 let lead = drive.failure.expect("fails").day - day;
-                println!("  {} flagged on day {day} ({lead} days before failure)", drive.id);
+                println!(
+                    "  {} flagged on day {day} ({lead} days before failure)",
+                    drive.id
+                );
             }
             (Some(_), false) => flagged += 1,
             (None, true) => missed += 1,

@@ -20,12 +20,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for model in [DriveModel::Ma1, DriveModel::Mb1, DriveModel::Mc1] {
         let samples = collect_samples(&fleet, model, 0, 364, &SamplingConfig::default())?;
         let (matrix, labels, _) = base_matrix(&fleet, model, &samples)?;
-        println!("=== {model} ({} samples, {} features) ===", matrix.n_rows(), matrix.n_features());
+        println!(
+            "=== {model} ({} samples, {} features) ===",
+            matrix.n_rows(),
+            matrix.n_features()
+        );
 
         let mut orders = Vec::new();
         for kind in SelectorKind::ALL {
             let ranking = kind.build(3).rank(&matrix, &labels)?;
-            println!("  {:<22} top-3: {}", kind.label(), ranking.top_names(3).join("  "));
+            println!(
+                "  {:<22} top-3: {}",
+                kind.label(),
+                ranking.top_names(3).join("  ")
+            );
             orders.push(ranking.order().to_vec());
         }
 

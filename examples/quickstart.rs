@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "ranker {:<20} mean Kendall distance {:>7.1} {}",
             outcome.ranker,
             outcome.mean_distance,
-            if outcome.kept { "" } else { "(discarded as outlier)" }
+            if outcome.kept {
+                ""
+            } else {
+                "(discarded as outlier)"
+            }
         );
     }
     match &selection.wearout {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI gate: format, hermetic offline build, tests, docs, and a hard check
+# that the dependency graph contains zero registry crates (DESIGN.md §5).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo build --release --offline (all targets)"
+cargo build --release --offline --workspace --all-targets
+
+step "cargo test -q --offline"
+cargo test -q --offline --workspace
+
+step "cargo doc --no-deps --offline"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+step "hermeticity: dependency graph must contain only in-repo path crates"
+# Every package in `cargo metadata` must live under this repo; registry
+# crates carry a non-null "source" field.
+external=$(cargo metadata --format-version 1 --offline \
+  | tr ',' '\n' \
+  | grep -o '"source":"[^"]*"' \
+  | sort -u || true)
+if [ -n "$external" ]; then
+  echo "ERROR: external registry dependencies found:" >&2
+  echo "$external" >&2
+  exit 1
+fi
+count=$(cargo metadata --format-version 1 --offline \
+  | grep -o '"name":"[a-z-]*","version"' | sort -u | wc -l)
+echo "OK: $count workspace-local packages, zero registry crates"
+
+step "all checks passed"

@@ -31,14 +31,8 @@ fn fleet_and_census_are_reproducible() {
 #[test]
 fn selection_is_reproducible_across_runs() {
     let fleet = Fleet::generate(&config(9));
-    let samples = collect_samples(
-        &fleet,
-        DriveModel::Mc1,
-        0,
-        364,
-        &SamplingConfig::default(),
-    )
-    .unwrap();
+    let samples =
+        collect_samples(&fleet, DriveModel::Mc1, 0, 364, &SamplingConfig::default()).unwrap();
     let (matrix, labels, _) = base_matrix(&fleet, DriveModel::Mc1, &samples).unwrap();
     let a = Wefr::default()
         .select(&SelectionInput::basic(&matrix, &labels))

@@ -17,14 +17,8 @@ fn mc1_fleet(seed: u64) -> Fleet {
 }
 
 fn select(fleet: &Fleet) -> wefr_core::WefrSelection {
-    let samples = collect_samples(
-        fleet,
-        DriveModel::Mc1,
-        0,
-        364,
-        &SamplingConfig::default(),
-    )
-    .expect("samples exist");
+    let samples = collect_samples(fleet, DriveModel::Mc1, 0, 364, &SamplingConfig::default())
+        .expect("samples exist");
     let (matrix, labels, mwi) = base_matrix(fleet, DriveModel::Mc1, &samples).expect("matrix");
     let survival = survival_pairs(fleet, DriveModel::Mc1, 364);
     Wefr::default()
@@ -48,7 +42,9 @@ fn wefr_recovers_mc1_mechanism_features() {
     // mechanism-related, not noise.
     let names = &selection.global.selected_names;
     assert!(
-        names.iter().any(|n| n.starts_with("OCE") || n.starts_with("UCE")),
+        names
+            .iter()
+            .any(|n| n.starts_with("OCE") || n.starts_with("UCE")),
         "selected = {names:?}"
     );
     // The selection must actually cut something.
@@ -90,14 +86,8 @@ fn selection_survives_label_noise() {
     // Flipping a small fraction of labels must not topple the ensemble:
     // the top feature family should stay mechanism-related.
     let fleet = mc1_fleet(4);
-    let samples = collect_samples(
-        &fleet,
-        DriveModel::Mc1,
-        0,
-        364,
-        &SamplingConfig::default(),
-    )
-    .unwrap();
+    let samples =
+        collect_samples(&fleet, DriveModel::Mc1, 0, 364, &SamplingConfig::default()).unwrap();
     let (matrix, mut labels, _) = base_matrix(&fleet, DriveModel::Mc1, &samples).unwrap();
     for i in (0..labels.len()).step_by(29) {
         labels[i] = !labels[i];
@@ -107,9 +97,8 @@ fn selection_survives_label_noise() {
         .unwrap();
     let top5: Vec<&str> = selection.global.ensemble.top_names(5);
     assert!(
-        top5.iter().any(|n| {
-            n.starts_with("OCE") || n.starts_with("UCE") || n.starts_with("CMDT")
-        }),
+        top5.iter()
+            .any(|n| { n.starts_with("OCE") || n.starts_with("UCE") || n.starts_with("CMDT") }),
         "top5 after noise = {top5:?}"
     );
 }
