@@ -6,10 +6,14 @@
 //! slowest single selector. Absolute times depend on this machine, and our
 //! from-scratch selectors have different relative costs than the Python
 //! stack the paper used (see EXPERIMENTS.md).
+//!
+//! All timings come from the telemetry span tree — the same spans the
+//! production path records — so the bench reports the numbers a real run
+//! would, including a per-stage breakdown of WEFR itself (`WEFR/rankers`,
+//! `WEFR/ensemble`, …) instead of one opaque end-to-end figure.
 
 use smart_dataset::DriveModel;
 use smart_pipeline::experiment::SelectorKind;
-use std::time::Instant;
 use wefr_bench::{characterization_matrix, print_header, RunOptions};
 use wefr_core::{SelectionInput, Wefr, WefrConfig};
 
@@ -25,9 +29,20 @@ json::impl_to_json!(RuntimeRow {
     rounds
 });
 
+/// The WEFR stages broken out in the per-stage rows, in pipeline order.
+const WEFR_STAGES: [&str; 5] = [
+    "rankers",
+    "ensemble",
+    "threshold_scan",
+    "change_point",
+    "wearout_split",
+];
+
 fn main() {
     let opts = RunOptions::from_args();
     let fleet = opts.fleet();
+    // Record spans regardless of WEFR_LOG: the span tree is the stopwatch.
+    telemetry::set_collect(true);
     // MC1 — the most numerous model, as in the paper.
     let (matrix, labels, mwi) = characterization_matrix(&fleet, DriveModel::Mc1, opts.seed);
     let survival =
@@ -48,9 +63,15 @@ fn main() {
     let mut slowest = 0.0f64;
     for kind in SelectorKind::ALL {
         let ranker = kind.build(opts.seed);
-        let mean = time_mean(rounds, || {
+        // One warm-up round outside the measured span set.
+        ranker.rank(&matrix, &labels).expect("two-class data");
+        telemetry::reset();
+        for _ in 0..rounds {
+            let _round = telemetry::span!(kind.label());
             ranker.rank(&matrix, &labels).expect("two-class data");
-        });
+        }
+        let report = telemetry::snapshot("exp4_selector");
+        let mean = report.total_seconds(kind.label()) / rounds as f64;
         slowest = slowest.max(mean);
         println!("{:<22} {:>9.3} s", kind.label(), mean);
         rows.push(RuntimeRow {
@@ -70,9 +91,13 @@ fn main() {
         mwi_per_sample: Some(&mwi),
         survival: Some(&survival),
     };
-    let wefr_mean = time_mean(rounds, || {
+    wefr.select(&input).expect("selection succeeds"); // warm-up
+    telemetry::reset();
+    for _ in 0..rounds {
         wefr.select(&input).expect("selection succeeds");
-    });
+    }
+    let report = telemetry::snapshot("exp4_wefr");
+    let wefr_mean = report.total_seconds("select") / rounds as f64;
     println!("{:<22} {:>9.3} s", "WEFR", wefr_mean);
     rows.push(RuntimeRow {
         method: "WEFR".to_string(),
@@ -80,20 +105,23 @@ fn main() {
         rounds,
     });
 
+    // Per-stage breakdown from the same span tree the production path
+    // records (a stage spanning several groups — e.g. rankers for the
+    // global, low, and high selections — sums across them).
+    for stage in WEFR_STAGES {
+        let mean = report.total_seconds(stage) / rounds as f64;
+        println!("{:<22} {:>9.3} s", format!("WEFR/{stage}"), mean);
+        rows.push(RuntimeRow {
+            method: format!("WEFR/{stage}"),
+            mean_seconds: mean,
+            rounds,
+        });
+    }
+
     println!(
         "\nWEFR / slowest single selector = {:.2}x (paper: 22.9s / 20.4s = 1.12x; \
          parallel execution keeps WEFR near the slowest selector)",
         wefr_mean / slowest
     );
     opts.write_json("exp4_runtime", &rows);
-}
-
-fn time_mean(rounds: usize, mut f: impl FnMut()) -> f64 {
-    // One warm-up round, then the measured mean.
-    f();
-    let start = Instant::now();
-    for _ in 0..rounds {
-        f();
-    }
-    start.elapsed().as_secs_f64() / rounds as f64
 }

@@ -47,11 +47,18 @@ impl TimingConfig {
     /// `args` (other arguments — e.g. the `--bench` flag cargo passes —
     /// are ignored).
     pub fn from_env(args: &[String]) -> TimingConfig {
+        TimingConfig::from_lookup(args, |name| std::env::var(name).ok())
+    }
+
+    /// [`TimingConfig::from_env`] with the environment abstracted behind a
+    /// lookup function, so the override and precedence rules are testable
+    /// without mutating process-global state.
+    pub fn from_lookup(args: &[String], lookup: impl Fn(&str) -> Option<String>) -> TimingConfig {
         let mut config = TimingConfig::default();
-        if let Some(v) = env_u32("WEFR_BENCH_WARMUP") {
+        if let Some(v) = lookup_u32(&lookup, "WEFR_BENCH_WARMUP") {
             config.warmup = v;
         }
-        if let Some(v) = env_u32("WEFR_BENCH_SAMPLES") {
+        if let Some(v) = lookup_u32(&lookup, "WEFR_BENCH_SAMPLES") {
             config.samples = v.max(1);
         }
         if args.iter().any(|a| a == "--quick") {
@@ -62,11 +69,27 @@ impl TimingConfig {
     }
 }
 
-fn env_u32(name: &str) -> Option<u32> {
-    let text = std::env::var(name).ok()?;
+fn lookup_u32(lookup: &impl Fn(&str) -> Option<String>, name: &str) -> Option<u32> {
+    let text = lookup(name)?;
     match text.trim().parse() {
         Ok(v) => Some(v),
-        Err(_) => panic!("{name} must be a non-negative integer, got {text:?}"),
+        Err(_) => {
+            eprintln!(
+                "warning: {name} must be a non-negative integer, got {text:?}; using default"
+            );
+            None
+        }
+    }
+}
+
+/// Resolve the `BENCH_<group>.json` output directory from a
+/// `WEFR_BENCH_OUT` value: unset falls back to `results/`, an empty (or
+/// whitespace-only) value disables writing, anything else is the directory.
+pub fn out_dir_from(value: Option<&str>) -> Option<std::path::PathBuf> {
+    match value {
+        Some(d) if d.trim().is_empty() => None,
+        Some(d) => Some(std::path::PathBuf::from(d)),
+        None => Some(std::path::PathBuf::from("results")),
     }
 }
 
@@ -199,11 +222,8 @@ impl Group {
     /// the output directory (`WEFR_BENCH_OUT`, default `results/`; set it
     /// to the empty string to skip writing).
     pub fn finish(self) -> Report {
-        let dir = match std::env::var("WEFR_BENCH_OUT") {
-            Ok(d) if d.is_empty() => None,
-            Ok(d) => Some(std::path::PathBuf::from(d)),
-            Err(_) => Some(std::path::PathBuf::from("results")),
-        };
+        let value = std::env::var("WEFR_BENCH_OUT").ok();
+        let dir = out_dir_from(value.as_deref());
         self.finish_to(dir.as_deref())
     }
 
@@ -316,6 +336,113 @@ mod tests {
         let config = TimingConfig::from_env(&args);
         assert!(config.samples <= 3);
         assert!(config.warmup <= 1);
+    }
+
+    fn fake_env<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn env_overrides_replace_the_defaults() {
+        let env = fake_env(&[("WEFR_BENCH_SAMPLES", "25"), ("WEFR_BENCH_WARMUP", "7")]);
+        let config = TimingConfig::from_lookup(&[], env);
+        assert_eq!(
+            config,
+            TimingConfig {
+                warmup: 7,
+                samples: 25,
+            }
+        );
+    }
+
+    #[test]
+    fn zero_samples_is_clamped_to_one() {
+        let env = fake_env(&[("WEFR_BENCH_SAMPLES", "0"), ("WEFR_BENCH_WARMUP", "0")]);
+        let config = TimingConfig::from_lookup(&[], env);
+        // Zero warmup is meaningful (skip warmup); zero samples is not.
+        assert_eq!(
+            config,
+            TimingConfig {
+                warmup: 0,
+                samples: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn quick_takes_precedence_over_env_overrides() {
+        let env = fake_env(&[("WEFR_BENCH_SAMPLES", "100"), ("WEFR_BENCH_WARMUP", "9")]);
+        let args = vec!["--quick".to_string()];
+        let config = TimingConfig::from_lookup(&args, env);
+        assert_eq!(
+            config,
+            TimingConfig {
+                warmup: 1,
+                samples: 3,
+            }
+        );
+        // ...but --quick never *raises* an already-small override.
+        let env = fake_env(&[("WEFR_BENCH_SAMPLES", "2"), ("WEFR_BENCH_WARMUP", "0")]);
+        let args = vec!["--quick".to_string()];
+        let config = TimingConfig::from_lookup(&args, env);
+        assert_eq!(
+            config,
+            TimingConfig {
+                warmup: 0,
+                samples: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_values_fall_back_to_defaults() {
+        for bad in ["three", "-1", "2.5", "", "1e3"] {
+            let pairs = [("WEFR_BENCH_SAMPLES", bad), ("WEFR_BENCH_WARMUP", bad)];
+            let config = TimingConfig::from_lookup(&[], fake_env(&pairs));
+            assert_eq!(config, TimingConfig::default(), "for value {bad:?}");
+        }
+        // A malformed value in one variable does not poison the other.
+        let env = fake_env(&[("WEFR_BENCH_SAMPLES", "oops"), ("WEFR_BENCH_WARMUP", "4")]);
+        let config = TimingConfig::from_lookup(&[], env);
+        assert_eq!(
+            config,
+            TimingConfig {
+                warmup: 4,
+                samples: TimingConfig::default().samples,
+            }
+        );
+    }
+
+    #[test]
+    fn whitespace_around_values_is_tolerated() {
+        let env = fake_env(&[("WEFR_BENCH_SAMPLES", " 12 "), ("WEFR_BENCH_WARMUP", "3\n")]);
+        let config = TimingConfig::from_lookup(&[], env);
+        assert_eq!(
+            config,
+            TimingConfig {
+                warmup: 3,
+                samples: 12,
+            }
+        );
+    }
+
+    #[test]
+    fn out_dir_resolution_matches_the_documented_rules() {
+        assert_eq!(
+            out_dir_from(None),
+            Some(std::path::PathBuf::from("results"))
+        );
+        assert_eq!(out_dir_from(Some("")), None);
+        assert_eq!(out_dir_from(Some("  ")), None);
+        assert_eq!(
+            out_dir_from(Some("bench_out")),
+            Some(std::path::PathBuf::from("bench_out"))
+        );
     }
 
     #[test]

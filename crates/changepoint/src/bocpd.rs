@@ -72,6 +72,13 @@ pub fn change_probabilities(
         });
     }
 
+    let span = telemetry::span!(
+        "bocpd",
+        n = series.len(),
+        standardize = config.standardize,
+        hazard = config.hazard,
+    );
+
     let standardized: Vec<f64>;
     let xs: &[f64] = if config.standardize {
         let m = mean(series).expect("non-empty");
@@ -113,6 +120,7 @@ pub fn change_probabilities(
         let total: f64 = next_probs.iter().sum();
         if total <= 0.0 || !total.is_finite() {
             // Numerical underflow across the board: restart mass at r = 0.
+            telemetry::counter_add("bocpd.underflow_restarts", 1);
             run_probs = vec![1.0];
             models = vec![config.prior];
             cp_probs[t] = 1.0;
@@ -155,6 +163,8 @@ pub fn change_probabilities(
             cp_probs[t - 1] = run_probs.get(1).copied().unwrap_or(0.0);
         }
     }
+    let peak = cp_probs.iter().copied().fold(0.0f64, f64::max);
+    span.record("peak_probability", peak);
     Ok(cp_probs)
 }
 

@@ -121,8 +121,15 @@ impl SurvivalCurve {
         // A z-score outlier among uniformly tiny change probabilities is
         // burn-in noise, not a regime change; require real posterior mass.
         const MIN_PROBABILITY: f64 = 0.03;
+        let span = telemetry::span!("change_point", points = self.points.len());
         let work = self.coarsened(MIN_DRIVES_PER_POINT);
         if work.points.len() < MIN_POINTS || !work.has_meaningful_range(MIN_RANGE) {
+            span.record("outcome", "skipped");
+            telemetry::info!(
+                "change_point",
+                "survival curve too short or narrow for detection",
+                coarse_points = work.points.len(),
+            );
             return Ok(None);
         }
         // Smooth with a short centered moving average: small fleets have
@@ -131,13 +138,44 @@ impl SurvivalCurve {
         // enough not to need this).
         let rates = smooth3(&work.rates());
         let probs = change_probabilities(&rates, config)?;
-        Ok(most_significant_point(&probs, z_threshold)?
+        if telemetry::event_active(telemetry::Level::Debug) {
+            for (point, prob) in work.points().iter().zip(&probs) {
+                telemetry::debug!(
+                    "change_point",
+                    format!("mwi {}: change probability {prob:.4}", point.mwi),
+                    mwi = point.mwi,
+                    rate = point.rate,
+                    probability = *prob,
+                );
+            }
+        }
+        let candidate = most_significant_point(&probs, z_threshold)?;
+        if let Some(p) = &candidate {
+            span.record("probability", p.probability);
+            span.record("z_score", p.z_score);
+        }
+        let result = candidate
             .filter(|p| p.probability >= MIN_PROBABILITY)
             .map(|p| WearoutChangePoint {
                 mwi_threshold: work.points[p.index].mwi,
                 probability: p.probability,
                 z_score: p.z_score,
-            }))
+            });
+        match &result {
+            Some(cp) => {
+                span.record("outcome", "detected");
+                span.record("mwi_threshold", cp.mwi_threshold);
+                telemetry::info!(
+                    "change_point",
+                    format!("survival change point at MWI {}", cp.mwi_threshold),
+                    mwi_threshold = cp.mwi_threshold,
+                    probability = cp.probability,
+                    z_score = cp.z_score,
+                );
+            }
+            None => span.record("outcome", "insignificant"),
+        }
+        Ok(result)
     }
 
     /// Rates after the 3-point smoothing used by change-point detection.

@@ -91,11 +91,13 @@ pub fn automated_feature_count(
     // Seed: the top log2(#features) features are always kept (they are the
     // highest-ranked ones).
     let seed = ((total as f64).log2().floor() as usize).clamp(1, total);
+    let span = telemetry::span!("threshold_scan", total = total, seed = seed);
 
     let mut subset = SubsetMeasures::empty();
     let mut trace = Vec::with_capacity(total);
     let mut best_e = f64::INFINITY;
     let mut chosen = seed;
+    let mut stop_reason = "exhausted";
 
     for (i, &col) in ranking_order.iter().enumerate() {
         let m = feature_measures(data.column(col), labels)?;
@@ -104,6 +106,14 @@ pub fn automated_feature_count(
         let complexity = ensemble_complexity(&subset, &config.ensemble);
         let xi = count as f64 / total as f64;
         let e = config.alpha * complexity + (1.0 - config.alpha) * xi;
+        telemetry::debug!(
+            "threshold_scan",
+            format!("prefix {count}: e = {e:.4}"),
+            count = count,
+            complexity = complexity,
+            xi = xi,
+            e = e,
+        );
         trace.push(ScanPoint {
             count,
             complexity,
@@ -124,9 +134,13 @@ pub fn automated_feature_count(
             chosen = count;
         } else {
             // First worsening stops the scan (paper's break rule).
+            stop_reason = "worsened";
             break;
         }
     }
+    span.record("chosen", chosen);
+    span.record("scanned", trace.len());
+    span.record("stop_reason", stop_reason);
     Ok(ScanResult { chosen, trace })
 }
 

@@ -74,18 +74,28 @@ pub fn ensemble_rankings(
         }
     }
 
-    // Pairwise Kendall-tau distances and per-ranker means.
+    let span = telemetry::span!("ensemble", rankers = rankings.len());
+
+    // Pairwise Kendall-tau distances (symmetric, so each pair is computed
+    // once) and per-ranker means.
     let k = rankings.len();
-    let mut mean_d = vec![0.0; k];
+    let mut distances = vec![0u64; k * k];
     for i in 0..k {
-        let mut total = 0u64;
-        for (j, other) in rankings.iter().enumerate() {
-            if i != j {
-                total += kendall_tau_distance(rankings[i].1.order(), other.1.order())?;
-            }
+        for j in (i + 1)..k {
+            let d = kendall_tau_distance(rankings[i].1.order(), rankings[j].1.order())?;
+            distances[i * k + j] = d;
+            distances[j * k + i] = d;
+            telemetry::histogram_observe("ensemble.pair_distance", d as f64);
+            telemetry::debug!(
+                "ensemble",
+                format!("kendall distance {} vs {}", rankings[i].0, rankings[j].0),
+                distance = d,
+            );
         }
-        mean_d[i] = total as f64 / (k - 1) as f64;
     }
+    let mean_d: Vec<f64> = (0..k)
+        .map(|i| distances[i * k..(i + 1) * k].iter().sum::<u64>() as f64 / (k - 1) as f64)
+        .collect();
 
     // One-sided outlier removal at `outlier_sigma` standard deviations.
     let mu = mean(&mean_d)?;
@@ -97,10 +107,36 @@ pub fn ensemble_rankings(
     // Degenerate safety: never discard so many that fewer than two remain.
     let kept_count = kept_mask.iter().filter(|&&m| m).count();
     let kept_mask = if kept_count < 2 {
+        telemetry::info!(
+            "ensemble",
+            "outlier removal would leave fewer than two rankings; keeping all",
+            flagged = k - kept_count,
+        );
         vec![true; k]
     } else {
         kept_mask
     };
+    for (i, (ranker, _)) in rankings.iter().enumerate() {
+        if kept_mask[i] {
+            telemetry::debug!(
+                "ensemble",
+                format!("kept ranking {ranker}"),
+                ranker = ranker.as_str(),
+                mean_distance = mean_d[i],
+            );
+        } else {
+            telemetry::info!(
+                "ensemble",
+                format!("discarded outlier ranking {ranker}"),
+                ranker = ranker.as_str(),
+                mean_distance = mean_d[i],
+                mu = mu,
+                sigma = sigma,
+            );
+        }
+    }
+    span.record("kept", kept_mask.iter().filter(|&&m| m).count());
+    span.record("discarded", kept_mask.iter().filter(|&&m| !m).count());
 
     // Mean rank position per feature over the kept rankings.
     let n = names.len();

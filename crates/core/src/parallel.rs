@@ -61,6 +61,8 @@ pub fn run_rankers_with_threads(
     }
 
     let workers = max_threads.min(rankers.len());
+    let fanout = telemetry::span!("rankers", total = rankers.len(), workers = workers);
+    let fanout_id = fanout.id();
     let results: Vec<Result<FeatureRanking, WefrError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|worker| {
@@ -70,7 +72,13 @@ pub fn run_rankers_with_threads(
                         .enumerate()
                         .skip(worker)
                         .step_by(workers)
-                        .map(|(index, ranker)| (index, ranker.rank(data, labels)))
+                        .map(|(index, ranker)| {
+                            let span = telemetry::span_child_of(fanout_id, ranker.name());
+                            let result = ranker.rank(data, labels);
+                            span.record("ok", result.is_ok());
+                            telemetry::counter_add("rankers.completed", 1);
+                            (index, result)
+                        })
                         .collect::<Vec<_>>()
                 })
             })
@@ -89,9 +97,17 @@ pub fn run_rankers_with_threads(
         .map(|(ranker, result)| {
             result
                 .map(|ranking| (ranker.name().to_string(), ranking))
-                .map_err(|e| WefrError::RankerFailed {
-                    ranker: ranker.name(),
-                    message: e.to_string(),
+                .map_err(|e| {
+                    telemetry::error!(
+                        "rankers",
+                        format!("ranker {} failed", ranker.name()),
+                        ranker = ranker.name(),
+                        detail = e.to_string(),
+                    );
+                    WefrError::RankerFailed {
+                        ranker: ranker.name(),
+                        message: e.to_string(),
+                    }
                 })
         })
         .collect()

@@ -223,8 +223,14 @@ impl Wefr {
             }
         }
 
+        let span = telemetry::span!(
+            "select",
+            rows = input.data.n_rows(),
+            features = input.data.n_features(),
+        );
+
         // Lines 1–8: robust + automated selection over all samples.
-        let global = self.select_group(input.data, input.labels)?;
+        let global = self.select_group_labeled(input.data, input.labels, "global")?;
 
         // Lines 9–15: wear-out updating.
         let wearout = match (input.mwi_per_sample, input.survival) {
@@ -232,6 +238,8 @@ impl Wefr {
             _ => None,
         };
 
+        span.record("selected", global.selected.len());
+        span.record("wearout_groups", wearout.is_some());
         Ok(WefrSelection { global, wearout })
     }
 
@@ -242,6 +250,7 @@ impl Wefr {
         survival: &[(f64, bool)],
         _global: &GroupSelection,
     ) -> Result<Option<WearoutSelection>, WefrError> {
+        let span = telemetry::span!("wearout_split", drives = survival.len());
         let Some(change_point) = detect_wearout_threshold(
             survival,
             &self.config.bocpd,
@@ -249,18 +258,39 @@ impl Wefr {
             self.config.survival_min_bucket,
         )?
         else {
+            span.record("outcome", "no_change_point");
             return Ok(None);
         };
+        telemetry::gauge_set("wearout.threshold_mwi", change_point.mwi_threshold as f64);
 
         let split = split_rows_by_mwi(mwi, change_point.mwi_threshold as f64);
+        let positives = |rows: &[usize]| rows.iter().filter(|&&r| input.labels[r]).count();
+        telemetry::info!(
+            "wearout",
+            "split at change point",
+            mwi_threshold = change_point.mwi_threshold,
+            low_rows = split.low_rows.len(),
+            low_positives = positives(&split.low_rows),
+            high_rows = split.high_rows.len(),
+            high_positives = positives(&split.high_rows),
+        );
         if !self.group_viable(input.labels, &split.low_rows)
             || !self.group_viable(input.labels, &split.high_rows)
         {
+            telemetry::info!(
+                "wearout",
+                "a wear-out group is too small; falling back to the global selection",
+                min_group_samples = self.config.min_group_samples,
+                min_group_positives = self.config.min_group_positives,
+            );
+            span.record("outcome", "fallback_global");
             return Ok(None);
         }
 
-        let low = self.select_rows(input.data, input.labels, &split.low_rows)?;
-        let high = self.select_rows(input.data, input.labels, &split.high_rows)?;
+        let low = self.select_rows(input.data, input.labels, &split.low_rows, "low")?;
+        let high = self.select_rows(input.data, input.labels, &split.high_rows, "high")?;
+        span.record("outcome", "split");
+        span.record("mwi_threshold", change_point.mwi_threshold);
         Ok(Some(WearoutSelection {
             change_point,
             low,
@@ -280,10 +310,11 @@ impl Wefr {
         data: &FeatureMatrix,
         labels: &[bool],
         rows: &[usize],
+        group: &'static str,
     ) -> Result<GroupSelection, WefrError> {
         let sub = data.select_rows(rows)?;
         let sub_labels: Vec<bool> = rows.iter().map(|&r| labels[r]).collect();
-        self.select_group(&sub, &sub_labels)
+        self.select_group_labeled(&sub, &sub_labels, group)
     }
 
     /// Lines 1–8 of Algorithm 1 for one group of samples: run the rankers
@@ -294,14 +325,31 @@ impl Wefr {
         data: &FeatureMatrix,
         labels: &[bool],
     ) -> Result<GroupSelection, WefrError> {
+        self.select_group_labeled(data, labels, "global")
+    }
+
+    fn select_group_labeled(
+        &self,
+        data: &FeatureMatrix,
+        labels: &[bool],
+        group: &'static str,
+    ) -> Result<GroupSelection, WefrError> {
+        let span = telemetry::span!("select_group", group = group, rows = data.n_rows());
         let rankings = run_rankers(&self.rankers, data, labels)?;
         let ensemble = ensemble_rankings(&rankings, self.config.outlier_sigma)?;
         let scan = automated_feature_count(data, labels, &ensemble.order, &self.config.threshold)?;
         let selected: Vec<usize> = ensemble.order[..scan.chosen].to_vec();
-        let selected_names = selected
+        let selected_names: Vec<String> = selected
             .iter()
             .map(|&c| ensemble.names[c].clone())
             .collect();
+        span.record("selected", selected.len());
+        telemetry::info!(
+            "select",
+            format!("group {group} selected {} features", selected.len()),
+            group = group,
+            features = selected_names.join(","),
+        );
         Ok(GroupSelection {
             ensemble,
             selected,

@@ -1,0 +1,69 @@
+//! Hermeticity gate for `scripts/ci.sh`: read `cargo metadata
+//! --format-version 1` JSON on stdin and fail unless every package in the
+//! dependency graph is an in-repo path crate (DESIGN.md §5).
+//!
+//! Registry and git dependencies carry a non-null `source` field in the
+//! metadata; path crates have `"source": null`. Parsing the real JSON via
+//! `smart-json` replaces the earlier `tr | grep` regex scrape, which was
+//! one metadata-format hiccup away from silently passing.
+//!
+//! ```text
+//! cargo metadata --format-version 1 --offline | check_hermetic
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn run() -> Result<usize, String> {
+    let mut text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .map_err(|e| format!("reading stdin: {e}"))?;
+    let metadata = json::parse(&text).map_err(|e| format!("parsing cargo metadata: {e}"))?;
+
+    let packages = metadata
+        .field("packages")
+        .and_then(json::Value::as_array)
+        .ok_or("cargo metadata has no `packages` array")?;
+    if packages.is_empty() {
+        return Err("cargo metadata lists no packages".to_string());
+    }
+
+    let mut external = Vec::new();
+    for package in packages {
+        let name = package
+            .field("name")
+            .and_then(json::Value::as_str)
+            .ok_or("package without a `name`")?;
+        let source = package.field("source").ok_or_else(|| {
+            format!("package {name} has no `source` field — metadata format changed?")
+        })?;
+        match source {
+            json::Value::Null => {}
+            other => external.push(format!(
+                "{name} (source: {})",
+                other.as_str().unwrap_or("<non-string>")
+            )),
+        }
+    }
+    if !external.is_empty() {
+        return Err(format!(
+            "external (non-path) dependencies found:\n  {}",
+            external.join("\n  ")
+        ));
+    }
+    Ok(packages.len())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(count) => {
+            println!("OK: {count} workspace-local packages, zero registry crates");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("ERROR: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Run-report gate for the CI telemetry smoke step: parse a
+//! `telemetry_<run>.json` file through `smart-json` into
+//! [`telemetry::RunReport`], check its structural invariants, and require
+//! that the named stages appear in the span tree.
+//!
+//! ```text
+//! check_telemetry_report <report.json> [required-stage ...]
+//! ```
+//!
+//! Exits non-zero (with a reason on stderr) when the file is missing,
+//! malformed, structurally inconsistent, or lacks a required stage.
+
+use std::process::ExitCode;
+
+use telemetry::RunReport;
+
+fn run(path: &str, required: &[String]) -> Result<RunReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let report: RunReport =
+        json::from_str(&text).map_err(|e| format!("parsing {path} as a run report: {e}"))?;
+    report
+        .validate_tree()
+        .map_err(|e| format!("inconsistent span tree in {path}: {e}"))?;
+    if report.spans.is_empty() {
+        return Err(format!("{path} contains no spans — was collection off?"));
+    }
+    let stages = report.stage_names();
+    for stage in required {
+        if !stages.contains(&stage.as_str()) {
+            return Err(format!(
+                "required stage {stage:?} missing from {path} (stages: {stages:?})"
+            ));
+        }
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: check_telemetry_report <report.json> [required-stage ...]");
+        return ExitCode::FAILURE;
+    };
+    let required: Vec<String> = args.collect();
+    match run(&path, &required) {
+        Ok(report) => {
+            println!(
+                "OK: {} spans across {} stages, {} events, {} counters",
+                report.spans.len(),
+                report.stage_names().len(),
+                report.events.len(),
+                report.counters.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("ERROR: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end telemetry contract for the quickstart example, run as a real
+//! subprocess the way a user (or `scripts/ci.sh`) would launch it:
+//!
+//! * with telemetry enabled, stage-level span lines appear on stderr and a
+//!   `telemetry_quickstart.json` run report lands in `WEFR_TELEMETRY_OUT`,
+//!   parses through `smart-json`, and contains every instrumented stage;
+//! * with telemetry off, stdout is bit-identical and no report is written —
+//!   observability must never perturb the results.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use telemetry::RunReport;
+
+/// The pipeline stages the run report must contain (ISSUE acceptance).
+const REQUIRED_STAGES: [&str; 6] = [
+    "rankers",
+    "ensemble",
+    "threshold_scan",
+    "change_point",
+    "wearout_split",
+    "evaluate",
+];
+
+fn example_binary(name: &str) -> PathBuf {
+    let mut path = std::env::current_exe().expect("test executable path");
+    path.pop(); // the test binary itself
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.join("examples").join(name)
+}
+
+/// Run quickstart with a scrubbed telemetry environment plus `extra` vars.
+fn run_quickstart(extra: &[(&str, &str)]) -> Output {
+    let binary = example_binary("quickstart");
+    assert!(
+        binary.exists(),
+        "example binary missing at {} — was the quickstart example built?",
+        binary.display()
+    );
+    let mut command = Command::new(&binary);
+    command
+        .env_remove("WEFR_LOG")
+        .env_remove("WEFR_TELEMETRY_OUT");
+    for (key, value) in extra {
+        command.env(key, value);
+    }
+    let output = command.output().expect("example launches");
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+fn temp_out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "wefr_telemetry_report_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn quickstart_writes_a_complete_run_report_and_logs_spans() {
+    let dir = temp_out_dir("on");
+    let output = run_quickstart(&[
+        ("WEFR_LOG", "info"),
+        ("WEFR_TELEMETRY_OUT", dir.to_str().unwrap()),
+    ]);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    for stage in REQUIRED_STAGES {
+        assert!(
+            stderr.contains(&format!("span {stage}")),
+            "no `span {stage}` line on stderr at WEFR_LOG=info:\n{stderr}"
+        );
+    }
+
+    let path = dir.join("telemetry_quickstart.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}\nstderr:\n{stderr}", path.display()));
+    let report: RunReport = json::from_str(&text).expect("report parses through smart-json");
+    report.validate_tree().expect("consistent span tree");
+    assert_eq!(report.run, "quickstart");
+    let stages = report.stage_names();
+    for stage in REQUIRED_STAGES {
+        assert!(
+            stages.contains(&stage),
+            "stage {stage:?} missing from the run report (stages: {stages:?})"
+        );
+    }
+    // One span per instrumented stage at minimum, and the fan-out parent
+    // actually has children (the five per-ranker worker spans).
+    assert!(report.spans.len() >= REQUIRED_STAGES.len());
+    let rankers = report.spans_named("rankers");
+    assert!(!rankers.is_empty());
+    assert!(
+        report.children_of(rankers[0].id).len() >= 2,
+        "per-ranker child spans missing under the rankers fan-out"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn telemetry_never_changes_stdout_or_writes_uninvited() {
+    let dir = temp_out_dir("off");
+    let baseline = run_quickstart(&[]);
+    let traced = run_quickstart(&[
+        ("WEFR_LOG", "debug"),
+        ("WEFR_TELEMETRY_OUT", dir.to_str().unwrap()),
+    ]);
+    assert_eq!(
+        String::from_utf8_lossy(&baseline.stdout),
+        String::from_utf8_lossy(&traced.stdout),
+        "stdout must be bit-identical with telemetry on and off"
+    );
+    // Baseline had telemetry off entirely: stderr silent, no report file.
+    assert!(
+        baseline.stderr.is_empty(),
+        "expected silent stderr with WEFR_LOG unset, got:\n{}",
+        String::from_utf8_lossy(&baseline.stderr)
+    );
+    assert!(
+        dir.join("telemetry_quickstart.json").exists(),
+        "traced run should have written its report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

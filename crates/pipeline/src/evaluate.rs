@@ -113,6 +113,13 @@ pub fn score_phase(
     test_end: u32,
     horizon: u32,
 ) -> Result<Vec<DriveScore>, PipelineError> {
+    let span = telemetry::span!(
+        "evaluate",
+        model = model.to_string(),
+        test_start = test_start,
+        test_end = test_end,
+        horizon = horizon,
+    );
     let mut drive_scores = Vec::new();
     for (drive_index, drive) in fleet.drives().iter().enumerate() {
         if drive.model != model {
@@ -159,7 +166,35 @@ pub fn score_phase(
             "no drives of {model} observed in test days {test_start}..={test_end}"
         )));
     }
+    span.record("drives", drive_scores.len());
+    span.record(
+        "actual_failures",
+        drive_scores.iter().filter(|s| s.actual).count(),
+    );
     Ok(drive_scores)
+}
+
+/// Report a confusion outcome to telemetry: one info event plus cumulative
+/// confusion counters (their totals across phases are the micro-average
+/// numerators).
+fn report_confusion(context: &str, metrics: &EvalMetrics, threshold: f64) {
+    telemetry::info!(
+        "evaluate",
+        format!(
+            "{context}: precision = {:.3}, recall = {:.3}",
+            metrics.precision, metrics.recall
+        ),
+        tp = metrics.tp,
+        fp = metrics.fp,
+        fn_ = metrics.fn_,
+        precision = metrics.precision,
+        recall = metrics.recall,
+        f_half = metrics.f_half,
+        threshold = threshold,
+    );
+    telemetry::counter_add("evaluate.tp", metrics.tp as u64);
+    telemetry::counter_add("evaluate.fp", metrics.fp as u64);
+    telemetry::counter_add("evaluate.fn", metrics.fn_ as u64);
 }
 
 /// Choose the highest decision threshold achieving at least `target_recall`
@@ -211,14 +246,15 @@ pub fn metrics_at_fixed_recall(
         }
         let recall = tp as f64 / positives as f64;
         if recall + 1e-12 >= target_recall {
-            return Ok((EvalMetrics::from_counts(tp, fp, positives - tp), threshold));
+            let metrics = EvalMetrics::from_counts(tp, fp, positives - tp);
+            report_confusion("fixed-recall operating point", &metrics, threshold);
+            return Ok((metrics, threshold));
         }
     }
     // All drives flagged: recall is 1.0 by construction.
-    Ok((
-        EvalMetrics::from_counts(positives, scores.len() - positives, 0),
-        f64::NEG_INFINITY,
-    ))
+    let metrics = EvalMetrics::from_counts(positives, scores.len() - positives, 0);
+    report_confusion("fixed-recall operating point", &metrics, f64::NEG_INFINITY);
+    Ok((metrics, f64::NEG_INFINITY))
 }
 
 /// Metrics at an explicit decision threshold (flag drives with
@@ -238,7 +274,9 @@ pub fn metrics_at_threshold(scores: &[DriveScore], threshold: f64) -> EvalMetric
             (false, false) => {}
         }
     }
-    EvalMetrics::from_counts(tp, fp, fn_)
+    let metrics = EvalMetrics::from_counts(tp, fp, fn_);
+    report_confusion("explicit threshold", &metrics, threshold);
+    metrics
 }
 
 #[cfg(test)]

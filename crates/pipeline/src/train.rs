@@ -69,7 +69,16 @@ impl FailurePredictor {
         base: &[FeatureId],
         config: &PredictorConfig,
     ) -> Result<Self, PipelineError> {
+        let span = telemetry::span!(
+            "train",
+            samples = samples.len(),
+            base_features = base.len(),
+            trees = config.n_trees,
+            max_depth = config.max_depth,
+        );
         let (matrix, labels) = expanded_matrix(fleet, samples, base)?;
+        span.record("expanded_features", matrix.n_features());
+        span.record("positives", labels.iter().filter(|&&l| l).count());
         let forest = RandomForest::fit(&matrix, &labels, &config.to_forest_config())?;
         Ok(FailurePredictor {
             forest,

@@ -1,0 +1,72 @@
+//! Structured, leveled events.
+//!
+//! Events are point-in-time records — a level, a target (the subsystem that
+//! emitted it), a message, and key/value fields — attributed to the
+//! innermost open span on the emitting thread. They flow to both sinks:
+//! the stderr logger (when `WEFR_LOG` admits the level) and the run-report
+//! buffer (when collecting). Prefer the [`crate::error!`], [`crate::info!`],
+//! and [`crate::debug!`] macros, which skip argument evaluation entirely
+//! when the event would go nowhere.
+
+use crate::{collecting, collector, current_span, log_enabled, logger, now_us, Field, Level};
+
+/// Cap on buffered events per run; beyond it events are counted as dropped
+/// rather than recorded, bounding memory on debug-level runs.
+pub(crate) const MAX_EVENTS: usize = 65_536;
+
+/// One recorded event, as exported in the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Severity of the event.
+    pub level: Level,
+    /// Subsystem that emitted it (e.g. `"ensemble"`).
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Microseconds since the collector epoch.
+    pub at_us: u64,
+    /// Id of the span open on the emitting thread, if any.
+    pub span: Option<u64>,
+    /// Key/value fields.
+    pub fields: Vec<Field>,
+}
+
+json::impl_json!(EventRecord {
+    level,
+    target,
+    message,
+    at_us,
+    span,
+    fields
+});
+
+/// Record (and/or log) an event. This is the expanded form behind the event
+/// macros; callers are expected to have checked [`crate::event_active`]
+/// first, but calling it cold is safe — it re-checks both sinks.
+pub fn emit(level: Level, target: &str, message: String, fields: Vec<Field>) {
+    if log_enabled(level) {
+        logger::event_line(level, target, &message, &fields);
+    }
+    if !collecting() {
+        return;
+    }
+    let c = collector();
+    let generation = c.generation.load(std::sync::atomic::Ordering::Relaxed);
+    let span = current_span()
+        .filter(|id| id.generation() == generation)
+        .map(|id| id.arena_index() as u64);
+    let record = EventRecord {
+        level,
+        target: target.to_string(),
+        message,
+        at_us: now_us(),
+        span,
+        fields,
+    };
+    let mut events = c.events.lock().expect("telemetry events lock");
+    if events.records.len() < MAX_EVENTS {
+        events.records.push(record);
+    } else {
+        events.dropped += 1;
+    }
+}

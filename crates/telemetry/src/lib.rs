@@ -1,0 +1,458 @@
+//! Zero-dependency observability for the WEFR pipeline (DESIGN.md §6).
+//!
+//! Three primitives, one process-global collector, two sinks:
+//!
+//! * **Spans** ([`span!`], [`start_span`], [`span_child_of`]) — hierarchical
+//!   wall-clock timings. Guards record on drop; worker threads attach to an
+//!   explicit parent handle so scoped fan-outs (e.g. the parallel rankers)
+//!   build one tree across threads.
+//! * **Metrics** ([`counter_add`], [`gauge_set`], [`histogram_observe`]) —
+//!   named counters, gauges, and log₂-bucketed histograms in a global
+//!   registry.
+//! * **Events** ([`error!`], [`info!`], [`debug!`]) — leveled, structured
+//!   key/value messages attributed to the current span.
+//!
+//! Sinks: a human-readable stderr logger gated by the `WEFR_LOG` env var
+//! (`off`/`error`/`info`/`debug`), and a JSON run report
+//! (`telemetry_<run>.json`, written by [`write_run_report`] to
+//! `WEFR_TELEMETRY_OUT`, default `results/`) containing the full span tree,
+//! metric snapshots, and events.
+//!
+//! **Zero overhead when off.** Collection activates only when `WEFR_LOG` is
+//! set to a non-`off` level or `WEFR_TELEMETRY_OUT` is set (or a harness
+//! calls [`set_collect`]). Disabled, every entry point is a single relaxed
+//! atomic load; the macros do not evaluate their message or field
+//! expressions. Instrumentation never alters computation — selections are
+//! bit-identical with telemetry on or off.
+//!
+//! ```
+//! telemetry::set_collect(true);
+//! telemetry::reset();
+//! {
+//!     let span = telemetry::span!("stage", items = 3usize);
+//!     telemetry::counter_add("stage.items", 3);
+//!     telemetry::info!("stage", "processed a batch", batch = 1usize);
+//!     span.record("outcome", "ok");
+//! }
+//! let report = telemetry::snapshot("doctest");
+//! assert_eq!(report.spans.len(), 1);
+//! assert_eq!(report.spans[0].name, "stage");
+//! # telemetry::reset();
+//! # telemetry::set_collect(false);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+mod event;
+pub(crate) mod logger;
+mod metrics;
+mod report;
+mod span;
+
+pub use event::{emit, EventRecord};
+pub use metrics::{
+    counter_add, gauge_set, histogram_observe, CounterSnapshot, GaugeSnapshot, HistogramSnapshot,
+};
+pub use report::{snapshot, write_run_report, write_run_report_to, RunReport};
+pub use span::{current_span, span_child_of, start_span, SpanGuard, SpanId, SpanRecord};
+
+/// Verbosity of the stderr logger (and the floor for event recording).
+///
+/// Ordered: `Off < Error < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No stderr logging.
+    Off = 0,
+    /// Failures only.
+    Error = 1,
+    /// Stage-level span lines and notable decisions.
+    Info = 2,
+    /// Everything, including per-step traces.
+    Debug = 3,
+}
+
+json::impl_json_enum!(Level {
+    Off => "off",
+    Error => "error",
+    Info => "info",
+    Debug => "debug",
+});
+
+impl Level {
+    /// Parse a `WEFR_LOG` specification. `None` (unset) and `"off"`/`"0"`/
+    /// empty mean [`Level::Off`]; unknown spellings fall back to
+    /// [`Level::Info`] rather than silently disabling telemetry.
+    pub fn from_spec(spec: Option<&str>) -> Level {
+        match spec.map(|s| s.trim().to_ascii_lowercase()).as_deref() {
+            None | Some("" | "off" | "0" | "none" | "false") => Level::Off,
+            Some("error") => Level::Error,
+            Some("info" | "on" | "true" | "1") => Level::Info,
+            Some("debug" | "trace" | "2") => Level::Debug,
+            Some(_) => Level::Info,
+        }
+    }
+
+    fn from_u8(raw: u8) -> Level {
+        match raw {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        })
+    }
+}
+
+/// One key/value payload attached to a span or event.
+///
+/// Signed integers normalize to [`FieldValue::U64`] when non-negative so
+/// values round-trip identically through JSON (which cannot distinguish a
+/// positive `i64` from a `u64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float (non-finite values serialize as `null`).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+impl json::ToJson for FieldValue {
+    fn to_json(&self) -> json::Value {
+        match self {
+            FieldValue::U64(v) => json::Value::Number(json::Number::PosInt(*v)),
+            FieldValue::I64(v) => json::Value::Number(json::Number::NegInt(*v)),
+            FieldValue::F64(v) => json::Value::Number(json::Number::Float(*v)),
+            FieldValue::Bool(v) => json::Value::Bool(*v),
+            FieldValue::Str(v) => json::Value::String(v.clone()),
+        }
+    }
+}
+
+impl json::FromJson for FieldValue {
+    fn from_json(value: &json::Value) -> Result<FieldValue, json::JsonError> {
+        match value {
+            json::Value::Number(json::Number::PosInt(v)) => Ok(FieldValue::U64(*v)),
+            json::Value::Number(json::Number::NegInt(v)) => Ok(FieldValue::I64(*v)),
+            json::Value::Number(json::Number::Float(v)) => Ok(FieldValue::F64(*v)),
+            json::Value::Null => Ok(FieldValue::F64(f64::NAN)),
+            json::Value::Bool(v) => Ok(FieldValue::Bool(*v)),
+            json::Value::String(v) => Ok(FieldValue::Str(v.clone())),
+            other => Err(json::JsonError::type_error("scalar field value", other)),
+        }
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.4}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! field_from_uint {
+    ($($ty:ty),+) => {$(
+        impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> FieldValue {
+                FieldValue::U64(v as u64)
+            }
+        }
+    )+};
+}
+field_from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! field_from_sint {
+    ($($ty:ty),+) => {$(
+        impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> FieldValue {
+                let v = v as i64;
+                if v >= 0 {
+                    FieldValue::U64(v as u64)
+                } else {
+                    FieldValue::I64(v)
+                }
+            }
+        }
+    )+};
+}
+field_from_sint!(i8, i16, i32, i64, isize);
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> FieldValue {
+        FieldValue::F64(f64::from(v))
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// A key/value pair on a span or event.
+pub type Field = (String, FieldValue);
+
+// ---------------------------------------------------------------------------
+// Process-global state
+// ---------------------------------------------------------------------------
+
+pub(crate) struct EventBuffer {
+    pub(crate) records: Vec<EventRecord>,
+    pub(crate) dropped: u64,
+}
+
+pub(crate) struct Collector {
+    pub(crate) epoch: Instant,
+    pub(crate) spans: Mutex<Vec<SpanRecord>>,
+    pub(crate) events: Mutex<EventBuffer>,
+    pub(crate) counters: Mutex<BTreeMap<String, u64>>,
+    pub(crate) gauges: Mutex<BTreeMap<String, f64>>,
+    pub(crate) histograms: Mutex<BTreeMap<String, metrics::HistogramData>>,
+    /// Bumped by [`reset`] so guards from a previous epoch cannot close
+    /// records of the next one.
+    pub(crate) generation: AtomicU64,
+}
+
+static INIT: Once = Once::new();
+static COLLECT: AtomicBool = AtomicBool::new(false);
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(0);
+static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+
+pub(crate) fn collector() -> &'static Collector {
+    COLLECTOR.get_or_init(|| Collector {
+        epoch: Instant::now(),
+        spans: Mutex::new(Vec::new()),
+        events: Mutex::new(EventBuffer {
+            records: Vec::new(),
+            dropped: 0,
+        }),
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+        generation: AtomicU64::new(0),
+    })
+}
+
+fn ensure_init() {
+    INIT.call_once(|| {
+        let level = Level::from_spec(std::env::var("WEFR_LOG").ok().as_deref());
+        LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+        let report_requested = std::env::var_os("WEFR_TELEMETRY_OUT").is_some();
+        COLLECT.store(level > Level::Off || report_requested, Ordering::Relaxed);
+    });
+}
+
+/// Whether spans, metrics, and events are being recorded.
+pub fn collecting() -> bool {
+    ensure_init();
+    COLLECT.load(Ordering::Relaxed)
+}
+
+/// The active stderr log level.
+pub fn log_level() -> Level {
+    ensure_init();
+    Level::from_u8(LOG_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether the stderr sink prints records at `level`.
+pub fn log_enabled(level: Level) -> bool {
+    level > Level::Off && log_level() >= level
+}
+
+/// Whether an event at `level` would go anywhere (collector or stderr).
+/// The event macros check this before evaluating their message and field
+/// expressions.
+pub fn event_active(level: Level) -> bool {
+    collecting() || log_enabled(level)
+}
+
+/// Force collection on or off, overriding the environment. For benches and
+/// tests that want span trees without configuring `WEFR_LOG`.
+pub fn set_collect(enabled: bool) {
+    ensure_init();
+    COLLECT.store(enabled, Ordering::Relaxed);
+}
+
+/// Override the stderr log level (normally taken from `WEFR_LOG`).
+pub fn set_log_level(level: Level) {
+    ensure_init();
+    LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Clear all recorded spans, events, and metrics (configuration is kept).
+/// Guards still open across a reset close without recording anything.
+pub fn reset() {
+    let c = collector();
+    c.generation.fetch_add(1, Ordering::Relaxed);
+    c.spans.lock().expect("telemetry spans lock").clear();
+    {
+        let mut events = c.events.lock().expect("telemetry events lock");
+        events.records.clear();
+        events.dropped = 0;
+    }
+    c.counters.lock().expect("telemetry counters lock").clear();
+    c.gauges.lock().expect("telemetry gauges lock").clear();
+    c.histograms
+        .lock()
+        .expect("telemetry histograms lock")
+        .clear();
+}
+
+pub(crate) fn now_us() -> u64 {
+    collector().epoch.elapsed().as_micros() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Open a span: `span!("stage")` or `span!("stage", key = value, ...)`.
+/// Returns a [`SpanGuard`] that records the span's duration when dropped.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::start_span($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let __span = $crate::start_span($name);
+        $(__span.record(stringify!($key), $value);)+
+        __span
+    }};
+}
+
+/// Emit a structured event at an explicit [`Level`]:
+/// `event!(Level::Info, "target", "message", key = value, ...)`.
+/// Message and field expressions are only evaluated when the event is
+/// active (recorded or logged).
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $target:expr, $message:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::event_active($level) {
+            $crate::emit(
+                $level,
+                $target,
+                ::std::string::String::from($message),
+                ::std::vec![$((
+                    ::std::string::String::from(stringify!($key)),
+                    $crate::FieldValue::from($value),
+                )),*],
+            );
+        }
+    };
+}
+
+/// Emit an [`Level::Error`] event. See [`event!`].
+#[macro_export]
+macro_rules! error {
+    ($($args:tt)*) => { $crate::event!($crate::Level::Error, $($args)*) };
+}
+
+/// Emit an [`Level::Info`] event. See [`event!`].
+#[macro_export]
+macro_rules! info {
+    ($($args:tt)*) => { $crate::event!($crate::Level::Info, $($args)*) };
+}
+
+/// Emit a [`Level::Debug`] event. See [`event!`].
+#[macro_export]
+macro_rules! debug {
+    ($($args:tt)*) => { $crate::event!($crate::Level::Debug, $($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_spec_parses_and_falls_back() {
+        assert_eq!(Level::from_spec(None), Level::Off);
+        assert_eq!(Level::from_spec(Some("")), Level::Off);
+        assert_eq!(Level::from_spec(Some("off")), Level::Off);
+        assert_eq!(Level::from_spec(Some("0")), Level::Off);
+        assert_eq!(Level::from_spec(Some("error")), Level::Error);
+        assert_eq!(Level::from_spec(Some("INFO")), Level::Info);
+        assert_eq!(Level::from_spec(Some(" debug ")), Level::Debug);
+        assert_eq!(Level::from_spec(Some("1")), Level::Info);
+        // Unknown spellings mean "the user wanted logging": default to info.
+        assert_eq!(Level::from_spec(Some("verbose")), Level::Info);
+    }
+
+    #[test]
+    fn level_orders_and_round_trips() {
+        assert!(Level::Off < Level::Error);
+        assert!(Level::Error < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        for level in [Level::Off, Level::Error, Level::Info, Level::Debug] {
+            let back: Level = json::from_str(&json::to_string(&level)).unwrap();
+            assert_eq!(back, level);
+            assert_eq!(Level::from_u8(level as u8), level);
+        }
+    }
+
+    #[test]
+    fn field_values_normalize_signed_integers() {
+        assert_eq!(FieldValue::from(5i64), FieldValue::U64(5));
+        assert_eq!(FieldValue::from(-5i64), FieldValue::I64(-5));
+        assert_eq!(FieldValue::from(7usize), FieldValue::U64(7));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".to_string()));
+    }
+
+    #[test]
+    fn field_values_round_trip_through_json() {
+        let fields = vec![
+            FieldValue::U64(u64::MAX),
+            FieldValue::I64(-42),
+            FieldValue::F64(0.25),
+            FieldValue::Bool(false),
+            FieldValue::Str("wear".to_string()),
+        ];
+        for field in fields {
+            let back: FieldValue = json::from_str(&json::to_string(&field)).unwrap();
+            assert_eq!(back, field);
+        }
+        assert!(json::from_str::<FieldValue>("[1]").is_err());
+    }
+}

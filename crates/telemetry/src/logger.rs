@@ -1,0 +1,68 @@
+//! The human-readable stderr sink.
+//!
+//! One line per record, prefixed `[wefr <level>]`. Span close lines read
+//! `span <name> <duration> k=v …`; event lines read `<target>: <message>
+//! k=v …`. Callers gate on [`crate::log_enabled`] before formatting.
+
+use crate::{Field, Level};
+
+/// Render a duration in the friendliest unit: µs below 1 ms, ms below 1 s,
+/// seconds above.
+pub(crate) fn fmt_duration(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.3}s", us as f64 / 1e6)
+    }
+}
+
+fn fmt_fields(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for (key, value) in fields {
+        out.push(' ');
+        out.push_str(key);
+        out.push('=');
+        out.push_str(&value.to_string());
+    }
+    out
+}
+
+/// Print a span close line at info level.
+pub(crate) fn span_line(name: &str, duration_us: u64, fields: &[Field]) {
+    eprintln!(
+        "[wefr info] span {name} {}{}",
+        fmt_duration(duration_us),
+        fmt_fields(fields)
+    );
+}
+
+/// Print an event line at its own level.
+pub(crate) fn event_line(level: Level, target: &str, message: &str, fields: &[Field]) {
+    eprintln!("[wefr {level}] {target}: {message}{}", fmt_fields(fields));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FieldValue;
+
+    #[test]
+    fn durations_pick_a_readable_unit() {
+        assert_eq!(fmt_duration(0), "0us");
+        assert_eq!(fmt_duration(999), "999us");
+        assert_eq!(fmt_duration(1_500), "1.50ms");
+        assert_eq!(fmt_duration(2_345_678), "2.346s");
+    }
+
+    #[test]
+    fn fields_render_as_kv_pairs() {
+        let fields = vec![
+            ("kept".to_string(), FieldValue::U64(4)),
+            ("reason".to_string(), FieldValue::Str("worsened".into())),
+        ];
+        assert_eq!(fmt_fields(&fields), " kept=4 reason=worsened");
+        assert_eq!(fmt_fields(&[]), "");
+    }
+}

@@ -1,0 +1,226 @@
+//! Metrics primitives: counters, gauges, and log₂-bucketed histograms.
+//!
+//! All three live in name-keyed registries on the global collector, so any
+//! crate can contribute to the same metric. Histograms bucket by the floor
+//! of `log₂(value)` — exponential buckets that keep wildly skewed
+//! distributions (per-pair Kendall distances, per-stage microseconds)
+//! summarizable in a handful of sparse entries.
+
+use std::collections::BTreeMap;
+
+use crate::{collecting, collector};
+
+/// Smallest (and, negated, largest) histogram bucket exponent. Values at or
+/// below `2^-64` — including zero, negatives, and NaN — land in the bottom
+/// bucket; values at or above `2^64` land in the top one.
+pub(crate) const MIN_EXP: i32 = -64;
+pub(crate) const MAX_EXP: i32 = 64;
+
+/// Running state of one histogram.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct HistogramData {
+    pub(crate) count: u64,
+    pub(crate) sum: f64,
+    pub(crate) min: f64,
+    pub(crate) max: f64,
+    /// Sparse buckets: exponent `e` counts observations in `[2^e, 2^(e+1))`.
+    pub(crate) buckets: BTreeMap<i32, u64>,
+}
+
+/// The bucket exponent for an observation.
+pub(crate) fn bucket_exponent(value: f64) -> i32 {
+    if value > 0.0 {
+        (value.log2().floor() as i32).clamp(MIN_EXP, MAX_EXP)
+    } else {
+        MIN_EXP
+    }
+}
+
+/// Add `delta` to the named counter (created at 0 on first use).
+pub fn counter_add(name: &str, delta: u64) {
+    if !collecting() {
+        return;
+    }
+    let mut counters = collector()
+        .counters
+        .lock()
+        .expect("telemetry counters lock");
+    *counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Set the named gauge to `value` (last write wins).
+pub fn gauge_set(name: &str, value: f64) {
+    if !collecting() {
+        return;
+    }
+    let mut gauges = collector().gauges.lock().expect("telemetry gauges lock");
+    gauges.insert(name.to_string(), value);
+}
+
+/// Record one observation in the named histogram.
+pub fn histogram_observe(name: &str, value: f64) {
+    if !collecting() {
+        return;
+    }
+    let mut histograms = collector()
+        .histograms
+        .lock()
+        .expect("telemetry histograms lock");
+    let h = histograms.entry(name.to_string()).or_default();
+    if h.count == 0 {
+        h.min = value;
+        h.max = value;
+    } else {
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+    }
+    h.count += 1;
+    h.sum += value;
+    *h.buckets.entry(bucket_exponent(value)).or_insert(0) += 1;
+}
+
+/// A counter's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+json::impl_json!(CounterSnapshot { name, value });
+
+/// A gauge's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Last written value.
+    pub value: f64,
+}
+
+json::impl_json!(GaugeSnapshot { name, value });
+
+/// A histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sparse `(exponent, count)` pairs, ascending by exponent; bucket `e`
+    /// covers `[2^e, 2^(e+1))`.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+json::impl_json!(HistogramSnapshot {
+    name,
+    count,
+    sum,
+    min,
+    max,
+    buckets
+});
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+pub(crate) fn snapshot_counters() -> Vec<CounterSnapshot> {
+    let counters = collector()
+        .counters
+        .lock()
+        .expect("telemetry counters lock");
+    counters
+        .iter()
+        .map(|(name, &value)| CounterSnapshot {
+            name: name.clone(),
+            value,
+        })
+        .collect()
+}
+
+pub(crate) fn snapshot_gauges() -> Vec<GaugeSnapshot> {
+    let gauges = collector().gauges.lock().expect("telemetry gauges lock");
+    gauges
+        .iter()
+        .map(|(name, &value)| GaugeSnapshot {
+            name: name.clone(),
+            value,
+        })
+        .collect()
+}
+
+pub(crate) fn snapshot_histograms() -> Vec<HistogramSnapshot> {
+    let histograms = collector()
+        .histograms
+        .lock()
+        .expect("telemetry histograms lock");
+    histograms
+        .iter()
+        .map(|(name, h)| HistogramSnapshot {
+            name: name.clone(),
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            buckets: h.buckets.iter().map(|(&e, &c)| (e, c)).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_exponents_are_log2_floors() {
+        assert_eq!(bucket_exponent(1.0), 0);
+        assert_eq!(bucket_exponent(1.5), 0);
+        assert_eq!(bucket_exponent(2.0), 1);
+        assert_eq!(bucket_exponent(1000.0), 9);
+        assert_eq!(bucket_exponent(0.25), -2);
+    }
+
+    #[test]
+    fn degenerate_observations_hit_the_bottom_bucket() {
+        assert_eq!(bucket_exponent(0.0), MIN_EXP);
+        assert_eq!(bucket_exponent(-3.0), MIN_EXP);
+        assert_eq!(bucket_exponent(f64::NAN), MIN_EXP);
+        assert_eq!(bucket_exponent(f64::MIN_POSITIVE), MIN_EXP);
+        assert_eq!(bucket_exponent(f64::INFINITY), MAX_EXP);
+        assert_eq!(bucket_exponent(1e300), MAX_EXP);
+    }
+
+    #[test]
+    fn snapshot_mean_handles_empty() {
+        let empty = HistogramSnapshot {
+            name: "x".into(),
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.mean(), 0.0);
+        let one = HistogramSnapshot {
+            count: 4,
+            sum: 10.0,
+            ..empty
+        };
+        assert_eq!(one.mean(), 2.5);
+    }
+}

@@ -1,0 +1,281 @@
+//! The JSON run-report sink.
+//!
+//! [`snapshot`] captures the collector's state as a [`RunReport`];
+//! [`write_run_report`] serializes it via `smart-json` to
+//! `<WEFR_TELEMETRY_OUT>/telemetry_<run>.json` (default `results/`). The
+//! report is self-contained: full span tree (flat records with parent
+//! links), every event, and all metric snapshots.
+
+use std::path::{Path, PathBuf};
+
+use crate::span::OPEN;
+use crate::{
+    collecting, collector, metrics, CounterSnapshot, EventRecord, GaugeSnapshot, HistogramSnapshot,
+    SpanRecord,
+};
+
+/// A complete telemetry capture for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Run label (becomes the `telemetry_<run>.json` file stem).
+    pub run: String,
+    /// All spans, in open order; parents precede children.
+    pub spans: Vec<SpanRecord>,
+    /// All buffered events, in emit order.
+    pub events: Vec<EventRecord>,
+    /// Events discarded after the buffer cap was reached.
+    pub dropped_events: u64,
+    /// Counter values, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+json::impl_json!(RunReport {
+    run,
+    spans,
+    events,
+    dropped_events,
+    counters,
+    gauges,
+    histograms
+});
+
+impl RunReport {
+    /// Spans with no parent.
+    pub fn roots(&self) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent.is_none()).collect()
+    }
+
+    /// Direct children of the span with id `id`, in open order.
+    pub fn children_of(&self, id: u64) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+
+    /// Spans named `name`, in open order.
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Number of spans named `name`.
+    pub fn count(&self, name: &str) -> usize {
+        self.spans_named(name).len()
+    }
+
+    /// Total wall-clock seconds across all spans named `name`. Nested spans
+    /// both count, so only sum non-overlapping names.
+    pub fn total_seconds(&self, name: &str) -> f64 {
+        self.spans_named(name)
+            .iter()
+            .map(|s| s.duration_us as f64 / 1e6)
+            .sum()
+    }
+
+    /// Distinct span names in first-open order.
+    pub fn stage_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for span in &self.spans {
+            if !names.contains(&span.name.as_str()) {
+                names.push(&span.name);
+            }
+        }
+        names
+    }
+
+    /// Check structural invariants: ids match positions, every parent
+    /// exists and precedes its child, and event span references resolve.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate_tree(&self) -> Result<(), String> {
+        for (pos, span) in self.spans.iter().enumerate() {
+            if span.id != pos as u64 {
+                return Err(format!("span at position {pos} has id {}", span.id));
+            }
+            if let Some(parent) = span.parent {
+                if parent >= span.id {
+                    return Err(format!(
+                        "span {} ({}) has non-preceding parent {parent}",
+                        span.id, span.name
+                    ));
+                }
+            }
+        }
+        for (pos, event) in self.events.iter().enumerate() {
+            if let Some(span) = event.span {
+                if span >= self.spans.len() as u64 {
+                    return Err(format!(
+                        "event {pos} ({}) references missing span {span}",
+                        event.target
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Capture the collector's current state under the label `run`. Still-open
+/// spans appear with duration 0.
+pub fn snapshot(run: &str) -> RunReport {
+    let c = collector();
+    let spans = {
+        let spans = c.spans.lock().expect("telemetry spans lock");
+        spans
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                if s.duration_us == OPEN {
+                    s.duration_us = 0;
+                }
+                s
+            })
+            .collect()
+    };
+    let (events, dropped_events) = {
+        let events = c.events.lock().expect("telemetry events lock");
+        (events.records.clone(), events.dropped)
+    };
+    RunReport {
+        run: run.to_string(),
+        spans,
+        events,
+        dropped_events,
+        counters: metrics::snapshot_counters(),
+        gauges: metrics::snapshot_gauges(),
+        histograms: metrics::snapshot_histograms(),
+    }
+}
+
+/// Reduce a run label to a safe file stem: alphanumerics, `-`, `_`, `.`
+/// pass through; everything else becomes `-`.
+fn sanitize(run: &str) -> String {
+    let cleaned: String = run
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "run".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Write `telemetry_<run>.json` under `dir` (created if needed),
+/// unconditionally — even when collection is off, in which case the report
+/// is empty. Returns the written path.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_run_report_to(run: &str, dir: &Path) -> std::io::Result<PathBuf> {
+    let report = snapshot(run);
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("telemetry_{}.json", sanitize(run)));
+    let mut text = json::to_string_pretty(&report);
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Write the run report to the directory named by `WEFR_TELEMETRY_OUT`
+/// (default `results/`) — but only when telemetry is collecting, so
+/// uninstrumented runs produce no files. Returns `Ok(None)` when skipped.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_run_report(run: &str) -> std::io::Result<Option<PathBuf>> {
+    if !collecting() {
+        return Ok(None);
+    }
+    let dir = match std::env::var("WEFR_TELEMETRY_OUT") {
+        Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("results"),
+    };
+    write_run_report_to(run, &dir).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_keeps_safe_chars() {
+        assert_eq!(sanitize("quickstart"), "quickstart");
+        assert_eq!(sanitize("exp4/wefr run"), "exp4-wefr-run");
+        assert_eq!(sanitize("a.b-c_1"), "a.b-c_1");
+        assert_eq!(sanitize(""), "run");
+    }
+
+    #[test]
+    fn validate_tree_flags_bad_links() {
+        let span = |id: u64, parent: Option<u64>| SpanRecord {
+            id,
+            parent,
+            name: format!("s{id}"),
+            start_us: 0,
+            duration_us: 1,
+            fields: vec![],
+        };
+        let mut report = RunReport {
+            run: "t".into(),
+            spans: vec![span(0, None), span(1, Some(0))],
+            events: vec![],
+            dropped_events: 0,
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        assert!(report.validate_tree().is_ok());
+        report.spans[1].parent = Some(1); // self-parent
+        assert!(report.validate_tree().is_err());
+        report.spans[1].parent = Some(0);
+        report.spans[1].id = 5; // id out of step with position
+        assert!(report.validate_tree().is_err());
+    }
+
+    #[test]
+    fn helpers_walk_the_tree() {
+        let span = |id: u64, parent: Option<u64>, name: &str, us: u64| SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            start_us: 0,
+            duration_us: us,
+            fields: vec![],
+        };
+        let report = RunReport {
+            run: "t".into(),
+            spans: vec![
+                span(0, None, "select", 100),
+                span(1, Some(0), "rankers", 40),
+                span(2, Some(1), "pearson", 10),
+                span(3, Some(1), "spearman", 12),
+                span(4, Some(0), "ensemble", 30),
+            ],
+            events: vec![],
+            dropped_events: 0,
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        assert_eq!(report.roots().len(), 1);
+        assert_eq!(report.children_of(1).len(), 2);
+        assert_eq!(report.count("ensemble"), 1);
+        assert!((report.total_seconds("rankers") - 40e-6).abs() < 1e-12);
+        assert_eq!(
+            report.stage_names(),
+            vec!["select", "rankers", "pearson", "spearman", "ensemble"]
+        );
+    }
+}

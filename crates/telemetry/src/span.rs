@@ -1,0 +1,175 @@
+//! Hierarchical tracing spans.
+//!
+//! Spans live in a flat, mutex-guarded arena on the global collector;
+//! parent links (indices into the arena) encode the tree. Each thread keeps
+//! a stack of open spans so nesting is implicit within a thread, while
+//! [`span_child_of`] lets scoped worker threads attach to a parent opened
+//! on another thread — the pattern used by the parallel ranker fan-out.
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+
+use crate::{collecting, collector, logger, now_us, Field, FieldValue, Level};
+
+/// Sentinel stored in [`SpanRecord::duration_us`] while the span is open.
+/// [`crate::snapshot`] reports still-open spans as duration 0.
+pub(crate) const OPEN: u64 = u64::MAX;
+
+/// Opaque handle to a span in the collector arena. Copyable so it can be
+/// moved into scoped worker closures for [`span_child_of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId {
+    index: usize,
+    generation: u64,
+}
+
+/// One recorded span, as exported in the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Arena index of this span; stable within one run report.
+    pub id: u64,
+    /// Arena index of the parent span, `None` for roots. Parents always
+    /// precede children, so `parent < id`.
+    pub parent: Option<u64>,
+    /// Stage name (e.g. `"ensemble"`).
+    pub name: String,
+    /// Microseconds since the collector epoch when the span opened.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds (0 if never closed).
+    pub duration_us: u64,
+    /// Key/value fields recorded on the span.
+    pub fields: Vec<Field>,
+}
+
+json::impl_json!(SpanRecord {
+    id,
+    parent,
+    name,
+    start_us,
+    duration_us,
+    fields
+});
+
+thread_local! {
+    /// Stack of spans opened (and not yet dropped) on this thread.
+    static STACK: RefCell<Vec<SpanId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost open span on the current thread, if any. Events attribute
+/// themselves to this span; [`start_span`] uses it as the parent.
+pub fn current_span() -> Option<SpanId> {
+    STACK.with(|stack| stack.borrow().last().copied())
+}
+
+/// Open a span as a child of the current thread's innermost open span (or
+/// as a root). Returns an inert guard when collection is off.
+pub fn start_span(name: &str) -> SpanGuard {
+    open_span(name, current_span())
+}
+
+/// Open a span under an explicit parent — the cross-thread variant for
+/// scoped workers, which inherit no thread-local stack from the spawning
+/// thread. `parent: None` opens a root.
+pub fn span_child_of(parent: Option<SpanId>, name: &str) -> SpanGuard {
+    open_span(name, parent)
+}
+
+fn open_span(name: &str, parent: Option<SpanId>) -> SpanGuard {
+    if !collecting() {
+        return SpanGuard { id: None };
+    }
+    let c = collector();
+    let generation = c.generation.load(Ordering::Relaxed);
+    let parent_index = parent
+        .filter(|p| p.generation == generation)
+        .map(|p| p.index as u64);
+    let start_us = now_us();
+    let index = {
+        let mut spans = c.spans.lock().expect("telemetry spans lock");
+        let id = spans.len() as u64;
+        spans.push(SpanRecord {
+            id,
+            parent: parent_index,
+            name: name.to_string(),
+            start_us,
+            duration_us: OPEN,
+            fields: Vec::new(),
+        });
+        spans.len() - 1
+    };
+    let id = SpanId { index, generation };
+    STACK.with(|stack| stack.borrow_mut().push(id));
+    SpanGuard { id: Some(id) }
+}
+
+/// RAII guard for an open span: records the wall-clock duration (and logs a
+/// stage line at `info`) when dropped. Inert — every method a no-op — when
+/// collection was off at open time.
+#[must_use = "dropping the guard immediately records a zero-length span"]
+pub struct SpanGuard {
+    id: Option<SpanId>,
+}
+
+impl SpanId {
+    pub(crate) fn arena_index(&self) -> usize {
+        self.index
+    }
+
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+impl SpanGuard {
+    /// Handle for parenting spans from other threads via [`span_child_of`].
+    /// `None` when collection is off.
+    pub fn id(&self) -> Option<SpanId> {
+        self.id
+    }
+
+    /// Attach a key/value field to the span.
+    pub fn record(&self, key: &str, value: impl Into<FieldValue>) {
+        let Some(id) = self.id else { return };
+        let c = collector();
+        if c.generation.load(Ordering::Relaxed) != id.generation {
+            return; // the arena was reset under us; the record is gone
+        }
+        let mut spans = c.spans.lock().expect("telemetry spans lock");
+        if let Some(record) = spans.get_mut(id.index) {
+            record.fields.push((key.to_string(), value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(id) = self.id else { return };
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|open| *open == id) {
+                stack.remove(pos);
+            }
+        });
+        let c = collector();
+        if c.generation.load(Ordering::Relaxed) != id.generation {
+            return;
+        }
+        let end_us = now_us();
+        let logged = {
+            let mut spans = c.spans.lock().expect("telemetry spans lock");
+            spans.get_mut(id.index).map(|record| {
+                record.duration_us = end_us.saturating_sub(record.start_us);
+                (
+                    record.name.clone(),
+                    record.duration_us,
+                    record.fields.clone(),
+                )
+            })
+        };
+        if let Some((name, duration_us, fields)) = logged {
+            if crate::log_enabled(Level::Info) {
+                logger::span_line(&name, duration_us, &fields);
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Behavioral tests for the global collector: cross-thread span trees,
+//! level gating, macro laziness, reset safety, and the event-buffer cap.
+//!
+//! Every test mutates process-global telemetry state, so they serialize on
+//! one mutex and restore the disabled default before releasing it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use telemetry::Level;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialize a test and leave telemetry disabled and empty afterwards.
+struct TelemetryTest {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl TelemetryTest {
+    fn begin() -> TelemetryTest {
+        let guard = LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        telemetry::set_log_level(Level::Off);
+        telemetry::set_collect(true);
+        telemetry::reset();
+        TelemetryTest { _guard: guard }
+    }
+}
+
+impl Drop for TelemetryTest {
+    fn drop(&mut self) {
+        telemetry::reset();
+        telemetry::set_collect(false);
+        telemetry::set_log_level(Level::Off);
+    }
+}
+
+#[test]
+fn scoped_workers_build_one_deterministic_tree() {
+    let _t = TelemetryTest::begin();
+    let worker_names = ["pearson", "spearman", "j-index", "forest", "boosting"];
+
+    {
+        let fanout = telemetry::span!("rankers", total = worker_names.len());
+        let parent = fanout.id();
+        std::thread::scope(|scope| {
+            for name in worker_names {
+                scope.spawn(move || {
+                    let span = telemetry::span_child_of(parent, name);
+                    span.record("rows", 60usize);
+                    telemetry::counter_add("rankers.completed", 1);
+                });
+            }
+        });
+    }
+
+    let report = telemetry::snapshot("scoped");
+    report.validate_tree().expect("tree invariants");
+    assert_eq!(report.spans.len(), 1 + worker_names.len());
+
+    let roots = report.roots();
+    assert_eq!(roots.len(), 1);
+    assert_eq!(roots[0].name, "rankers");
+    assert!(roots[0].duration_us > 0, "root span closed");
+
+    // Structure is deterministic even though arrival order is not: every
+    // worker span is a child of the fan-out root, names are exactly the
+    // worker set, and each carries its recorded field.
+    let children = report.children_of(roots[0].id);
+    let mut child_names: Vec<&str> = children.iter().map(|s| s.name.as_str()).collect();
+    child_names.sort_unstable();
+    let mut expected = worker_names.to_vec();
+    expected.sort_unstable();
+    assert_eq!(child_names, expected);
+    for child in &children {
+        assert_eq!(child.fields.len(), 1);
+        assert_eq!(child.fields[0].0, "rows");
+    }
+    assert_eq!(report.counters.len(), 1);
+    assert_eq!(report.counters[0].name, "rankers.completed");
+    assert_eq!(report.counters[0].value, worker_names.len() as u64);
+}
+
+#[test]
+fn nested_spans_follow_the_thread_stack() {
+    let _t = TelemetryTest::begin();
+    {
+        let _outer = telemetry::span!("select");
+        {
+            let _inner = telemetry::span!("ensemble");
+            telemetry::info!("ensemble", "kept all rankings", kept = 5usize);
+        }
+        let _sibling = telemetry::span!("threshold_scan");
+    }
+    let report = telemetry::snapshot("nested");
+    report.validate_tree().expect("tree invariants");
+    assert_eq!(
+        report.stage_names(),
+        vec!["select", "ensemble", "threshold_scan"]
+    );
+    let select_id = report.spans_named("select")[0].id;
+    assert_eq!(report.spans_named("ensemble")[0].parent, Some(select_id));
+    assert_eq!(
+        report.spans_named("threshold_scan")[0].parent,
+        Some(select_id)
+    );
+    // The event landed on the innermost span open at emit time.
+    assert_eq!(report.events.len(), 1);
+    assert_eq!(
+        report.events[0].span,
+        Some(report.spans_named("ensemble")[0].id)
+    );
+}
+
+#[test]
+fn level_filtering_gates_events_and_macro_arguments() {
+    let _t = TelemetryTest::begin();
+    telemetry::set_collect(false);
+
+    // With collection off, the recording side is inert at every level.
+    assert!(telemetry::span!("ghost").id().is_none());
+    for level in [Level::Error, Level::Info, Level::Debug] {
+        assert!(!telemetry::event_active(level));
+    }
+
+    // The stderr sink admits exactly the levels at or below WEFR_LOG.
+    telemetry::set_log_level(Level::Error);
+    assert!(telemetry::log_enabled(Level::Error));
+    assert!(!telemetry::log_enabled(Level::Info));
+    assert!(!telemetry::log_enabled(Level::Debug));
+    telemetry::set_log_level(Level::Debug);
+    assert!(telemetry::log_enabled(Level::Info));
+    assert!(telemetry::log_enabled(Level::Debug));
+    telemetry::set_log_level(Level::Off);
+    assert!(!telemetry::log_enabled(Level::Error));
+
+    // Inactive events must not even evaluate their arguments.
+    static EVALUATED: AtomicUsize = AtomicUsize::new(0);
+    fn expensive_message() -> String {
+        EVALUATED.fetch_add(1, Ordering::Relaxed);
+        "computed".to_string()
+    }
+    telemetry::debug!("test", expensive_message());
+    assert_eq!(EVALUATED.load(Ordering::Relaxed), 0, "debug! was not lazy");
+
+    // Re-enable collection: now the argument is evaluated and recorded.
+    telemetry::set_collect(true);
+    telemetry::debug!("test", expensive_message());
+    assert_eq!(EVALUATED.load(Ordering::Relaxed), 1);
+    let report = telemetry::snapshot("levels");
+    assert_eq!(report.events.len(), 1);
+    assert_eq!(report.events[0].message, "computed");
+    assert_eq!(report.events[0].level, Level::Debug);
+}
+
+#[test]
+fn reset_under_an_open_guard_is_safe() {
+    let _t = TelemetryTest::begin();
+    let stale = telemetry::span!("doomed");
+    telemetry::reset();
+    // The next span must not be corrupted by the stale guard closing.
+    let fresh = telemetry::span!("fresh");
+    stale.record("ignored", true);
+    drop(stale);
+    // Keep `fresh` open long enough to register a non-zero duration: a
+    // snapshot writes 0 for *open* spans, so `> 0` below means "closed".
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    drop(fresh);
+    let report = telemetry::snapshot("reset");
+    report.validate_tree().expect("tree invariants");
+    assert_eq!(report.spans.len(), 1);
+    assert_eq!(report.spans[0].name, "fresh");
+    assert!(report.spans[0].fields.is_empty());
+    assert!(
+        report.spans[0].duration_us > 0,
+        "fresh span closed normally"
+    );
+}
+
+#[test]
+fn event_buffer_caps_and_counts_drops() {
+    let _t = TelemetryTest::begin();
+    const OVERFLOW: usize = 100;
+    for i in 0..65_536 + OVERFLOW {
+        telemetry::emit(
+            Level::Debug,
+            "flood",
+            String::new(),
+            vec![("i".to_string(), telemetry::FieldValue::U64(i as u64))],
+        );
+    }
+    let report = telemetry::snapshot("flood");
+    assert_eq!(report.events.len(), 65_536);
+    assert_eq!(report.dropped_events, OVERFLOW as u64);
+}

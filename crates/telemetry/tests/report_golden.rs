@@ -1,0 +1,183 @@
+//! Golden test: the run-report JSON schema is pinned byte-for-byte, and a
+//! report round-trips through `crates/json` without loss.
+
+use telemetry::{
+    CounterSnapshot, EventRecord, FieldValue, GaugeSnapshot, HistogramSnapshot, Level, RunReport,
+    SpanRecord,
+};
+
+fn fixture_report() -> RunReport {
+    RunReport {
+        run: "golden".to_string(),
+        spans: vec![
+            SpanRecord {
+                id: 0,
+                parent: None,
+                name: "select".to_string(),
+                start_us: 10,
+                duration_us: 5000,
+                fields: vec![("features".to_string(), FieldValue::U64(21))],
+            },
+            SpanRecord {
+                id: 1,
+                parent: Some(0),
+                name: "rankers".to_string(),
+                start_us: 20,
+                duration_us: 3000,
+                fields: vec![
+                    ("total".to_string(), FieldValue::U64(5)),
+                    (
+                        "slowest".to_string(),
+                        FieldValue::Str("boosting".to_string()),
+                    ),
+                ],
+            },
+        ],
+        events: vec![EventRecord {
+            level: Level::Info,
+            target: "ensemble".to_string(),
+            message: "discarded outlier ranking".to_string(),
+            at_us: 40,
+            span: Some(0),
+            fields: vec![
+                ("ranker".to_string(), FieldValue::Str("j-index".to_string())),
+                ("z".to_string(), FieldValue::F64(2.5)),
+                ("kept".to_string(), FieldValue::Bool(false)),
+                ("delta".to_string(), FieldValue::I64(-3)),
+            ],
+        }],
+        dropped_events: 0,
+        counters: vec![CounterSnapshot {
+            name: "rankers.completed".to_string(),
+            value: 5,
+        }],
+        gauges: vec![GaugeSnapshot {
+            name: "wearout.threshold_days".to_string(),
+            value: 120.0,
+        }],
+        histograms: vec![HistogramSnapshot {
+            name: "ensemble.pair_distance".to_string(),
+            count: 10,
+            sum: 1100.0,
+            min: 4.0,
+            max: 400.0,
+            buckets: vec![(2, 4), (8, 6)],
+        }],
+    }
+}
+
+const GOLDEN: &str = r#"{
+  "run": "golden",
+  "spans": [
+    {
+      "id": 0,
+      "parent": null,
+      "name": "select",
+      "start_us": 10,
+      "duration_us": 5000,
+      "fields": [
+        [
+          "features",
+          21
+        ]
+      ]
+    },
+    {
+      "id": 1,
+      "parent": 0,
+      "name": "rankers",
+      "start_us": 20,
+      "duration_us": 3000,
+      "fields": [
+        [
+          "total",
+          5
+        ],
+        [
+          "slowest",
+          "boosting"
+        ]
+      ]
+    }
+  ],
+  "events": [
+    {
+      "level": "info",
+      "target": "ensemble",
+      "message": "discarded outlier ranking",
+      "at_us": 40,
+      "span": 0,
+      "fields": [
+        [
+          "ranker",
+          "j-index"
+        ],
+        [
+          "z",
+          2.5
+        ],
+        [
+          "kept",
+          false
+        ],
+        [
+          "delta",
+          -3
+        ]
+      ]
+    }
+  ],
+  "dropped_events": 0,
+  "counters": [
+    {
+      "name": "rankers.completed",
+      "value": 5
+    }
+  ],
+  "gauges": [
+    {
+      "name": "wearout.threshold_days",
+      "value": 120.0
+    }
+  ],
+  "histograms": [
+    {
+      "name": "ensemble.pair_distance",
+      "count": 10,
+      "sum": 1100.0,
+      "min": 4.0,
+      "max": 400.0,
+      "buckets": [
+        [
+          2,
+          4
+        ],
+        [
+          8,
+          6
+        ]
+      ]
+    }
+  ]
+}"#;
+
+#[test]
+fn report_serializes_to_the_golden_schema() {
+    let report = fixture_report();
+    assert_eq!(json::to_string_pretty(&report), GOLDEN);
+}
+
+#[test]
+fn golden_text_parses_back_to_the_same_report() {
+    let parsed: RunReport = json::from_str(GOLDEN).expect("golden must parse");
+    assert_eq!(parsed, fixture_report());
+    parsed.validate_tree().expect("golden tree invariants");
+}
+
+#[test]
+fn round_trip_is_lossless_for_a_fresh_serialization() {
+    let report = fixture_report();
+    let compact = json::to_string(&report);
+    let back: RunReport = json::from_str(&compact).expect("compact parse");
+    assert_eq!(back, report);
+}

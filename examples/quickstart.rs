@@ -1,12 +1,21 @@
-//! Quickstart: simulate a small SSD fleet, run WEFR, and print the selected
-//! learning features.
+//! Quickstart: simulate a small SSD fleet, run WEFR, train a failure
+//! predictor on the selected features, and evaluate it on the final months.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
+//!
+//! Set `WEFR_LOG=info` (or `debug`) for stage-level tracing on stderr, and
+//! `WEFR_TELEMETRY_OUT=<dir>` to redirect the JSON run report (default
+//! `results/telemetry_quickstart.json`). Telemetry never changes stdout or
+//! the computed selections.
 
 use smart_dataset::{DriveModel, Fleet, FleetConfig};
-use smart_pipeline::{base_matrix, collect_samples, survival_pairs, SamplingConfig};
+use smart_pipeline::evaluate::metrics_at_threshold;
+use smart_pipeline::{
+    base_features, base_matrix, collect_samples, metrics_at_fixed_recall, score_phase,
+    survival_pairs, FailurePredictor, PredictorConfig, SamplingConfig,
+};
 use wefr_core::{SelectionInput, Wefr};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -72,6 +81,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             w.change_point.mwi_threshold, w.low.selected_names, w.high.selected_names
         ),
         None => println!("\nno wear-out change point at this scale"),
+    }
+
+    // 4. Train a Random Forest on the selected features, expanded to the
+    //    full learning set, over the first ten months.
+    let all_base = base_features(DriveModel::Mc1);
+    let selected_base: Vec<_> = selection
+        .global
+        .selected
+        .iter()
+        .map(|&c| all_base[c])
+        .collect();
+    let train_samples =
+        collect_samples(&fleet, DriveModel::Mc1, 0, 299, &SamplingConfig::default())?;
+    let predictor_config = PredictorConfig {
+        n_trees: 40,
+        max_depth: 10,
+        seed: 7,
+        n_threads: None,
+    };
+    let predictor =
+        FailurePredictor::train(&fleet, &train_samples, &selected_base, &predictor_config)?;
+    println!(
+        "\ntrained {} trees on {} samples over {} selected base features",
+        predictor_config.n_trees,
+        train_samples.len(),
+        selected_base.len()
+    );
+
+    // 5. Evaluate on the held-out final months: drive-level scoring with a
+    //    30-day horizon, at fixed recall when the phase has failures.
+    let scores = score_phase(&predictor, &fleet, DriveModel::Mc1, 300, 364, 30)?;
+    let metrics = match metrics_at_fixed_recall(&scores, 0.4) {
+        Ok((metrics, _threshold)) => metrics,
+        // No failed drives in the phase: fall back to a fixed threshold.
+        Err(_) => metrics_at_threshold(&scores, 0.5),
+    };
+    println!(
+        "evaluation over {} drives: precision {:.2}, recall {:.2}, F0.5 {:.2} (tp={} fp={} fn={})",
+        scores.len(),
+        metrics.precision,
+        metrics.recall,
+        metrics.f_half,
+        metrics.tp,
+        metrics.fp,
+        metrics.fn_
+    );
+
+    // Export the telemetry run report (a no-op unless WEFR_LOG or
+    // WEFR_TELEMETRY_OUT enabled collection). Stderr only: stdout stays
+    // identical with telemetry on or off.
+    if let Some(path) = telemetry::write_run_report("quickstart")? {
+        eprintln!("telemetry report written to {}", path.display());
     }
     Ok(())
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: format, hermetic offline build, tests, docs, and a hard check
-# that the dependency graph contains zero registry crates (DESIGN.md §5).
+# CI gate: format, hermetic offline build, tests, docs, a hard check that
+# the dependency graph contains zero registry crates (DESIGN.md §5), and a
+# telemetry smoke run that must export a parseable run report (DESIGN.md §6).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,19 +20,24 @@ step "cargo doc --no-deps --offline"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
 step "hermeticity: dependency graph must contain only in-repo path crates"
-# Every package in `cargo metadata` must live under this repo; registry
-# crates carry a non-null "source" field.
-external=$(cargo metadata --format-version 1 --offline \
-  | tr ',' '\n' \
-  | grep -o '"source":"[^"]*"' \
-  | sort -u || true)
-if [ -n "$external" ]; then
-  echo "ERROR: external registry dependencies found:" >&2
-  echo "$external" >&2
+# check_hermetic parses the real metadata JSON (via smart-json) and fails on
+# any package whose "source" is non-null, i.e. anything registry- or
+# git-sourced.
+cargo metadata --format-version 1 --offline \
+  | cargo run -q --release --offline -p smart-integration --bin check_hermetic
+
+step "telemetry smoke: quickstart traces and exports a valid run report"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+WEFR_LOG=debug WEFR_TELEMETRY_OUT="$tmpdir" \
+  cargo run -q --release --offline -p smart-integration --example quickstart \
+  > "$tmpdir/stdout.txt" 2> "$tmpdir/stderr.txt"
+grep -q 'span rankers' "$tmpdir/stderr.txt" || {
+  echo "ERROR: no ranker span lines on stderr at WEFR_LOG=debug" >&2
   exit 1
-fi
-count=$(cargo metadata --format-version 1 --offline \
-  | grep -o '"name":"[a-z-]*","version"' | sort -u | wc -l)
-echo "OK: $count workspace-local packages, zero registry crates"
+}
+cargo run -q --release --offline -p smart-integration --bin check_telemetry_report \
+  "$tmpdir/telemetry_quickstart.json" \
+  rankers ensemble threshold_scan change_point wearout_split evaluate
 
 step "all checks passed"
