@@ -1,0 +1,114 @@
+//! Paired split-engine benchmark: Random-Forest training wall-clock under
+//! the exact engine (per-node sort, O(n log n) per feature) versus the
+//! histogram engine (shared `BinnedMatrix`, O(n) accumulation per feature),
+//! on the MC1 characterization matrix the experiments use.
+//!
+//! Timings come from the telemetry span tree, the same stopwatch as
+//! `exp4_runtime`. With `--out DIR` the run writes `DIR/BENCH_pr3.json`;
+//! the committed `results/BENCH_pr3.json` was produced at the default
+//! fleet size (`--model mc1`, 400 drives, 730 days).
+
+use smart_dataset::DriveModel;
+use smart_trees::{ForestConfig, MaxFeatures, RandomForest, SplitStrategy, TreeConfig};
+use wefr_bench::{characterization_matrix, print_header, RunOptions};
+
+struct StrategyRow {
+    method: String,
+    mean_seconds: f64,
+    rounds: usize,
+}
+
+json::impl_to_json!(StrategyRow {
+    method,
+    mean_seconds,
+    rounds
+});
+
+struct SplitBenchReport {
+    n_rows: usize,
+    n_features: usize,
+    n_trees: usize,
+    max_depth: usize,
+    rows: Vec<StrategyRow>,
+    /// Exact mean divided by histogram mean (> 1 means histogram is faster).
+    speedup: f64,
+}
+
+json::impl_to_json!(SplitBenchReport {
+    n_rows,
+    n_features,
+    n_trees,
+    max_depth,
+    rows,
+    speedup
+});
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let fleet = opts.fleet();
+    // The span tree is the stopwatch — collect regardless of WEFR_LOG.
+    telemetry::set_collect(true);
+    let (matrix, labels, _) = characterization_matrix(&fleet, DriveModel::Mc1, opts.seed);
+    let rounds = if opts.quick { 2 } else { 3 };
+    let n_trees = if opts.quick { 20 } else { 50 };
+    let max_depth = 13;
+
+    print_header("Split-strategy benchmark: RF training, exact vs histogram");
+    println!(
+        "matrix: {} samples x {} features; {} trees, depth {}; {} timing rounds\n",
+        matrix.n_rows(),
+        matrix.n_features(),
+        n_trees,
+        max_depth,
+        rounds
+    );
+
+    let mut rows = Vec::new();
+    let mut means = [0.0f64; 2];
+    for (slot, (label, strategy)) in [
+        ("rf_train/exact", SplitStrategy::Exact),
+        ("rf_train/histogram", SplitStrategy::Histogram),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let config = ForestConfig {
+            n_trees,
+            tree: TreeConfig {
+                max_depth,
+                min_samples_leaf: 2,
+                max_features: MaxFeatures::Sqrt,
+                ..TreeConfig::default()
+            },
+            seed: opts.seed,
+            n_threads: None,
+            strategy,
+        };
+        RandomForest::fit(&matrix, &labels, &config).expect("two-class data"); // warm-up
+        telemetry::reset();
+        for _ in 0..rounds {
+            let _round = telemetry::span!(label);
+            RandomForest::fit(&matrix, &labels, &config).expect("two-class data");
+        }
+        let mean = telemetry::snapshot("bench_split").total_seconds(label) / rounds as f64;
+        means[slot] = mean;
+        println!("{label:<22} {mean:>9.3} s");
+        rows.push(StrategyRow {
+            method: label.to_string(),
+            mean_seconds: mean,
+            rounds,
+        });
+    }
+
+    let speedup = means[0] / means[1];
+    println!("\nexact / histogram = {speedup:.2}x");
+    let report = SplitBenchReport {
+        n_rows: matrix.n_rows(),
+        n_features: matrix.n_features(),
+        n_trees,
+        max_depth,
+        rows,
+        speedup,
+    };
+    opts.write_json("BENCH_pr3", &report);
+}

@@ -14,6 +14,7 @@
 
 use smart_dataset::DriveModel;
 use smart_pipeline::experiment::SelectorKind;
+use smart_trees::{ForestConfig, MaxFeatures, RandomForest, SplitStrategy, TreeConfig};
 use wefr_bench::{characterization_matrix, print_header, RunOptions};
 use wefr_core::{SelectionInput, Wefr, WefrConfig};
 
@@ -118,10 +119,54 @@ fn main() {
         });
     }
 
+    // Paired prediction-model trainings: the same forest, once per split
+    // engine. The histogram engine is the production default; the exact
+    // engine is its reference (see DESIGN.md on binned training).
+    let forest_config = |strategy: SplitStrategy| ForestConfig {
+        n_trees: if opts.quick { 20 } else { 50 },
+        tree: TreeConfig {
+            max_depth: 13,
+            min_samples_leaf: 2,
+            max_features: MaxFeatures::Sqrt,
+            ..TreeConfig::default()
+        },
+        seed: opts.seed,
+        n_threads: None,
+        strategy,
+    };
+    let mut rf_means = [0.0f64; 2];
+    for (slot, (label, strategy)) in [
+        ("rf_train/exact", SplitStrategy::Exact),
+        ("rf_train/histogram", SplitStrategy::Histogram),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let config = forest_config(strategy);
+        RandomForest::fit(&matrix, &labels, &config).expect("two-class data"); // warm-up
+        telemetry::reset();
+        for _ in 0..rounds {
+            let _round = telemetry::span!(label);
+            RandomForest::fit(&matrix, &labels, &config).expect("two-class data");
+        }
+        let mean = telemetry::snapshot("exp4_rf_train").total_seconds(label) / rounds as f64;
+        rf_means[slot] = mean;
+        println!("{label:<22} {mean:>9.3} s");
+        rows.push(RuntimeRow {
+            method: label.to_string(),
+            mean_seconds: mean,
+            rounds,
+        });
+    }
+
     println!(
         "\nWEFR / slowest single selector = {:.2}x (paper: 22.9s / 20.4s = 1.12x; \
          parallel execution keeps WEFR near the slowest selector)",
         wefr_mean / slowest
+    );
+    println!(
+        "RF training, exact / histogram = {:.2}x",
+        rf_means[0] / rf_means[1]
     );
     opts.write_json("exp4_runtime", &rows);
 }

@@ -6,7 +6,7 @@ use crate::label::SampleRef;
 use crate::matrix::expanded_matrix;
 use smart_dataset::{DriveRecord, FeatureId, Fleet};
 use smart_stats::FeatureMatrix;
-use smart_trees::{ForestConfig, MaxFeatures, RandomForest, TreeConfig};
+use smart_trees::{ForestConfig, MaxFeatures, RandomForest, SplitStrategy, TreeConfig};
 
 /// Prediction-model hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,6 +19,10 @@ pub struct PredictorConfig {
     pub seed: u64,
     /// Worker threads (`None` = available parallelism).
     pub n_threads: Option<usize>,
+    /// Split-search engine. Defaults to the `WEFR_SPLIT_STRATEGY`
+    /// environment override when set, [`SplitStrategy::Histogram`]
+    /// otherwise.
+    pub strategy: SplitStrategy,
 }
 
 impl Default for PredictorConfig {
@@ -28,6 +32,7 @@ impl Default for PredictorConfig {
             max_depth: 13,
             seed: 0,
             n_threads: None,
+            strategy: SplitStrategy::from_env().unwrap_or_default(),
         }
     }
 }
@@ -44,6 +49,7 @@ impl PredictorConfig {
             },
             seed: self.seed,
             n_threads: self.n_threads,
+            strategy: self.strategy,
         }
     }
 }
@@ -144,6 +150,7 @@ mod tests {
             max_depth: 8,
             seed: 1,
             n_threads: Some(2),
+            ..PredictorConfig::default()
         }
     }
 

@@ -34,6 +34,62 @@ pub fn kendall_tau_distance(order_a: &[usize], order_b: &[usize]) -> Result<u64>
             order_b.len(),
         ));
     }
+    checked_positions(order_a)?;
+    let pos_b = checked_positions(order_b)?;
+    // Walk a's ranking and record where b placed each item: the discordant
+    // pairs are exactly the inversions of that sequence, countable in
+    // O(n log n) by merge sort instead of the O(n²) all-pairs scan.
+    let mut seq: Vec<usize> = order_a.iter().map(|&item| pos_b[item]).collect();
+    let mut buf = vec![0usize; seq.len()];
+    Ok(count_inversions(&mut seq, &mut buf))
+}
+
+/// Count inversions of `seq` by bottom-up merge sort (`seq` ends sorted;
+/// `buf` is scratch of the same length).
+fn count_inversions(seq: &mut [usize], buf: &mut [usize]) -> u64 {
+    let n = seq.len();
+    let mut inversions = 0u64;
+    let mut width = 1;
+    while width < n {
+        for start in (0..n).step_by(2 * width) {
+            let mid = (start + width).min(n);
+            let end = (start + 2 * width).min(n);
+            if mid == end {
+                continue;
+            }
+            // Merge seq[start..mid] and seq[mid..end] into buf, counting
+            // how many left elements each right element jumps over.
+            let (mut i, mut j, mut k) = (start, mid, start);
+            while i < mid && j < end {
+                if seq[i] <= seq[j] {
+                    buf[k] = seq[i];
+                    i += 1;
+                } else {
+                    inversions += (mid - i) as u64;
+                    buf[k] = seq[j];
+                    j += 1;
+                }
+                k += 1;
+            }
+            buf[k..k + (mid - i)].copy_from_slice(&seq[i..mid]);
+            buf[k + (mid - i)..end].copy_from_slice(&seq[j..end]);
+            seq[start..end].copy_from_slice(&buf[start..end]);
+        }
+        width *= 2;
+    }
+    inversions
+}
+
+/// Reference all-pairs implementation of [`kendall_tau_distance`] — O(n²),
+/// kept as the property-test oracle for the merge-sort version.
+pub fn kendall_tau_distance_naive(order_a: &[usize], order_b: &[usize]) -> Result<u64> {
+    if order_a.len() != order_b.len() {
+        return Err(StatsError::mismatch(
+            "kendall_tau_distance",
+            order_a.len(),
+            order_b.len(),
+        ));
+    }
     let pos_a = checked_positions(order_a)?;
     let pos_b = checked_positions(order_b)?;
     let n = order_a.len();
@@ -168,5 +224,44 @@ mod tests {
             let d = kendall_tau_distance(&a, &b).unwrap();
             assert!(d <= 9 * 8 / 2);
         });
+    }
+
+    #[test]
+    fn prop_merge_sort_matches_naive_oracle() {
+        rng::prop_check!(|g| {
+            let n = g.usize_in(0, 40);
+            let a = g.permutation(n);
+            let b = g.permutation(n);
+            assert_eq!(
+                kendall_tau_distance(&a, &b).unwrap(),
+                kendall_tau_distance_naive(&a, &b).unwrap(),
+            );
+        });
+    }
+
+    #[test]
+    fn merge_sort_matches_naive_up_to_n_1000() {
+        // Deterministic large cases, including the worst case (full
+        // reversal, the maximum n(n-1)/2 inversions).
+        use rng::prop::Gen;
+        let mut g = Gen::new(0xD15C0);
+        for n in [1usize, 2, 3, 10, 100, 537, 1000] {
+            let a: Vec<usize> = (0..n).collect();
+            let reversed: Vec<usize> = (0..n).rev().collect();
+            assert_eq!(
+                kendall_tau_distance(&a, &reversed).unwrap(),
+                (n * n.saturating_sub(1) / 2) as u64
+            );
+            let b = g.permutation(n);
+            assert_eq!(
+                kendall_tau_distance(&a, &b).unwrap(),
+                kendall_tau_distance_naive(&a, &b).unwrap(),
+            );
+            let c = g.permutation(n);
+            assert_eq!(
+                kendall_tau_distance(&c, &b).unwrap(),
+                kendall_tau_distance_naive(&c, &b).unwrap(),
+            );
+        }
     }
 }

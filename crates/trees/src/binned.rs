@@ -1,0 +1,472 @@
+//! Histogram-binned feature matrix and O(n) split search.
+//!
+//! The exact engine re-sorts a freshly allocated `(value, target)` pair vec
+//! for every candidate feature at every node — O(nodes × features ×
+//! n log n) with per-node allocation. Binning quantizes each feature
+//! **once per dataset** into at most [`DEFAULT_MAX_BINS`] ordered bins
+//! (`u8` codes), after which a node's split search is one O(n) pass
+//! accumulating per-bin target sums/counts plus an O(bins) boundary scan —
+//! the LightGBM-style trick. The one [`BinnedMatrix`] is shared, read-only,
+//! across all trees of a forest or booster.
+//!
+//! Two binning paths per feature:
+//!
+//! * **Exact** (≤ `max_bins` distinct values): every distinct value gets its
+//!   own bin, so histogram split search returns *identical* gains,
+//!   thresholds, and partitions to the exact engine.
+//! * **Quantile** (more distinct values than bins): bin edges are placed at
+//!   equally spaced ranks of the sorted column. Thresholds are the largest
+//!   *observed* value of each bin, so `value <= threshold` routing matches
+//!   the exact engine's left-boundary semantics on every training row.
+//!
+//! Bins are per-dataset, so training stays deterministic and independent of
+//! worker count: every tree reads the same codes and the same thresholds.
+
+use crate::error::TreesError;
+use crate::split::Split;
+use smart_stats::FeatureMatrix;
+
+/// Default (and maximum) number of bins per feature. 255 keeps codes in a
+/// `u8` and matches the LightGBM default.
+pub const DEFAULT_MAX_BINS: usize = 255;
+
+/// A feature matrix quantized to per-feature `u8` bin codes, built once per
+/// dataset and shared by every tree trained under
+/// [`SplitStrategy::Histogram`](crate::SplitStrategy::Histogram).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedMatrix {
+    names: Vec<String>,
+    /// `codes[feature][row]` — bin id of the row's value, `0..n_bins`.
+    codes: Vec<Vec<u8>>,
+    /// `uppers[feature][bin]` — the largest observed value in the bin
+    /// (strictly increasing per feature). Doubles as the split threshold
+    /// for the boundary after the bin.
+    uppers: Vec<Vec<f64>>,
+    /// Per-feature flag: true when every distinct value got its own bin
+    /// (histogram splits are then exactly the exact engine's splits).
+    exact: Vec<bool>,
+    n_rows: usize,
+}
+
+impl BinnedMatrix {
+    /// Bin every column of `data` into at most [`DEFAULT_MAX_BINS`] bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreesError::NonFinite`] if a column contains a NaN or
+    /// infinite value (defense in depth — [`FeatureMatrix`] construction
+    /// already rejects them).
+    pub fn from_matrix(data: &FeatureMatrix) -> Result<Self, TreesError> {
+        BinnedMatrix::with_max_bins(data, DEFAULT_MAX_BINS)
+    }
+
+    /// Bin every column of `data` into at most `max_bins` bins
+    /// (clamped to `2..=255` so codes fit a `u8`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreesError::NonFinite`] for NaN/infinite cells.
+    pub fn with_max_bins(data: &FeatureMatrix, max_bins: usize) -> Result<Self, TreesError> {
+        let max_bins = max_bins.clamp(2, DEFAULT_MAX_BINS);
+        let span = telemetry::span!(
+            "trees/bin",
+            rows = data.n_rows(),
+            features = data.n_features(),
+            max_bins = max_bins,
+        );
+        let mut codes = Vec::with_capacity(data.n_features());
+        let mut uppers = Vec::with_capacity(data.n_features());
+        let mut exact = Vec::with_capacity(data.n_features());
+        for feature in 0..data.n_features() {
+            let (col_codes, col_uppers, col_exact) = bin_column(data.column(feature), max_bins)
+                .map_err(|_| TreesError::NonFinite { feature })?;
+            codes.push(col_codes);
+            uppers.push(col_uppers);
+            exact.push(col_exact);
+        }
+        let n_exact = exact.iter().filter(|&&e| e).count();
+        span.record("exact_features", n_exact);
+        span.record("quantized_features", exact.len() - n_exact);
+        telemetry::counter_add("trees.bin.matrices", 1);
+        telemetry::counter_add("trees.bin.features_exact", n_exact as u64);
+        telemetry::counter_add(
+            "trees.bin.features_quantized",
+            (exact.len() - n_exact) as u64,
+        );
+        Ok(BinnedMatrix {
+            names: data.feature_names().to_vec(),
+            codes,
+            uppers,
+            exact,
+            n_rows: data.n_rows(),
+        })
+    }
+
+    /// Number of samples (rows).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of learning features (columns).
+    pub fn n_features(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Feature names, in column order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Bin codes of feature `feature` across all rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of bounds.
+    pub fn codes(&self, feature: usize) -> &[u8] {
+        &self.codes[feature]
+    }
+
+    /// Per-bin upper values (split thresholds) of feature `feature`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of bounds.
+    pub fn bin_uppers(&self, feature: usize) -> &[f64] {
+        &self.uppers[feature]
+    }
+
+    /// Number of bins of feature `feature`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of bounds.
+    pub fn n_bins(&self, feature: usize) -> usize {
+        self.uppers[feature].len()
+    }
+
+    /// Whether feature `feature` was binned losslessly (one bin per
+    /// distinct value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of bounds.
+    pub fn is_exact(&self, feature: usize) -> bool {
+        self.exact[feature]
+    }
+
+    /// The quantized matrix: every value replaced by its bin's upper value.
+    ///
+    /// Routing any quantized row through a histogram-trained tree is
+    /// identical to routing the original row (thresholds are bin uppers),
+    /// and permuting a quantized column is exactly a permutation of bin
+    /// ids — the form the binned permutation importance uses.
+    pub fn quantized_matrix(&self) -> FeatureMatrix {
+        let columns: Vec<Vec<f64>> = (0..self.n_features())
+            .map(|f| {
+                let uppers = &self.uppers[f];
+                self.codes[f].iter().map(|&c| uppers[c as usize]).collect()
+            })
+            .collect();
+        FeatureMatrix::from_columns(self.names.clone(), columns)
+            .expect("binned values are finite by construction")
+    }
+
+    /// Histogram best split of one feature over `rows` — the O(n) + O(bins)
+    /// counterpart of [`best_split`](crate::split::best_split).
+    ///
+    /// Equivalent to running the exact search on the quantized column: on a
+    /// losslessly binned feature ([`is_exact`](Self::is_exact)) the result
+    /// is identical to the exact engine's; on a quantile-binned feature the
+    /// candidate boundaries are a subset of the exact engine's, so the
+    /// returned gain never exceeds the exact gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` or any row index is out of bounds.
+    pub fn best_split(
+        &self,
+        feature: usize,
+        rows: &[usize],
+        targets: &[f64],
+        min_samples_leaf: usize,
+    ) -> Option<Split> {
+        let mut scratch = HistScratch::new();
+        let hist = scratch.accumulate(self, feature, rows, targets);
+        scan_boundaries(
+            &hist.sum,
+            &hist.cnt,
+            &self.uppers[feature],
+            rows.len(),
+            min_samples_leaf,
+        )
+        .map(|(split, _)| split)
+    }
+}
+
+/// Quantize one column: returns `(codes, bin uppers, exact?)`.
+///
+/// Split out of [`BinnedMatrix::with_max_bins`] so the NaN validation path
+/// is unit-testable (a `FeatureMatrix` can never hold a NaN cell).
+pub(crate) fn bin_column(
+    values: &[f64],
+    max_bins: usize,
+) -> Result<(Vec<u8>, Vec<f64>, bool), TreesError> {
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(TreesError::NonFinite { feature: 0 });
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+
+    let mut distinct = sorted.clone();
+    distinct.dedup();
+    let n_distinct = distinct.len();
+
+    let n = sorted.len();
+    let uppers: Vec<f64> = if n_distinct <= max_bins {
+        distinct
+    } else {
+        // Quantile edges: the value at rank ceil(i·n/max_bins) − 1 for
+        // i = 1..=max_bins, deduplicated. Equal values always share a bin.
+        let mut edges: Vec<f64> = (1..=max_bins)
+            .map(|i| sorted[i * n / max_bins - 1])
+            .collect();
+        edges.dedup();
+        // The last edge is sorted[n-1], the column maximum, so every value
+        // lands in a bin.
+        edges
+    };
+
+    let exact = uppers.len() == n_distinct;
+    let codes: Vec<u8> = values
+        .iter()
+        .map(|&v| uppers.partition_point(|&u| u < v) as u8)
+        .collect();
+    Ok((codes, uppers, exact))
+}
+
+/// Reusable per-feature histogram scratch (sums and counts per bin), sized
+/// for the maximum bin count so one allocation serves a whole tree.
+#[derive(Debug)]
+pub(crate) struct HistScratch {
+    sum: Vec<f64>,
+    cnt: Vec<u32>,
+}
+
+/// One feature's histogram over a node's rows, borrowed from the scratch.
+pub(crate) struct Histogram<'a> {
+    pub sum: &'a [f64],
+    pub cnt: &'a [u32],
+}
+
+impl HistScratch {
+    pub(crate) fn new() -> Self {
+        HistScratch {
+            sum: vec![0.0; DEFAULT_MAX_BINS],
+            cnt: vec![0; DEFAULT_MAX_BINS],
+        }
+    }
+
+    /// Accumulate per-bin target sums/counts of `feature` over `rows`.
+    ///
+    /// The scratch is zeroed up to the feature's bin count on entry, so it
+    /// can be reused across features and nodes without re-allocation.
+    pub(crate) fn accumulate<'a>(
+        &'a mut self,
+        binned: &BinnedMatrix,
+        feature: usize,
+        rows: &[usize],
+        targets: &[f64],
+    ) -> Histogram<'a> {
+        let n_bins = binned.n_bins(feature);
+        self.sum[..n_bins].fill(0.0);
+        self.cnt[..n_bins].fill(0);
+        let codes = binned.codes(feature);
+        for &r in rows {
+            let b = codes[r] as usize;
+            self.sum[b] += targets[r];
+            self.cnt[b] += 1;
+        }
+        Histogram {
+            sum: &self.sum[..n_bins],
+            cnt: &self.cnt[..n_bins],
+        }
+    }
+}
+
+/// Scan the bin boundaries of one histogram for the best variance-reduction
+/// split. Returns the split and the boundary bin index (rows with
+/// `code <= bin` go left).
+///
+/// Mirrors the exact engine's scan exactly: boundaries are considered in
+/// ascending value order, only after non-empty bins (the histogram analogue
+/// of "can't split between equal values"), under the same
+/// `min_samples_leaf` and strictly-greater gain rules — so ties resolve to
+/// the same boundary the exact engine picks.
+pub(crate) fn scan_boundaries(
+    sum: &[f64],
+    cnt: &[u32],
+    uppers: &[f64],
+    n: usize,
+    min_samples_leaf: usize,
+) -> Option<(Split, usize)> {
+    if n < 2 * min_samples_leaf || uppers.len() < 2 {
+        return None;
+    }
+    let total_sum: f64 = sum.iter().sum();
+    let base = total_sum * total_sum / n as f64;
+
+    let mut best: Option<(Split, usize)> = None;
+    let mut left_sum = 0.0;
+    let mut left_cnt = 0usize;
+    for b in 0..uppers.len() - 1 {
+        left_sum += sum[b];
+        left_cnt += cnt[b] as usize;
+        if cnt[b] == 0 {
+            continue;
+        }
+        if left_cnt == n {
+            break;
+        }
+        if left_cnt < min_samples_leaf || n - left_cnt < min_samples_leaf {
+            continue;
+        }
+        let right_sum = total_sum - left_sum;
+        let gain = left_sum * left_sum / left_cnt as f64
+            + right_sum * right_sum / (n - left_cnt) as f64
+            - base;
+        if gain > best.as_ref().map_or(1e-12, |(s, _)| s.gain) {
+            best = Some((
+                Split {
+                    threshold: uppers[b],
+                    gain,
+                    n_left: left_cnt,
+                },
+                b,
+            ));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(columns: Vec<Vec<f64>>) -> FeatureMatrix {
+        let names = (0..columns.len()).map(|i| format!("f{i}")).collect();
+        FeatureMatrix::from_columns(names, columns).unwrap()
+    }
+
+    #[test]
+    fn low_cardinality_column_bins_exactly() {
+        let m = matrix(vec![vec![5.0, 1.0, 3.0, 1.0, 5.0]]);
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        assert!(b.is_exact(0));
+        assert_eq!(b.n_bins(0), 3);
+        assert_eq!(b.bin_uppers(0), &[1.0, 3.0, 5.0]);
+        assert_eq!(b.codes(0), &[2, 0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn high_cardinality_column_is_quantized() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let m = matrix(vec![values.clone()]);
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        assert!(!b.is_exact(0));
+        assert_eq!(b.n_bins(0), DEFAULT_MAX_BINS);
+        // Uppers are strictly increasing observed values ending at the max.
+        let uppers = b.bin_uppers(0);
+        assert!(uppers.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*uppers.last().unwrap(), 999.0);
+        // Codes are consistent with the threshold semantics: value <=
+        // uppers[code], and value > uppers[code - 1].
+        for (i, &v) in values.iter().enumerate() {
+            let c = b.codes(0)[i] as usize;
+            assert!(v <= uppers[c]);
+            if c > 0 {
+                assert!(v > uppers[c - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_values_share_a_bin_after_quantization() {
+        // 400 distinct values (forcing the quantile path), each repeated
+        // twice, with a heavy tie group at zero.
+        let mut values = vec![0.0; 100];
+        for i in 0..400 {
+            values.push(i as f64);
+            values.push(i as f64);
+        }
+        let m = matrix(vec![values.clone()]);
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        assert!(!b.is_exact(0));
+        let codes = b.codes(0);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] == values[j] {
+                    assert_eq!(codes[i], codes[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bin_column_rejects_nan_and_infinite() {
+        assert!(matches!(
+            bin_column(&[1.0, f64::NAN, 2.0], 255),
+            Err(TreesError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            bin_column(&[1.0, f64::INFINITY], 255),
+            Err(TreesError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn quantized_matrix_preserves_exact_columns() {
+        let m = matrix(vec![vec![5.0, 1.0, 3.0], vec![0.5, 0.25, 0.75]]);
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        assert_eq!(b.quantized_matrix(), m);
+    }
+
+    #[test]
+    fn histogram_split_matches_exact_on_low_cardinality() {
+        let m = matrix(vec![vec![1.0, 2.0, 10.0, 11.0]]);
+        let targets = [0.0, 0.0, 1.0, 1.0];
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        let s = b.best_split(0, &[0, 1, 2, 3], &targets, 1).unwrap();
+        assert_eq!(s.threshold, 2.0);
+        assert_eq!(s.n_left, 2);
+        assert!((s.gain - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_split_respects_subset_rows() {
+        let m = matrix(vec![vec![1.0, 2.0, 10.0, 11.0]]);
+        let targets = [0.0, 1.0, 1.0, 0.0];
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        // Only rows {0, 2}: a clean 0-vs-1 split at threshold 1.
+        let s = b.best_split(0, &[0, 2], &targets, 1).unwrap();
+        assert_eq!(s.threshold, 1.0);
+        assert_eq!(s.n_left, 1);
+    }
+
+    #[test]
+    fn constant_feature_has_no_split() {
+        let m = matrix(vec![vec![7.0, 7.0, 7.0]]);
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        assert!(b.best_split(0, &[0, 1, 2], &[0.0, 1.0, 0.0], 1).is_none());
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let m = matrix(vec![vec![1.0, 2.0, 3.0, 4.0]]);
+        let targets = [0.0, 1.0, 1.0, 1.0];
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        if let Some(s) = b.best_split(0, &[0, 1, 2, 3], &targets, 2) {
+            assert!(s.n_left >= 2 && 4 - s.n_left >= 2);
+        }
+        assert!(b.best_split(0, &[0, 1], &targets, 2).is_none());
+    }
+}

@@ -27,6 +27,11 @@ pub enum TreesError {
         /// Number of features in the prediction input.
         given: usize,
     },
+    /// A feature column contained a NaN or infinite value.
+    NonFinite {
+        /// Index of the offending feature column.
+        feature: usize,
+    },
 }
 
 impl fmt::Display for TreesError {
@@ -43,6 +48,10 @@ impl fmt::Display for TreesError {
             TreesError::SchemaMismatch { trained, given } => write!(
                 f,
                 "model was trained on {trained} features but input has {given}"
+            ),
+            TreesError::NonFinite { feature } => write!(
+                f,
+                "feature column {feature} contains a NaN or infinite value"
             ),
         }
     }

@@ -6,7 +6,8 @@
 //! depth 13) and as one of the five preliminary feature-selection approaches
 //! (via feature importance, §II-C).
 
-use crate::config::{MaxFeatures, TreeConfig};
+use crate::binned::BinnedMatrix;
+use crate::config::{MaxFeatures, SplitStrategy, TreeConfig};
 use crate::error::TreesError;
 use crate::tree::RegressionTree;
 use rng::rngs::StdRng;
@@ -27,6 +28,8 @@ pub struct ForestConfig {
     /// Number of worker threads for training and importance computation
     /// (`None` = available parallelism).
     pub n_threads: Option<usize>,
+    /// Split-search engine (default: [`SplitStrategy::Histogram`]).
+    pub strategy: SplitStrategy,
 }
 
 impl Default for ForestConfig {
@@ -39,6 +42,7 @@ impl Default for ForestConfig {
             },
             seed: 0,
             n_threads: None,
+            strategy: SplitStrategy::default(),
         }
     }
 }
@@ -82,6 +86,12 @@ impl RandomForest {
         }
         let targets: Vec<f64> = labels.iter().map(|&l| f64::from(u8::from(l))).collect();
 
+        // Bin once, share read-only across every tree and worker.
+        let binned = match config.strategy {
+            SplitStrategy::Histogram => Some(BinnedMatrix::from_matrix(data)?),
+            SplitStrategy::Exact => None,
+        };
+
         let n_threads = effective_threads(config.n_threads, config.n_trees);
         let results: Vec<(RegressionTree, Vec<usize>)> =
             run_indexed_parallel(config.n_trees, n_threads, |tree_idx| {
@@ -89,8 +99,13 @@ impl RandomForest {
                 let bootstrap =
                     bootstrap_indices(&mut rng, data.n_rows()).expect("n_rows checked > 0");
                 let oob = out_of_bag_indices(&bootstrap, data.n_rows());
-                let tree = RegressionTree::fit(data, &targets, &bootstrap, &config.tree, &mut rng)
-                    .expect("validated inputs");
+                let tree = match &binned {
+                    Some(b) => {
+                        RegressionTree::fit_binned(b, &targets, &bootstrap, &config.tree, &mut rng)
+                    }
+                    None => RegressionTree::fit(data, &targets, &bootstrap, &config.tree, &mut rng),
+                }
+                .expect("validated inputs");
                 (tree, oob)
             });
 
@@ -223,9 +238,22 @@ impl RandomForest {
             });
         }
 
+        // Histogram-trained trees split at bin-upper thresholds, so permute
+        // the quantized columns — exactly a permutation of bin ids. Routing
+        // of unpermuted rows is unchanged (value and its bin upper fall on
+        // the same side of every threshold), so the baseline matches too.
+        let quantized;
+        let eval: &FeatureMatrix = match self.config.strategy {
+            SplitStrategy::Histogram => {
+                quantized = BinnedMatrix::from_matrix(data)?.quantized_matrix();
+                &quantized
+            }
+            SplitStrategy::Exact => data,
+        };
+
         let n_threads = effective_threads(self.config.n_threads, self.trees.len());
         let per_tree: Vec<Vec<f64>> = run_indexed_parallel(self.trees.len(), n_threads, |t| {
-            self.tree_permutation_importance(t, data, labels)
+            self.tree_permutation_importance(t, eval, labels)
         });
 
         let mut totals = vec![0.0; self.n_features];
@@ -419,6 +447,53 @@ mod tests {
         let a = RandomForest::fit(&data, &labels, &c1).unwrap();
         let b = RandomForest::fit(&data, &labels, &c4).unwrap();
         assert_eq!(a.trees(), b.trees());
+    }
+
+    #[test]
+    fn exact_and_histogram_grow_identical_trees_on_exactly_binned_data() {
+        // 200 rows → every feature has ≤ 255 distinct values and bins
+        // losslessly; targets are 0/1 so every partial sum is an exact
+        // integer. The two engines must then grow bit-identical trees
+        // from the same RNG stream.
+        let (data, labels) = make_data(200, 17);
+        let exact = RandomForest::fit(
+            &data,
+            &labels,
+            &ForestConfig {
+                strategy: SplitStrategy::Exact,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        let hist = RandomForest::fit(
+            &data,
+            &labels,
+            &ForestConfig {
+                strategy: SplitStrategy::Histogram,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        assert_eq!(exact.trees(), hist.trees());
+    }
+
+    #[test]
+    fn histogram_strategy_learns_quantized_data() {
+        // 400 rows of continuous features force the quantile binning path.
+        let (data, labels) = make_data(400, 19);
+        let forest = RandomForest::fit(
+            &data,
+            &labels,
+            &ForestConfig {
+                strategy: SplitStrategy::Histogram,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        let score = forest.oob_score(&data, &labels).unwrap();
+        assert!(score > 0.9, "oob = {score}");
+        let perm = forest.permutation_importances(&data, &labels).unwrap();
+        assert!(perm[0] > perm[2], "perm = {perm:?}");
     }
 
     #[test]

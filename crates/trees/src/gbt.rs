@@ -2,7 +2,8 @@
 //! gain- and split-count feature importances — the stand-in for XGBoost in
 //! the paper's selector set (§II-C).
 
-use crate::config::{MaxFeatures, TreeConfig};
+use crate::binned::BinnedMatrix;
+use crate::config::{MaxFeatures, SplitStrategy, TreeConfig};
 use crate::error::TreesError;
 use crate::forest::mix_seed;
 use crate::tree::RegressionTree;
@@ -24,6 +25,10 @@ pub struct BoostingConfig {
     pub subsample: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Split-search engine (default: [`SplitStrategy::Histogram`]). With
+    /// `MaxFeatures::All` (the boosting default) the histogram engine also
+    /// applies the sibling subtraction trick.
+    pub strategy: SplitStrategy,
 }
 
 impl Default for BoostingConfig {
@@ -39,6 +44,7 @@ impl Default for BoostingConfig {
             },
             subsample: 1.0,
             seed: 0,
+            strategy: SplitStrategy::default(),
         }
     }
 }
@@ -100,6 +106,12 @@ impl GradientBoosting {
         let mut scores = vec![base_score; n];
         let mut stages = Vec::with_capacity(config.n_rounds);
 
+        // Bin once; every boosting round re-reads the same codes.
+        let binned = match config.strategy {
+            SplitStrategy::Histogram => Some(BinnedMatrix::from_matrix(data)?),
+            SplitStrategy::Exact => None,
+        };
+
         for round in 0..config.n_rounds {
             let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, round as u64));
             // Negative gradient of logistic loss: residual y - p.
@@ -113,7 +125,10 @@ impl GradientBoosting {
                 (0..n).collect()
             };
 
-            let mut tree = RegressionTree::fit(data, &residuals, &rows, &config.tree, &mut rng)?;
+            let mut tree = match &binned {
+                Some(b) => RegressionTree::fit_binned(b, &residuals, &rows, &config.tree, &mut rng),
+                None => RegressionTree::fit(data, &residuals, &rows, &config.tree, &mut rng),
+            }?;
 
             // Newton re-labeling: leaf value = Σ(y-p) / Σ p(1-p).
             let mut grad_sum: Vec<f64> = vec![0.0; tree.n_nodes()];
@@ -252,6 +267,24 @@ mod tests {
     fn learns_nonlinear_rule() {
         let (data, labels) = make_data(500, 2);
         let model = GradientBoosting::fit(&data, &labels, &small_config()).unwrap();
+        let proba = model.predict_proba(&data).unwrap();
+        let acc = proba
+            .iter()
+            .zip(&labels)
+            .filter(|(p, &l)| (**p >= 0.5) == l)
+            .count() as f64
+            / labels.len() as f64;
+        assert!(acc > 0.95, "acc = {acc}");
+    }
+
+    #[test]
+    fn exact_strategy_learns_too() {
+        let (data, labels) = make_data(500, 21);
+        let config = BoostingConfig {
+            strategy: SplitStrategy::Exact,
+            ..small_config()
+        };
+        let model = GradientBoosting::fit(&data, &labels, &config).unwrap();
         let proba = model.predict_proba(&data).unwrap();
         let acc = proba
             .iter()

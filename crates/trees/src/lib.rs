@@ -33,6 +33,7 @@
 //! # }
 //! ```
 
+pub mod binned;
 pub mod config;
 pub mod error;
 pub mod forest;
@@ -40,7 +41,8 @@ pub mod gbt;
 pub mod split;
 pub mod tree;
 
-pub use config::{MaxFeatures, TreeConfig};
+pub use binned::{BinnedMatrix, DEFAULT_MAX_BINS};
+pub use config::{MaxFeatures, SplitStrategy, TreeConfig};
 pub use error::TreesError;
 pub use forest::{ForestConfig, RandomForest};
 pub use gbt::{BoostingConfig, GradientBoosting};

@@ -22,15 +22,23 @@ pub struct Split {
 /// `pairs` is sorted in place by value. Returns `None` when no split
 /// satisfies `min_samples_leaf` on both sides or no split has positive gain
 /// (e.g. the feature is constant).
+///
+/// NaN input yields `None` rather than a panic: [`FeatureMatrix`] and
+/// [`BinnedMatrix`](crate::BinnedMatrix) construction validate finiteness
+/// once, so a NaN here means the caller bypassed them — a degenerate
+/// feature, not a crash mid-fit.
+///
+/// [`FeatureMatrix`]: smart_stats::FeatureMatrix
 pub fn best_split(pairs: &mut [(f64, f64)], min_samples_leaf: usize) -> Option<Split> {
     let n = pairs.len();
     if n < 2 * min_samples_leaf {
         return None;
     }
-    pairs.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("feature values must be finite")
-    });
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // total_cmp sorts negative NaNs first and positive NaNs last.
+    if pairs[0].0.is_nan() || pairs[n - 1].0.is_nan() {
+        return None;
+    }
 
     let total_sum: f64 = pairs.iter().map(|p| p.1).sum();
     // gain(k) = S_L²/n_L + S_R²/n_R - S²/n  (the Σy² terms cancel).
@@ -122,6 +130,21 @@ mod tests {
         ];
         let s = best_split(&mut pairs, 1).unwrap();
         assert_eq!(s.threshold, 2.0, "threshold {}", s.threshold);
+    }
+
+    #[test]
+    fn nan_feature_value_returns_none_instead_of_panicking() {
+        // Regression: this used to panic via partial_cmp().expect() mid-fit.
+        let mut pairs = vec![(1.0, 0.0), (f64::NAN, 1.0), (3.0, 1.0), (4.0, 1.0)];
+        assert!(best_split(&mut pairs, 1).is_none());
+        let mut pairs = vec![(-f64::NAN, 0.0), (1.0, 1.0), (2.0, 0.0)];
+        assert!(best_split(&mut pairs, 1).is_none());
+    }
+
+    #[test]
+    fn nan_target_returns_none() {
+        let mut pairs = vec![(1.0, 0.0), (2.0, f64::NAN), (3.0, 1.0), (4.0, 1.0)];
+        assert!(best_split(&mut pairs, 1).is_none());
     }
 
     fn gen_split_pairs(g: &mut rng::prop::Gen) -> Vec<(f64, f64)> {

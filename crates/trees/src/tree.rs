@@ -5,9 +5,10 @@
 //! Random Forest); trained on gradients it is a boosting stage whose leaf
 //! values the booster re-labels with Newton steps.
 
+use crate::binned::{scan_boundaries, BinnedMatrix, HistScratch};
 use crate::config::TreeConfig;
 use crate::error::TreesError;
-use crate::split::best_split;
+use crate::split::{best_split, Split};
 use rng::Rng;
 use smart_stats::sampling::sample_without_replacement;
 use smart_stats::FeatureMatrix;
@@ -73,6 +74,59 @@ impl RegressionTree {
         Ok(tree)
     }
 
+    /// Fit a tree on the rows `rows` of the binned matrix `binned` against
+    /// `targets` — the histogram engine ([`SplitStrategy::Histogram`]).
+    ///
+    /// Split thresholds are bin-upper values, so the trained tree predicts
+    /// on ordinary [`FeatureMatrix`] inputs exactly like an exact-trained
+    /// tree. When the candidate set covers every feature
+    /// ([`MaxFeatures::All`](crate::MaxFeatures::All), as gradient boosting
+    /// uses), child histograms are derived from the parent's by the
+    /// subtraction trick: only the smaller child is re-accumulated, the
+    /// sibling is `parent − smaller`.
+    ///
+    /// [`SplitStrategy::Histogram`]: crate::SplitStrategy::Histogram
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RegressionTree::fit`].
+    pub fn fit_binned<R: Rng + ?Sized>(
+        binned: &BinnedMatrix,
+        targets: &[f64],
+        rows: &[usize],
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> Result<Self, TreesError> {
+        config.validate()?;
+        if rows.is_empty() {
+            return Err(TreesError::EmptyTraining);
+        }
+        if targets.len() != binned.n_rows() {
+            return Err(TreesError::LengthMismatch {
+                features: binned.n_rows(),
+                targets: targets.len(),
+            });
+        }
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features: binned.n_features(),
+            gain_by_feature: vec![0.0; binned.n_features()],
+            splits_by_feature: vec![0; binned.n_features()],
+        };
+        let mut ctx = BinnedCtx {
+            binned,
+            targets,
+            config,
+            scratch: HistScratch::new(),
+            part_buf: Vec::with_capacity(rows.len()),
+            hists_built: 0,
+        };
+        let mut rows = rows.to_vec();
+        tree.build_binned(&mut ctx, &mut rows, 0, None, rng);
+        telemetry::counter_add("trees.histograms_built", ctx.hists_built);
+        Ok(tree)
+    }
+
     /// Recursively build the subtree for `rows`; returns the node index.
     fn build<R: Rng + ?Sized>(
         &mut self,
@@ -118,7 +172,7 @@ impl RegressionTree {
 
         // Partition rows in place around the threshold.
         let col = data.column(feature);
-        rows.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).expect("finite values"));
+        rows.sort_by(|&a, &b| col[a].total_cmp(&col[b]));
         let n_left = rows
             .iter()
             .take_while(|&&r| col[r] <= split.threshold)
@@ -134,6 +188,144 @@ impl RegressionTree {
         let (left_rows, right_rows) = rows.split_at_mut(n_left);
         let left = self.build(data, targets, left_rows, depth + 1, config, rng);
         let right = self.build(data, targets, right_rows, depth + 1, config, rng);
+        self.nodes[node_idx] = Node::Split {
+            feature,
+            threshold: split.threshold,
+            left,
+            right,
+        };
+        node_idx
+    }
+
+    /// Recursively build the subtree for `rows` from per-bin histograms;
+    /// returns the node index.
+    ///
+    /// Mirrors [`Self::build`] decision for decision (leaf conditions,
+    /// candidate sampling, tie-breaking), so on data where every feature
+    /// bins exactly and target sums carry no rounding (e.g. 0/1 labels) the
+    /// two engines grow bit-identical trees from the same RNG.
+    fn build_binned<R: Rng + ?Sized>(
+        &mut self,
+        ctx: &mut BinnedCtx<'_>,
+        rows: &mut [usize],
+        depth: usize,
+        inherited: Option<NodeHists>,
+        rng: &mut R,
+    ) -> usize {
+        let n = rows.len();
+        let mean = rows.iter().map(|&r| ctx.targets[r]).sum::<f64>() / n as f64;
+        let constant = rows.iter().all(|&r| (ctx.targets[r] - mean).abs() < 1e-12);
+
+        if depth >= ctx.config.max_depth || n < ctx.config.min_samples_split || constant {
+            return self.push_leaf(mean, n);
+        }
+
+        let f_total = ctx.binned.n_features();
+        let k = ctx.config.max_features.resolve(f_total);
+        let candidates =
+            sample_without_replacement(rng, f_total, k).expect("k <= n_features by construction");
+        // With the full feature set in play (gradient boosting's default)
+        // node histograms are reusable across levels; under subsampling the
+        // candidate set changes per node, so accumulate fresh per feature.
+        let full_set = k == f_total;
+
+        let mut best: Option<(usize, Split, usize)> = None;
+        let mut consider = |feature: usize, found: Option<(Split, usize)>| {
+            if let Some((split, bin)) = found {
+                if best.as_ref().is_none_or(|(_, b, _)| split.gain > b.gain) {
+                    best = Some((feature, split, bin));
+                }
+            }
+        };
+
+        let mut node_hists: Option<NodeHists> = None;
+        if full_set {
+            let hists = inherited.unwrap_or_else(|| ctx.build_all_hists(rows));
+            for &feature in &candidates {
+                let h = &hists.per_feature[feature];
+                consider(
+                    feature,
+                    scan_boundaries(
+                        &h.0,
+                        &h.1,
+                        ctx.binned.bin_uppers(feature),
+                        n,
+                        ctx.config.min_samples_leaf,
+                    ),
+                );
+            }
+            node_hists = Some(hists);
+        } else {
+            for &feature in &candidates {
+                ctx.hists_built += 1;
+                let hist = ctx
+                    .scratch
+                    .accumulate(ctx.binned, feature, rows, ctx.targets);
+                consider(
+                    feature,
+                    scan_boundaries(
+                        hist.sum,
+                        hist.cnt,
+                        ctx.binned.bin_uppers(feature),
+                        n,
+                        ctx.config.min_samples_leaf,
+                    ),
+                );
+            }
+        }
+
+        let Some((feature, split, bin)) = best else {
+            return self.push_leaf(mean, n);
+        };
+
+        self.gain_by_feature[feature] += split.gain;
+        self.splits_by_feature[feature] += 1;
+
+        // Stable in-place partition around the boundary bin: left rows keep
+        // their order at the front, right rows are staged in the shared
+        // scratch and copied back — O(n), no sort, no per-node allocation.
+        let codes = ctx.binned.codes(feature);
+        let bin_code = bin as u8;
+        let mut n_left = 0usize;
+        ctx.part_buf.clear();
+        for i in 0..n {
+            let r = rows[i];
+            if codes[r] <= bin_code {
+                rows[n_left] = r;
+                n_left += 1;
+            } else {
+                ctx.part_buf.push(r);
+            }
+        }
+        rows[n_left..].copy_from_slice(&ctx.part_buf);
+        debug_assert_eq!(n_left, split.n_left);
+
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            value: mean,
+            n_samples: n,
+        });
+        let (left_rows, right_rows) = rows.split_at_mut(n_left);
+
+        // Subtraction trick: re-accumulate only the smaller child's
+        // histograms; the sibling's are parent − smaller, bin by bin.
+        let (left_inherit, right_inherit) = match node_hists {
+            Some(parent) if ctx.child_may_split(depth, left_rows.len(), right_rows.len()) => {
+                if left_rows.len() <= right_rows.len() {
+                    let small = ctx.build_all_hists(left_rows);
+                    let large = parent.subtract(&small);
+                    (Some(small), Some(large))
+                } else {
+                    let small = ctx.build_all_hists(right_rows);
+                    let large = parent.subtract(&small);
+                    (Some(large), Some(small))
+                }
+            }
+            _ => (None, None),
+        };
+
+        let left = self.build_binned(ctx, left_rows, depth + 1, left_inherit, rng);
+        let right = self.build_binned(ctx, right_rows, depth + 1, right_inherit, rng);
         self.nodes[node_idx] = Node::Split {
             feature,
             threshold: split.threshold,
@@ -259,6 +451,62 @@ impl RegressionTree {
         } else {
             walk(&self.nodes, 0)
         }
+    }
+}
+
+/// Shared state of one binned tree build: the read-only binned matrix plus
+/// reusable scratch, so recursion allocates nothing per node.
+struct BinnedCtx<'a> {
+    binned: &'a BinnedMatrix,
+    targets: &'a [f64],
+    config: &'a TreeConfig,
+    scratch: HistScratch,
+    /// Staging area for right-child rows during the stable partition.
+    part_buf: Vec<usize>,
+    /// Histograms accumulated from rows (subtraction-derived ones excluded).
+    hists_built: u64,
+}
+
+/// One node's histograms for every feature (`(sums, counts)` per bin) —
+/// the unit children inherit under the subtraction trick.
+struct NodeHists {
+    per_feature: Vec<(Vec<f64>, Vec<u32>)>,
+}
+
+impl NodeHists {
+    /// The sibling's histograms: `self − other`, bin by bin.
+    fn subtract(&self, other: &NodeHists) -> NodeHists {
+        let per_feature = self
+            .per_feature
+            .iter()
+            .zip(&other.per_feature)
+            .map(|((sum, cnt), (osum, ocnt))| {
+                let s: Vec<f64> = sum.iter().zip(osum).map(|(a, b)| a - b).collect();
+                let c: Vec<u32> = cnt.iter().zip(ocnt).map(|(a, b)| a - b).collect();
+                (s, c)
+            })
+            .collect();
+        NodeHists { per_feature }
+    }
+}
+
+impl BinnedCtx<'_> {
+    /// Accumulate fresh histograms of every feature over `rows`.
+    fn build_all_hists(&mut self, rows: &[usize]) -> NodeHists {
+        self.hists_built += self.binned.n_features() as u64;
+        let per_feature = (0..self.binned.n_features())
+            .map(|f| {
+                let h = self.scratch.accumulate(self.binned, f, rows, self.targets);
+                (h.sum.to_vec(), h.cnt.to_vec())
+            })
+            .collect();
+        NodeHists { per_feature }
+    }
+
+    /// Whether a child of a node at `depth` could still be split — i.e.
+    /// whether handing down inherited histograms can pay off.
+    fn child_may_split(&self, depth: usize, n_left: usize, n_right: usize) -> bool {
+        depth + 1 < self.config.max_depth && n_left.max(n_right) >= self.config.min_samples_split
     }
 }
 

@@ -40,4 +40,12 @@ cargo run -q --release --offline -p smart-integration --bin check_telemetry_repo
   "$tmpdir/telemetry_quickstart.json" \
   rankers ensemble threshold_scan change_point wearout_split evaluate
 
+step "split-strategy bench: histogram training must not be slower than exact"
+# A quick MC1-only run of the paired RF-training benchmark; the gate parses
+# its JSON report and fails if the binned engine lost to the exact engine.
+cargo run -q --release --offline -p wefr-bench --bin bench_split_strategy -- \
+  --quick --days 240 --model mc1 --out "$tmpdir"
+cargo run -q --release --offline -p smart-integration --bin check_split_bench \
+  "$tmpdir/BENCH_pr3.json"
+
 step "all checks passed"
