@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Quality ablations for the design choices DESIGN.md calls out — not
 //! runtimes (see the Criterion benches for those) but *outcomes*:
 //!

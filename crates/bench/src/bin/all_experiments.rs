@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Run every table and figure of the paper in sequence, sharing one fleet.
 //!
 //! This is the one-shot reproduction driver behind EXPERIMENTS.md; each

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Paired split-engine benchmark: Random-Forest training wall-clock under
 //! the exact engine (per-node sort, O(n log n) per feature) versus the
 //! histogram engine (shared `BinnedMatrix`, O(n) accumulation per feature),

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Exp#1 / Table VI — prediction accuracy of no feature selection, the five
 //! state-of-the-art selectors (validation-tuned percentage), and WEFR, per
 //! drive model and overall, at the paper's fixed per-model recall.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Exp#2 / Figure 2 — F0.5 of WEFR's automatically chosen feature count
 //! versus fixed selected-feature percentages (10%–100%) over the same
 //! ensemble ranking.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Exp#3 / Table VII — WEFR with versus without wear-out updating, on all
 //! drives and on the low-MWI cohort, for the four models with change points
 //! (MA1, MA2, MC1, MC2).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Exp#4 / Table VIII — wall-clock runtime of the five selectors run
 //! sequentially versus WEFR (which runs them in parallel and adds the
 //! ensemble + automated-count stages).

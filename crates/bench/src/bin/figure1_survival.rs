@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 1 — survival rate versus `MWI_N` per drive model, with the
 //! Bayesian change points marked.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table I — SMART attribute coverage per drive model.
 //!
 //! Regenerates the attribute/model matrix from the drive-model catalog (the

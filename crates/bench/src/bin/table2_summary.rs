@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table II — fleet summary statistics: population share, failure share,
 //! and annualized failure rate per drive model.
 //!

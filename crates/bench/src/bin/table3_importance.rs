@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table III — top and last three important learning features per drive
 //! model, by Random Forest feature-importance ranking.
 

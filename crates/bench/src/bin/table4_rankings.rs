@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table IV — top-five feature rankings for MC1 under each of the five
 //! feature-selection approaches, demonstrating that the approaches disagree
 //! (the motivation for robust ensembling).

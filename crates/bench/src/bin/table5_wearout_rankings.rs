@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table V — top-five Random-Forest feature rankings per low/high `MWI_N`
 //! group, after splitting each model at its survival-rate change point.
 
@@ -39,7 +40,8 @@ fn main() {
             model,
             fleet.config().days() - 1,
             &opts.experiment_config(),
-        );
+        )
+        .expect("census config derived from a valid fleet");
         let cp = detect_wearout_threshold(
             &survival,
             &smart_changepoint::BocpdConfig::default(),

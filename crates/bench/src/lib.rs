@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared harness for the experiment binaries: option parsing, default
 //! fleet/census construction, and result output.
 //!

@@ -81,8 +81,8 @@ pub fn change_probabilities(
 
     let standardized: Vec<f64>;
     let xs: &[f64] = if config.standardize {
-        let m = mean(series).expect("non-empty");
-        let s = population_std(series).expect("non-empty");
+        let m = mean(series)?;
+        let s = population_std(series)?;
         let s = if s > 0.0 { s } else { 1.0 };
         standardized = series.iter().map(|x| (x - m) / s).collect();
         &standardized

@@ -41,6 +41,14 @@ impl fmt::Display for ChangepointError {
 
 impl std::error::Error for ChangepointError {}
 
+impl From<smart_stats::StatsError> for ChangepointError {
+    fn from(e: smart_stats::StatsError) -> ChangepointError {
+        ChangepointError::InvalidParameter {
+            message: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Change-point detection substrate for the WEFR reproduction.
 //!
 //! WEFR's wear-out-updating step needs to know whether — and where — the

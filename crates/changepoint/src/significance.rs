@@ -42,7 +42,7 @@ pub fn significant_points(
             message: "z threshold must be positive".to_string(),
         });
     }
-    let zs = z_scores(change_probs).expect("non-empty input");
+    let zs = z_scores(change_probs)?;
     let mut points: Vec<SignificantPoint> = zs
         .iter()
         .enumerate()
@@ -56,8 +56,7 @@ pub fn significant_points(
     points.sort_by(|a, b| {
         b.z_score
             .abs()
-            .partial_cmp(&a.z_score.abs())
-            .expect("finite z-scores")
+            .total_cmp(&a.z_score.abs())
             .then(a.index.cmp(&b.index))
     });
     Ok(points)

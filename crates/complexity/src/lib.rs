@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Data-complexity measures and the automated feature-count threshold of
 //! the WEFR reproduction (§IV-C of the paper).
 //!

@@ -159,8 +159,7 @@ pub fn ensemble_rankings(
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
         mean_positions[a]
-            .partial_cmp(&mean_positions[b])
-            .expect("finite positions")
+            .total_cmp(&mean_positions[b])
             .then(a.cmp(&b))
     });
 

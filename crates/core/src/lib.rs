@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! **WEFR** — Wear-out-updating Ensemble Feature Ranking.
 //!
 //! A from-scratch Rust reproduction of the feature-selection method of

@@ -85,6 +85,9 @@ pub fn run_rankers_with_threads(
             .collect();
         let mut indexed: Vec<(usize, Result<FeatureRanking, WefrError>)> = handles
             .into_iter()
+            // lint:allow(panic-free) a worker panic is already a bug; join
+            // can only fail by propagating it, and re-raising here keeps the
+            // scoped-thread invariant visible instead of losing results
             .flat_map(|h| h.join().expect("ranker thread must not panic"))
             .collect();
         indexed.sort_by_key(|(index, _)| *index);

@@ -34,9 +34,14 @@ pub fn export_smart_csv<W: Write>(fleet: &Fleet, out: &mut W) -> Result<(), Data
                     Some(_) => {
                         let r = drive
                             .value_on(day, crate::attr::FeatureId::raw(attr))
+                            // lint:allow(panic-free) day iterates deploy_day
+                            // ..=last_day, exactly the range value_on covers
+                            // for an attribute the model carries
                             .expect("observed day");
                         let n = drive
                             .value_on(day, crate::attr::FeatureId::normalized(attr))
+                            // lint:allow(panic-free) same observed-day range
+                            // as the raw read above
                             .expect("observed day");
                         row.push_str(&format!(",{r},{n}"));
                     }
@@ -139,6 +144,8 @@ pub fn import_smart_csv<R: BufRead>(
                     values: Vec::new(),
                     n_days: 0,
                 });
+                // lint:allow(panic-free) the push on the line above makes
+                // last_mut() Some
                 partials.last_mut().expect("just pushed")
             }
         };

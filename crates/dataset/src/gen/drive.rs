@@ -151,6 +151,8 @@ impl CounterState {
         SmartAttribute::ALL
             .iter()
             .position(|&a| a == attr)
+            // lint:allow(panic-free) ALL enumerates every enum variant by
+            // definition, so position() always finds attr
             .expect("attribute is in ALL")
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Synthetic SSD fleet simulator: the dataset substrate of the WEFR
 //! reproduction.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Hermeticity gate for `scripts/ci.sh`: read `cargo metadata
 //! --format-version 1` JSON on stdin and fail unless every package in the
 //! dependency graph is an in-repo path crate (DESIGN.md §5).

@@ -1,0 +1,67 @@
+#![forbid(unsafe_code)]
+//! Lint-report gate for the CI static-analysis step: parse a
+//! `lint_<run>.json` file through `smart-json` into [`lint::LintReport`],
+//! check its structural invariants, and require a clean workspace.
+//!
+//! ```text
+//! check_lint_report <report.json>
+//! ```
+//!
+//! Exits non-zero (with a reason on stderr) when the file is missing,
+//! malformed, reports fewer than five active rules, or records any
+//! surviving violation.
+
+use std::process::ExitCode;
+
+use lint::LintReport;
+
+fn run(path: &str) -> Result<LintReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let report: LintReport =
+        json::from_str(&text).map_err(|e| format!("parsing {path} as a lint report: {e}"))?;
+    report
+        .validate()
+        .map_err(|e| format!("invalid lint report {path}: {e}"))?;
+    if report.active_rules() < 5 {
+        return Err(format!(
+            "{path} shows only {} active rules — the rule set shrank",
+            report.active_rules()
+        ));
+    }
+    if !report.violations.is_empty() {
+        let rendered: Vec<String> = report
+            .violations
+            .iter()
+            .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message))
+            .collect();
+        return Err(format!(
+            "{path} records {} surviving violations:\n{}",
+            report.violations.len(),
+            rendered.join("\n")
+        ));
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: check_lint_report <report.json>");
+        return ExitCode::FAILURE;
+    };
+    match run(&path) {
+        Ok(report) => {
+            println!(
+                "OK: {} files scanned by {} rules, 0 violations, {} reasoned suppressions",
+                report.files_scanned,
+                report.active_rules(),
+                report.suppressions.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("ERROR: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

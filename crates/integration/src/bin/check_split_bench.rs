@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! CI gate for the split-strategy benchmark: parse a `BENCH_pr3.json`
 //! report (written by `bench_split_strategy` or any binary emitting the
 //! same `rf_train/*` rows) and require that histogram-engine training was

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Run-report gate for the CI telemetry smoke step: parse a
 //! `telemetry_<run>.json` file through `smart-json` into
 //! [`telemetry::RunReport`], check its structural invariants, and require

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Anchor crate for the repo-root `tests/` and `examples/` directories.
 //!
 //! The workspace manifest is virtual (no root package), so Cargo never

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Dependency-free JSON for the WEFR workspace: a recursive-descent parser,
 //! compact and pretty writers, and [`ToJson`]/[`FromJson`] conversion traits
 //! with `macro_rules!` helpers that replace the `serde`/`serde_json` derive

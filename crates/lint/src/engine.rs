@@ -1,0 +1,315 @@
+//! Workspace discovery and the lint driver.
+//!
+//! The engine walks every `crates/*/src/**/*.rs` file (sorted, so
+//! diagnostics order is deterministic), classifies each as library or
+//! binary code, runs the rule set, and folds per-file outcomes into one
+//! [`LintOutcome`]. Crate and library names are scraped from each crate's
+//! `Cargo.toml` with a minimal reader — enough for this workspace's flat
+//! manifests, no TOML parser needed.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check_file, Diagnostic};
+use crate::source::{SourceFile, Suppression, TargetKind};
+
+/// Engine-level failure (I/O, malformed workspace). Rule violations are
+/// *not* errors — they are the output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintError {
+    /// What went wrong, with the offending path.
+    pub message: String,
+}
+
+impl LintError {
+    fn new(message: String) -> LintError {
+        LintError { message }
+    }
+
+    fn io(context: &str, path: &Path, e: &std::io::Error) -> LintError {
+        LintError::new(format!("{context} {}: {e}", path.display()))
+    }
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// One workspace member, as discovered on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrateInfo {
+    /// Cargo package name (`smart-stats`).
+    pub package: String,
+    /// Library name `use` statements see (`smart_stats`, or the explicit
+    /// `[lib] name`).
+    pub lib_name: String,
+    /// Crate directory, absolute or root-relative.
+    pub dir: PathBuf,
+}
+
+/// The discovered workspace.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Workspace root (the directory holding `crates/`).
+    pub root: PathBuf,
+    /// Members, sorted by package name.
+    pub crates: Vec<CrateInfo>,
+}
+
+impl Workspace {
+    /// The set of importable workspace library names.
+    pub fn lib_names(&self) -> BTreeSet<String> {
+        self.crates.iter().map(|c| c.lib_name.clone()).collect()
+    }
+}
+
+/// A suppression that absorbed a diagnostic, for the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionRecord {
+    /// File containing the suppression.
+    pub file: String,
+    /// Line of code the suppression covers.
+    pub line: usize,
+    /// Rule that was silenced.
+    pub rule: String,
+    /// The written justification.
+    pub reason: String,
+}
+
+json::impl_json!(SuppressionRecord {
+    file,
+    line,
+    rule,
+    reason
+});
+
+/// Everything one lint run produced.
+#[derive(Debug, Clone, Default)]
+pub struct LintOutcome {
+    /// All surviving violations, ordered by (file, line, rule).
+    pub violations: Vec<Diagnostic>,
+    /// Suppressions that absorbed a diagnostic.
+    pub suppressions: Vec<SuppressionRecord>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Discover the workspace rooted at `root` (must contain `crates/`).
+///
+/// # Errors
+///
+/// Returns [`LintError`] when `crates/` is missing or a member's
+/// `Cargo.toml` cannot be read or names no package.
+pub fn discover(root: &Path) -> Result<Workspace, LintError> {
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| LintError::io("reading workspace members under", &crates_dir, &e))?;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::io("listing", &crates_dir, &e))?;
+        let path = entry.path();
+        if path.is_dir() && path.join("Cargo.toml").is_file() {
+            dirs.push(path);
+        }
+    }
+    dirs.sort();
+    let mut crates = Vec::new();
+    for dir in dirs {
+        let manifest = dir.join("Cargo.toml");
+        let text = std::fs::read_to_string(&manifest)
+            .map_err(|e| LintError::io("reading", &manifest, &e))?;
+        let (package, lib_name) = manifest_names(&text).ok_or_else(|| {
+            LintError::new(format!("{}: no [package] name found", manifest.display()))
+        })?;
+        crates.push(CrateInfo {
+            package,
+            lib_name,
+            dir,
+        });
+    }
+    crates.sort_by(|a, b| a.package.cmp(&b.package));
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        crates,
+    })
+}
+
+/// Extract `(package name, lib name)` from a flat `Cargo.toml`. The lib
+/// name defaults to the package name with `-` mapped to `_`, overridden
+/// by an explicit `[lib] name`.
+fn manifest_names(toml: &str) -> Option<(String, String)> {
+    let mut section = String::new();
+    let mut package: Option<String> = None;
+    let mut lib: Option<String> = None;
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            section = line.to_string();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                let name = value.split('"').nth(1).map(str::to_string);
+                match section.as_str() {
+                    "[package]" => package = package.or(name),
+                    "[lib]" => lib = lib.or(name),
+                    _ => {}
+                }
+            }
+        }
+    }
+    let package = package?;
+    let lib_name = lib.unwrap_or_else(|| package.replace('-', "_"));
+    Some((package, lib_name))
+}
+
+/// Lint the whole workspace at `root`.
+///
+/// # Errors
+///
+/// Returns [`LintError`] on discovery or file-read failures; violations
+/// are reported in the returned [`LintOutcome`], not as errors.
+pub fn lint_workspace(root: &Path) -> Result<LintOutcome, LintError> {
+    let workspace = discover(root)?;
+    let libs = workspace.lib_names();
+    let mut outcome = LintOutcome::default();
+    for member in &workspace.crates {
+        let src = member.dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for path in files {
+            let rel_in_src = path
+                .strip_prefix(&src)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let display_path = display_path(&workspace.root, &path);
+            let source =
+                std::fs::read_to_string(&path).map_err(|e| LintError::io("reading", &path, &e))?;
+            let file = SourceFile::parse(
+                &display_path,
+                &member.package,
+                target_kind(&rel_in_src),
+                is_crate_root(&rel_in_src),
+                &source,
+            );
+            let result = check_file(&file, &libs);
+            outcome.files_scanned += 1;
+            outcome.violations.extend(result.violations);
+            outcome.suppressions.extend(
+                result
+                    .used_suppressions
+                    .into_iter()
+                    .map(|(s, d)| suppression_record(&display_path, &s, &d)),
+            );
+        }
+    }
+    outcome
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    outcome
+        .suppressions
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(outcome)
+}
+
+fn suppression_record(path: &str, s: &Suppression, d: &Diagnostic) -> SuppressionRecord {
+    SuppressionRecord {
+        file: path.to_string(),
+        line: s.line,
+        rule: d.rule.clone(),
+        reason: s.reason.clone(),
+    }
+}
+
+/// `src/bin/**` and `src/main.rs` are binary code; everything else under
+/// `src/` belongs to the library target.
+fn target_kind(rel_in_src: &str) -> TargetKind {
+    if rel_in_src == "main.rs" || rel_in_src.starts_with("bin/") {
+        TargetKind::Bin
+    } else {
+        TargetKind::Lib
+    }
+}
+
+/// Crate roots: `src/lib.rs`, `src/main.rs`, `src/bin/name.rs`, and
+/// `src/bin/name/main.rs`.
+fn is_crate_root(rel_in_src: &str) -> bool {
+    if rel_in_src == "lib.rs" || rel_in_src == "main.rs" {
+        return true;
+    }
+    match rel_in_src.strip_prefix("bin/") {
+        Some(rest) => !rest.contains('/') || rest.ends_with("/main.rs"),
+        None => false,
+    }
+}
+
+fn display_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| LintError::io("reading directory", dir, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::io("listing", dir, &e))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_names_reads_package_and_lib() {
+        let toml = "[package]\nname = \"smart-stats\"\nversion = \"1\"\n";
+        assert_eq!(
+            manifest_names(toml),
+            Some(("smart-stats".to_string(), "smart_stats".to_string()))
+        );
+        let toml = "[package]\nname = \"smart-json\"\n[lib]\nname = \"json\"\n";
+        assert_eq!(
+            manifest_names(toml),
+            Some(("smart-json".to_string(), "json".to_string()))
+        );
+        // A [[bin]] name must not shadow the package name.
+        let toml = "[package]\nname = \"a\"\n[[bin]]\nname = \"b\"\n";
+        assert_eq!(
+            manifest_names(toml),
+            Some(("a".to_string(), "a".to_string()))
+        );
+    }
+
+    #[test]
+    fn target_and_root_classification() {
+        assert_eq!(target_kind("lib.rs"), TargetKind::Lib);
+        assert_eq!(target_kind("rankers/mod.rs"), TargetKind::Lib);
+        assert_eq!(target_kind("main.rs"), TargetKind::Bin);
+        assert_eq!(target_kind("bin/check_hermetic.rs"), TargetKind::Bin);
+        assert!(is_crate_root("lib.rs"));
+        assert!(is_crate_root("bin/check_hermetic.rs"));
+        assert!(is_crate_root("bin/tool/main.rs"));
+        assert!(!is_crate_root("bin/tool/helper.rs"));
+        assert!(!is_crate_root("rankers/mod.rs"));
+    }
+}

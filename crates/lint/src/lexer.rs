@@ -1,0 +1,417 @@
+//! A lightweight Rust lexer.
+//!
+//! Produces a flat token stream — identifiers (keywords included),
+//! punctuation, literals, and comments — with 1-based line numbers, which
+//! is exactly enough for the token-pattern rules in [`crate::rules`]. It is
+//! *not* a parser: no precedence, no AST, no macro expansion. It does get
+//! the hard lexical cases right, because the rules must never fire inside
+//! a string literal or a comment: nested block comments, raw strings
+//! (`r#"…"#`), byte strings, char literals vs. lifetimes, and numeric
+//! literals with exponents all lex as single tokens.
+
+/// The coarse class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`use`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct,
+    /// A string/char/number/lifetime literal. Rules never look inside.
+    Literal,
+    /// A line or block comment, text included (suppressions live here).
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Which class of token this is.
+    pub kind: TokenKind,
+    /// The token's source text (comments keep their `//` / `/*` markers).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// Character offset of the token's first character — a total order
+    /// over tokens, used to relate comments to neighbouring code.
+    pub pos: usize,
+}
+
+/// Lex `source` into a token stream. Never fails: unrecognizable bytes
+/// become single-character [`TokenKind::Punct`] tokens, so the rules stay
+/// conservative on malformed input instead of crashing.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        i: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            if c == '\n' {
+                self.line += 1;
+                self.i += 1;
+            } else if c.is_whitespace() {
+                self.i += 1;
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.string(TokenKind::Literal);
+            } else if c == '\'' {
+                self.char_or_lifetime();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if c == '_' || c.is_alphabetic() {
+                self.ident_or_prefixed_literal();
+            } else {
+                self.push_span(TokenKind::Punct, self.i, self.i + 1, self.line);
+                self.i += 1;
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn push_span(&mut self, kind: TokenKind, start: usize, end: usize, line: usize) {
+        self.tokens.push(Token {
+            kind,
+            text: self.chars[start..end].iter().collect(),
+            line,
+            pos: start,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        while self.i < self.chars.len() && self.chars[self.i] != '\n' {
+            self.i += 1;
+        }
+        self.push_span(TokenKind::Comment, start, self.i, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.chars.len() && depth > 0 {
+            if self.chars[self.i] == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.chars[self.i] == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                if self.chars[self.i] == '\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        self.push_span(TokenKind::Comment, start, self.i, line);
+    }
+
+    /// A `"…"` string with escapes; `self.i` is at the opening quote.
+    fn string(&mut self, kind: TokenKind) {
+        let (start, line) = (self.i, self.line);
+        self.i += 1;
+        while self.i < self.chars.len() {
+            match self.chars[self.i] {
+                '\\' => self.i += 2,
+                '"' => {
+                    self.i += 1;
+                    break;
+                }
+                c => {
+                    if c == '\n' {
+                        self.line += 1;
+                    }
+                    self.i += 1;
+                }
+            }
+        }
+        self.push_span(kind, start, self.i.min(self.chars.len()), line);
+    }
+
+    /// A raw string `r"…"` / `r#"…"#…` with `hashes` leading `#`s;
+    /// `self.i` is at the opening quote.
+    fn raw_string_body(&mut self, start: usize, line: usize, hashes: usize) {
+        self.i += 1;
+        while self.i < self.chars.len() {
+            if self.chars[self.i] == '"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.i += 1 + hashes;
+                    break;
+                }
+            }
+            if self.chars[self.i] == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        self.push_span(
+            TokenKind::Literal,
+            start,
+            self.i.min(self.chars.len()),
+            line,
+        );
+    }
+
+    /// `'a` (lifetime) vs `'a'` / `'\n'` / `'('` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let (start, line) = (self.i, self.line);
+        match self.peek(1) {
+            Some('\\') => {
+                // Escaped char literal: skip the escape head, then scan to
+                // the closing quote (escapes never contain a bare `'`).
+                self.i += 3;
+                while self.i < self.chars.len() && self.chars[self.i] != '\'' {
+                    self.i += 1;
+                }
+                self.i = (self.i + 1).min(self.chars.len());
+                self.push_span(TokenKind::Literal, start, self.i, line);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                let mut j = self.i + 1;
+                while j < self.chars.len()
+                    && (self.chars[j] == '_' || self.chars[j].is_alphanumeric())
+                {
+                    j += 1;
+                }
+                if self.chars.get(j) == Some(&'\'') {
+                    // 'a' — char literal.
+                    self.i = j + 1;
+                } else {
+                    // 'a — lifetime.
+                    self.i = j;
+                }
+                self.push_span(TokenKind::Literal, start, self.i, line);
+            }
+            Some(_) if self.peek(2) == Some('\'') => {
+                // '(' and friends — punctuation char literal.
+                self.i += 3;
+                self.push_span(TokenKind::Literal, start, self.i, line);
+            }
+            _ => {
+                self.push_span(TokenKind::Punct, start, start + 1, line);
+                self.i += 1;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let mut seen_dot = false;
+        let mut prev = '\0';
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            let take = if c == '_' || c.is_alphanumeric() {
+                true
+            } else if c == '.' && !seen_dot {
+                // Only a digit after the dot makes it part of the number;
+                // `1.max(2)` and tuple access stay separate tokens.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        seen_dot = true;
+                        true
+                    }
+                    _ => false,
+                }
+            } else {
+                // Exponent sign: 1e-5, 2.5E+3.
+                (c == '+' || c == '-') && (prev == 'e' || prev == 'E')
+            };
+            if !take {
+                break;
+            }
+            prev = c;
+            self.i += 1;
+        }
+        self.push_span(TokenKind::Literal, start, self.i, line);
+    }
+
+    /// An identifier — or, when the identifier is `r`/`b`/`br` directly
+    /// followed by a quote (or `#…"` for raw), a prefixed string literal.
+    fn ident_or_prefixed_literal(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let mut j = self.i;
+        while j < self.chars.len() && (self.chars[j] == '_' || self.chars[j].is_alphanumeric()) {
+            j += 1;
+        }
+        let text: String = self.chars[start..j].iter().collect();
+        let next = self.chars.get(j).copied();
+        let raw_capable = text == "r" || text == "br";
+        let string_capable = raw_capable || text == "b";
+        if string_capable && next == Some('"') {
+            self.i = j;
+            if raw_capable {
+                self.raw_string_body(start, line, 0);
+            } else {
+                // b"…" still processes escapes like a normal string.
+                let mark = self.tokens.len();
+                self.string(TokenKind::Literal);
+                self.tokens[mark].pos = start;
+                self.tokens[mark].text = self.chars[start..self.i].iter().collect();
+            }
+            return;
+        }
+        if raw_capable && next == Some('#') {
+            let mut hashes = 0;
+            while self.chars.get(j + hashes) == Some(&'#') {
+                hashes += 1;
+            }
+            if self.chars.get(j + hashes) == Some(&'"') {
+                self.i = j + hashes;
+                self.raw_string_body(start, line, hashes);
+                return;
+            }
+            // r#ident — a raw identifier.
+            let mut k = j + 1;
+            while k < self.chars.len() && (self.chars[k] == '_' || self.chars[k].is_alphanumeric())
+            {
+                k += 1;
+            }
+            self.i = k;
+            self.push_span(TokenKind::Ident, start, k, line);
+            return;
+        }
+        if text == "b" && next == Some('\'') {
+            // b'x' — byte literal: delegate to the char lexer, then widen.
+            self.i = j;
+            let mark = self.tokens.len();
+            self.char_or_lifetime();
+            self.tokens[mark].pos = start;
+            self.tokens[mark].text = self.chars[start..self.i].iter().collect();
+            return;
+        }
+        self.i = j;
+        self.push_span(TokenKind::Ident, start, j, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds_and_texts(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn code_texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            kinds_and_texts("a.unwrap()"),
+            vec![
+                (TokenKind::Ident, "a".to_string()),
+                (TokenKind::Punct, ".".to_string()),
+                (TokenKind::Ident, "unwrap".to_string()),
+                (TokenKind::Punct, "(".to_string()),
+                (TokenKind::Punct, ")".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_tokens_with_lines() {
+        let toks = lex("let x = 1; // trailing\n/* block\nspans */ let y = 2;");
+        let comments: Vec<&Token> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Comment)
+            .collect();
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[1].line, 2);
+        let y = toks.iter().find(|t| t.text == "y").expect("y token");
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // The word unwrap inside a string must not become an ident.
+        assert_eq!(code_texts(r#"let s = "x.unwrap()";"#).len(), 5);
+        assert_eq!(code_texts(r##"let s = r#"a "quoted" unwrap"#;"##).len(), 5);
+        assert_eq!(code_texts(r#"let b = b"unwrap";"#).len(), 5);
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let toks = lex(r#""a\"b" x"#);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        // 'a' is one literal; 'a in a generic is one literal too.
+        let toks = code_texts("let c = 'a'; fn f<'a>(x: &'a str) {} let p = '(';");
+        assert!(
+            toks.iter().all(|t| t != "a"),
+            "lifetime leaked as ident: {toks:?}"
+        );
+        let esc = lex(r"'\n' x '\u{1F600}' y");
+        let idents: Vec<&Token> = esc.iter().filter(|t| t.kind == TokenKind::Ident).collect();
+        assert_eq!(idents.len(), 2);
+        assert_eq!(idents[0].text, "x");
+        assert_eq!(idents[1].text, "y");
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_methods() {
+        let toks = code_texts("1e-5 + 2.5E+3 + 0xFF_u32 + 1.0.total_cmp(&2.0) + x.0");
+        assert!(toks.contains(&"1e-5".to_string()));
+        assert!(toks.contains(&"2.5E+3".to_string()));
+        assert!(toks.contains(&"total_cmp".to_string()));
+        assert!(toks.contains(&"0".to_string())); // tuple access field
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = code_texts("let r#fn = 1;");
+        assert!(toks.contains(&"r#fn".to_string()));
+    }
+
+    #[test]
+    fn unterminated_input_does_not_hang() {
+        assert!(!lex("\"unterminated").is_empty());
+        assert!(!lex("/* unterminated").is_empty());
+        assert!(!lex("r#\"unterminated").is_empty());
+    }
+}

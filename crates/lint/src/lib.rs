@@ -1,0 +1,62 @@
+#![forbid(unsafe_code)]
+//! **smart-lint** — project-specific static analysis for the WEFR
+//! workspace.
+//!
+//! The reproduction's core guarantees — bit-identical selections across
+//! worker counts and split strategies, a registry-free dependency graph,
+//! and panic-free library crates — used to be enforced only at a few
+//! hand-picked sites. This crate makes them machine-checked at every
+//! commit: a lightweight Rust [`lexer`] feeds a token-pattern rule engine
+//! ([`rules`]) that scans every `crates/*/src` file ([`engine`]) and
+//! exports structured diagnostics as a smart-json report ([`report`]).
+//!
+//! Design points (DESIGN.md §9):
+//!
+//! - **Zero dependencies** beyond in-repo crates, like everything else in
+//!   the workspace.
+//! - **Rules are Rust constants**, not a config file — scope changes show
+//!   up in reviewable diffs ([`rules::PANIC_FREE_CRATES`] and friends).
+//! - **Suppressions require a reason**: `// lint:allow(rule-id) why` on
+//!   or directly above the offending line; a reason-less suppression is
+//!   itself a violation.
+//! - **Deterministic output**: files are walked in sorted order and
+//!   diagnostics sorted by (file, line, rule), so the report is
+//!   byte-stable for a given tree.
+//!
+//! Run it:
+//!
+//! ```text
+//! cargo run -p smart-lint                      # report-only
+//! cargo run -p smart-lint -- --deny-warnings   # CI mode: exit 1 on hits
+//! cargo run -p smart-lint -- --list-rules      # self-documentation
+//! ```
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use engine::{discover, lint_workspace, LintError, LintOutcome, Workspace};
+pub use report::{write_report, LintReport, RuleRecord};
+pub use rules::{all_rules, check_file, Diagnostic, FileOutcome, RuleMeta};
+pub use source::{SourceFile, Suppression, TargetKind};
+
+use std::collections::BTreeSet;
+
+/// Check a single in-memory source file — the fixture-test entry point.
+///
+/// `package` and `target` steer rule applicability exactly as they do for
+/// on-disk files; `workspace_libs` lists the library names `use` may
+/// reference besides std.
+pub fn check_source(
+    path: &str,
+    package: &str,
+    target: TargetKind,
+    is_crate_root: bool,
+    workspace_libs: &BTreeSet<String>,
+    source: &str,
+) -> FileOutcome {
+    let file = SourceFile::parse(path, package, target, is_crate_root, source);
+    check_file(&file, workspace_libs)
+}

@@ -1,0 +1,121 @@
+#![forbid(unsafe_code)]
+//! The `smart-lint` CLI: scan the workspace, print diagnostics, export a
+//! JSON report, and (in `--deny-warnings` CI mode) fail on any violation.
+//!
+//! ```text
+//! smart-lint [--deny-warnings] [--list-rules] [--root DIR] [--out DIR] [--run NAME]
+//! ```
+//!
+//! - `--deny-warnings` — exit non-zero when any violation survives
+//!   suppression filtering (the CI gate).
+//! - `--list-rules` — print every rule with its rationale and exit.
+//! - `--root DIR` — workspace root to scan (default `.`).
+//! - `--out DIR` — report directory (default `results/`).
+//! - `--run NAME` — report label, producing `lint_<NAME>.json`
+//!   (default `workspace`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lint::{all_rules, lint_workspace, write_report, LintReport};
+
+struct Args {
+    deny_warnings: bool,
+    list_rules: bool,
+    root: PathBuf,
+    out: PathBuf,
+    run: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny_warnings: false,
+        list_rules: false,
+        root: PathBuf::from("."),
+        out: PathBuf::from("results"),
+        run: "workspace".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-warnings" => args.deny_warnings = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => args.root = next_value(&mut it, "--root")?.into(),
+            "--out" => args.out = next_value(&mut it, "--out")?.into(),
+            "--run" => args.run = next_value(&mut it, "--run")?,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn list_rules() {
+    println!("smart-lint rules ({} active):", all_rules().len());
+    for rule in all_rules() {
+        println!("\n  {}", rule.id);
+        println!("    flags:    {}", rule.summary);
+        println!("    protects: {}", rule.rationale);
+    }
+    println!(
+        "\nSuppress a finding with `// lint:allow(<rule-id>) <reason>` on or directly \
+         above the line; the reason is mandatory."
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("smart-lint: {message}");
+            eprintln!(
+                "usage: smart-lint [--deny-warnings] [--list-rules] [--root DIR] [--out DIR] \
+                 [--run NAME]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list_rules {
+        list_rules();
+        return ExitCode::SUCCESS;
+    }
+    let outcome = match lint_workspace(&args.root) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("smart-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &outcome.violations {
+        println!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message);
+    }
+    let report = LintReport::from_outcome(&args.run, &outcome);
+    match write_report(&report, &args.out) {
+        Ok(path) => println!(
+            "smart-lint: {} violations, {} suppressions, {} files, {} rules -> {}",
+            outcome.violations.len(),
+            outcome.suppressions.len(),
+            outcome.files_scanned,
+            report.active_rules(),
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!(
+                "smart-lint: writing report under {}: {e}",
+                args.out.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.deny_warnings && !outcome.violations.is_empty() {
+        eprintln!(
+            "smart-lint: --deny-warnings: {} violations",
+            outcome.violations.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

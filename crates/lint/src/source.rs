@@ -1,0 +1,412 @@
+//! Per-file analysis context: lexed tokens, `#[cfg(test)]` regions, and
+//! inline suppressions.
+//!
+//! Suppressions are the escape hatch of the rule engine and are
+//! deliberately strict: `// lint:allow(rule-id) reason` must name the rule
+//! *and* carry a written reason, or the suppression itself becomes a
+//! diagnostic (DESIGN.md §9). A suppression covers the line it trails, or
+//! — when it stands alone on its own line — the next line with code.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::Diagnostic;
+
+/// Which cargo target a source file belongs to. Tests, benches, and
+/// examples never reach the engine (it only walks `src/`), so two kinds
+/// suffice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Part of the crate's library.
+    Lib,
+    /// A binary root or module (`src/main.rs`, `src/bin/**`).
+    Bin,
+}
+
+/// One parsed inline suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line of code the suppression covers.
+    pub line: usize,
+    /// Line of the comment itself.
+    pub comment_line: usize,
+    /// Rule ids being allowed.
+    pub rules: Vec<String>,
+    /// The mandatory human-written justification.
+    pub reason: String,
+}
+
+/// A lexed and classified source file, ready for rule checks.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path (diagnostics use it verbatim).
+    pub path: String,
+    /// Cargo package name of the owning crate (e.g. `smart-stats`).
+    pub package: String,
+    /// Library or binary code.
+    pub target: TargetKind,
+    /// Whether this file is a crate root (`lib.rs`, `main.rs`,
+    /// `bin/*.rs`) and must carry `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+    /// Non-comment tokens, in source order.
+    pub code: Vec<Token>,
+    /// Comment tokens, in source order.
+    pub comments: Vec<Token>,
+    /// Valid suppressions found in comments.
+    pub suppressions: Vec<Suppression>,
+    /// Diagnostics produced by parsing itself (malformed or reason-less
+    /// suppressions). Never suppressible.
+    pub parse_diags: Vec<Diagnostic>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lex and classify `source`.
+    pub fn parse(
+        path: &str,
+        package: &str,
+        target: TargetKind,
+        is_crate_root: bool,
+        source: &str,
+    ) -> SourceFile {
+        let tokens = lex(source);
+        let mut code = Vec::new();
+        let mut comments = Vec::new();
+        for t in tokens {
+            if t.kind == TokenKind::Comment {
+                comments.push(t);
+            } else {
+                code.push(t);
+            }
+        }
+        let test_ranges = test_ranges(&code);
+        let mut file = SourceFile {
+            path: path.to_string(),
+            package: package.to_string(),
+            target,
+            is_crate_root,
+            code,
+            comments,
+            suppressions: Vec::new(),
+            parse_diags: Vec::new(),
+            test_ranges,
+        };
+        file.collect_suppressions();
+        file
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(start, end)| (start..=end).contains(&line))
+    }
+
+    /// The suppression covering `rule` on `line`, if any.
+    pub fn suppression_for(&self, rule: &str, line: usize) -> Option<&Suppression> {
+        self.suppressions
+            .iter()
+            .find(|s| s.line == line && s.rules.iter().any(|r| r == rule))
+    }
+
+    fn collect_suppressions(&mut self) {
+        // Split borrows: walk comments by index so `self.code` stays
+        // readable while we push into the result vectors.
+        for ci in 0..self.comments.len() {
+            let comment = self.comments[ci].clone();
+            // Doc comments are prose: the marker appearing there is
+            // documentation, not a suppression.
+            if is_doc_comment(&comment.text) {
+                continue;
+            }
+            let Some(at) = comment.text.find(MARKER) else {
+                continue;
+            };
+            match parse_allow(&comment.text[at + MARKER.len()..]) {
+                Ok((rules, reason)) => {
+                    if reason.is_empty() {
+                        self.parse_diags.push(Diagnostic {
+                            file: self.path.clone(),
+                            line: comment.line,
+                            rule: crate::rules::SUPPRESSION_RULE.to_string(),
+                            message: format!(
+                                "lint:allow({}) needs a written reason after the closing \
+                                 parenthesis",
+                                rules.join(", ")
+                            ),
+                        });
+                        continue;
+                    }
+                    let line = self.target_line(&comment);
+                    self.suppressions.push(Suppression {
+                        line,
+                        comment_line: comment.line,
+                        rules,
+                        reason,
+                    });
+                }
+                Err(problem) => {
+                    self.parse_diags.push(Diagnostic {
+                        file: self.path.clone(),
+                        line: comment.line,
+                        rule: crate::rules::SUPPRESSION_RULE.to_string(),
+                        message: format!("malformed lint:allow comment: {problem}"),
+                    });
+                }
+            }
+        }
+    }
+
+    /// The line a suppression comment covers: its own line when code
+    /// precedes it there (trailing comment), otherwise the next line
+    /// holding any code.
+    fn target_line(&self, comment: &Token) -> usize {
+        let trails_code = self
+            .code
+            .iter()
+            .any(|t| t.line == comment.line && t.pos < comment.pos);
+        if trails_code {
+            return comment.line;
+        }
+        self.code
+            .iter()
+            .find(|t| t.pos > comment.pos)
+            .map(|t| t.line)
+            .unwrap_or(comment.line)
+    }
+}
+
+/// The marker that introduces a suppression inside a comment.
+const MARKER: &str = "lint:allow";
+
+/// `///`, `//!`, `/**`, `/*!` — doc comments, never suppression carriers.
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/*!")
+        || (text.starts_with("/**") && !text.starts_with("/**/"))
+}
+
+/// Parse the `(rule, rule2) reason …` tail after `lint:allow`.
+fn parse_allow(tail: &str) -> Result<(Vec<String>, String), String> {
+    let tail = tail.trim_start();
+    let Some(rest) = tail.strip_prefix('(') else {
+        return Err("expected `(` after lint:allow".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("missing `)` after the rule list".to_string());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list".to_string());
+    }
+    let mut reason = rest[close + 1..].trim();
+    // Block comments carry their closing marker in the text.
+    if let Some(stripped) = reason.strip_suffix("*/") {
+        reason = stripped.trim_end();
+    }
+    Ok((rules, reason.to_string()))
+}
+
+/// Compute the inclusive line ranges of items annotated `#[cfg(test)]`
+/// (including `cfg(any(test, …))` but *not* `cfg(not(test))`) or
+/// `#[test]`.
+fn test_ranges(code: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(is_punct(code, i, "#") && is_punct(code, i + 1, "[")) {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test) = scan_attribute(code, i + 1);
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        let start_line = code[i].line;
+        // Skip any further attributes on the same item.
+        let mut j = attr_end;
+        while is_punct(code, j, "#") && is_punct(code, j + 1, "[") {
+            let (next, _) = scan_attribute(code, j + 1);
+            j = next;
+        }
+        // Consume the item: to the first `;` at depth 0, or through the
+        // brace block that starts at depth 0.
+        let mut depth = 0usize;
+        let mut in_braces = false;
+        let mut end_line = code.get(j).map(|t| t.line).unwrap_or(start_line);
+        while j < code.len() {
+            let t = &code[j];
+            end_line = t.line;
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth = depth.saturating_sub(1),
+                    "{" => {
+                        depth += 1;
+                        in_braces = true;
+                    }
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if in_braces && depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        j += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = j;
+    }
+    ranges
+}
+
+/// Scan one attribute starting at its `[` token; returns the index right
+/// after the closing `]` and whether the attribute gates on `test`.
+fn scan_attribute(code: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut j = open;
+    let mut idents: Vec<(String, usize)> = Vec::new(); // (text, bracket depth)
+                                                       // `not` groups that idents may be nested under, as open-depths.
+    let mut not_depths: Vec<usize> = Vec::new();
+    while j < code.len() {
+        let t = &code[j];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "[" | "(") => {
+                // Entering a group: if the previous ident was `not`, the
+                // group negates its contents.
+                if t.text == "(" {
+                    if let Some((prev, _)) = idents.last() {
+                        if prev == "not" {
+                            not_depths.push(depth);
+                        }
+                    }
+                }
+                depth += 1;
+            }
+            (TokenKind::Punct, "]" | ")") => {
+                depth = depth.saturating_sub(1);
+                if not_depths.last() == Some(&depth) {
+                    not_depths.pop();
+                }
+                if depth == 0 {
+                    return (j + 1, attr_is_test(&idents));
+                }
+            }
+            (TokenKind::Ident, text) => {
+                if !not_depths.is_empty() && text == "test" {
+                    // `not(test)` — record nothing, it must not count.
+                } else {
+                    idents.push((text.to_string(), depth));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, attr_is_test(&idents))
+}
+
+/// `#[test]` or `#[cfg(… test …)]` (the `not(test)` case is filtered out
+/// before this sees the ident list).
+fn attr_is_test(idents: &[(String, usize)]) -> bool {
+    match idents.first() {
+        Some((head, _)) if head == "test" => true,
+        Some((head, _)) if head == "cfg" => idents.iter().skip(1).any(|(t, _)| t == "test"),
+        _ => false,
+    }
+}
+
+fn is_punct(code: &[Token], i: usize, text: &str) -> bool {
+    code.get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs", "smart-stats", TargetKind::Lib, false, src)
+    }
+
+    #[test]
+    fn cfg_test_mod_lines_are_test_lines() {
+        let src = "pub fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\npub fn c() {}\n";
+        let f = parse(src);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(2));
+        assert!(f.in_test(4));
+        assert!(f.in_test(5));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn cfg_any_test_counts_cfg_not_test_does_not() {
+        let f = parse("#[cfg(any(test, feature_x))]\nfn a() {}\n");
+        assert!(f.in_test(2));
+        let f = parse("#[cfg(not(test))]\nfn a() {}\nfn b() {}\n");
+        assert!(
+            !f.in_test(2),
+            "cfg(not(test)) must not create a test region"
+        );
+    }
+
+    #[test]
+    fn attribute_then_semicolon_item() {
+        let f = parse("#[cfg(test)]\nuse foo::bar;\nfn c() {}\n");
+        assert!(f.in_test(2));
+        assert!(!f.in_test(3));
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let f = parse("let x = a.unwrap(); // lint:allow(panic-free) invariant: a is Some\n");
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].line, 1);
+        assert_eq!(f.suppressions[0].rules, vec!["panic-free".to_string()]);
+        assert_eq!(f.suppressions[0].reason, "invariant: a is Some");
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_code_line() {
+        let f = parse("// lint:allow(panic-free) checked above\n// another comment\nlet x = 1;\n");
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].line, 3);
+    }
+
+    #[test]
+    fn reasonless_suppression_is_a_diagnostic() {
+        let f = parse("let x = 1; // lint:allow(panic-free)\n");
+        assert!(f.suppressions.is_empty());
+        assert_eq!(f.parse_diags.len(), 1);
+        assert_eq!(f.parse_diags[0].rule, crate::rules::SUPPRESSION_RULE);
+    }
+
+    #[test]
+    fn malformed_suppression_is_a_diagnostic() {
+        let f = parse("// lint:allow panic-free reasons go here\nlet x = 1;\n");
+        assert_eq!(f.parse_diags.len(), 1);
+        let f = parse("// lint:allow() because\nlet x = 1;\n");
+        assert_eq!(f.parse_diags.len(), 1);
+    }
+
+    #[test]
+    fn multi_rule_suppression_and_block_comment() {
+        let f = parse("let x = 1; /* lint:allow(panic-free, side-effects) both fine here */\n");
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].rules.len(), 2);
+        assert_eq!(f.suppressions[0].reason, "both fine here");
+    }
+}

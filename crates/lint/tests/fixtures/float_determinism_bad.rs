@@ -1,0 +1,5 @@
+//! Positive fixture: partial_cmp in non-test library code.
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

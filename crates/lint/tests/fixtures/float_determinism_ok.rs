@@ -1,0 +1,15 @@
+//! Negative fixture: total_cmp everywhere; partial_cmp only in tests and
+//! prose.
+
+/// Sorting with `total_cmp` is the sanctioned ordering.
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_partial_cmp() {
+        assert_eq!(1.0f64.partial_cmp(&2.0), Some(std::cmp::Ordering::Less));
+    }
+}

@@ -1,0 +1,3 @@
+//! Positive fixture: a crate root with no unsafe-code forbid.
+
+pub fn noop() {}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! Negative fixture: crate root carries the forbid attribute.
+
+pub fn noop() {}

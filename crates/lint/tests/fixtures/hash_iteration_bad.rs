@@ -1,0 +1,11 @@
+//! Positive fixture: HashMap in an order-sensitive crate.
+
+use std::collections::HashMap;
+
+pub fn count(names: &[&str]) -> HashMap<String, usize> {
+    let mut out = HashMap::new();
+    for n in names {
+        *out.entry(n.to_string()).or_insert(0) += 1;
+    }
+    out
+}

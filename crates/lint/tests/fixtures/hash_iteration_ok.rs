@@ -1,0 +1,11 @@
+//! Negative fixture: BTreeMap keeps iteration order deterministic.
+
+use std::collections::BTreeMap;
+
+pub fn count(names: &[&str]) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for n in names {
+        *out.entry(n.to_string()).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,10 @@
+//! Positive fixture: imports reaching outside the hermetic workspace.
+
+extern crate rand;
+
+use serde::Serialize;
+use std::fmt;
+
+pub fn nothing() -> fmt::Result {
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Negative fixture: std, workspace crates, sibling modules, and
+//! enum-variant uniform paths are all hermetic.
+
+mod helper;
+
+use crate::something::Inner;
+use helper::assist;
+use smart_stats::FeatureMatrix;
+use std::collections::BTreeMap;
+
+pub enum Direction {
+    Up,
+    Down,
+}
+
+pub fn pick(d: u8) -> Direction {
+    use Direction::*;
+    if d == 0 {
+        Up
+    } else {
+        Down
+    }
+}

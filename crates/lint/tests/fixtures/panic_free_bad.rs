@@ -1,0 +1,9 @@
+//! Positive fixture: panicking calls in library code.
+
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn not_done() {
+    todo!("later")
+}

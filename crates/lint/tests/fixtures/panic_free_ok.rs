@@ -1,0 +1,14 @@
+//! Negative fixture: typed errors in library code; unwrap confined to the
+//! test module.
+
+pub fn first(xs: &[f64]) -> Result<f64, String> {
+    xs.first().copied().ok_or_else(|| "empty".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::first(&[1.0]).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Positive fixture: clocks, env, and stderr in library code.
+
+pub fn time_it() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+pub fn read_knob() -> Option<String> {
+    std::env::var("SOME_KNOB").ok()
+}
+
+pub fn complain() {
+    eprintln!("something went wrong");
+}

@@ -1,0 +1,15 @@
+//! Negative fixture: pure library code; timing words in strings and
+//! comments must not trigger.
+
+/// "Instant::now" in a string is data, not a call.
+pub fn describe() -> &'static str {
+    "never calls Instant::now or env::var"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_touch_the_clock() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,6 @@
+//! Suppression fixture: naming a rule that does not exist is flagged.
+
+pub fn noop() {
+    // lint:allow(no-such-rule) this rule id is made up
+    let _ = 1 + 1;
+}

@@ -1,0 +1,7 @@
+//! Suppression fixture: an allow with no reason is itself a violation and
+//! silences nothing.
+
+pub fn first(xs: &[f64]) -> f64 {
+    // lint:allow(panic-free)
+    *xs.first().unwrap()
+}

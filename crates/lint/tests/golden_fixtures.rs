@@ -1,0 +1,225 @@
+//! Golden-fixture suite: every rule is pinned by a positive fixture (with
+//! the exact offending line asserted), a negative fixture that must stay
+//! clean, and the suppression protocol is exercised end to end.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use lint::{check_source, FileOutcome, TargetKind};
+
+/// Workspace library names visible to the fixtures.
+fn libs() -> BTreeSet<String> {
+    ["smart_stats", "json", "rng", "telemetry", "wefr_core"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Run the engine over a fixture as library code of `package`.
+fn check(name: &str, package: &str, is_crate_root: bool) -> FileOutcome {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {name}: {e}"));
+    check_source(
+        name,
+        package,
+        TargetKind::Lib,
+        is_crate_root,
+        &libs(),
+        &source,
+    )
+}
+
+/// The (rule, line) pairs of every surviving violation.
+fn hits(outcome: &FileOutcome) -> Vec<(String, usize)> {
+    outcome
+        .violations
+        .iter()
+        .map(|d| (d.rule.clone(), d.line))
+        .collect()
+}
+
+#[test]
+fn float_determinism_positive_flags_exact_line() {
+    let outcome = check("float_determinism_bad.rs", "smart-stats", false);
+    assert!(
+        hits(&outcome).contains(&("float-determinism".to_string(), 4)),
+        "got {:?}",
+        hits(&outcome)
+    );
+}
+
+#[test]
+fn float_determinism_negative_is_clean() {
+    let outcome = check("float_determinism_ok.rs", "smart-stats", false);
+    assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+}
+
+#[test]
+fn panic_free_positive_flags_unwrap_and_todo() {
+    let outcome = check("panic_free_bad.rs", "smart-stats", false);
+    let hits = hits(&outcome);
+    assert!(
+        hits.contains(&("panic-free".to_string(), 4)),
+        "got {hits:?}"
+    );
+    assert!(
+        hits.contains(&("panic-free".to_string(), 8)),
+        "got {hits:?}"
+    );
+}
+
+#[test]
+fn panic_free_negative_is_clean() {
+    let outcome = check("panic_free_ok.rs", "smart-stats", false);
+    assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+}
+
+#[test]
+fn panic_free_does_not_apply_outside_listed_crates() {
+    // smart-telemetry is not a panic-free crate; the same source is legal.
+    let outcome = check("panic_free_bad.rs", "smart-telemetry", false);
+    assert!(
+        !hits(&outcome).iter().any(|(r, _)| r == "panic-free"),
+        "got {:?}",
+        hits(&outcome)
+    );
+}
+
+#[test]
+fn hash_iteration_positive_flags_every_mention() {
+    let outcome = check("hash_iteration_bad.rs", "smart-trees", false);
+    let hits = hits(&outcome);
+    assert!(
+        hits.contains(&("hash-iteration".to_string(), 3)),
+        "got {hits:?}"
+    );
+    assert_eq!(
+        hits.iter().filter(|(r, _)| r == "hash-iteration").count(),
+        3
+    );
+}
+
+#[test]
+fn hash_iteration_negative_is_clean() {
+    let outcome = check("hash_iteration_ok.rs", "smart-trees", false);
+    assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+}
+
+#[test]
+fn hermetic_use_positive_flags_extern_and_use() {
+    let outcome = check("hermetic_use_bad.rs", "smart-stats", false);
+    let hits = hits(&outcome);
+    assert!(
+        hits.contains(&("hermetic-use".to_string(), 3)),
+        "extern crate rand: got {hits:?}"
+    );
+    assert!(
+        hits.contains(&("hermetic-use".to_string(), 5)),
+        "use serde: got {hits:?}"
+    );
+    assert_eq!(hits.len(), 2, "std import must stay legal: got {hits:?}");
+}
+
+#[test]
+fn hermetic_use_negative_accepts_workspace_and_uniform_paths() {
+    let outcome = check("hermetic_use_ok.rs", "smart-stats", false);
+    assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+}
+
+#[test]
+fn side_effects_positive_flags_clock_env_stderr() {
+    let outcome = check("side_effects_bad.rs", "smart-pipeline", false);
+    let hits = hits(&outcome);
+    assert!(
+        hits.contains(&("side-effects".to_string(), 4)),
+        "Instant::now: got {hits:?}"
+    );
+    assert!(
+        hits.contains(&("side-effects".to_string(), 9)),
+        "env::var: got {hits:?}"
+    );
+    assert!(
+        hits.contains(&("side-effects".to_string(), 13)),
+        "eprintln!: got {hits:?}"
+    );
+}
+
+#[test]
+fn side_effects_negative_ignores_strings_and_tests() {
+    let outcome = check("side_effects_ok.rs", "smart-pipeline", false);
+    assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+}
+
+#[test]
+fn side_effects_exempts_telemetry_and_bins() {
+    let outcome = check("side_effects_bad.rs", "smart-telemetry", false);
+    assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/side_effects_bad.rs");
+    let source = std::fs::read_to_string(path).unwrap();
+    let as_bin = check_source(
+        "side_effects_bad.rs",
+        "smart-pipeline",
+        TargetKind::Bin,
+        false,
+        &libs(),
+        &source,
+    );
+    assert_eq!(hits(&as_bin), Vec::<(String, usize)>::new());
+}
+
+#[test]
+fn forbid_unsafe_positive_flags_bare_crate_root() {
+    let outcome = check("forbid_unsafe_bad.rs", "smart-stats", true);
+    assert_eq!(hits(&outcome), vec![("forbid-unsafe".to_string(), 1)]);
+}
+
+#[test]
+fn forbid_unsafe_negative_accepts_attribute() {
+    let outcome = check("forbid_unsafe_ok.rs", "smart-stats", true);
+    assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+}
+
+#[test]
+fn forbid_unsafe_skips_non_root_files() {
+    let outcome = check("forbid_unsafe_bad.rs", "smart-stats", false);
+    assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+}
+
+#[test]
+fn reasoned_suppression_absorbs_the_diagnostic() {
+    let outcome = check("suppression_with_reason.rs", "smart-stats", false);
+    assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+    assert_eq!(outcome.used_suppressions.len(), 1);
+    let (suppression, diagnostic) = &outcome.used_suppressions[0];
+    assert_eq!(diagnostic.rule, "panic-free");
+    assert_eq!(
+        suppression.reason,
+        "fixture invariant: callers never pass empty"
+    );
+}
+
+#[test]
+fn reasonless_suppression_fails_and_silences_nothing() {
+    let outcome = check("suppression_without_reason.rs", "smart-stats", false);
+    let hits = hits(&outcome);
+    assert!(
+        hits.contains(&("suppression".to_string(), 5)),
+        "got {hits:?}"
+    );
+    assert!(
+        hits.contains(&("panic-free".to_string(), 6)),
+        "the would-be suppressed violation must survive: got {hits:?}"
+    );
+    assert!(outcome.used_suppressions.is_empty());
+}
+
+#[test]
+fn unknown_rule_in_suppression_is_flagged() {
+    let outcome = check("suppression_unknown_rule.rs", "smart-stats", false);
+    let hits = hits(&outcome);
+    assert_eq!(hits.len(), 1, "got {hits:?}");
+    assert_eq!(hits[0].0, "suppression");
+    assert_eq!(hits[0].1, 4);
+}

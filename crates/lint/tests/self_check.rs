@@ -1,0 +1,62 @@
+//! Self-check: the shipped workspace — smart-lint's own source included —
+//! must be lint-clean, with every suppression carrying a written reason.
+//! Running under `cargo test` puts workspace cleanliness into tier-1.
+
+use std::path::Path;
+
+use lint::{lint_workspace, LintReport};
+
+fn workspace_root() -> &'static Path {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    assert!(
+        root.join("crates").is_dir(),
+        "expected a crates/ directory under {}",
+        root.display()
+    );
+    root
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let outcome = lint_workspace(workspace_root()).expect("workspace lints");
+    let rendered: Vec<String> = outcome
+        .violations
+        .iter()
+        .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        outcome.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        outcome.files_scanned
+    );
+}
+
+#[test]
+fn every_suppression_has_a_reason() {
+    let outcome = lint_workspace(workspace_root()).expect("workspace lints");
+    for s in &outcome.suppressions {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "suppression of {} at {}:{} lacks a reason",
+            s.rule,
+            s.file,
+            s.line
+        );
+    }
+}
+
+#[test]
+fn report_from_workspace_run_validates() {
+    let outcome = lint_workspace(workspace_root()).expect("workspace lints");
+    let report = LintReport::from_outcome("self-check", &outcome);
+    report.validate().expect("report invariants");
+    assert!(report.active_rules() >= 5, "rule set shrank unexpectedly");
+}

@@ -224,11 +224,7 @@ pub fn metrics_at_fixed_recall(
     // Candidate thresholds: the distinct drive scores, descending. Flagged
     // set = drives with score >= threshold.
     let mut order: Vec<&DriveScore> = scores.iter().collect();
-    order.sort_by(|a, b| {
-        b.max_score
-            .partial_cmp(&a.max_score)
-            .expect("finite scores")
-    });
+    order.sort_by(|a, b| b.max_score.total_cmp(&a.max_score));
 
     let mut tp = 0usize;
     let mut fp = 0usize;

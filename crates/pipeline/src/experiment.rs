@@ -236,7 +236,12 @@ impl PhasePredictor {
                     let mut peak_day = start;
                     let mut from_low = true;
                     for day in start..=end {
-                        let m = drive.value_on(day, mwi).expect("MWI always reported");
+                        let m = drive.value_on(day, mwi).ok_or_else(|| {
+                            PipelineError::invalid(format!(
+                                "drive {} lacks MWI on day {day}",
+                                drive.id
+                            ))
+                        })?;
                         let is_low = m <= *threshold;
                         let predictor = if is_low { low } else { high };
                         let score = predictor.score_drive_day(drive, day)?;
@@ -376,7 +381,7 @@ pub fn run_phase(
                 seed,
                 ..config.wefr
             });
-            let survival = wearout_survival(fleet, model, fit_end, config);
+            let survival = wearout_survival(fleet, model, fit_end, config)?;
             let input = if method == Method::Wefr {
                 SelectionInput {
                     data: &matrix,
@@ -452,14 +457,19 @@ pub fn run_phase(
 /// Survival pairs for wear-out change-point detection: a fleet-scale
 /// lifecycle census matching the experiment fleet's failure behaviour, or
 /// the experiment fleet itself when `wearout_census_drives == 0`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Dataset`] when the derived census
+/// configuration is invalid.
 pub fn wearout_survival(
     fleet: &Fleet,
     model: DriveModel,
     as_of_day: u32,
     config: &ExperimentConfig,
-) -> Vec<(f64, bool)> {
+) -> Result<Vec<(f64, bool)>, PipelineError> {
     if config.wearout_census_drives == 0 {
-        return survival_pairs(fleet, model, as_of_day);
+        return Ok(survival_pairs(fleet, model, as_of_day));
     }
     let days = (as_of_day + 1).max(120);
     let census_config = smart_dataset::FleetConfig::builder()
@@ -469,13 +479,12 @@ pub fn wearout_survival(
         .failure_scale(fleet.config().effective_failure_scale(model))
         .max_initial_age_days(fleet.config().max_initial_age_days())
         .arrival_fraction(fleet.config().arrival_fraction())
-        .build()
-        .expect("valid census config");
-    smart_dataset::Census::generate(&census_config)
+        .build()?;
+    Ok(smart_dataset::Census::generate(&census_config)
         .summaries()
         .iter()
         .map(|s| (s.final_mwi_n, s.is_failed()))
-        .collect()
+        .collect())
 }
 
 fn predictor_config(config: &ExperimentConfig, seed: u64) -> PredictorConfig {
@@ -568,12 +577,7 @@ fn quantile_normalize(scores: &mut [DriveScore], from_low: &[bool]) {
             continue;
         }
         let mut order = idx.clone();
-        order.sort_by(|&a, &b| {
-            scores[a]
-                .max_score
-                .partial_cmp(&scores[b].max_score)
-                .expect("finite scores")
-        });
+        order.sort_by(|&a, &b| scores[a].max_score.total_cmp(&scores[b].max_score));
         let n = order.len();
         // Mid-rank handles ties deterministically enough for pooling; exact
         // tie semantics within a group are preserved by averaging positions.
@@ -977,7 +981,7 @@ mod tests {
         let fleet = quick_fleet();
         let mut config = ExperimentConfig::quick(1);
         config.wearout_census_drives = 0;
-        let from_fleet = wearout_survival(&fleet, DriveModel::Mc1, 300, &config);
+        let from_fleet = wearout_survival(&fleet, DriveModel::Mc1, 300, &config).unwrap();
         assert_eq!(
             from_fleet.len(),
             fleet
@@ -986,7 +990,7 @@ mod tests {
                 .count()
         );
         config.wearout_census_drives = 500;
-        let from_census = wearout_survival(&fleet, DriveModel::Mc1, 300, &config);
+        let from_census = wearout_survival(&fleet, DriveModel::Mc1, 300, &config).unwrap();
         assert_eq!(from_census.len(), 500);
         // Census failure rate must resemble the experiment fleet's scale
         // (same effective failure multiplier), not the nominal AFR.

@@ -53,9 +53,12 @@ pub fn expand_sample(
         })?;
         out.push(current);
         for w in WINDOW_WIDTHS {
-            let window = drive
-                .trailing_series(day, w, *f)
-                .expect("value_on succeeded, so the window exists");
+            let window = drive.trailing_series(day, w, *f).ok_or_else(|| {
+                PipelineError::invalid(format!(
+                    "drive {} has no {w}-day window for {f} on day {day}",
+                    drive.id
+                ))
+            })?;
             let stats = WindowStats::compute(&window).map_err(PipelineError::Stats)?;
             out.extend_from_slice(&stats.to_array());
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! End-to-end SSD failure-prediction pipeline (§II-B / §V-A of the paper):
 //! from a simulated fleet's SMART logs to precision/recall/F0.5 at a fixed
 //! per-model recall.

@@ -119,11 +119,10 @@ pub fn base_matrix(
             columns[col].push(v);
         }
         labels.push(s.label);
-        mwi.push(
-            drive
-                .value_on(s.day, mwi_feature)
-                .expect("every model reports MWI"),
-        );
+        let mwi_value = drive.value_on(s.day, mwi_feature).ok_or_else(|| {
+            PipelineError::invalid(format!("drive {} lacks MWI on day {}", drive.id, s.day))
+        })?;
+        mwi.push(mwi_value);
     }
     let matrix = FeatureMatrix::from_columns(names, columns).map_err(PipelineError::Stats)?;
     Ok((matrix, labels, mwi))

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Deterministic, dependency-free random numbers for the WEFR workspace.
 //!
 //! The workspace builds hermetically (no registry crates — DESIGN.md §5), so

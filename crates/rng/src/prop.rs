@@ -32,6 +32,8 @@ pub const DEFAULT_CASES: u32 = 64;
 pub const DEFAULT_SEED: u64 = 0x5EED_CAFE_F00D_D15C;
 
 fn env_u64(name: &str) -> Option<u64> {
+    // lint:allow(side-effects) the PROP_CASES/PROP_SEED replay knobs are
+    // this harness's documented interface; they only affect tests
     let raw = std::env::var(name).ok()?;
     let raw = raw.trim();
     let parsed = if let Some(hex) = raw.strip_prefix("0x") {
@@ -63,7 +65,10 @@ pub fn run_cases<F: Fn(&mut Gen)>(property: F) {
         let mut gen = Gen::new(case_seed);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut gen)));
         if let Err(payload) = outcome {
+            // lint:allow(side-effects) replay instructions must reach the
+            // failing test's stderr, next to the panic message itself
             eprintln!("property failed on case {case} (case seed {case_seed:#x})");
+            // lint:allow(side-effects) second line of the same replay hint
             eprintln!("replay with: PROP_SEED={case_seed:#x} PROP_CASES=1 cargo test -q");
             std::panic::resume_unwind(payload);
         }

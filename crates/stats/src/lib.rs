@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Statistical primitives for SMART-log failure prediction.
 //!
 //! This crate is the numeric substrate of the WEFR reproduction. It contains

@@ -25,7 +25,7 @@ pub fn average_ranks(xs: &[f64]) -> Result<Vec<f64>> {
         });
     }
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN checked above"));
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
 
     let mut ranks = vec![0.0; xs.len()];
     let mut i = 0;
@@ -67,12 +67,7 @@ pub fn descending_order(scores: &[f64]) -> Result<Vec<usize>> {
         });
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("NaN checked above")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     Ok(order)
 }
 

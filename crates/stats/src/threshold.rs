@@ -59,11 +59,7 @@ pub fn best_youden(values: &[f64], labels: &[bool]) -> Result<OperatingPoint> {
     // that at each step everything at or above the threshold is predicted
     // positive for the ">=" orientation.
     let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&a, &b| {
-        values[b]
-            .partial_cmp(&values[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
 
     let mut best = OperatingPoint {
         threshold: f64::INFINITY,

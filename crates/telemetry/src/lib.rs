@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Zero-dependency observability for the WEFR pipeline (DESIGN.md §6).
 //!
 //! Three primitives, one process-global collector, two sinks:

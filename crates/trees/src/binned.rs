@@ -168,6 +168,8 @@ impl BinnedMatrix {
             })
             .collect();
         FeatureMatrix::from_columns(self.names.clone(), columns)
+            // lint:allow(panic-free) bin uppers are copies of values the
+            // FeatureMatrix constructor already validated as finite
             .expect("binned values are finite by construction")
     }
 

@@ -33,6 +33,9 @@ impl SplitStrategy {
             "exact" => Some(SplitStrategy::Exact),
             "histogram" => Some(SplitStrategy::Histogram),
             other => {
+                // lint:allow(side-effects) documented contract of the
+                // WEFR_SPLIT_STRATEGY knob: malformed values must warn a
+                // human, and telemetry may not be installed yet at startup
                 eprintln!(
                     "warning: WEFR_SPLIT_STRATEGY={other:?} is not \"exact\" or \
                      \"histogram\"; ignoring"
@@ -44,6 +47,8 @@ impl SplitStrategy {
 
     /// Parse the `WEFR_SPLIT_STRATEGY` environment override.
     pub fn from_env() -> Option<SplitStrategy> {
+        // lint:allow(side-effects) this is the one sanctioned env read for
+        // the strategy knob; bins call it once at startup, never mid-run
         SplitStrategy::from_lookup(|name| std::env::var(name).ok())
     }
 }

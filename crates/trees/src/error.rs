@@ -59,6 +59,14 @@ impl fmt::Display for TreesError {
 
 impl std::error::Error for TreesError {}
 
+impl From<smart_stats::StatsError> for TreesError {
+    fn from(e: smart_stats::StatsError) -> TreesError {
+        TreesError::InvalidParameter {
+            message: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

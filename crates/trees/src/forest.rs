@@ -93,23 +93,25 @@ impl RandomForest {
         };
 
         let n_threads = effective_threads(config.n_threads, config.n_trees);
-        let results: Vec<(RegressionTree, Vec<usize>)> =
+        let results: Vec<Result<(RegressionTree, Vec<usize>), TreesError>> =
             run_indexed_parallel(config.n_trees, n_threads, |tree_idx| {
                 let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, tree_idx as u64));
-                let bootstrap =
-                    bootstrap_indices(&mut rng, data.n_rows()).expect("n_rows checked > 0");
+                let bootstrap = bootstrap_indices(&mut rng, data.n_rows())?;
                 let oob = out_of_bag_indices(&bootstrap, data.n_rows());
                 let tree = match &binned {
                     Some(b) => {
                         RegressionTree::fit_binned(b, &targets, &bootstrap, &config.tree, &mut rng)
                     }
                     None => RegressionTree::fit(data, &targets, &bootstrap, &config.tree, &mut rng),
-                }
-                .expect("validated inputs");
-                (tree, oob)
+                }?;
+                Ok((tree, oob))
             });
 
-        let (trees, oob_rows) = results.into_iter().unzip();
+        let (trees, oob_rows) = results
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .unzip();
         Ok(RandomForest {
             trees,
             oob_rows,
@@ -254,7 +256,9 @@ impl RandomForest {
         let n_threads = effective_threads(self.config.n_threads, self.trees.len());
         let per_tree: Vec<Vec<f64>> = run_indexed_parallel(self.trees.len(), n_threads, |t| {
             self.tree_permutation_importance(t, eval, labels)
-        });
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
 
         let mut totals = vec![0.0; self.n_features];
         for tree_scores in &per_tree {
@@ -272,15 +276,14 @@ impl RandomForest {
         tree_idx: usize,
         data: &FeatureMatrix,
         labels: &[bool],
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, TreesError> {
         // Cap OOB evaluation size to bound cost on large training sets.
         const MAX_OOB: usize = 512;
         let tree = &self.trees[tree_idx];
         let oob = &self.oob_rows[tree_idx];
         let mut rng = StdRng::seed_from_u64(mix_seed(self.config.seed ^ 0xA5A5, tree_idx as u64));
         let rows: Vec<usize> = if oob.len() > MAX_OOB {
-            smart_stats::sampling::sample_without_replacement(&mut rng, oob.len(), MAX_OOB)
-                .expect("MAX_OOB <= len")
+            smart_stats::sampling::sample_without_replacement(&mut rng, oob.len(), MAX_OOB)?
                 .into_iter()
                 .map(|i| oob[i])
                 .collect()
@@ -288,11 +291,11 @@ impl RandomForest {
             oob.clone()
         };
         if rows.is_empty() {
-            return vec![0.0; self.n_features];
+            return Ok(vec![0.0; self.n_features]);
         }
 
         // Materialize the OOB submatrix once; permute one column at a time.
-        let sub = data.select_rows(&rows).expect("valid oob rows");
+        let sub = data.select_rows(&rows)?;
         let sub_labels: Vec<bool> = rows.iter().map(|&r| labels[r]).collect();
         let baseline = accuracy_of_tree(tree, &sub, &sub_labels);
 
@@ -304,9 +307,8 @@ impl RandomForest {
                     .map(|c| sub.column(c).to_vec())
                     .collect();
                 columns[feature] = permuted;
-                let shuffled = FeatureMatrix::from_columns(sub.feature_names().to_vec(), columns)
-                    .expect("same shape");
-                baseline - accuracy_of_tree(tree, &shuffled, &sub_labels)
+                let shuffled = FeatureMatrix::from_columns(sub.feature_names().to_vec(), columns)?;
+                Ok(baseline - accuracy_of_tree(tree, &shuffled, &sub_labels))
             })
             .collect()
     }
@@ -380,6 +382,9 @@ where
     });
     results
         .into_iter()
+        // lint:allow(panic-free) the scoped threads above cover 0..n exactly
+        // (step_by(chunk) zipped with chunks_mut(chunk)), so every slot is
+        // Some by the time the scope joins
         .map(|r| r.expect("all slots filled"))
         .collect()
 }

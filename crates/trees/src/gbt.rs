@@ -120,7 +120,7 @@ impl GradientBoosting {
 
             let rows: Vec<usize> = if config.subsample < 1.0 {
                 let k = ((n as f64 * config.subsample).round() as usize).clamp(1, n);
-                sample_without_replacement(&mut rng, n, k).expect("k <= n")
+                sample_without_replacement(&mut rng, n, k)?
             } else {
                 (0..n).collect()
             };

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! From-scratch tree learners for the WEFR reproduction.
 //!
 //! Rust's ML ecosystem has no mature equivalents of scikit-learn's

@@ -70,7 +70,7 @@ impl RegressionTree {
             splits_by_feature: vec![0; data.n_features()],
         };
         let mut rows = rows.to_vec();
-        tree.build(data, targets, &mut rows, 0, config, rng);
+        tree.build(data, targets, &mut rows, 0, config, rng)?;
         Ok(tree)
     }
 
@@ -122,7 +122,7 @@ impl RegressionTree {
             hists_built: 0,
         };
         let mut rows = rows.to_vec();
-        tree.build_binned(&mut ctx, &mut rows, 0, None, rng);
+        tree.build_binned(&mut ctx, &mut rows, 0, None, rng)?;
         telemetry::counter_add("trees.histograms_built", ctx.hists_built);
         Ok(tree)
     }
@@ -136,19 +136,18 @@ impl RegressionTree {
         depth: usize,
         config: &TreeConfig,
         rng: &mut R,
-    ) -> usize {
+    ) -> Result<usize, TreesError> {
         let n = rows.len();
         let mean = rows.iter().map(|&r| targets[r]).sum::<f64>() / n as f64;
         let constant = rows.iter().all(|&r| (targets[r] - mean).abs() < 1e-12);
 
         if depth >= config.max_depth || n < config.min_samples_split || constant {
-            return self.push_leaf(mean, n);
+            return Ok(self.push_leaf(mean, n));
         }
 
         // Per-node feature subsampling (the Random Forest ingredient).
         let k = config.max_features.resolve(data.n_features());
-        let candidates = sample_without_replacement(rng, data.n_features(), k)
-            .expect("k <= n_features by construction");
+        let candidates = sample_without_replacement(rng, data.n_features(), k)?;
 
         let mut best: Option<(usize, crate::split::Split)> = None;
         let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(n);
@@ -164,7 +163,7 @@ impl RegressionTree {
         }
 
         let Some((feature, split)) = best else {
-            return self.push_leaf(mean, n);
+            return Ok(self.push_leaf(mean, n));
         };
 
         self.gain_by_feature[feature] += split.gain;
@@ -186,15 +185,15 @@ impl RegressionTree {
             n_samples: n,
         });
         let (left_rows, right_rows) = rows.split_at_mut(n_left);
-        let left = self.build(data, targets, left_rows, depth + 1, config, rng);
-        let right = self.build(data, targets, right_rows, depth + 1, config, rng);
+        let left = self.build(data, targets, left_rows, depth + 1, config, rng)?;
+        let right = self.build(data, targets, right_rows, depth + 1, config, rng)?;
         self.nodes[node_idx] = Node::Split {
             feature,
             threshold: split.threshold,
             left,
             right,
         };
-        node_idx
+        Ok(node_idx)
     }
 
     /// Recursively build the subtree for `rows` from per-bin histograms;
@@ -211,19 +210,18 @@ impl RegressionTree {
         depth: usize,
         inherited: Option<NodeHists>,
         rng: &mut R,
-    ) -> usize {
+    ) -> Result<usize, TreesError> {
         let n = rows.len();
         let mean = rows.iter().map(|&r| ctx.targets[r]).sum::<f64>() / n as f64;
         let constant = rows.iter().all(|&r| (ctx.targets[r] - mean).abs() < 1e-12);
 
         if depth >= ctx.config.max_depth || n < ctx.config.min_samples_split || constant {
-            return self.push_leaf(mean, n);
+            return Ok(self.push_leaf(mean, n));
         }
 
         let f_total = ctx.binned.n_features();
         let k = ctx.config.max_features.resolve(f_total);
-        let candidates =
-            sample_without_replacement(rng, f_total, k).expect("k <= n_features by construction");
+        let candidates = sample_without_replacement(rng, f_total, k)?;
         // With the full feature set in play (gradient boosting's default)
         // node histograms are reusable across levels; under subsampling the
         // candidate set changes per node, so accumulate fresh per feature.
@@ -275,7 +273,7 @@ impl RegressionTree {
         }
 
         let Some((feature, split, bin)) = best else {
-            return self.push_leaf(mean, n);
+            return Ok(self.push_leaf(mean, n));
         };
 
         self.gain_by_feature[feature] += split.gain;
@@ -324,15 +322,15 @@ impl RegressionTree {
             _ => (None, None),
         };
 
-        let left = self.build_binned(ctx, left_rows, depth + 1, left_inherit, rng);
-        let right = self.build_binned(ctx, right_rows, depth + 1, right_inherit, rng);
+        let left = self.build_binned(ctx, left_rows, depth + 1, left_inherit, rng)?;
+        let right = self.build_binned(ctx, right_rows, depth + 1, right_inherit, rng)?;
         self.nodes[node_idx] = Node::Split {
             feature,
             threshold: split.threshold,
             left,
             right,
         };
-        node_idx
+        Ok(node_idx)
     }
 
     fn push_leaf(&mut self, value: f64, n_samples: usize) -> usize {
@@ -376,6 +374,8 @@ impl RegressionTree {
     pub fn predict_row(&self, data: &FeatureMatrix, row: usize) -> f64 {
         match &self.nodes[self.apply(data, row)] {
             Node::Leaf { value, .. } => *value,
+            // lint:allow(panic-free) apply() only ever returns a leaf index;
+            // a Split here means the tree structure itself is corrupt
             Node::Split { .. } => unreachable!("apply returns a leaf"),
         }
     }
@@ -406,6 +406,8 @@ impl RegressionTree {
     pub fn set_leaf_value(&mut self, leaf_idx: usize, value: f64) {
         match &mut self.nodes[leaf_idx] {
             Node::Leaf { value: v, .. } => *v = value,
+            // lint:allow(panic-free) documented # Panics contract: callers
+            // pass indices straight from apply(), which yields only leaves
             Node::Split { .. } => panic!("node {leaf_idx} is not a leaf"),
         }
     }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: format, hermetic offline build, tests, docs, a hard check that
-# the dependency graph contains zero registry crates (DESIGN.md §5), and a
-# telemetry smoke run that must export a parseable run report (DESIGN.md §6).
+# the dependency graph contains zero registry crates (DESIGN.md §5), the
+# smart-lint static-analysis sweep (DESIGN.md §9), and a telemetry smoke
+# run that must export a parseable run report (DESIGN.md §6).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,9 +27,16 @@ step "hermeticity: dependency graph must contain only in-repo path crates"
 cargo metadata --format-version 1 --offline \
   | cargo run -q --release --offline -p smart-integration --bin check_hermetic
 
-step "telemetry smoke: quickstart traces and exports a valid run report"
+step "smart-lint: workspace must pass every determinism/hermeticity rule"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
+# --deny-warnings makes any surviving violation fatal; the report gate then
+# re-parses the JSON export and re-asserts cleanliness and rule coverage.
+cargo run -q --release --offline -p smart-lint -- --deny-warnings --out "$tmpdir"
+cargo run -q --release --offline -p smart-integration --bin check_lint_report \
+  "$tmpdir/lint_workspace.json"
+
+step "telemetry smoke: quickstart traces and exports a valid run report"
 WEFR_LOG=debug WEFR_TELEMETRY_OUT="$tmpdir" \
   cargo run -q --release --offline -p smart-integration --example quickstart \
   > "$tmpdir/stdout.txt" 2> "$tmpdir/stderr.txt"
