@@ -13,7 +13,8 @@
 //! would, including a per-stage breakdown of WEFR itself (`WEFR/rankers`,
 //! `WEFR/ensemble`, …) instead of one opaque end-to-end figure.
 
-use smart_dataset::DriveModel;
+use smart_dataset::csv::{export_smart_csv, import_smart_csv};
+use smart_dataset::{import_smart_csv_sharded, tickets_from_summaries, DriveModel, IngestConfig};
 use smart_pipeline::experiment::SelectorKind;
 use smart_trees::{ForestConfig, MaxFeatures, RandomForest, SplitStrategy, TreeConfig};
 use wefr_bench::{characterization_matrix, print_header, RunOptions};
@@ -160,6 +161,53 @@ fn main() {
         });
     }
 
+    // Paired ingestion timings: the single-threaded CSV reader versus the
+    // sharded streaming reader at its default worker count, on the same
+    // in-memory export (bench_ingest is the dedicated deep-dive; these rows
+    // put ingestion on the same Table VIII footing as the selectors).
+    let tickets = tickets_from_summaries(&fleet.summaries());
+    let mut csv_buf = Vec::new();
+    export_smart_csv(&fleet, &mut csv_buf).expect("in-memory export");
+    let ingest_config = IngestConfig::default();
+    let mut ingest_means = [0.0f64; 2];
+    enum Reader {
+        Single,
+        Sharded,
+    }
+    for (slot, (label, reader)) in [
+        ("ingest/single", Reader::Single),
+        ("ingest/sharded", Reader::Sharded),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let run = || match reader {
+            Reader::Single => {
+                import_smart_csv(csv_buf.as_slice(), &tickets, fleet.config().clone())
+            }
+            Reader::Sharded => import_smart_csv_sharded(
+                csv_buf.as_slice(),
+                &tickets,
+                fleet.config().clone(),
+                &ingest_config,
+            ),
+        };
+        run().expect("well-formed CSV"); // warm-up
+        telemetry::reset();
+        for _ in 0..rounds {
+            let _round = telemetry::span!(label);
+            run().expect("well-formed CSV");
+        }
+        let mean = telemetry::snapshot("exp4_ingest").total_seconds(label) / rounds as f64;
+        ingest_means[slot] = mean;
+        println!("{label:<22} {mean:>9.3} s");
+        rows.push(RuntimeRow {
+            method: label.to_string(),
+            mean_seconds: mean,
+            rounds,
+        });
+    }
+
     println!(
         "\nWEFR / slowest single selector = {:.2}x (paper: 22.9s / 20.4s = 1.12x; \
          parallel execution keeps WEFR near the slowest selector)",
@@ -168,6 +216,10 @@ fn main() {
     println!(
         "RF training, exact / histogram = {:.2}x",
         rf_means[0] / rf_means[1]
+    );
+    println!(
+        "CSV ingest, single / sharded = {:.2}x",
+        ingest_means[0] / ingest_means[1]
     );
     opts.write_json("exp4_runtime", &rows);
 }

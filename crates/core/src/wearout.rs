@@ -8,7 +8,9 @@ use smart_changepoint::ChangepointError;
 /// Sample-row split at an `MWI_N` threshold.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WearoutSplit {
-    /// The `MWI_N` threshold (from the change point).
+    /// The reported `MWI_N` boundary: the largest integer `T` such that
+    /// every sample with `MWI_N <= T` landed in the low group — i.e. the
+    /// floor of the (possibly fractional) split threshold, clamped at 0.
     pub threshold: u32,
     /// Rows with `MWI_N <= threshold` (the low/high-wear group).
     pub low_rows: Vec<usize>,
@@ -37,6 +39,11 @@ pub fn detect_wearout_threshold(
 
 /// Split sample rows by their `MWI_N` value at `threshold` (low group:
 /// `MWI_N <= threshold`).
+///
+/// The reported integer boundary is `threshold.floor()` (clamped at 0), so
+/// it always agrees with the predicate actually applied: rounding 30.6 up
+/// to 31 would claim rows at `MWI_N == 31` are low when the split put them
+/// in the high group.
 pub fn split_rows_by_mwi(mwi_per_sample: &[f64], threshold: f64) -> WearoutSplit {
     let mut low_rows = Vec::new();
     let mut high_rows = Vec::new();
@@ -48,7 +55,7 @@ pub fn split_rows_by_mwi(mwi_per_sample: &[f64], threshold: f64) -> WearoutSplit
         }
     }
     WearoutSplit {
-        threshold: threshold.round().max(0.0) as u32,
+        threshold: threshold.floor().max(0.0) as u32,
         low_rows,
         high_rows,
     }
@@ -66,6 +73,18 @@ mod tests {
         assert_eq!(split.high_rows, vec![1, 3]);
         assert_eq!(split.threshold, 30);
         assert_eq!(split.low_rows.len() + split.high_rows.len(), mwi.len());
+    }
+
+    #[test]
+    fn fractional_threshold_reports_floor() {
+        // With a fractional threshold the reported integer must be the
+        // floor: rounding 30.6 to 31 would claim MWI_N == 31 is low-wear
+        // even though the split sent it to the high group.
+        let mwi = vec![30.0, 30.5, 30.6, 31.0];
+        let split = split_rows_by_mwi(&mwi, 30.6);
+        assert_eq!(split.low_rows, vec![0, 1, 2]);
+        assert_eq!(split.high_rows, vec![3]);
+        assert_eq!(split.threshold, 30);
     }
 
     #[test]

@@ -12,8 +12,26 @@ use crate::fleet::Fleet;
 use crate::mechanism::FailureMechanism;
 use crate::model::DriveModel;
 use crate::records::{DriveId, DriveRecord, FailureRecord};
-use crate::tickets::TroubleTicket;
+use crate::tickets::{sort_tickets_by_drive, ticket_for_drive, TroubleTicket};
 use std::io::{BufRead, Write};
+
+/// Column count of the SMART-log CSV: `drive_id,model,day` plus a raw and a
+/// normalized column per attribute.
+pub(crate) fn expected_smart_cols() -> usize {
+    3 + 2 * SmartAttribute::ALL.len()
+}
+
+/// Validate the SMART-log header row (line 1).
+pub(crate) fn check_smart_header(header: &str) -> Result<(), DatasetError> {
+    let expected_cols = expected_smart_cols();
+    if header.split(',').count() != expected_cols {
+        return Err(DatasetError::ParseCsv {
+            line: 1,
+            message: format!("expected {expected_cols} columns in header"),
+        });
+    }
+    Ok(())
+}
 
 /// Write the fleet's daily SMART logs as CSV.
 ///
@@ -63,11 +81,76 @@ pub fn export_tickets_csv<W: Write>(
     tickets: &[TroubleTicket],
     out: &mut W,
 ) -> Result<(), DatasetError> {
-    writeln!(out, "drive_id,model,day")?;
+    writeln!(out, "drive_id,model,day,mechanism")?;
     for t in tickets {
-        writeln!(out, "{},{},{}", t.drive_id.0, t.model, t.day)?;
+        writeln!(
+            out,
+            "{},{},{},{}",
+            t.drive_id.0,
+            t.model,
+            t.day,
+            t.mechanism.name()
+        )?;
     }
     Ok(())
+}
+
+/// Read a trouble-ticket CSV (as written by [`export_tickets_csv`]) back
+/// into a ticket list, preserving each ticket's failure mechanism.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::ParseCsv`] on malformed rows, unknown models, or
+/// unknown mechanism names.
+pub fn import_tickets_csv<R: BufRead>(input: R) -> Result<Vec<TroubleTicket>, DatasetError> {
+    let mut lines = input.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| DatasetError::ParseCsv {
+        line: 1,
+        message: "empty file".to_string(),
+    })?;
+    let header = header?;
+    if header.split(',').count() != 4 {
+        return Err(DatasetError::ParseCsv {
+            line: 1,
+            message: "expected 4 columns in header (drive_id,model,day,mechanism)".to_string(),
+        });
+    }
+    let mut tickets = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parse_err = |message: String| DatasetError::ParseCsv {
+            line: line_no,
+            message,
+        };
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(parse_err(format!(
+                "expected 4 fields, got {}",
+                fields.len()
+            )));
+        }
+        let id: u32 = fields[0]
+            .parse()
+            .map_err(|_| parse_err(format!("bad drive_id {:?}", fields[0])))?;
+        let model = DriveModel::from_name(fields[1])
+            .ok_or_else(|| parse_err(format!("unknown model {:?}", fields[1])))?;
+        let day: u32 = fields[2]
+            .parse()
+            .map_err(|_| parse_err(format!("bad day {:?}", fields[2])))?;
+        let mechanism = FailureMechanism::from_name(fields[3])
+            .ok_or_else(|| parse_err(format!("unknown mechanism {:?}", fields[3])))?;
+        tickets.push(TroubleTicket {
+            drive_id: DriveId(id),
+            model,
+            day,
+            mechanism,
+        });
+    }
+    Ok(tickets)
 }
 
 /// Read a SMART-log CSV (as written by [`export_smart_csv`]) back into a
@@ -89,13 +172,8 @@ pub fn import_smart_csv<R: BufRead>(
         message: "empty file".to_string(),
     })?;
     let header = header?;
-    let expected_cols = 3 + 2 * SmartAttribute::ALL.len();
-    if header.split(',').count() != expected_cols {
-        return Err(DatasetError::ParseCsv {
-            line: 1,
-            message: format!("expected {expected_cols} columns in header"),
-        });
-    }
+    check_smart_header(&header)?;
+    let expected_cols = expected_smart_cols();
 
     struct Partial {
         id: DriveId,
@@ -186,18 +264,17 @@ pub fn import_smart_csv<R: BufRead>(
         partial.n_days += 1;
     }
 
+    // Sorted-slice binary search instead of a linear scan per drive: the
+    // join is O((drives + tickets) log tickets) and stays deterministic
+    // (HashMap iteration is banned in order-sensitive crates).
+    let by_id = sort_tickets_by_drive(tickets);
     let drives = partials
         .into_iter()
         .map(|p| {
-            let failure = tickets
-                .iter()
-                .find(|t| t.drive_id == p.id)
-                .map(|t| FailureRecord {
-                    day: t.day,
-                    // Mechanism is simulator ground truth and is not part of
-                    // the released-data shape; imports mark it unknown-ish.
-                    mechanism: FailureMechanism::UncorrectableMedia,
-                });
+            let failure = ticket_for_drive(&by_id, p.id).map(|t| FailureRecord {
+                day: t.day,
+                mechanism: t.mechanism,
+            });
             DriveRecord::from_flat_values(
                 p.id,
                 p.model,
@@ -282,7 +359,77 @@ mod tests {
         export_tickets_csv(&tickets, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), tickets.len() + 1);
-        assert!(text.starts_with("drive_id,model,day"));
+        assert!(text.starts_with("drive_id,model,day,mechanism\n"));
+        for line in text.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 4, "{line:?}");
+        }
+    }
+
+    #[test]
+    fn tickets_csv_roundtrip_preserves_mechanisms() {
+        let fleet = small_fleet();
+        let tickets = tickets_from_summaries(&fleet.summaries());
+        assert!(!tickets.is_empty(), "fixture fleet must have failures");
+        let mut buf = Vec::new();
+        export_tickets_csv(&tickets, &mut buf).unwrap();
+        let imported = import_tickets_csv(buf.as_slice()).unwrap();
+        assert_eq!(imported, tickets);
+    }
+
+    #[test]
+    fn import_tickets_rejects_malformed_rows() {
+        let cases = [
+            ("", 1, "empty file"),
+            ("drive_id,model,day\n", 1, "expected 4 columns"),
+            (
+                "drive_id,model,day,mechanism\n0,MA1,5",
+                2,
+                "expected 4 fields",
+            ),
+            (
+                "drive_id,model,day,mechanism\nx,MA1,5,wear_out",
+                2,
+                "bad drive_id",
+            ),
+            (
+                "drive_id,model,day,mechanism\n0,ZZ9,5,wear_out",
+                2,
+                "unknown model",
+            ),
+            (
+                "drive_id,model,day,mechanism\n0,MA1,x,wear_out",
+                2,
+                "bad day",
+            ),
+            (
+                "drive_id,model,day,mechanism\n0,MA1,5,gremlins",
+                2,
+                "unknown mechanism",
+            ),
+        ];
+        for (text, line, needle) in cases {
+            let err = import_tickets_csv(text.as_bytes()).unwrap_err();
+            match err {
+                DatasetError::ParseCsv { line: l, message } => {
+                    assert_eq!(l, line, "{text:?}");
+                    assert!(message.contains(needle), "{text:?}: {message}");
+                }
+                other => panic!("{text:?}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn import_smart_csv_preserves_ticket_mechanisms() {
+        let fleet = small_fleet();
+        let tickets = tickets_from_summaries(&fleet.summaries());
+        assert!(!tickets.is_empty(), "fixture fleet must have failures");
+        let mut buf = Vec::new();
+        export_smart_csv(&fleet, &mut buf).unwrap();
+        let imported = import_smart_csv(buf.as_slice(), &tickets, fleet.config().clone()).unwrap();
+        for (orig, imp) in fleet.drives().iter().zip(imported.drives()) {
+            assert_eq!(orig.failure, imp.failure, "drive {}", orig.id);
+        }
     }
 
     #[test]

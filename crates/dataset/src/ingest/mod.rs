@@ -1,0 +1,475 @@
+//! Sharded streaming ingestion of SMART-log CSVs with bounded memory.
+//!
+//! The single-threaded [`crate::csv::import_smart_csv`] reads the whole
+//! file line by line on one core. This module splits the same byte stream
+//! into *drive-aligned shards* — a drive's contiguous day-rows never
+//! straddle a shard boundary — and parses them on scoped worker threads:
+//!
+//! ```text
+//! reader ──shards──▶ BoundedQueue ──▶ workers ──▶ ReorderBuffer ──▶ merger
+//!   (1 thread)        (backpressure)   (N threads)  (file order)   (caller)
+//! ```
+//!
+//! Memory stays bounded: at most `max_queued_shards` raw shards wait in the
+//! work queue (the reader stalls when it is full) and at most
+//! `workers + max_queued_shards` parsed shards wait in the reorder window.
+//!
+//! Determinism: shards are merged strictly in file order, so the resulting
+//! drive sequence — and the first reported parse error — is bit-identical
+//! to the single-threaded reader at any worker count or shard size.
+//! [`crate::csv::import_smart_csv`] remains the reference implementation;
+//! the integration suite holds the two paths equal.
+
+mod parse;
+mod queue;
+mod shard;
+
+use crate::config::FleetConfig;
+use crate::csv::check_smart_header;
+use crate::error::DatasetError;
+use crate::fleet::Fleet;
+use crate::records::DriveRecord;
+use crate::tickets::{sort_tickets_by_drive, TroubleTicket};
+use queue::{BoundedQueue, ReorderBuffer};
+use shard::{Shard, ShardSplitter};
+use std::io::BufRead;
+
+/// Environment knob: rows per shard (see [`IngestConfig::from_env`]).
+pub const ENV_SHARD_ROWS: &str = "WEFR_INGEST_SHARD_ROWS";
+/// Environment knob: parser worker threads (see [`IngestConfig::from_env`]).
+pub const ENV_WORKERS: &str = "WEFR_WORKERS";
+
+/// Tuning for the sharded reader. The knobs trade memory and parallelism
+/// for latency only — the ingested fleet is identical for every setting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Minimum rows per shard; a shard grows past this until the next
+    /// drive boundary.
+    pub shard_rows: usize,
+    /// Parser worker threads.
+    pub workers: usize,
+    /// Raw shards allowed to wait in the work queue before the reader
+    /// stalls.
+    pub max_queued_shards: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> IngestConfig {
+        IngestConfig {
+            // ~1.4 MiB of CSV at typical row widths: big enough to amortise
+            // hand-off costs, small enough that a shard still fits in cache
+            // when the worker parses what the reader just copied.
+            shard_rows: 4_096,
+            workers: 4,
+            max_queued_shards: 8,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Build a config from a key → value lookup, starting from defaults.
+    /// Recognises [`ENV_SHARD_ROWS`] and [`ENV_WORKERS`]; unparseable or
+    /// zero values are ignored.
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> IngestConfig {
+        let mut config = IngestConfig::default();
+        let parsed = |name: &str| get(name).and_then(|v| v.trim().parse::<usize>().ok());
+        if let Some(rows) = parsed(ENV_SHARD_ROWS).filter(|&v| v > 0) {
+            config.shard_rows = rows;
+        }
+        if let Some(workers) = parsed(ENV_WORKERS).filter(|&v| v > 0) {
+            config.workers = workers;
+        }
+        config
+    }
+
+    /// [`IngestConfig::from_lookup`] over the process environment.
+    pub fn from_env() -> IngestConfig {
+        // lint:allow(side-effects) the documented contract of this
+        // constructor is reading the WEFR_INGEST_* / WEFR_WORKERS knobs;
+        // everything else must take the config as a parameter
+        IngestConfig::from_lookup(|name| std::env::var(name).ok())
+    }
+}
+
+/// Counters describing one streaming run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// CSV lines dispatched to parsers (header excluded, blanks included).
+    pub rows: u64,
+    /// Shards cut from the input.
+    pub shards: u64,
+    /// Drive runs delivered to the consumer.
+    pub drives: u64,
+    /// Times the reader found the work queue full and had to wait — a
+    /// nonzero value means parsing, not I/O, was the bottleneck.
+    pub queue_full_stalls: u64,
+}
+
+/// One shard's worth of fully-built drive records, delivered in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveBatch {
+    /// Position of the originating shard in file order.
+    pub shard_index: usize,
+    /// 1-based file line number of the shard's first row.
+    pub first_line: usize,
+    /// Drive records in file order, tickets already joined.
+    pub drives: Vec<DriveRecord>,
+}
+
+/// Stream a SMART-log CSV through the sharded pipeline, handing each
+/// shard's drive records to `consume` strictly in file order.
+///
+/// This is the bounded-memory primitive under
+/// [`import_smart_csv_sharded`]; consumers that can fold batches away as
+/// they arrive (e.g. direct feature-matrix assembly) never hold the whole
+/// fleet.
+///
+/// # Errors
+///
+/// Returns the first error in file order — `ParseCsv` with the same line
+/// number and message the single-threaded reader emits, an I/O error from
+/// `input`, or whatever `consume` returned; in every case the pipeline is
+/// aborted and drained before returning.
+pub fn stream_drive_batches<R, E, F>(
+    input: R,
+    tickets: &[TroubleTicket],
+    config: &IngestConfig,
+    mut consume: F,
+) -> Result<IngestStats, E>
+where
+    R: BufRead + Send,
+    E: From<DatasetError>,
+    F: FnMut(DriveBatch) -> Result<(), E>,
+{
+    let workers = config.workers.max(1);
+    let queue_slots = config.max_queued_shards.max(1);
+    let span = telemetry::span!("ingest", workers = workers, shard_rows = config.shard_rows);
+    let span_id = span.id();
+
+    let mut input = input;
+    let mut header = String::new();
+    let bytes = input.read_line(&mut header).map_err(DatasetError::Io)?;
+    if bytes == 0 {
+        return Err(E::from(DatasetError::ParseCsv {
+            line: 1,
+            message: "empty file".to_string(),
+        }));
+    }
+    let trimmed = header.trim_end_matches('\n').trim_end_matches('\r');
+    check_smart_header(trimmed)?;
+
+    let by_id = sort_tickets_by_drive(tickets);
+    let work: BoundedQueue<Shard> = BoundedQueue::new(queue_slots);
+    let done: ReorderBuffer<Result<DriveBatch, DatasetError>> =
+        ReorderBuffer::new(workers + queue_slots);
+
+    let (stats, outcome) = std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            let read_span = telemetry::span_child_of(span_id, "ingest_read");
+            let mut splitter = ShardSplitter::new(input, config.shard_rows, 2);
+            let mut rows = 0u64;
+            let mut shards = 0u64;
+            let outcome = loop {
+                match splitter.next_shard() {
+                    Ok(Some(shard)) => {
+                        rows += shard.rows as u64;
+                        shards += 1;
+                        if !work.push(shard) {
+                            break Ok(()); // aborted by the merger
+                        }
+                    }
+                    Ok(None) => break Ok(()),
+                    Err(e) => break Err(DatasetError::Io(e)),
+                }
+            };
+            work.close();
+            done.set_total(shards as usize);
+            read_span.record("rows", rows);
+            read_span.record("shards", shards);
+            (rows, shards, outcome)
+        });
+
+        for _ in 0..workers {
+            let by_id = &by_id;
+            let work = &work;
+            let done = &done;
+            scope.spawn(move || {
+                while let Some(shard) = work.pop() {
+                    let parse_span = telemetry::span_child_of(span_id, "ingest_parse");
+                    parse_span.record("shard", shard.index);
+                    parse_span.record("rows", shard.rows);
+                    let batch =
+                        parse::parse_shard(&shard.text, shard.first_line).map(|runs| DriveBatch {
+                            shard_index: shard.index,
+                            first_line: shard.first_line,
+                            drives: runs.into_iter().map(|r| r.into_record(by_id)).collect(),
+                        });
+                    drop(parse_span);
+                    if !done.insert(shard.index, batch) {
+                        break; // aborted by the merger
+                    }
+                }
+            });
+        }
+
+        let mut drives = 0u64;
+        let merge_outcome: Result<(), E> = loop {
+            match done.take_next() {
+                Some(Ok(batch)) => {
+                    drives += batch.drives.len() as u64;
+                    telemetry::counter_add("ingest.drives", batch.drives.len() as u64);
+                    if let Err(e) = consume(batch) {
+                        break Err(e);
+                    }
+                }
+                Some(Err(e)) => break Err(E::from(e)),
+                None => break Ok(()),
+            }
+        };
+        if merge_outcome.is_err() {
+            work.abort();
+            done.abort();
+        }
+
+        let (rows, shards, read_outcome) = match reader.join() {
+            Ok(result) => result,
+            // lint:allow(panic-free) a reader panic is already a bug;
+            // re-raising keeps the scoped-thread invariant visible instead
+            // of reporting a bogus clean run
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        let outcome = merge_outcome.and(read_outcome.map_err(E::from));
+        let stats = IngestStats {
+            rows,
+            shards,
+            drives,
+            queue_full_stalls: work.stalls(),
+        };
+        (stats, outcome)
+    });
+
+    telemetry::counter_add("ingest.rows", stats.rows);
+    telemetry::counter_add("ingest.shards", stats.shards);
+    telemetry::counter_add("ingest.queue_full_stalls", stats.queue_full_stalls);
+    span.record("rows", stats.rows);
+    span.record("shards", stats.shards);
+    span.record("stalls", stats.queue_full_stalls);
+    outcome?;
+    Ok(stats)
+}
+
+/// Sharded, multi-threaded drop-in for [`crate::csv::import_smart_csv`]:
+/// same inputs, bit-identical [`Fleet`], same errors — only the wall-clock
+/// and peak transient memory differ.
+///
+/// # Errors
+///
+/// Exactly the errors of [`crate::csv::import_smart_csv`] on the same
+/// input.
+pub fn import_smart_csv_sharded<R: BufRead + Send>(
+    input: R,
+    tickets: &[TroubleTicket],
+    config: FleetConfig,
+    ingest: &IngestConfig,
+) -> Result<Fleet, DatasetError> {
+    let mut drives: Vec<DriveRecord> = Vec::new();
+    stream_drive_batches(input, tickets, ingest, |batch: DriveBatch| {
+        drives.extend(batch.drives);
+        Ok::<(), DatasetError>(())
+    })?;
+    Ok(Fleet::from_records(config, drives))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::{export_smart_csv, import_smart_csv};
+    use crate::model::DriveModel;
+    use crate::tickets::tickets_from_summaries;
+
+    fn fixture() -> (String, Vec<TroubleTicket>, FleetConfig) {
+        let config = FleetConfig::builder()
+            .days(120)
+            .seed(7)
+            .drives(DriveModel::Ma1, 6)
+            .drives(DriveModel::Mc2, 5)
+            .build()
+            .unwrap();
+        let fleet = Fleet::generate(&config);
+        let tickets = tickets_from_summaries(&fleet.summaries());
+        let mut buf = Vec::new();
+        export_smart_csv(&fleet, &mut buf).unwrap();
+        (String::from_utf8(buf).unwrap(), tickets, config)
+    }
+
+    #[test]
+    fn sharded_import_matches_single_threaded() {
+        let (text, tickets, config) = fixture();
+        let reference = import_smart_csv(text.as_bytes(), &tickets, config.clone()).unwrap();
+        for workers in [1, 2, 4] {
+            for shard_rows in [1, 7, 64, 1_000_000] {
+                let ingest = IngestConfig {
+                    shard_rows,
+                    workers,
+                    max_queued_shards: 3,
+                };
+                let fleet =
+                    import_smart_csv_sharded(text.as_bytes(), &tickets, config.clone(), &ingest)
+                        .unwrap();
+                assert_eq!(
+                    fleet.drives(),
+                    reference.drives(),
+                    "workers={workers} shard_rows={shard_rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_rows_shards_and_drives() {
+        let (text, tickets, config) = fixture();
+        let _ = config;
+        let ingest = IngestConfig {
+            shard_rows: 50,
+            workers: 2,
+            max_queued_shards: 2,
+        };
+        let stats =
+            stream_drive_batches(text.as_bytes(), &tickets, &ingest, |_batch: DriveBatch| {
+                Ok::<(), DatasetError>(())
+            })
+            .unwrap();
+        assert_eq!(stats.rows as usize, text.lines().count() - 1);
+        assert_eq!(stats.drives, 11);
+        assert!(stats.shards >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn batches_arrive_in_file_order() {
+        let (text, tickets, _config) = fixture();
+        let ingest = IngestConfig {
+            shard_rows: 10,
+            workers: 4,
+            max_queued_shards: 2,
+        };
+        let mut last_index = None;
+        let mut last_line = 0usize;
+        stream_drive_batches(text.as_bytes(), &tickets, &ingest, |batch: DriveBatch| {
+            if let Some(prev) = last_index {
+                assert_eq!(batch.shard_index, prev + 1);
+            } else {
+                assert_eq!(batch.shard_index, 0);
+            }
+            assert!(batch.first_line > last_line);
+            last_index = Some(batch.shard_index);
+            last_line = batch.first_line;
+            Ok::<(), DatasetError>(())
+        })
+        .unwrap();
+        assert!(last_index.is_some());
+    }
+
+    #[test]
+    fn first_error_in_file_order_wins() {
+        let (text, tickets, config) = fixture();
+        // Corrupt two rows: the earlier one must be the reported error even
+        // though a later shard may finish parsing first.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let a = lines.len() / 3;
+        let b = 2 * lines.len() / 3;
+        lines[a] = "broken".to_string();
+        lines[b] = "also,broken".to_string();
+        let corrupt = lines.join("\n");
+        let reference = import_smart_csv(corrupt.as_bytes(), &tickets, config.clone());
+        for shard_rows in [5, 40] {
+            let ingest = IngestConfig {
+                shard_rows,
+                workers: 4,
+                max_queued_shards: 2,
+            };
+            let sharded =
+                import_smart_csv_sharded(corrupt.as_bytes(), &tickets, config.clone(), &ingest);
+            match (&reference, &sharded) {
+                (
+                    Err(DatasetError::ParseCsv {
+                        line: l1,
+                        message: m1,
+                    }),
+                    Err(DatasetError::ParseCsv {
+                        line: l2,
+                        message: m2,
+                    }),
+                ) => {
+                    assert_eq!(l1, l2);
+                    assert_eq!(m1, m2);
+                    assert_eq!(*l1, a + 1);
+                }
+                other => panic!("expected matching ParseCsv errors, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn consumer_error_aborts_cleanly() {
+        let (text, tickets, _config) = fixture();
+        let ingest = IngestConfig {
+            shard_rows: 5,
+            workers: 2,
+            max_queued_shards: 1,
+        };
+        let mut seen = 0;
+        let err = stream_drive_batches(text.as_bytes(), &tickets, &ingest, |_b: DriveBatch| {
+            seen += 1;
+            Err(DatasetError::InvalidConfig {
+                message: "stop".to_string(),
+            })
+        })
+        .unwrap_err();
+        assert_eq!(seen, 1);
+        assert!(matches!(err, DatasetError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn empty_and_header_only_inputs() {
+        let config = FleetConfig::builder()
+            .days(120)
+            .drives(DriveModel::Ma1, 1)
+            .build()
+            .unwrap();
+        let ingest = IngestConfig::default();
+        let err = import_smart_csv_sharded(&b""[..], &[], config.clone(), &ingest).unwrap_err();
+        assert!(matches!(err, DatasetError::ParseCsv { line: 1, .. }));
+
+        let mut header_only = Vec::new();
+        let fleet = Fleet::generate(&config);
+        export_smart_csv(&fleet, &mut header_only).unwrap();
+        let header_only = String::from_utf8(header_only).unwrap();
+        let header_line = header_only.lines().next().unwrap();
+        let imported = import_smart_csv_sharded(
+            format!("{header_line}\n").as_bytes(),
+            &[],
+            config.clone(),
+            &ingest,
+        )
+        .unwrap();
+        assert!(imported.drives().is_empty());
+    }
+
+    #[test]
+    fn config_from_lookup_reads_knobs() {
+        let config = IngestConfig::from_lookup(|name| match name {
+            ENV_SHARD_ROWS => Some("128".to_string()),
+            ENV_WORKERS => Some(" 3 ".to_string()),
+            _ => None,
+        });
+        assert_eq!(config.shard_rows, 128);
+        assert_eq!(config.workers, 3);
+        // Zero and garbage fall back to defaults.
+        let config = IngestConfig::from_lookup(|name| match name {
+            ENV_SHARD_ROWS => Some("0".to_string()),
+            ENV_WORKERS => Some("many".to_string()),
+            _ => None,
+        });
+        assert_eq!(config, IngestConfig::default());
+    }
+}

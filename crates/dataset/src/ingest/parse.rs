@@ -1,0 +1,227 @@
+//! Independent parsing of one drive-aligned shard.
+//!
+//! Byte-for-byte compatible with [`crate::csv::import_smart_csv`]: the same
+//! rows produce the same drive runs, and the same malformed input produces
+//! the same `ParseCsv` message at the same absolute line number. It is also
+//! the fast path — fields are walked with a borrowing iterator instead of
+//! collecting a `Vec<&str>` per row, and lines borrow from the shard text
+//! instead of allocating a `String` each.
+
+use crate::attr::SmartAttribute;
+use crate::csv::expected_smart_cols;
+use crate::error::DatasetError;
+use crate::model::DriveModel;
+use crate::records::{DriveId, DriveRecord, FailureRecord};
+use crate::tickets::{ticket_for_drive, TroubleTicket};
+
+/// One contiguous run of day-rows for a single drive, as found in a shard.
+#[derive(Debug, Clone, PartialEq)]
+pub(super) struct ParsedDrive {
+    pub id: DriveId,
+    pub model: DriveModel,
+    pub deploy_day: u32,
+    pub values: Vec<f32>,
+    pub n_days: u32,
+}
+
+impl ParsedDrive {
+    /// Attach the drive's trouble ticket (if any) and freeze into a record.
+    /// `sorted_tickets` must come from
+    /// [`crate::tickets::sort_tickets_by_drive`].
+    pub fn into_record(self, sorted_tickets: &[TroubleTicket]) -> DriveRecord {
+        let failure = ticket_for_drive(sorted_tickets, self.id).map(|t| FailureRecord {
+            day: t.day,
+            mechanism: t.mechanism,
+        });
+        DriveRecord::from_flat_values(
+            self.id,
+            self.model,
+            self.deploy_day,
+            0,
+            failure,
+            self.values,
+            self.n_days,
+        )
+    }
+}
+
+/// Parse one shard's raw text into drive runs. `first_line` is the 1-based
+/// file line number of the shard's first line, so every diagnostic carries
+/// its absolute position.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::ParseCsv`] for the first malformed row in shard
+/// order, with the same message the single-threaded reader would emit.
+/// Column count of the SMART-log CSV, as a constant so rows can be split
+/// into a stack array instead of a heap `Vec<&str>` per row.
+const EXPECTED_COLS: usize = 3 + 2 * SmartAttribute::ALL.len();
+
+pub(super) fn parse_shard(text: &str, first_line: usize) -> Result<Vec<ParsedDrive>, DatasetError> {
+    let expected_cols = expected_smart_cols();
+    debug_assert_eq!(expected_cols, EXPECTED_COLS);
+    let mut drives: Vec<ParsedDrive> = Vec::new();
+    let mut next_day: u32 = 0;
+
+    for (i, raw_line) in text.split('\n').enumerate() {
+        let line = raw_line.strip_suffix('\r').unwrap_or(raw_line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_no = first_line + i;
+        let parse_err = |message: String| DatasetError::ParseCsv {
+            line: line_no,
+            message,
+        };
+
+        // Split into a stack array in one pass (the single-threaded reader
+        // heap-collects a `Vec<&str>` per row). Field-count mismatches take
+        // the cold path: recount to report the true total, keeping the
+        // error text identical.
+        let mut fields = [""; EXPECTED_COLS];
+        let mut n_fields = 0usize;
+        for field in line.split(',') {
+            if n_fields == EXPECTED_COLS {
+                n_fields += 1;
+                break;
+            }
+            fields[n_fields] = field;
+            n_fields += 1;
+        }
+        if n_fields != expected_cols {
+            let n_fields = line.split(',').count();
+            return Err(parse_err(format!(
+                "expected {expected_cols} fields, got {n_fields}"
+            )));
+        }
+
+        let field = fields[0];
+        let id: u32 = field
+            .parse()
+            .map_err(|_| parse_err(format!("bad drive_id {field:?}")))?;
+        let field = fields[1];
+        let model = DriveModel::from_name(field)
+            .ok_or_else(|| parse_err(format!("unknown model {field:?}")))?;
+        let field = fields[2];
+        let day: u32 = field
+            .parse()
+            .map_err(|_| parse_err(format!("bad day {field:?}")))?;
+
+        let same_run = drives.last().is_some_and(|d| d.id == DriveId(id));
+        if !same_run {
+            drives.push(ParsedDrive {
+                id: DriveId(id),
+                model,
+                deploy_day: day,
+                values: Vec::new(),
+                n_days: 0,
+            });
+            next_day = day;
+        }
+        // lint:allow(panic-free) non-empty by the push above when no run
+        // was open
+        let drive = drives.last_mut().expect("run just opened");
+        if drive.model != model {
+            return Err(parse_err(format!("drive {id} changes model mid-file")));
+        }
+        if day != next_day {
+            return Err(parse_err(format!(
+                "drive {id}: expected day {next_day}, got {day}"
+            )));
+        }
+
+        for (a, attr) in SmartAttribute::ALL.into_iter().enumerate() {
+            let raw = fields[3 + 2 * a];
+            let norm = fields[4 + 2 * a];
+            let reported = model.has_attribute(attr);
+            match (reported, raw.is_empty(), norm.is_empty()) {
+                (true, false, false) => {
+                    let r: f32 = raw
+                        .parse()
+                        .map_err(|_| parse_err(format!("bad {attr}_R value {raw:?}")))?;
+                    let n: f32 = norm
+                        .parse()
+                        .map_err(|_| parse_err(format!("bad {attr}_N value {norm:?}")))?;
+                    drive.values.push(r);
+                    drive.values.push(n);
+                }
+                (false, true, true) => {}
+                _ => {
+                    return Err(parse_err(format!(
+                        "drive {id}: attribute {attr} presence does not match model {model}"
+                    )))
+                }
+            }
+        }
+        drive.n_days += 1;
+        next_day += 1;
+    }
+    Ok(drives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FleetConfig;
+    use crate::csv::export_smart_csv;
+    use crate::fleet::Fleet;
+
+    fn fixture_csv() -> String {
+        let config = FleetConfig::builder()
+            .days(120)
+            .seed(11)
+            .drives(DriveModel::Ma1, 3)
+            .drives(DriveModel::Mc1, 2)
+            .build()
+            .unwrap();
+        let fleet = Fleet::generate(&config);
+        let mut buf = Vec::new();
+        export_smart_csv(&fleet, &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn parses_exported_rows_into_runs() {
+        let text = fixture_csv();
+        let body = text.split_once('\n').unwrap().1;
+        let drives = parse_shard(body, 2).unwrap();
+        assert_eq!(drives.len(), 5);
+        for (i, d) in drives.iter().enumerate() {
+            assert_eq!(d.id, DriveId(i as u32));
+            assert!(d.n_days > 0);
+        }
+    }
+
+    #[test]
+    fn error_line_numbers_are_absolute() {
+        // A shard starting at file line 1000 reports errors there, not at
+        // its local offset: duplicate drive 0's first row so the second
+        // copy breaks day contiguity.
+        let text = fixture_csv();
+        let row = text.lines().nth(1).unwrap();
+        let day: u32 = row.split(',').nth(2).unwrap().parse().unwrap();
+        let bad = format!("{row}\n{row}\n");
+        let err = parse_shard(&bad, 1000).unwrap_err();
+        match err {
+            DatasetError::ParseCsv { line, message } => {
+                assert_eq!(line, 1001);
+                assert_eq!(
+                    message,
+                    format!("drive 0: expected day {}, got {day}", day + 1)
+                );
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_lines_parse_like_lf() {
+        let text = fixture_csv();
+        let body = text.split_once('\n').unwrap().1;
+        let crlf = body.replace('\n', "\r\n");
+        assert_eq!(
+            parse_shard(&crlf, 2).unwrap(),
+            parse_shard(body, 2).unwrap()
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Bounded hand-off primitives for the sharded reader/worker/merger
+//! pipeline: a FIFO work queue with backpressure and a windowed reorder
+//! buffer that restores file order on the consume side.
+//!
+//! Both are built on `Mutex` + `Condvar` only. Poisoning is survived with
+//! `PoisonError::into_inner`: the state these guards protect is a plain
+//! queue, valid after any unwinding writer, and the pipeline's abort path
+//! needs to keep working even while a worker is panicking.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    aborted: bool,
+    stalls: u64,
+}
+
+/// Blocking FIFO queue with a fixed capacity. Producers stall when it is
+/// full (counted), consumers stall when it is empty; `close` drains,
+/// `abort` discards.
+pub(super) struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                aborted: false,
+                stalls: 0,
+            }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until there is room, then enqueue. Returns `false` when the
+    /// queue was aborted (the item is dropped).
+    pub fn push(&self, item: T) -> bool {
+        let mut s = self.lock();
+        while s.items.len() >= self.capacity && !s.aborted {
+            s.stalls += 1;
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        if s.aborted {
+            return false;
+        }
+        s.items.push_back(item);
+        self.cond.notify_all();
+        true
+    }
+
+    /// Block for the next item. `None` once the queue is closed and
+    /// drained, or aborted.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if s.aborted {
+                return None;
+            }
+            if let Some(item) = s.items.pop_front() {
+                self.cond.notify_all();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// No more items will be pushed; consumers drain what remains.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Discard queued items and wake everyone; `push` and `pop` both give
+    /// up from now on.
+    pub fn abort(&self) {
+        let mut s = self.lock();
+        s.aborted = true;
+        s.items.clear();
+        self.cond.notify_all();
+    }
+
+    /// How many times a producer found the queue full and had to wait.
+    pub fn stalls(&self) -> u64 {
+        self.lock().stalls
+    }
+}
+
+struct ReorderState<T> {
+    ready: BTreeMap<usize, T>,
+    next: usize,
+    total: Option<usize>,
+    aborted: bool,
+}
+
+/// Restores index order on the consume side of an out-of-order worker pool.
+///
+/// Producers `insert(index, item)`; the consumer `take_next` receives items
+/// strictly in index order. A producer whose index is more than `capacity`
+/// ahead of the consumer blocks — this bounds the number of parsed shards
+/// held in memory.
+///
+/// Deadlock-freedom: work is popped from a FIFO queue, so whenever index
+/// `i` is outstanding every smaller outstanding index is held by some other
+/// worker. The smallest outstanding index is always inside the window
+/// (`capacity >= 1`), so its holder never blocks, the consumer keeps
+/// advancing, and every blocked producer is eventually admitted.
+pub(super) struct ReorderBuffer<T> {
+    state: Mutex<ReorderState<T>>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl<T> ReorderBuffer<T> {
+    pub fn new(capacity: usize) -> ReorderBuffer<T> {
+        ReorderBuffer {
+            state: Mutex::new(ReorderState {
+                ready: BTreeMap::new(),
+                next: 0,
+                total: None,
+                aborted: false,
+            }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ReorderState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until `index` fits in the window, then file the item. Returns
+    /// `false` when the buffer was aborted (the item is dropped).
+    pub fn insert(&self, index: usize, item: T) -> bool {
+        let mut s = self.lock();
+        while index >= s.next + self.capacity && !s.aborted {
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        if s.aborted {
+            return false;
+        }
+        s.ready.insert(index, item);
+        self.cond.notify_all();
+        true
+    }
+
+    /// Announce how many items will be inserted in total, unblocking the
+    /// consumer's end-of-stream detection.
+    pub fn set_total(&self, total: usize) {
+        self.lock().total = Some(total);
+        self.cond.notify_all();
+    }
+
+    /// Block until the next item in index order arrives. `None` once every
+    /// announced item has been taken, or on abort.
+    pub fn take_next(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if s.aborted {
+                return None;
+            }
+            let next = s.next;
+            if let Some(item) = s.ready.remove(&next) {
+                s.next += 1;
+                self.cond.notify_all();
+                return Some(item);
+            }
+            if s.total.is_some_and(|t| next >= t) {
+                return None;
+            }
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Discard filed items and wake everyone; `insert` and `take_next`
+    /// both give up from now on.
+    pub fn abort(&self) {
+        let mut s = self.lock();
+        s.aborted = true;
+        s.ready.clear();
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_is_fifo_and_drains_after_close() {
+        let q = BoundedQueue::new(2);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_backpressure_counts_stalls() {
+        let q = BoundedQueue::new(1);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..50 {
+                    assert!(q.push(i));
+                }
+                q.close();
+            });
+            let mut got = Vec::new();
+            while let Some(i) = q.pop() {
+                got.push(i);
+            }
+            assert_eq!(got, (0..50).collect::<Vec<_>>());
+        });
+        assert!(q.stalls() > 0, "capacity 1 with 50 items must stall");
+    }
+
+    #[test]
+    fn abort_unblocks_producer() {
+        let q = BoundedQueue::new(1);
+        assert!(q.push(0));
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| q.push(1));
+            q.abort();
+            assert!(!h.join().unwrap());
+        });
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reorder_emits_in_index_order() {
+        let r = ReorderBuffer::new(8);
+        r.set_total(3);
+        assert!(r.insert(2, "c"));
+        assert!(r.insert(0, "a"));
+        assert!(r.insert(1, "b"));
+        assert_eq!(r.take_next(), Some("a"));
+        assert_eq!(r.take_next(), Some("b"));
+        assert_eq!(r.take_next(), Some("c"));
+        assert_eq!(r.take_next(), None);
+    }
+
+    #[test]
+    fn reorder_window_blocks_far_ahead_producer() {
+        let r = ReorderBuffer::new(2);
+        r.set_total(4);
+        assert!(r.insert(1, 1));
+        std::thread::scope(|scope| {
+            // Index 3 is outside the window [0, 2) until the consumer moves.
+            let h = scope.spawn(|| r.insert(3, 3));
+            assert!(r.insert(0, 0));
+            assert_eq!(r.take_next(), Some(0));
+            assert_eq!(r.take_next(), Some(1));
+            assert!(r.insert(2, 2));
+            assert!(h.join().unwrap());
+        });
+        assert_eq!(r.take_next(), Some(2));
+        assert_eq!(r.take_next(), Some(3));
+        assert_eq!(r.take_next(), None);
+    }
+
+    #[test]
+    fn reorder_abort_unblocks_consumer() {
+        let r = ReorderBuffer::<u32>::new(2);
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| r.take_next());
+            r.abort();
+            assert_eq!(h.join().unwrap(), None);
+        });
+        assert!(!r.insert(0, 7));
+    }
+
+    #[test]
+    fn zero_total_means_immediately_done() {
+        let r = ReorderBuffer::<u32>::new(2);
+        r.set_total(0);
+        assert_eq!(r.take_next(), None);
+    }
+}

@@ -41,6 +41,7 @@ pub mod csv;
 pub mod error;
 pub mod fleet;
 pub mod gen;
+pub mod ingest;
 pub mod mechanism;
 pub mod model;
 pub mod records;
@@ -51,6 +52,9 @@ pub use attr::{FeatureId, SmartAttribute, ValueKind};
 pub use config::FleetConfig;
 pub use error::DatasetError;
 pub use fleet::{Census, Fleet};
+pub use ingest::{
+    import_smart_csv_sharded, stream_drive_batches, DriveBatch, IngestConfig, IngestStats,
+};
 pub use mechanism::FailureMechanism;
 pub use model::{DriveModel, FlashTech, Vendor};
 pub use records::{DriveId, DriveRecord, DriveSummary, FailureRecord};

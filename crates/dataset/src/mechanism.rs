@@ -8,6 +8,7 @@
 //! top-ranked features (Table III of the paper).
 
 use crate::attr::SmartAttribute;
+use std::fmt;
 
 /// One attribute ramp of a failure mechanism.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +64,12 @@ pub enum FailureMechanism {
     FirmwareEarly,
 }
 
+impl fmt::Display for FailureMechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl FailureMechanism {
     /// All mechanisms.
     pub const ALL: [FailureMechanism; 9] = [
@@ -76,6 +83,31 @@ impl FailureMechanism {
         FailureMechanism::WearOut,
         FailureMechanism::FirmwareEarly,
     ];
+
+    /// Stable snake_case name, used by the tickets CSV (`mechanism` column)
+    /// and log output. Round-trips through [`FailureMechanism::from_name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureMechanism::PowerLossProtection => "power_loss_protection",
+            FailureMechanism::AgeRelated => "age_related",
+            FailureMechanism::ReadStress => "read_stress",
+            FailureMechanism::ReserveDepletion => "reserve_depletion",
+            FailureMechanism::ReallocationStorm => "reallocation_storm",
+            FailureMechanism::MediaScanErrors => "media_scan_errors",
+            FailureMechanism::UncorrectableMedia => "uncorrectable_media",
+            FailureMechanism::WearOut => "wear_out",
+            FailureMechanism::FirmwareEarly => "firmware_early",
+        }
+    }
+
+    /// Parse a mechanism from its [`name`](FailureMechanism::name)
+    /// (case-insensitive). Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<FailureMechanism> {
+        let lower = name.trim().to_ascii_lowercase();
+        FailureMechanism::ALL
+            .into_iter()
+            .find(|m| m.name() == lower)
+    }
 
     /// The attribute ramps of this mechanism. The simulator applies only the
     /// ramps whose attribute the drive model reports.
@@ -245,6 +277,19 @@ mod tests {
             read_intensity: 1.0,
             projected_final_mwi: 70.0,
         }
+    }
+
+    #[test]
+    fn mechanism_names_roundtrip() {
+        for m in FailureMechanism::ALL {
+            assert_eq!(FailureMechanism::from_name(m.name()), Some(m), "{m:?}");
+            assert_eq!(m.to_string(), m.name());
+        }
+        assert_eq!(
+            FailureMechanism::from_name(" Wear_Out "),
+            Some(FailureMechanism::WearOut)
+        );
+        assert_eq!(FailureMechanism::from_name("meteor_strike"), None);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Trouble tickets: the failure reports the maintenance system raises.
 
+use crate::mechanism::FailureMechanism;
 use crate::model::DriveModel;
 use crate::records::{DriveId, DriveSummary};
 
@@ -13,6 +14,8 @@ pub struct TroubleTicket {
     pub model: DriveModel,
     /// Dataset day of the failure.
     pub day: u32,
+    /// The failure mechanism recorded on the ticket.
+    pub mechanism: FailureMechanism,
 }
 
 /// Extract the trouble tickets from drive summaries, ordered by day then
@@ -25,6 +28,7 @@ pub fn tickets_from_summaries(summaries: &[DriveSummary]) -> Vec<TroubleTicket> 
                 drive_id: s.id,
                 model: s.model,
                 day: f.day,
+                mechanism: f.mechanism,
             })
         })
         .collect();
@@ -32,10 +36,27 @@ pub fn tickets_from_summaries(summaries: &[DriveSummary]) -> Vec<TroubleTicket> 
     tickets
 }
 
+/// Copy `tickets` into a slice sorted by drive id, suitable for
+/// [`ticket_for_drive`] binary-search joins. The sort is stable, so among
+/// several tickets for one drive the first in input order stays first.
+pub fn sort_tickets_by_drive(tickets: &[TroubleTicket]) -> Vec<TroubleTicket> {
+    let mut by_id = tickets.to_vec();
+    by_id.sort_by_key(|t| t.drive_id);
+    by_id
+}
+
+/// Look up the ticket for `id` in a slice produced by
+/// [`sort_tickets_by_drive`] — O(log n) instead of a linear scan. When a
+/// drive has several tickets, returns the first in the original input order
+/// (matching what a linear `find` over the unsorted input would return).
+pub fn ticket_for_drive(sorted: &[TroubleTicket], id: DriveId) -> Option<&TroubleTicket> {
+    let first = sorted.partition_point(|t| t.drive_id < id);
+    sorted.get(first).filter(|t| t.drive_id == id)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mechanism::FailureMechanism;
     use crate::records::FailureRecord;
 
     fn summary(id: u32, day: Option<u32>) -> DriveSummary {
@@ -60,6 +81,7 @@ mod tests {
         assert_eq!(tickets.len(), 1);
         assert_eq!(tickets[0].drive_id, DriveId(1));
         assert_eq!(tickets[0].day, 50);
+        assert_eq!(tickets[0].mechanism, FailureMechanism::WearOut);
     }
 
     #[test]
@@ -76,5 +98,64 @@ mod tests {
     #[test]
     fn empty_input_gives_no_tickets() {
         assert!(tickets_from_summaries(&[]).is_empty());
+    }
+
+    fn ticket(id: u32, day: u32, mechanism: FailureMechanism) -> TroubleTicket {
+        TroubleTicket {
+            drive_id: DriveId(id),
+            model: DriveModel::Ma1,
+            day,
+            mechanism,
+        }
+    }
+
+    #[test]
+    fn binary_search_join_matches_linear_find() {
+        let tickets = vec![
+            ticket(9, 10, FailureMechanism::WearOut),
+            ticket(2, 20, FailureMechanism::AgeRelated),
+            ticket(5, 30, FailureMechanism::ReadStress),
+        ];
+        let sorted = sort_tickets_by_drive(&tickets);
+        for id in 0..12 {
+            let fast = ticket_for_drive(&sorted, DriveId(id)).copied();
+            let slow = tickets.iter().find(|t| t.drive_id == DriveId(id)).copied();
+            assert_eq!(fast, slow, "drive {id}");
+        }
+    }
+
+    #[test]
+    fn duplicate_tickets_keep_first_in_input_order() {
+        let tickets = vec![
+            ticket(4, 50, FailureMechanism::WearOut),
+            ticket(4, 60, FailureMechanism::AgeRelated),
+        ];
+        let sorted = sort_tickets_by_drive(&tickets);
+        let hit = ticket_for_drive(&sorted, DriveId(4)).expect("present");
+        assert_eq!(hit.day, 50);
+        assert_eq!(hit.mechanism, FailureMechanism::WearOut);
+    }
+
+    #[test]
+    fn prop_join_agrees_with_linear_scan() {
+        rng::prop_check!(|g| {
+            let n = g.u64_in(0, 30) as usize;
+            let tickets: Vec<TroubleTicket> = (0..n)
+                .map(|_| {
+                    let id = g.u64_in(0, 15) as u32;
+                    let day = g.u64_in(0, 400) as u32;
+                    ticket(id, day, FailureMechanism::UncorrectableMedia)
+                })
+                .collect();
+            let sorted = sort_tickets_by_drive(&tickets);
+            for id in 0..16 {
+                let fast = ticket_for_drive(&sorted, DriveId(id)).map(|t| t.day);
+                let slow = tickets
+                    .iter()
+                    .find(|t| t.drive_id == DriveId(id))
+                    .map(|t| t.day);
+                assert_eq!(fast, slow);
+            }
+        });
     }
 }

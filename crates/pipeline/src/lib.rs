@@ -48,6 +48,7 @@ pub mod label;
 pub mod matrix;
 pub mod report;
 pub mod split;
+pub mod streaming;
 pub mod train;
 
 pub use error::PipelineError;
@@ -58,4 +59,5 @@ pub use experiment::{
 pub use label::{SampleRef, PAPER_HORIZON_DAYS};
 pub use matrix::{base_features, base_matrix, collect_samples, survival_pairs, SamplingConfig};
 pub use split::{paper_phases, Phase};
+pub use streaming::{streaming_base_matrix, StreamedMatrix};
 pub use train::{FailurePredictor, PredictorConfig};

@@ -1,0 +1,240 @@
+//! Streaming matrix assembly: CSV shards straight into a base feature
+//! matrix, without materialising the whole [`smart_dataset::Fleet`].
+//!
+//! Built on [`smart_dataset::ingest::stream_drive_batches`]: each
+//! drive-aligned shard is parsed on a worker thread, its drives are folded
+//! into the growing sample columns as the batch arrives in file order, and
+//! the records are dropped immediately afterwards. Peak memory is the
+//! matrix under construction plus the ingest pipeline's bounded shard
+//! window, rather than matrix plus fleet.
+//!
+//! The result is bit-identical to importing the fleet and running
+//! [`crate::matrix::collect_samples`] + [`crate::matrix::base_matrix`]
+//! over it, because batches arrive in file order (which is fleet drive
+//! order) and negatives are downsampled once at the end, exactly as the
+//! materialised path does.
+
+use crate::error::PipelineError;
+use crate::label::labeled_days;
+use crate::matrix::{base_features, SamplingConfig};
+use smart_dataset::ingest::{stream_drive_batches, DriveBatch, IngestConfig, IngestStats};
+use smart_dataset::{DriveModel, FeatureId, SmartAttribute, TroubleTicket};
+use smart_stats::sampling::downsample_negatives;
+use smart_stats::FeatureMatrix;
+use std::io::BufRead;
+
+/// A base matrix assembled directly from a CSV stream.
+#[derive(Debug, Clone)]
+pub struct StreamedMatrix {
+    /// One column per raw/normalized attribute value of the model.
+    pub matrix: FeatureMatrix,
+    /// Failure-within-horizon label per sample row.
+    pub labels: Vec<bool>,
+    /// `MWI_N` per sample row (for wear-out grouping).
+    pub mwi: Vec<f64>,
+    /// Ingestion counters for the underlying sharded read.
+    pub stats: IngestStats,
+}
+
+/// Stream a SMART-log CSV into the base-feature matrix of `model` for
+/// samples in `[from_day, to_day]`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Dataset`] for malformed CSV (same line numbers
+/// and messages as the single-threaded importer) and
+/// [`PipelineError::InvalidInput`] for a zero `neg_stride` or when the
+/// window contains no samples of `model`.
+pub fn streaming_base_matrix<R: BufRead + Send>(
+    input: R,
+    tickets: &[TroubleTicket],
+    model: DriveModel,
+    from_day: u32,
+    to_day: u32,
+    sampling: &SamplingConfig,
+    ingest: &IngestConfig,
+) -> Result<StreamedMatrix, PipelineError> {
+    if sampling.neg_stride == 0 {
+        return Err(PipelineError::invalid("neg_stride must be at least 1"));
+    }
+    let features = base_features(model);
+    let names: Vec<String> = features.iter().map(FeatureId::name).collect();
+    let mwi_feature = FeatureId::normalized(SmartAttribute::Mwi);
+
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); features.len()];
+    let mut labels: Vec<bool> = Vec::new();
+    let mut mwi: Vec<f64> = Vec::new();
+
+    let stats = stream_drive_batches(input, tickets, ingest, |batch: DriveBatch| {
+        for drive in &batch.drives {
+            if drive.model != model {
+                continue;
+            }
+            // drive_index is irrelevant here — the drive is already in
+            // hand, so samples are folded away instead of referenced.
+            for s in labeled_days(drive, 0, from_day, to_day, sampling.horizon) {
+                if !s.label && (s.day - drive.deploy_day) % sampling.neg_stride != 0 {
+                    continue;
+                }
+                for (col, f) in features.iter().enumerate() {
+                    let v = drive.value_on(s.day, *f).ok_or_else(|| {
+                        PipelineError::invalid(format!(
+                            "drive {} lacks {f} on day {}",
+                            drive.id, s.day
+                        ))
+                    })?;
+                    columns[col].push(v);
+                }
+                labels.push(s.label);
+                let mwi_value = drive.value_on(s.day, mwi_feature).ok_or_else(|| {
+                    PipelineError::invalid(format!("drive {} lacks MWI on day {}", drive.id, s.day))
+                })?;
+                mwi.push(mwi_value);
+            }
+        }
+        Ok::<(), PipelineError>(())
+    })?;
+
+    if labels.is_empty() {
+        return Err(PipelineError::invalid(format!(
+            "no samples of model {model} in days {from_day}..={to_day}"
+        )));
+    }
+    if let Some(ratio) = sampling.downsample_ratio {
+        let kept = downsample_negatives(&labels, ratio, sampling.seed)?;
+        for col in &mut columns {
+            *col = kept.iter().map(|&i| col[i]).collect();
+        }
+        labels = kept.iter().map(|&i| labels[i]).collect();
+        mwi = kept.iter().map(|&i| mwi[i]).collect();
+    }
+    let matrix = FeatureMatrix::from_columns(names, columns).map_err(PipelineError::Stats)?;
+    Ok(StreamedMatrix {
+        matrix,
+        labels,
+        mwi,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{base_matrix, collect_samples};
+    use smart_dataset::csv::{export_smart_csv, import_smart_csv};
+    use smart_dataset::{tickets_from_summaries, Fleet, FleetConfig};
+
+    fn fixture() -> (String, Vec<TroubleTicket>, FleetConfig) {
+        let config = FleetConfig::builder()
+            .days(400)
+            .seed(5)
+            .drives(DriveModel::Mc1, 30)
+            .failure_scale(8.0)
+            .build()
+            .unwrap();
+        let fleet = Fleet::generate(&config);
+        let tickets = tickets_from_summaries(&fleet.summaries());
+        let mut buf = Vec::new();
+        export_smart_csv(&fleet, &mut buf).unwrap();
+        (String::from_utf8(buf).unwrap(), tickets, config)
+    }
+
+    #[test]
+    fn streaming_matches_materialised_path() {
+        let (text, tickets, config) = fixture();
+        let sampling = SamplingConfig::default();
+        let imported = import_smart_csv(text.as_bytes(), &tickets, config).unwrap();
+        let samples = collect_samples(&imported, DriveModel::Mc1, 0, 399, &sampling).unwrap();
+        let (matrix, labels, mwi) = base_matrix(&imported, DriveModel::Mc1, &samples).unwrap();
+
+        for workers in [1, 4] {
+            let ingest = IngestConfig {
+                shard_rows: 97,
+                workers,
+                max_queued_shards: 2,
+            };
+            let streamed = streaming_base_matrix(
+                text.as_bytes(),
+                &tickets,
+                DriveModel::Mc1,
+                0,
+                399,
+                &sampling,
+                &ingest,
+            )
+            .unwrap();
+            assert_eq!(streamed.labels, labels, "workers={workers}");
+            assert_eq!(streamed.mwi, mwi);
+            assert_eq!(streamed.matrix.n_rows(), matrix.n_rows());
+            assert_eq!(streamed.matrix.n_features(), matrix.n_features());
+            for name in matrix.feature_names() {
+                let a = matrix.column_index(name).unwrap();
+                let b = streamed.matrix.column_index(name).unwrap();
+                assert_eq!(matrix.column(a), streamed.matrix.column(b), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn absent_model_is_an_error() {
+        let (text, tickets, _config) = fixture();
+        let err = streaming_base_matrix(
+            text.as_bytes(),
+            &tickets,
+            DriveModel::Ma1,
+            0,
+            399,
+            &SamplingConfig::default(),
+            &IngestConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn zero_stride_is_rejected() {
+        let (text, tickets, _config) = fixture();
+        let sampling = SamplingConfig {
+            neg_stride: 0,
+            ..SamplingConfig::default()
+        };
+        assert!(streaming_base_matrix(
+            text.as_bytes(),
+            &tickets,
+            DriveModel::Mc1,
+            0,
+            399,
+            &sampling,
+            &IngestConfig::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn csv_errors_pass_through_with_line_numbers() {
+        let (text, tickets, _config) = fixture();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[10] = "garbage";
+        let corrupt = lines.join("\n");
+        let err = streaming_base_matrix(
+            corrupt.as_bytes(),
+            &tickets,
+            DriveModel::Mc1,
+            0,
+            399,
+            &SamplingConfig::default(),
+            &IngestConfig {
+                shard_rows: 16,
+                workers: 2,
+                max_queued_shards: 2,
+            },
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::Dataset(smart_dataset::DatasetError::ParseCsv { line, .. }) => {
+                assert_eq!(line, 11);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -56,4 +56,14 @@ cargo run -q --release --offline -p wefr-bench --bin bench_split_strategy -- \
 cargo run -q --release --offline -p smart-integration --bin check_split_bench \
   "$tmpdir/BENCH_pr3.json"
 
+step "ingest bench: sharded reader must not be slower than single-threaded"
+# A quick MC1-only run of the paired ingestion benchmark; the gate parses
+# its JSON report and fails if the sharded reader at 1 worker lost to the
+# single-threaded reference (multi-worker speedup is reported, not gated —
+# it depends on the machine's core count).
+cargo run -q --release --offline -p wefr-bench --bin bench_ingest -- \
+  --quick --days 240 --model mc1 --out "$tmpdir"
+cargo run -q --release --offline -p smart-integration --bin check_ingest_bench \
+  "$tmpdir/BENCH_pr5.json"
+
 step "all checks passed"

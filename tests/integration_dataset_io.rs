@@ -1,8 +1,12 @@
 //! Dataset I/O integration: CSV export/import round-trips a simulated
 //! fleet, and trouble tickets stay consistent with the records.
 
-use smart_dataset::csv::{export_smart_csv, export_tickets_csv, import_smart_csv};
-use smart_dataset::{tickets_from_summaries, DriveModel, Fleet, FleetConfig};
+use smart_dataset::csv::{
+    export_smart_csv, export_tickets_csv, import_smart_csv, import_tickets_csv,
+};
+use smart_dataset::{
+    import_smart_csv_sharded, tickets_from_summaries, DriveModel, Fleet, FleetConfig, IngestConfig,
+};
 
 fn fleet() -> Fleet {
     let config = FleetConfig::builder()
@@ -64,11 +68,46 @@ fn ticket_csv_is_well_formed() {
     export_tickets_csv(&tickets, &mut out).expect("export succeeds");
     let text = String::from_utf8(out).expect("utf8");
     let mut lines = text.lines();
-    assert_eq!(lines.next(), Some("drive_id,model,day"));
+    assert_eq!(lines.next(), Some("drive_id,model,day,mechanism"));
     for (line, ticket) in lines.zip(&tickets) {
         let fields: Vec<&str> = line.split(',').collect();
-        assert_eq!(fields.len(), 3);
+        assert_eq!(fields.len(), 4);
         assert_eq!(fields[0], ticket.drive_id.0.to_string());
         assert_eq!(fields[2], ticket.day.to_string());
+        assert_eq!(fields[3], ticket.mechanism.name());
+    }
+}
+
+#[test]
+fn ticket_csv_roundtrip_preserves_mechanisms() {
+    let fleet = fleet();
+    let tickets = tickets_from_summaries(&fleet.summaries());
+    assert!(!tickets.is_empty(), "fixture fleet has failures");
+    let mut out = Vec::new();
+    export_tickets_csv(&tickets, &mut out).expect("export succeeds");
+    let imported = import_tickets_csv(out.as_slice()).expect("import succeeds");
+    assert_eq!(imported, tickets);
+}
+
+#[test]
+fn sharded_import_matches_single_threaded_on_mixed_models() {
+    // The unit tests cover single-model fleets; here the three-model fixture
+    // exercises shard cuts across model changes and absent-attribute gaps.
+    let fleet = fleet();
+    let tickets = tickets_from_summaries(&fleet.summaries());
+    let mut csv = Vec::new();
+    export_smart_csv(&fleet, &mut csv).expect("export succeeds");
+    let single =
+        import_smart_csv(csv.as_slice(), &tickets, fleet.config().clone()).expect("import");
+    for workers in [1, 3] {
+        let config = IngestConfig {
+            shard_rows: 64,
+            workers,
+            ..IngestConfig::default()
+        };
+        let sharded =
+            import_smart_csv_sharded(csv.as_slice(), &tickets, fleet.config().clone(), &config)
+                .expect("sharded import");
+        assert_eq!(single, sharded, "workers={workers}");
     }
 }

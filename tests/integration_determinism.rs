@@ -1,9 +1,13 @@
 //! Cross-crate determinism: fixed seeds reproduce byte-identical fleets,
 //! selections, and experiment metrics; different seeds do not.
 
-use smart_dataset::{Census, DriveModel, Fleet, FleetConfig};
+use smart_dataset::csv::{export_smart_csv, import_smart_csv};
+use smart_dataset::{
+    import_smart_csv_sharded, tickets_from_summaries, Census, DriveModel, Fleet, FleetConfig,
+    IngestConfig,
+};
 use smart_pipeline::experiment::{run_method, ExperimentConfig, Method};
-use smart_pipeline::{base_matrix, collect_samples, SamplingConfig};
+use smart_pipeline::{base_matrix, collect_samples, streaming_base_matrix, SamplingConfig};
 use smart_trees::{BoostingConfig, ForestConfig, GradientBoosting, RandomForest, SplitStrategy};
 use wefr_core::{SelectionInput, Wefr, WefrConfig};
 
@@ -52,6 +56,92 @@ fn experiment_metrics_are_reproducible() {
     let b = run_method(&fleet, DriveModel::Mc1, Method::NoSelection, &exp_config).unwrap();
     assert_eq!(a.overall, b.overall);
     assert_eq!(a.per_phase, b.per_phase);
+}
+
+#[test]
+fn sharded_ingest_is_bit_identical_at_any_worker_count() {
+    // The headline guarantee of the sharded reader: worker count and shard
+    // size are performance knobs, never semantics. Every combination must
+    // reproduce the single-threaded import byte for byte.
+    let fleet = Fleet::generate(&config(7));
+    let tickets = tickets_from_summaries(&fleet.summaries());
+    let mut csv = Vec::new();
+    export_smart_csv(&fleet, &mut csv).expect("export");
+    let single =
+        import_smart_csv(csv.as_slice(), &tickets, fleet.config().clone()).expect("import");
+    for workers in [1, 2, 4, 8] {
+        for shard_rows in [1, 100, 4_096, 1_000_000] {
+            let ingest = IngestConfig {
+                shard_rows,
+                workers,
+                ..IngestConfig::default()
+            };
+            let sharded =
+                import_smart_csv_sharded(csv.as_slice(), &tickets, fleet.config().clone(), &ingest)
+                    .expect("sharded import");
+            assert_eq!(single, sharded, "workers={workers} shard_rows={shard_rows}");
+        }
+    }
+}
+
+#[test]
+fn streamed_matrix_and_wefr_selection_match_the_materialised_path() {
+    // End to end: streaming shard batches straight into a FeatureMatrix must
+    // give WEFR exactly the inputs — and therefore exactly the selected
+    // feature set — that the import-everything-then-collect path gives it.
+    let fleet = Fleet::generate(&config(9));
+    let tickets = tickets_from_summaries(&fleet.summaries());
+    let mut csv = Vec::new();
+    export_smart_csv(&fleet, &mut csv).expect("export");
+    let imported =
+        import_smart_csv(csv.as_slice(), &tickets, fleet.config().clone()).expect("import");
+    let sampling = SamplingConfig::default();
+    let samples = collect_samples(&imported, DriveModel::Mc1, 0, 364, &sampling).unwrap();
+    let (matrix, labels, mwi) = base_matrix(&imported, DriveModel::Mc1, &samples).unwrap();
+
+    for workers in [1, 4] {
+        let ingest = IngestConfig {
+            shard_rows: 500,
+            workers,
+            ..IngestConfig::default()
+        };
+        let streamed = streaming_base_matrix(
+            csv.as_slice(),
+            &tickets,
+            DriveModel::Mc1,
+            0,
+            364,
+            &sampling,
+            &ingest,
+        )
+        .expect("streaming matrix");
+        assert_eq!(streamed.labels, labels, "workers={workers}");
+        assert_eq!(streamed.mwi, mwi, "workers={workers}");
+        assert_eq!(
+            streamed.matrix.feature_names(),
+            matrix.feature_names(),
+            "workers={workers}"
+        );
+        for f in 0..matrix.n_features() {
+            assert_eq!(
+                streamed.matrix.column(f),
+                matrix.column(f),
+                "workers={workers} feature {f}"
+            );
+        }
+
+        let a = Wefr::default()
+            .select(&SelectionInput::basic(&streamed.matrix, &streamed.labels))
+            .unwrap();
+        let b = Wefr::default()
+            .select(&SelectionInput::basic(&matrix, &labels))
+            .unwrap();
+        assert_eq!(
+            a.global.selected_names, b.global.selected_names,
+            "workers={workers}"
+        );
+        assert!(!a.global.selected_names.is_empty());
+    }
 }
 
 /// A small real-fleet training matrix for the split-strategy tests.
