@@ -1,0 +1,272 @@
+#![forbid(unsafe_code)]
+//! Scenario ablation: how stable is the WEFR selected set under
+//! operational chaos?
+//!
+//! Every row exports a (possibly perturbed) fleet to CSV, optionally
+//! corrupts the byte stream, re-ingests it in tolerant mode, runs the full
+//! sampling → WEFR pipeline on the recovered fleet, and reports the
+//! Jaccard similarity of the selected feature set against the clean
+//! baseline — plus the exact skip counts tolerant ingestion recorded.
+//!
+//! Rows whose corruption is *recoverable* (row-level CSV chaos on a clean
+//! fleet) must reproduce the baseline exactly (`jaccard == 1.0`); the CI
+//! gate `check_scenario_stability` enforces that. Fleet-level
+//! perturbations (firmware re-map, missing vendor batch, replacement
+//! churn) legitimately move the selection; their Jaccard is reported so
+//! drift is visible across commits, not gated.
+//!
+//! With `--out DIR` the run writes `DIR/BENCH_pr6.json`; the committed
+//! `results/BENCH_pr6.json` is a quick MC1 run.
+
+use smart_dataset::csv::export_smart_csv;
+use smart_dataset::{
+    apply_scenario, import_smart_csv_sharded_with_stats, inject_csv_chaos, tickets_from_summaries,
+    CsvChaos, DriveModel, FirmwareRollout, Fleet, IngestConfig, IngestTolerance, MissingCoverage,
+    ReplacementChurn, ScenarioConfig, SmartAttribute,
+};
+use smart_pipeline::{base_matrix, collect_samples, SamplingConfig};
+use wefr_bench::{print_header, RunOptions};
+use wefr_core::{SelectionInput, Wefr};
+
+/// Scenario seed for every perturbation and chaos injection in the run.
+const SCENARIO_SEED: u64 = 9;
+
+struct ScenarioRow {
+    scenario: String,
+    /// Whether tolerant ingest must reconstruct the clean fleet exactly
+    /// (the CI gate requires `jaccard == 1.0` on these rows).
+    recovers_clean: bool,
+    /// Jaccard similarity of the selected set vs the clean baseline.
+    jaccard: f64,
+    n_selected: usize,
+    skipped_duplicates: u64,
+    skipped_out_of_order: u64,
+    skipped_malformed: u64,
+    /// Whether the reported skip counts equal the injected corruption.
+    skips_match: bool,
+}
+
+json::impl_to_json!(ScenarioRow {
+    scenario,
+    recovers_clean,
+    jaccard,
+    n_selected,
+    skipped_duplicates,
+    skipped_out_of_order,
+    skipped_malformed,
+    skips_match
+});
+
+struct ScenarioBenchReport {
+    model: String,
+    days: u32,
+    n_drives: usize,
+    n_baseline: usize,
+    rows: Vec<ScenarioRow>,
+}
+
+json::impl_to_json!(ScenarioBenchReport {
+    model,
+    days,
+    n_drives,
+    n_baseline,
+    rows
+});
+
+/// WEFR's global selected set for one model cohort of a fleet.
+fn selected_names(fleet: &Fleet, model: DriveModel, days: u32) -> Vec<String> {
+    let samples = collect_samples(fleet, model, 0, days - 1, &SamplingConfig::default())
+        .expect("sampling the cohort");
+    let (matrix, labels, _) = base_matrix(fleet, model, &samples).expect("base matrix");
+    Wefr::default()
+        .select(&SelectionInput::basic(&matrix, &labels))
+        .expect("WEFR selection")
+        .global
+        .selected_names
+}
+
+fn jaccard(a: &[String], b: &[String]) -> f64 {
+    let sa: std::collections::BTreeSet<&String> = a.iter().collect();
+    let sb: std::collections::BTreeSet<&String> = b.iter().collect();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        return 1.0;
+    }
+    // Selected sets are tiny; the counts are exact in f64.
+    sa.intersection(&sb).count() as f64 / union as f64
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let fleet = opts.fleet();
+    let days = opts.days;
+    let model = opts.models()[0];
+    // The scenario targets must actually hit the cohort under study: the
+    // firmware re-map and missing batch aim at the cohort's model/vendor
+    // and its first non-MWI attribute.
+    let attr = *model
+        .attributes()
+        .iter()
+        .find(|&&a| a != SmartAttribute::Mwi)
+        .expect("every model reports a non-MWI attribute");
+    let firmware = FirmwareRollout {
+        day: days / 2,
+        model,
+        attr,
+        raw_scale: 512.0,
+        invert_norm: true,
+    };
+    let missing = MissingCoverage {
+        vendor: model.vendor(),
+        attr,
+        batch_fraction: 0.5,
+    };
+    let churn = ReplacementChurn {
+        day: days / 3,
+        fraction: 0.3,
+    };
+    let fleet_scenario = |firmware_on: bool, missing_on: bool, churn_on: bool| ScenarioConfig {
+        seed: SCENARIO_SEED,
+        firmware: firmware_on.then_some(firmware),
+        missing: missing_on.then_some(missing),
+        churn: churn_on.then_some(churn),
+    };
+
+    // (name, fleet perturbation, CSV chaos). Rows with a default scenario
+    // are fully recoverable by tolerant ingest.
+    let chaos_only = |chaos: CsvChaos| (ScenarioConfig::default(), chaos);
+    let table: Vec<(&str, (ScenarioConfig, CsvChaos))> = vec![
+        ("clean/tolerant", chaos_only(CsvChaos::default())),
+        (
+            "chaos/duplicates",
+            chaos_only(CsvChaos {
+                duplicates: 8,
+                ..CsvChaos::default()
+            }),
+        ),
+        (
+            "chaos/out_of_order",
+            chaos_only(CsvChaos {
+                out_of_order: 4,
+                ..CsvChaos::default()
+            }),
+        ),
+        (
+            "chaos/malformed",
+            chaos_only(CsvChaos {
+                malformed: 8,
+                ..CsvChaos::default()
+            }),
+        ),
+        (
+            "chaos/all",
+            chaos_only(CsvChaos {
+                duplicates: 4,
+                out_of_order: 2,
+                malformed: 4,
+            }),
+        ),
+        (
+            "fleet/firmware_rollout",
+            (fleet_scenario(true, false, false), CsvChaos::default()),
+        ),
+        (
+            "fleet/missing_batch",
+            (fleet_scenario(false, true, false), CsvChaos::default()),
+        ),
+        (
+            "fleet/churn",
+            (fleet_scenario(false, false, true), CsvChaos::default()),
+        ),
+        (
+            "fleet/all_perturbations",
+            (
+                fleet_scenario(true, true, true),
+                CsvChaos {
+                    duplicates: 4,
+                    out_of_order: 2,
+                    malformed: 4,
+                },
+            ),
+        ),
+    ];
+
+    print_header("Scenario ablation: WEFR selected-set stability under chaos");
+    println!(
+        "{} drives, {} days, cohort {}, target attribute {:?}\n",
+        fleet.drives().len(),
+        days,
+        model.name(),
+        attr
+    );
+
+    let tickets = tickets_from_summaries(&fleet.summaries());
+    let ingest = IngestConfig {
+        tolerance: IngestTolerance::Tolerant,
+        ..IngestConfig::default()
+    };
+    // The baseline goes through the same export → ingest → select path as
+    // every row, so a recoverable row is bit-comparable to it.
+    let export = |f: &Fleet| {
+        let mut buf = Vec::new();
+        export_smart_csv(f, &mut buf).expect("in-memory export");
+        String::from_utf8(buf).expect("CSV is UTF-8")
+    };
+    let clean_csv = export(&fleet);
+    let (clean_ingested, _) = import_smart_csv_sharded_with_stats(
+        clean_csv.as_bytes(),
+        &tickets,
+        fleet.config().clone(),
+        &ingest,
+    )
+    .expect("clean ingest");
+    let baseline = selected_names(&clean_ingested, model, days);
+    println!(
+        "baseline selected set ({} features): {}\n",
+        baseline.len(),
+        baseline.join(", ")
+    );
+
+    let mut rows = Vec::new();
+    for (name, (scenario, chaos)) in &table {
+        let perturbed = apply_scenario(&fleet, scenario).expect("scenario applies");
+        let (dirty, injected) =
+            inject_csv_chaos(&export(&perturbed), chaos, SCENARIO_SEED).expect("chaos injects");
+        let (recovered, stats) = import_smart_csv_sharded_with_stats(
+            dirty.as_bytes(),
+            &tickets,
+            fleet.config().clone(),
+            &ingest,
+        )
+        .expect("tolerant ingest");
+        let selected = selected_names(&recovered, model, days);
+        let similarity = jaccard(&selected, &baseline);
+        let recovers_clean = *scenario == ScenarioConfig::default();
+        println!(
+            "{name:<26} jaccard {similarity:>5.3}  selected {:>2}  skips d/o/m {}/{}/{}",
+            selected.len(),
+            stats.skipped.duplicate_rows,
+            stats.skipped.out_of_order_rows,
+            stats.skipped.malformed_rows
+        );
+        rows.push(ScenarioRow {
+            scenario: (*name).to_string(),
+            recovers_clean,
+            jaccard: similarity,
+            n_selected: selected.len(),
+            skipped_duplicates: stats.skipped.duplicate_rows,
+            skipped_out_of_order: stats.skipped.out_of_order_rows,
+            skipped_malformed: stats.skipped.malformed_rows,
+            skips_match: stats.skipped == injected,
+        });
+    }
+
+    let report = ScenarioBenchReport {
+        model: model.name().to_string(),
+        days,
+        n_drives: fleet.drives().len(),
+        n_baseline: baseline.len(),
+        rows,
+    };
+    opts.write_json("BENCH_pr6", &report);
+}

@@ -90,6 +90,7 @@ fn main() {
         shard_rows,
         workers,
         max_queued_shards: 8,
+        ..IngestConfig::default()
     };
     enum Method {
         Single,

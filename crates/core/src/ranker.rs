@@ -22,6 +22,28 @@ pub trait FeatureRanker: Send + Sync {
     fn rank(&self, data: &FeatureMatrix, labels: &[bool]) -> Result<FeatureRanking, WefrError>;
 }
 
+/// Pairwise deletion for missing data: one column's `(value, paired)` rows
+/// with the NaN cells dropped.
+///
+/// Returns `None` when the column is fully observed, so clean columns take
+/// the untouched (and bit-identical) fast path. Statistical rankers score a
+/// column with missing cells on its observed rows only; if too few remain
+/// (or the surviving labels collapse to one class) the column scores 0.0 —
+/// the same convention `pearson` uses for constant series.
+pub(crate) fn observed_only<T: Copy>(column: &[f64], paired: &[T]) -> Option<(Vec<f64>, Vec<T>)> {
+    if !column.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    Some(
+        column
+            .iter()
+            .zip(paired)
+            .filter(|(v, _)| !v.is_nan())
+            .map(|(&v, &p)| (v, p))
+            .unzip(),
+    )
+}
+
 /// Validate the common preconditions shared by every ranker.
 pub(crate) fn validate_input(data: &FeatureMatrix, labels: &[bool]) -> Result<(), WefrError> {
     if data.n_features() == 0 || data.n_rows() == 0 {

@@ -1,10 +1,25 @@
 //! Correlation-based rankers: Pearson (linear) and Spearman (monotonic).
 
 use crate::error::WefrError;
-use crate::ranker::{validate_input, FeatureRanker};
+use crate::ranker::{observed_only, validate_input, FeatureRanker};
 use crate::ranking::FeatureRanking;
 use smart_stats::correlation::{pearson, spearman};
 use smart_stats::FeatureMatrix;
+
+/// Score one column, dropping missing (NaN) cells pairwise first. Columns
+/// with fewer than two observed rows score 0.0.
+fn score_observed(
+    column: &[f64],
+    y: &[f64],
+    stat: impl Fn(&[f64], &[f64]) -> Result<f64, smart_stats::StatsError>,
+) -> Result<f64, WefrError> {
+    let scored = match observed_only(column, y) {
+        None => stat(column, y),
+        Some((xs, ys)) if xs.len() >= 2 => stat(&xs, &ys),
+        Some(_) => return Ok(0.0),
+    };
+    scored.map(f64::abs).map_err(WefrError::from)
+}
 
 /// Ranks features by the absolute Pearson correlation between the feature
 /// and the 0/1 failure label.
@@ -27,7 +42,7 @@ impl FeatureRanker for PearsonRanker {
         validate_input(data, labels)?;
         let y: Vec<f64> = labels.iter().map(|&l| f64::from(u8::from(l))).collect();
         let scores = (0..data.n_features())
-            .map(|c| pearson(data.column(c), &y).map(f64::abs))
+            .map(|c| score_observed(data.column(c), &y, pearson))
             .collect::<Result<Vec<f64>, _>>()?;
         FeatureRanking::from_scores(data.feature_names().to_vec(), scores)
     }
@@ -54,7 +69,7 @@ impl FeatureRanker for SpearmanRanker {
         validate_input(data, labels)?;
         let y: Vec<f64> = labels.iter().map(|&l| f64::from(u8::from(l))).collect();
         let scores = (0..data.n_features())
-            .map(|c| spearman(data.column(c), &y).map(f64::abs))
+            .map(|c| score_observed(data.column(c), &y, spearman))
             .collect::<Result<Vec<f64>, _>>()?;
         FeatureRanking::from_scores(data.feature_names().to_vec(), scores)
     }
@@ -115,5 +130,63 @@ mod tests {
         let one_class = vec![true; 40];
         assert!(PearsonRanker::new().rank(&m, &one_class).is_err());
         assert!(SpearmanRanker::new().rank(&m, &one_class).is_err());
+    }
+
+    #[test]
+    fn missing_cells_are_dropped_pairwise() {
+        // The linear column with a few cells knocked out must still rank
+        // first — its observed rows carry the same signal — and the score
+        // must equal the correlation over the observed subset exactly.
+        let (m, labels) = data();
+        let mut linear = m.column(0).to_vec();
+        linear[3] = f64::NAN;
+        linear[27] = f64::NAN;
+        let holey = FeatureMatrix::from_columns_with_missing(
+            m.feature_names().to_vec(),
+            vec![linear.clone(), m.column(1).to_vec(), m.column(2).to_vec()],
+        )
+        .unwrap();
+        for ranker in [
+            &PearsonRanker::new() as &dyn FeatureRanker,
+            &SpearmanRanker::new(),
+        ] {
+            let r = ranker.rank(&holey, &labels).unwrap();
+            assert_eq!(r.top_names(1), vec!["linear"], "{}", ranker.name());
+            assert!(
+                r.scores().iter().all(|s| s.is_finite()),
+                "{}",
+                ranker.name()
+            );
+        }
+        let observed: (Vec<f64>, Vec<f64>) = linear
+            .iter()
+            .zip(&labels)
+            .filter(|(v, _)| !v.is_nan())
+            .map(|(&v, &l)| (v, f64::from(u8::from(l))))
+            .unzip();
+        let expected = pearson(&observed.0, &observed.1).unwrap().abs();
+        let r = PearsonRanker::new().rank(&holey, &labels).unwrap();
+        assert!((r.score_of("linear").unwrap() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn all_missing_column_scores_zero() {
+        let (m, labels) = data();
+        let holey = FeatureMatrix::from_columns_with_missing(
+            m.feature_names().to_vec(),
+            vec![
+                vec![f64::NAN; 40],
+                m.column(1).to_vec(),
+                m.column(2).to_vec(),
+            ],
+        )
+        .unwrap();
+        for ranker in [
+            &PearsonRanker::new() as &dyn FeatureRanker,
+            &SpearmanRanker::new(),
+        ] {
+            let r = ranker.rank(&holey, &labels).unwrap();
+            assert_eq!(r.score_of("linear").unwrap(), 0.0, "{}", ranker.name());
+        }
     }
 }

@@ -1,10 +1,25 @@
 //! J-index ranker: the Youden-index-based approach of Lu et al. \[16\].
 
 use crate::error::WefrError;
-use crate::ranker::{validate_input, FeatureRanker};
+use crate::ranker::{observed_only, validate_input, FeatureRanker};
 use crate::ranking::FeatureRanking;
 use smart_stats::threshold::j_index;
 use smart_stats::FeatureMatrix;
+
+/// J-index of one column with missing (NaN) cells dropped pairwise. A
+/// column whose observed labels collapse to a single class scores 0.0 — no
+/// threshold on it can separate anything.
+fn j_index_observed(column: &[f64], labels: &[bool]) -> Result<f64, WefrError> {
+    match observed_only(column, labels) {
+        None => j_index(column, labels).map_err(WefrError::from),
+        Some((xs, ys)) => {
+            if ys.iter().all(|&l| l) || ys.iter().all(|&l| !l) {
+                return Ok(0.0);
+            }
+            j_index(&xs, &ys).map_err(WefrError::from)
+        }
+    }
+}
 
 /// Ranks features by their J-index: the best achievable Youden J
 /// (`sensitivity + specificity − 1`) over all single-feature thresholds, in
@@ -27,7 +42,7 @@ impl FeatureRanker for JIndexRanker {
     fn rank(&self, data: &FeatureMatrix, labels: &[bool]) -> Result<FeatureRanking, WefrError> {
         validate_input(data, labels)?;
         let scores = (0..data.n_features())
-            .map(|c| j_index(data.column(c), labels))
+            .map(|c| j_index_observed(data.column(c), labels))
             .collect::<Result<Vec<f64>, _>>()?;
         FeatureRanking::from_scores(data.feature_names().to_vec(), scores)
     }
@@ -69,5 +84,22 @@ mod tests {
     fn rejects_single_class() {
         let m = FeatureMatrix::from_columns(vec!["x".into()], vec![vec![1.0, 2.0]]).unwrap();
         assert!(JIndexRanker::new().rank(&m, &[true, true]).is_err());
+    }
+
+    #[test]
+    fn missing_cells_are_dropped_pairwise() {
+        // Knocking out one negative row leaves a still-perfect separator;
+        // a column observed only on one class scores zero.
+        let labels = vec![false, false, false, true, true, true];
+        let separable = vec![5.0, f64::NAN, 7.0, 20.0, 21.0, 22.0];
+        let one_class_only = vec![f64::NAN, f64::NAN, f64::NAN, 1.0, 2.0, 3.0];
+        let m = FeatureMatrix::from_columns_with_missing(
+            vec!["separable".into(), "one_class".into()],
+            vec![separable, one_class_only],
+        )
+        .unwrap();
+        let r = JIndexRanker::new().rank(&m, &labels).unwrap();
+        assert!((r.score_of("separable").unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(r.score_of("one_class").unwrap(), 0.0);
     }
 }

@@ -4,6 +4,11 @@
 pub mod drive;
 pub mod noise;
 pub mod plan;
+pub mod scenario;
 
 pub use drive::simulate_drive;
 pub use plan::{plan_drive, Destiny, DrivePlan};
+pub use scenario::{
+    apply_scenario, inject_csv_chaos, mixed_vendor_config, CsvChaos, FirmwareRollout,
+    MissingCoverage, ReplacementChurn, ScenarioConfig,
+};

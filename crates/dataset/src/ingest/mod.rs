@@ -38,9 +38,63 @@ use std::io::BufRead;
 pub const ENV_SHARD_ROWS: &str = "WEFR_INGEST_SHARD_ROWS";
 /// Environment knob: parser worker threads (see [`IngestConfig::from_env`]).
 pub const ENV_WORKERS: &str = "WEFR_WORKERS";
+/// Environment knob: ingest tolerance mode, `"strict"` or `"tolerant"`
+/// (see [`IngestConfig::from_env`]).
+pub const ENV_TOLERANCE: &str = "WEFR_INGEST_TOLERANCE";
 
-/// Tuning for the sharded reader. The knobs trade memory and parallelism
-/// for latency only — the ingested fleet is identical for every setting.
+/// Tolerant mode gives up — with a `ParseCsv` error at the breaching line
+/// — once a file has accumulated this many skipped malformed rows. Past
+/// that point the input is garbage, not telemetry with warts, and
+/// silently dropping more of it would hide a systemic problem.
+pub const MAX_MALFORMED_ROWS: u64 = 1_000;
+
+/// How the sharded reader treats bad rows (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IngestTolerance {
+    /// Fail on the first bad row with exactly the single-threaded reader's
+    /// error. The default; bit-identical to the pre-tolerance pipeline.
+    #[default]
+    Strict,
+    /// Skip-and-count duplicate and out-of-order rows, skip malformed rows
+    /// up to [`MAX_MALFORMED_ROWS`] per file, and backfill small day gaps
+    /// with NaN (missing-measurement) days. On clean input this mode
+    /// produces a fleet bit-identical to strict mode.
+    Tolerant,
+}
+
+/// Rows the tolerant reader dropped or synthesised, by reason. Always all
+/// zero under [`IngestTolerance::Strict`], and independent of worker count
+/// and shard size under [`IngestTolerance::Tolerant`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkipCounts {
+    /// Re-deliveries of a drive run's most recent day (dropped).
+    pub duplicate_rows: u64,
+    /// Rows of an open run older than its most recent day by more than one
+    /// (dropped).
+    pub out_of_order_rows: u64,
+    /// Structurally broken rows: unsplittable lines, bad fields, model or
+    /// attribute-presence mismatches, day jumps past the backfill bound
+    /// (dropped).
+    pub malformed_rows: u64,
+    /// NaN days synthesised to keep a run contiguous across a small day
+    /// gap (added).
+    pub backfilled_days: u64,
+}
+
+impl SkipCounts {
+    /// Field-wise accumulate `other` into `self`.
+    pub fn merge(&mut self, other: SkipCounts) {
+        self.duplicate_rows += other.duplicate_rows;
+        self.out_of_order_rows += other.out_of_order_rows;
+        self.malformed_rows += other.malformed_rows;
+        self.backfilled_days += other.backfilled_days;
+    }
+}
+
+/// Tuning for the sharded reader. The sizing knobs trade memory and
+/// parallelism for latency only — the ingested fleet is identical for
+/// every setting. `tolerance` selects the error policy; see
+/// [`IngestTolerance`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IngestConfig {
     /// Minimum rows per shard; a shard grows past this until the next
@@ -51,6 +105,8 @@ pub struct IngestConfig {
     /// Raw shards allowed to wait in the work queue before the reader
     /// stalls.
     pub max_queued_shards: usize,
+    /// Error policy for bad rows.
+    pub tolerance: IngestTolerance,
 }
 
 impl Default for IngestConfig {
@@ -62,14 +118,15 @@ impl Default for IngestConfig {
             shard_rows: 4_096,
             workers: 4,
             max_queued_shards: 8,
+            tolerance: IngestTolerance::Strict,
         }
     }
 }
 
 impl IngestConfig {
     /// Build a config from a key → value lookup, starting from defaults.
-    /// Recognises [`ENV_SHARD_ROWS`] and [`ENV_WORKERS`]; unparseable or
-    /// zero values are ignored.
+    /// Recognises [`ENV_SHARD_ROWS`], [`ENV_WORKERS`] and
+    /// [`ENV_TOLERANCE`]; unparseable, zero or unknown values are ignored.
     pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> IngestConfig {
         let mut config = IngestConfig::default();
         let parsed = |name: &str| get(name).and_then(|v| v.trim().parse::<usize>().ok());
@@ -78,6 +135,11 @@ impl IngestConfig {
         }
         if let Some(workers) = parsed(ENV_WORKERS).filter(|&v| v > 0) {
             config.workers = workers;
+        }
+        match get(ENV_TOLERANCE).as_deref().map(str::trim) {
+            Some("strict") => config.tolerance = IngestTolerance::Strict,
+            Some("tolerant") => config.tolerance = IngestTolerance::Tolerant,
+            _ => {}
         }
         config
     }
@@ -103,6 +165,8 @@ pub struct IngestStats {
     /// Times the reader found the work queue full and had to wait — a
     /// nonzero value means parsing, not I/O, was the bottleneck.
     pub queue_full_stalls: u64,
+    /// Rows dropped or synthesised by tolerant mode (all zero when strict).
+    pub skipped: SkipCounts,
 }
 
 /// One shard's worth of fully-built drive records, delivered in file order.
@@ -114,6 +178,8 @@ pub struct DriveBatch {
     pub first_line: usize,
     /// Drive records in file order, tickets already joined.
     pub drives: Vec<DriveRecord>,
+    /// Tolerant-mode skip accounting for this shard alone.
+    pub skipped: SkipCounts,
 }
 
 /// Stream a SMART-log CSV through the sharded pipeline, handing each
@@ -159,9 +225,12 @@ where
     check_smart_header(trimmed)?;
 
     let by_id = sort_tickets_by_drive(tickets);
+    let tolerance = config.tolerance;
     let work: BoundedQueue<Shard> = BoundedQueue::new(queue_slots);
-    let done: ReorderBuffer<Result<DriveBatch, DatasetError>> =
-        ReorderBuffer::new(workers + queue_slots);
+    // Each parsed shard travels with the absolute line numbers of its
+    // malformed skips, so the merger can enforce the cap in file order.
+    type ParsedBatch = Result<(DriveBatch, Vec<usize>), DatasetError>;
+    let done: ReorderBuffer<ParsedBatch> = ReorderBuffer::new(workers + queue_slots);
 
     let (stats, outcome) = std::thread::scope(|scope| {
         let reader = scope.spawn(|| {
@@ -198,12 +267,21 @@ where
                     let parse_span = telemetry::span_child_of(span_id, "ingest_parse");
                     parse_span.record("shard", shard.index);
                     parse_span.record("rows", shard.rows);
-                    let batch =
-                        parse::parse_shard(&shard.text, shard.first_line).map(|runs| DriveBatch {
-                            shard_index: shard.index,
-                            first_line: shard.first_line,
-                            drives: runs.into_iter().map(|r| r.into_record(by_id)).collect(),
-                        });
+                    let batch = parse::parse_shard(&shard.text, shard.first_line, tolerance).map(
+                        |outcome| {
+                            let batch = DriveBatch {
+                                shard_index: shard.index,
+                                first_line: shard.first_line,
+                                drives: outcome
+                                    .drives
+                                    .into_iter()
+                                    .map(|r| r.into_record(by_id))
+                                    .collect(),
+                                skipped: outcome.skipped,
+                            };
+                            (batch, outcome.malformed_lines)
+                        },
+                    );
                     drop(parse_span);
                     if !done.insert(shard.index, batch) {
                         break; // aborted by the merger
@@ -213,9 +291,32 @@ where
         }
 
         let mut drives = 0u64;
+        let mut skipped = SkipCounts::default();
+        let mut malformed_seen = 0u64;
         let merge_outcome: Result<(), E> = loop {
             match done.take_next() {
-                Some(Ok(batch)) => {
+                Some(Ok((batch, malformed_lines))) => {
+                    // Enforce the malformed-row cap in file order, so the
+                    // breaching line is the same at any worker count or
+                    // shard size.
+                    let mut breach: Option<usize> = None;
+                    for &line in &malformed_lines {
+                        malformed_seen += 1;
+                        if malformed_seen > MAX_MALFORMED_ROWS {
+                            breach = Some(line);
+                            break;
+                        }
+                    }
+                    if let Some(line) = breach {
+                        break Err(E::from(DatasetError::ParseCsv {
+                            line,
+                            message: format!(
+                                "tolerant ingest gave up: more than {MAX_MALFORMED_ROWS} \
+                                 malformed rows"
+                            ),
+                        }));
+                    }
+                    skipped.merge(batch.skipped);
                     drives += batch.drives.len() as u64;
                     telemetry::counter_add("ingest.drives", batch.drives.len() as u64);
                     if let Err(e) = consume(batch) {
@@ -244,6 +345,7 @@ where
             shards,
             drives,
             queue_full_stalls: work.stalls(),
+            skipped,
         };
         (stats, outcome)
     });
@@ -251,6 +353,13 @@ where
     telemetry::counter_add("ingest.rows", stats.rows);
     telemetry::counter_add("ingest.shards", stats.shards);
     telemetry::counter_add("ingest.queue_full_stalls", stats.queue_full_stalls);
+    telemetry::counter_add("ingest.skipped_duplicates", stats.skipped.duplicate_rows);
+    telemetry::counter_add(
+        "ingest.skipped_out_of_order",
+        stats.skipped.out_of_order_rows,
+    );
+    telemetry::counter_add("ingest.skipped_malformed", stats.skipped.malformed_rows);
+    telemetry::counter_add("ingest.backfilled_days", stats.skipped.backfilled_days);
     span.record("rows", stats.rows);
     span.record("shards", stats.shards);
     span.record("stalls", stats.queue_full_stalls);
@@ -272,12 +381,28 @@ pub fn import_smart_csv_sharded<R: BufRead + Send>(
     config: FleetConfig,
     ingest: &IngestConfig,
 ) -> Result<Fleet, DatasetError> {
+    import_smart_csv_sharded_with_stats(input, tickets, config, ingest).map(|(fleet, _)| fleet)
+}
+
+/// [`import_smart_csv_sharded`] that also returns the run's
+/// [`IngestStats`] — the only way to observe tolerant-mode
+/// [`SkipCounts`] when importing a whole fleet at once.
+///
+/// # Errors
+///
+/// Exactly the errors of [`import_smart_csv_sharded`] on the same input.
+pub fn import_smart_csv_sharded_with_stats<R: BufRead + Send>(
+    input: R,
+    tickets: &[TroubleTicket],
+    config: FleetConfig,
+    ingest: &IngestConfig,
+) -> Result<(Fleet, IngestStats), DatasetError> {
     let mut drives: Vec<DriveRecord> = Vec::new();
-    stream_drive_batches(input, tickets, ingest, |batch: DriveBatch| {
+    let stats = stream_drive_batches(input, tickets, ingest, |batch: DriveBatch| {
         drives.extend(batch.drives);
         Ok::<(), DatasetError>(())
     })?;
-    Ok(Fleet::from_records(config, drives))
+    Ok((Fleet::from_records(config, drives), stats))
 }
 
 #[cfg(test)]
@@ -312,6 +437,7 @@ mod tests {
                     shard_rows,
                     workers,
                     max_queued_shards: 3,
+                    ..IngestConfig::default()
                 };
                 let fleet =
                     import_smart_csv_sharded(text.as_bytes(), &tickets, config.clone(), &ingest)
@@ -333,6 +459,7 @@ mod tests {
             shard_rows: 50,
             workers: 2,
             max_queued_shards: 2,
+            ..IngestConfig::default()
         };
         let stats =
             stream_drive_batches(text.as_bytes(), &tickets, &ingest, |_batch: DriveBatch| {
@@ -351,6 +478,7 @@ mod tests {
             shard_rows: 10,
             workers: 4,
             max_queued_shards: 2,
+            ..IngestConfig::default()
         };
         let mut last_index = None;
         let mut last_line = 0usize;
@@ -386,6 +514,7 @@ mod tests {
                 shard_rows,
                 workers: 4,
                 max_queued_shards: 2,
+                ..IngestConfig::default()
             };
             let sharded =
                 import_smart_csv_sharded(corrupt.as_bytes(), &tickets, config.clone(), &ingest);
@@ -416,6 +545,7 @@ mod tests {
             shard_rows: 5,
             workers: 2,
             max_queued_shards: 1,
+            ..IngestConfig::default()
         };
         let mut seen = 0;
         let err = stream_drive_batches(text.as_bytes(), &tickets, &ingest, |_b: DriveBatch| {
@@ -460,16 +590,148 @@ mod tests {
         let config = IngestConfig::from_lookup(|name| match name {
             ENV_SHARD_ROWS => Some("128".to_string()),
             ENV_WORKERS => Some(" 3 ".to_string()),
+            ENV_TOLERANCE => Some(" tolerant ".to_string()),
             _ => None,
         });
         assert_eq!(config.shard_rows, 128);
         assert_eq!(config.workers, 3);
+        assert_eq!(config.tolerance, IngestTolerance::Tolerant);
         // Zero and garbage fall back to defaults.
         let config = IngestConfig::from_lookup(|name| match name {
             ENV_SHARD_ROWS => Some("0".to_string()),
             ENV_WORKERS => Some("many".to_string()),
+            ENV_TOLERANCE => Some("lenient".to_string()),
             _ => None,
         });
         assert_eq!(config, IngestConfig::default());
+    }
+
+    /// Corrupt the fixture with one duplicate row, one out-of-order row and
+    /// one unparseable line; return the text and the expected counts.
+    fn chaotic_fixture() -> (String, Vec<TroubleTicket>, FleetConfig, SkipCounts) {
+        let (text, tickets, config) = fixture();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        // Line 3 (drive 0, day 1) re-delivered right after itself: duplicate.
+        lines.insert(4, lines[3].clone());
+        // Drive 0's day-0 row re-delivered a few days later: out-of-order.
+        lines.insert(8, lines[1].clone());
+        // One unsplittable line mid-run: malformed, leaving a clean run
+        // because the real row it displaces nothing from is still present.
+        lines.insert(12, "###".to_string());
+        (
+            lines.join("\n"),
+            tickets,
+            config,
+            SkipCounts {
+                duplicate_rows: 1,
+                out_of_order_rows: 1,
+                malformed_rows: 1,
+                backfilled_days: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn tolerant_counts_are_worker_and_shard_independent() {
+        let (text, tickets, config, expected) = chaotic_fixture();
+        let reference = {
+            let (clean_text, _, _) = fixture();
+            import_smart_csv(clean_text.as_bytes(), &tickets, config.clone()).unwrap()
+        };
+        for workers in [1, 2, 4] {
+            for shard_rows in [1, 7, 64, 1_000_000] {
+                let ingest = IngestConfig {
+                    shard_rows,
+                    workers,
+                    max_queued_shards: 3,
+                    tolerance: IngestTolerance::Tolerant,
+                };
+                let (fleet, stats) = import_smart_csv_sharded_with_stats(
+                    text.as_bytes(),
+                    &tickets,
+                    config.clone(),
+                    &ingest,
+                )
+                .unwrap();
+                assert_eq!(
+                    stats.skipped, expected,
+                    "workers={workers} shard_rows={shard_rows}"
+                );
+                // Dropping the bad rows reconstructs the clean fleet exactly.
+                assert_eq!(fleet.drives(), reference.drives());
+            }
+        }
+    }
+
+    #[test]
+    fn strict_mode_still_errors_on_chaotic_input() {
+        let (text, tickets, config, _) = chaotic_fixture();
+        let err = import_smart_csv_sharded(
+            text.as_bytes(),
+            &tickets,
+            config,
+            &IngestConfig {
+                shard_rows: 16,
+                workers: 2,
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap_err();
+        // The first injected fault is the duplicated row at file line 5
+        // (vector index 4): its day repeats the previous line's.
+        match err {
+            DatasetError::ParseCsv { line, message } => {
+                assert_eq!(line, 5);
+                assert!(message.contains("expected day"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_cap_errors_at_the_breaching_line() {
+        let (text, tickets, config) = fixture();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        // Inject cap + 1 unsplittable lines right after the header; the
+        // breach must be reported at the (cap + 1)-th, at any concurrency.
+        let n_bad = MAX_MALFORMED_ROWS as usize + 1;
+        for _ in 0..n_bad {
+            lines.insert(1, "garbage".to_string());
+        }
+        let body = lines.join("\n");
+        for (workers, shard_rows) in [(1, 1_000_000), (4, 17)] {
+            let ingest = IngestConfig {
+                shard_rows,
+                workers,
+                max_queued_shards: 3,
+                tolerance: IngestTolerance::Tolerant,
+            };
+            let err = import_smart_csv_sharded(body.as_bytes(), &tickets, config.clone(), &ingest)
+                .unwrap_err();
+            match err {
+                DatasetError::ParseCsv { line, message } => {
+                    assert_eq!(line, 1 + n_bad, "workers={workers}");
+                    assert!(message.contains("gave up"), "{message}");
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tolerant_mode_is_bit_identical_on_clean_input() {
+        let (text, tickets, config) = fixture();
+        let strict = import_smart_csv(text.as_bytes(), &tickets, config.clone()).unwrap();
+        let ingest = IngestConfig {
+            shard_rows: 23,
+            workers: 3,
+            max_queued_shards: 2,
+            tolerance: IngestTolerance::Tolerant,
+        };
+        let (fleet, stats) =
+            import_smart_csv_sharded_with_stats(text.as_bytes(), &tickets, config, &ingest)
+                .unwrap();
+        assert_eq!(fleet.drives(), strict.drives());
+        assert_eq!(stats.skipped, SkipCounts::default());
     }
 }

@@ -291,4 +291,145 @@ mod tests {
         r.set_total(0);
         assert_eq!(r.take_next(), None);
     }
+
+    /// Item whose `Drop` panics while armed. Clearing a queue that holds one
+    /// panics *inside* the critical section, poisoning the mutex — exactly
+    /// the hazard `PoisonError::into_inner` exists for.
+    struct Bomb {
+        armed: bool,
+    }
+
+    impl Drop for Bomb {
+        fn drop(&mut self) {
+            // Don't double-panic while the queue is already unwinding past
+            // the sibling items: that would abort the whole process.
+            if self.armed && !std::thread::panicking() {
+                panic!("bomb dropped");
+            }
+        }
+    }
+
+    #[test]
+    fn prop_queue_survives_mutex_poisoning_mid_abort() {
+        rng::prop_check!(|g| {
+            let capacity = g.usize_in(1, 4);
+            let n = g.usize_in(1, capacity);
+            let bomb_at = g.usize_in(0, n - 1);
+            let q = BoundedQueue::new(capacity);
+            for i in 0..n {
+                assert!(q.push(Bomb {
+                    armed: i == bomb_at
+                }));
+            }
+            // `abort` clears the deque under the lock; the armed bomb's
+            // panic unwinds with the guard held and poisons the mutex.
+            let aborting = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| q.abort()));
+            assert!(aborting.is_err(), "armed bomb must panic during abort");
+            // The queue stays usable through the poisoned lock: the abort
+            // stuck (it set the flag before clearing), producers are turned
+            // away, consumers give up, and telemetry remains readable.
+            assert!(!q.push(Bomb { armed: false }));
+            assert!(q.pop().is_none());
+            let _ = q.stalls();
+        });
+    }
+
+    #[test]
+    fn prop_reorder_survives_mutex_poisoning_mid_abort() {
+        rng::prop_check!(|g| {
+            let capacity = g.usize_in(1, 4);
+            let n = g.usize_in(1, capacity);
+            let bomb_at = g.usize_in(0, n - 1);
+            let r = ReorderBuffer::new(capacity);
+            r.set_total(n + 1); // one index never arrives: consumer must rely on abort
+            for i in 0..n {
+                assert!(r.insert(
+                    i,
+                    Bomb {
+                        armed: i == bomb_at
+                    }
+                ));
+            }
+            let aborting = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.abort()));
+            assert!(aborting.is_err(), "armed bomb must panic during abort");
+            assert!(!r.insert(n, Bomb { armed: false }));
+            assert!(r.take_next().is_none());
+        });
+    }
+
+    /// Drive the full reader → worker-pool → merger shape with workers that
+    /// *panic* on randomly chosen shards. Each worker converts its panic to
+    /// an indexed error (as the real pipeline converts parse failures); the
+    /// merger consumes in index order, so whatever the thread interleaving,
+    /// the surfaced error must be the one with the smallest shard index and
+    /// every earlier shard must have been merged first. The abort must then
+    /// unwind the whole pipeline without deadlock.
+    #[test]
+    fn prop_worker_panics_abort_cleanly_with_first_error_wins() {
+        rng::prop_check!(|g| {
+            let total = g.usize_in(2, 24);
+            let workers = g.usize_in(1, 4);
+            let capacity = g.usize_in(1, 4);
+            let n_fail = g.usize_in(1, total.min(3));
+            let mut fails = vec![false; total];
+            for &i in g.permutation(total).iter().take(n_fail) {
+                fails[i] = true;
+            }
+            let first_error = fails.iter().position(|&f| f).expect("n_fail >= 1");
+
+            let work: BoundedQueue<usize> = BoundedQueue::new(capacity);
+            let done: ReorderBuffer<Result<usize, usize>> = ReorderBuffer::new(capacity);
+            done.set_total(total);
+            let fails = &fails;
+            let (merged, surfaced) = std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    for i in 0..total {
+                        if !work.push(i) {
+                            return; // abort reached the reader
+                        }
+                    }
+                    work.close();
+                });
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        while let Some(i) = work.pop() {
+                            let parsed = std::panic::catch_unwind(|| {
+                                if fails[i] {
+                                    panic!("injected worker panic on shard {i}");
+                                }
+                                i
+                            });
+                            if !done.insert(i, parsed.map_err(|_| i)) {
+                                return; // abort reached this worker
+                            }
+                        }
+                    });
+                }
+                // Merger on the test thread: strict index order, abort on
+                // the first error. The scope exiting at all proves the abort
+                // unblocked every reader/worker (else join would hang).
+                let mut merged = 0usize;
+                let mut surfaced = None;
+                while let Some(item) = done.take_next() {
+                    match item {
+                        Ok(i) => {
+                            assert_eq!(i, merged, "merger must see shards in order");
+                            merged += 1;
+                        }
+                        Err(i) => {
+                            surfaced = Some(i);
+                            work.abort();
+                            done.abort();
+                            break;
+                        }
+                    }
+                }
+                (merged, surfaced)
+            });
+            assert_eq!(surfaced, Some(first_error), "lowest shard index wins");
+            assert_eq!(merged, first_error, "every shard before the error merges");
+            assert!(!work.push(total), "work queue refuses after abort");
+            assert!(done.take_next().is_none(), "reorder refuses after abort");
+        });
+    }
 }

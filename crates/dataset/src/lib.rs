@@ -52,8 +52,13 @@ pub use attr::{FeatureId, SmartAttribute, ValueKind};
 pub use config::FleetConfig;
 pub use error::DatasetError;
 pub use fleet::{Census, Fleet};
+pub use gen::scenario::{
+    apply_scenario, inject_csv_chaos, mixed_vendor_config, CsvChaos, FirmwareRollout,
+    MissingCoverage, ReplacementChurn, ScenarioConfig,
+};
 pub use ingest::{
-    import_smart_csv_sharded, stream_drive_batches, DriveBatch, IngestConfig, IngestStats,
+    import_smart_csv_sharded, import_smart_csv_sharded_with_stats, stream_drive_batches,
+    DriveBatch, IngestConfig, IngestStats, IngestTolerance, SkipCounts,
 };
 pub use mechanism::FailureMechanism;
 pub use model::{DriveModel, FlashTech, Vendor};

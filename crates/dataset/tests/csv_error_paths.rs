@@ -6,8 +6,9 @@
 
 use smart_dataset::csv::{export_smart_csv, import_smart_csv};
 use smart_dataset::{
-    import_smart_csv_sharded, tickets_from_summaries, DatasetError, DriveModel, Fleet, FleetConfig,
-    IngestConfig, TroubleTicket,
+    import_smart_csv_sharded, import_smart_csv_sharded_with_stats, tickets_from_summaries,
+    DatasetError, DriveModel, Fleet, FleetConfig, IngestConfig, IngestTolerance, SkipCounts,
+    TroubleTicket,
 };
 
 struct Fixture {
@@ -231,6 +232,96 @@ fn header_and_empty_file_errors_match() {
         let (line, message) = assert_same_error(&fix, &input, case);
         assert_eq!(line, 1, "{case}");
         assert!(!message.is_empty(), "{case}");
+    }
+}
+
+/// Insert `line` after 1-based file line `after` (no trailing newline on
+/// `line`).
+fn insert_after(csv: &str, after: usize, line: &str) -> String {
+    let mut lines: Vec<&str> = csv.lines().collect();
+    assert!(after <= lines.len(), "fixture has {} lines", lines.len());
+    lines.insert(after, line);
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// 1-based line number of the first row of the run that line `line_no`
+/// belongs to.
+fn run_first_line(csv: &str, line_no: usize) -> usize {
+    let ids: Vec<&str> = csv
+        .lines()
+        .map(|l| l.split(',').next().unwrap_or(""))
+        .collect();
+    let mut i = line_no - 1; // 0-based
+    while i > 1 && ids[i - 1] == ids[i] {
+        i -= 1;
+    }
+    i + 1
+}
+
+#[test]
+fn duplicate_and_out_of_order_rows_error_strict_and_skip_tolerant() {
+    let fix = fixture();
+    let clean = import_smart_csv(fix.csv.as_bytes(), &fix.tickets, fix.config.clone())
+        .expect("clean import");
+    let deep = deepest_mid_run_line(&fix.csv);
+    let deep_row = fix.csv.lines().nth(deep - 1).unwrap().to_string();
+    let first = run_first_line(&fix.csv, deep);
+    let first_row = fix.csv.lines().nth(first - 1).unwrap().to_string();
+    assert!(deep > first + 1, "need a stale row, not a duplicate");
+
+    // (case, dirty input, expected tolerant counts). The strict error must
+    // land on the inserted line with a day-contiguity message.
+    let cases = [
+        (
+            "duplicate row",
+            insert_after(&fix.csv, deep, &deep_row),
+            SkipCounts {
+                duplicate_rows: 1,
+                ..SkipCounts::default()
+            },
+        ),
+        (
+            "out-of-order row",
+            insert_after(&fix.csv, deep, &first_row),
+            SkipCounts {
+                out_of_order_rows: 1,
+                ..SkipCounts::default()
+            },
+        ),
+    ];
+
+    for (case, input, expected) in &cases {
+        // Strict: both readers report the inserted line, same message.
+        let (line, message) = assert_same_error(&fix, input, case);
+        assert_eq!(line, deep + 1, "{case}: error line");
+        assert!(message.contains("expected day"), "{case}: {message:?}");
+
+        // Tolerant: identical skip counts at every worker/shard combo, and
+        // dropping the row reconstructs the clean fleet bit-for-bit.
+        for workers in [1, 4] {
+            for shard_rows in [1, 37, 1_000_000] {
+                let ingest = IngestConfig {
+                    shard_rows,
+                    workers,
+                    tolerance: IngestTolerance::Tolerant,
+                    ..IngestConfig::default()
+                };
+                let (fleet, stats) = import_smart_csv_sharded_with_stats(
+                    input.as_bytes(),
+                    &fix.tickets,
+                    fix.config.clone(),
+                    &ingest,
+                )
+                .expect(case);
+                assert_eq!(
+                    stats.skipped, *expected,
+                    "{case}: workers={workers} shard_rows={shard_rows}"
+                );
+                assert_eq!(fleet.drives(), clean.drives(), "{case}");
+            }
+        }
     }
 }
 

@@ -1,0 +1,101 @@
+#![forbid(unsafe_code)]
+//! CI gate for the scenario ablation: parse a `BENCH_pr6.json` report
+//! (written by `ablation_scenarios`) and require that
+//!
+//! * every row's skip accounting matched the injected corruption exactly
+//!   (`skips_match`), and
+//! * every *recoverable* row — row-level CSV chaos on a clean fleet under
+//!   tolerant ingest — reproduced the clean baseline's selected set
+//!   exactly (`jaccard == 1.0`).
+//!
+//! Fleet-level perturbation rows are reported but not gated: a firmware
+//! re-map or a missing vendor batch is *supposed* to move the selection.
+//!
+//! ```text
+//! check_scenario_stability <BENCH_pr6.json>
+//! ```
+//!
+//! Exits non-zero (with a reason on stderr) when the file is missing,
+//! malformed, has too few rows, or shows a recoverable row drifting.
+
+use std::process::ExitCode;
+
+/// The chaos table must keep at least this many scenario rows.
+const MIN_ROWS: usize = 8;
+
+fn run(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let rows = value
+        .field("rows")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| format!("{path} has no \"rows\" array"))?;
+    if rows.len() < MIN_ROWS {
+        return Err(format!(
+            "{path} has only {} scenario rows; the chaos table must keep at least {MIN_ROWS}",
+            rows.len()
+        ));
+    }
+    let mut recoverable = 0usize;
+    for (i, row) in rows.iter().enumerate() {
+        let name = row
+            .field("scenario")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| format!("row {i} in {path} has no \"scenario\" name"))?;
+        let jaccard = row
+            .field("jaccard")
+            .and_then(json::Value::as_f64)
+            .filter(|j| j.is_finite() && (0.0..=1.0).contains(j))
+            .ok_or_else(|| format!("row {name:?} in {path} has no jaccard in [0, 1]"))?;
+        let skips_match = row
+            .field("skips_match")
+            .and_then(json::Value::as_bool)
+            .ok_or_else(|| format!("row {name:?} in {path} has no \"skips_match\""))?;
+        if !skips_match {
+            return Err(format!(
+                "row {name:?}: tolerant ingest's skip counts diverged from the injected \
+                 corruption — accounting must be exact to the row"
+            ));
+        }
+        let recovers = row
+            .field("recovers_clean")
+            .and_then(json::Value::as_bool)
+            .ok_or_else(|| format!("row {name:?} in {path} has no \"recovers_clean\""))?;
+        if recovers {
+            recoverable += 1;
+            if jaccard != 1.0 {
+                return Err(format!(
+                    "recoverable row {name:?} drifted: jaccard {jaccard:.3} != 1.0 — tolerant \
+                     ingest of row-level chaos must reproduce the clean selected set exactly"
+                ));
+            }
+        }
+    }
+    if recoverable == 0 {
+        return Err(format!(
+            "{path} gates nothing: no row is marked recovers_clean"
+        ));
+    }
+    Ok(format!(
+        "OK: {} scenario rows, {recoverable} recoverable rows all at jaccard 1.0 with exact \
+         skip accounting",
+        rows.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: check_scenario_stability <BENCH_pr6.json>");
+        return ExitCode::FAILURE;
+    };
+    match run(&path) {
+        Ok(message) => {
+            println!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("ERROR: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -124,7 +124,11 @@ pub fn base_matrix(
         })?;
         mwi.push(mwi_value);
     }
-    let matrix = FeatureMatrix::from_columns(names, columns).map_err(PipelineError::Stats)?;
+    // `with_missing`: missing-coverage fleets (DESIGN.md §11) carry NaN
+    // cells for attributes a vendor batch never reports; on clean fleets
+    // the constructed matrix is bit-identical to the strict constructor's.
+    let matrix =
+        FeatureMatrix::from_columns_with_missing(names, columns).map_err(PipelineError::Stats)?;
     Ok((matrix, labels, mwi))
 }
 

@@ -108,7 +108,10 @@ pub fn streaming_base_matrix<R: BufRead + Send>(
         labels = kept.iter().map(|&i| labels[i]).collect();
         mwi = kept.iter().map(|&i| mwi[i]).collect();
     }
-    let matrix = FeatureMatrix::from_columns(names, columns).map_err(PipelineError::Stats)?;
+    // `with_missing`: mirrors `base_matrix` — NaN cells from missing-
+    // coverage fleets flow through; clean fleets build identically.
+    let matrix =
+        FeatureMatrix::from_columns_with_missing(names, columns).map_err(PipelineError::Stats)?;
     Ok(StreamedMatrix {
         matrix,
         labels,
@@ -152,6 +155,7 @@ mod tests {
                 shard_rows: 97,
                 workers,
                 max_queued_shards: 2,
+                ..IngestConfig::default()
             };
             let streamed = streaming_base_matrix(
                 text.as_bytes(),
@@ -227,6 +231,7 @@ mod tests {
                 shard_rows: 16,
                 workers: 2,
                 max_queued_shards: 2,
+                ..IngestConfig::default()
             },
         )
         .unwrap_err();

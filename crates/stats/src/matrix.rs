@@ -47,26 +47,51 @@ impl FeatureMatrix {
     /// differ in length or any two columns differ in length, and
     /// [`StatsError::NonFinite`] if any value is NaN or infinite.
     pub fn from_columns(names: Vec<String>, columns: Vec<Vec<f64>>) -> Result<Self> {
+        Self::build(names, columns, "FeatureMatrix::from_columns", false)
+    }
+
+    /// Build a matrix from named columns, permitting NaN cells.
+    ///
+    /// NaN marks a *missing* measurement — an attribute a vendor batch never
+    /// reports (DESIGN.md §11). Infinities are still rejected: they are
+    /// arithmetic accidents, never telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::LengthMismatch`] on ragged input and
+    /// [`StatsError::NonFinite`] if any value is infinite.
+    pub fn from_columns_with_missing(names: Vec<String>, columns: Vec<Vec<f64>>) -> Result<Self> {
+        Self::build(
+            names,
+            columns,
+            "FeatureMatrix::from_columns_with_missing",
+            true,
+        )
+    }
+
+    fn build(
+        names: Vec<String>,
+        columns: Vec<Vec<f64>>,
+        context: &'static str,
+        allow_nan: bool,
+    ) -> Result<Self> {
         if names.len() != columns.len() {
-            return Err(StatsError::mismatch(
-                "FeatureMatrix::from_columns",
-                names.len(),
-                columns.len(),
-            ));
+            return Err(StatsError::mismatch(context, names.len(), columns.len()));
         }
         let n_rows = columns.first().map_or(0, Vec::len);
         for col in &columns {
             if col.len() != n_rows {
-                return Err(StatsError::mismatch(
-                    "FeatureMatrix::from_columns",
-                    n_rows,
-                    col.len(),
-                ));
+                return Err(StatsError::mismatch(context, n_rows, col.len()));
             }
-            if col.iter().any(|v| !v.is_finite()) {
-                return Err(StatsError::NonFinite {
-                    context: "FeatureMatrix::from_columns",
-                });
+            let bad = |v: &f64| {
+                if allow_nan {
+                    v.is_infinite()
+                } else {
+                    !v.is_finite()
+                }
+            };
+            if col.iter().any(bad) {
+                return Err(StatsError::NonFinite { context });
             }
         }
         Ok(FeatureMatrix {
@@ -74,6 +99,13 @@ impl FeatureMatrix {
             columns,
             n_rows,
         })
+    }
+
+    /// True if any cell is NaN (a missing measurement).
+    pub fn has_missing(&self) -> bool {
+        self.columns
+            .iter()
+            .any(|col| col.iter().any(|v| v.is_nan()))
     }
 
     /// Build a matrix from rows (each row one sample, in column order).
@@ -272,6 +304,30 @@ mod tests {
     #[test]
     fn rejects_nan() {
         assert!(FeatureMatrix::from_columns(vec!["a".into()], vec![vec![f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn with_missing_permits_nan_but_rejects_infinity() {
+        let m =
+            FeatureMatrix::from_columns_with_missing(vec!["a".into()], vec![vec![1.0, f64::NAN]])
+                .unwrap();
+        assert!(m.has_missing());
+        assert!(m.value(1, 0).is_nan());
+        assert!(FeatureMatrix::from_columns_with_missing(
+            vec!["a".into()],
+            vec![vec![f64::INFINITY]]
+        )
+        .is_err());
+        assert!(FeatureMatrix::from_columns_with_missing(
+            vec!["a".into()],
+            vec![vec![f64::NEG_INFINITY]]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn has_missing_is_false_on_finite_data() {
+        assert!(!sample().has_missing());
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //!
 //! Bins are per-dataset, so training stays deterministic and independent of
 //! worker count: every tree reads the same codes and the same thresholds.
+//!
+//! **Missing values** (NaN cells, from missing-attribute fleets — DESIGN.md
+//! §11): each feature with missing cells gets one *reserved NaN bin* with
+//! code `uppers.len()`, past every finite bin. The boundary scan evaluates
+//! every finite boundary twice — missing rows routed left, missing rows
+//! routed right — and keeps whichever side gains more ("missing goes to the
+//! gain-better side"), ties resolving to left. Features without missing
+//! cells take exactly the pre-NaN code path, bit for bit.
 
 use crate::error::TreesError;
 use crate::split::Split;
@@ -45,17 +53,23 @@ pub struct BinnedMatrix {
     /// Per-feature flag: true when every distinct value got its own bin
     /// (histogram splits are then exactly the exact engine's splits).
     exact: Vec<bool>,
+    /// Per-feature flag: true when the column holds NaN cells, which all
+    /// carry the reserved bin code `uppers[feature].len()`.
+    missing: Vec<bool>,
     n_rows: usize,
 }
 
 impl BinnedMatrix {
     /// Bin every column of `data` into at most [`DEFAULT_MAX_BINS`] bins.
     ///
+    /// NaN cells (missing measurements) are accepted and assigned the
+    /// feature's reserved NaN bin.
+    ///
     /// # Errors
     ///
-    /// Returns [`TreesError::NonFinite`] if a column contains a NaN or
-    /// infinite value (defense in depth — [`FeatureMatrix`] construction
-    /// already rejects them).
+    /// Returns [`TreesError::NonFinite`] if a column contains an infinite
+    /// value (defense in depth — [`FeatureMatrix`] construction already
+    /// rejects them).
     pub fn from_matrix(data: &FeatureMatrix) -> Result<Self, TreesError> {
         BinnedMatrix::with_max_bins(data, DEFAULT_MAX_BINS)
     }
@@ -65,7 +79,8 @@ impl BinnedMatrix {
     ///
     /// # Errors
     ///
-    /// Returns [`TreesError::NonFinite`] for NaN/infinite cells.
+    /// Returns [`TreesError::NonFinite`] for infinite cells (NaN marks a
+    /// missing measurement and gets the reserved NaN bin instead).
     pub fn with_max_bins(data: &FeatureMatrix, max_bins: usize) -> Result<Self, TreesError> {
         let max_bins = max_bins.clamp(2, DEFAULT_MAX_BINS);
         let span = telemetry::span!(
@@ -77,12 +92,14 @@ impl BinnedMatrix {
         let mut codes = Vec::with_capacity(data.n_features());
         let mut uppers = Vec::with_capacity(data.n_features());
         let mut exact = Vec::with_capacity(data.n_features());
+        let mut missing = Vec::with_capacity(data.n_features());
         for feature in 0..data.n_features() {
-            let (col_codes, col_uppers, col_exact) = bin_column(data.column(feature), max_bins)
+            let col = bin_column(data.column(feature), max_bins)
                 .map_err(|_| TreesError::NonFinite { feature })?;
-            codes.push(col_codes);
-            uppers.push(col_uppers);
-            exact.push(col_exact);
+            codes.push(col.codes);
+            uppers.push(col.uppers);
+            exact.push(col.exact);
+            missing.push(col.missing);
         }
         let n_exact = exact.iter().filter(|&&e| e).count();
         span.record("exact_features", n_exact);
@@ -98,6 +115,7 @@ impl BinnedMatrix {
             codes,
             uppers,
             exact,
+            missing,
             n_rows: data.n_rows(),
         })
     }
@@ -135,23 +153,46 @@ impl BinnedMatrix {
         &self.uppers[feature]
     }
 
-    /// Number of bins of feature `feature`.
+    /// Number of histogram bins of feature `feature`, including the
+    /// reserved NaN bin when the feature has missing cells.
     ///
     /// # Panics
     ///
     /// Panics if `feature` is out of bounds.
     pub fn n_bins(&self, feature: usize) -> usize {
-        self.uppers[feature].len()
+        self.uppers[feature].len() + usize::from(self.missing[feature])
     }
 
     /// Whether feature `feature` was binned losslessly (one bin per
-    /// distinct value).
+    /// distinct value, no missing cells).
     ///
     /// # Panics
     ///
     /// Panics if `feature` is out of bounds.
     pub fn is_exact(&self, feature: usize) -> bool {
         self.exact[feature]
+    }
+
+    /// Whether feature `feature` has missing (NaN) cells and therefore a
+    /// reserved NaN bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of bounds.
+    pub fn has_missing(&self, feature: usize) -> bool {
+        self.missing[feature]
+    }
+
+    /// The reserved NaN bin code of feature `feature`: one past the last
+    /// finite bin. Only carried by rows when
+    /// [`has_missing`](Self::has_missing) is true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of bounds.
+    pub fn nan_code(&self, feature: usize) -> u8 {
+        // uppers.len() <= DEFAULT_MAX_BINS = 255.
+        self.uppers[feature].len() as u8
     }
 
     /// The quantized matrix: every value replaced by its bin's upper value.
@@ -164,13 +205,18 @@ impl BinnedMatrix {
         let columns: Vec<Vec<f64>> = (0..self.n_features())
             .map(|f| {
                 let uppers = &self.uppers[f];
-                self.codes[f].iter().map(|&c| uppers[c as usize]).collect()
+                // The reserved NaN code is past the last upper: map it back
+                // to NaN so missing cells stay missing after quantization.
+                self.codes[f]
+                    .iter()
+                    .map(|&c| uppers.get(c as usize).copied().unwrap_or(f64::NAN))
+                    .collect()
             })
             .collect();
-        FeatureMatrix::from_columns(self.names.clone(), columns)
+        FeatureMatrix::from_columns_with_missing(self.names.clone(), columns)
             // lint:allow(panic-free) bin uppers are copies of values the
-            // FeatureMatrix constructor already validated as finite
-            .expect("binned values are finite by construction")
+            // FeatureMatrix constructor already validated as non-infinite
+            .expect("binned values are never infinite by construction")
     }
 
     /// Histogram best split of one feature over `rows` — the O(n) + O(bins)
@@ -205,18 +251,27 @@ impl BinnedMatrix {
     }
 }
 
-/// Quantize one column: returns `(codes, bin uppers, exact?)`.
+/// One column's quantization: codes, finite-bin uppers, and flags.
+pub(crate) struct BinnedColumn {
+    pub codes: Vec<u8>,
+    pub uppers: Vec<f64>,
+    pub exact: bool,
+    pub missing: bool,
+}
+
+/// Quantize one column.
 ///
-/// Split out of [`BinnedMatrix::with_max_bins`] so the NaN validation path
-/// is unit-testable (a `FeatureMatrix` can never hold a NaN cell).
-pub(crate) fn bin_column(
-    values: &[f64],
-    max_bins: usize,
-) -> Result<(Vec<u8>, Vec<f64>, bool), TreesError> {
-    if values.iter().any(|v| !v.is_finite()) {
+/// Split out of [`BinnedMatrix::with_max_bins`] so the NaN/infinity policy
+/// is unit-testable: a `FeatureMatrix` built with
+/// [`FeatureMatrix::from_columns_with_missing`] *can* hold NaN cells
+/// (missing measurements), which land in the reserved bin `uppers.len()`;
+/// infinities are still rejected here as defense in depth.
+pub(crate) fn bin_column(values: &[f64], max_bins: usize) -> Result<BinnedColumn, TreesError> {
+    if values.iter().any(|v| v.is_infinite()) {
         return Err(TreesError::NonFinite { feature: 0 });
     }
-    let mut sorted = values.to_vec();
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    let missing = sorted.len() < values.len();
     sorted.sort_by(f64::total_cmp);
 
     let mut distinct = sorted.clone();
@@ -238,12 +293,28 @@ pub(crate) fn bin_column(
         edges
     };
 
-    let exact = uppers.len() == n_distinct;
+    // A feature with missing cells is never "exact": the exact engine has
+    // no ordering for NaN, so histogram splits have no exact counterpart.
+    let exact = uppers.len() == n_distinct && !missing;
+    // uppers.len() <= max_bins <= 255, so the reserved
+    // NaN code uppers.len() fits a u8 too.
+    let nan_code = uppers.len() as u8;
     let codes: Vec<u8> = values
         .iter()
-        .map(|&v| uppers.partition_point(|&u| u < v) as u8)
+        .map(|&v| {
+            if v.is_nan() {
+                nan_code
+            } else {
+                uppers.partition_point(|&u| u < v) as u8
+            }
+        })
         .collect();
-    Ok((codes, uppers, exact))
+    Ok(BinnedColumn {
+        codes,
+        uppers,
+        exact,
+        missing,
+    })
 }
 
 /// Reusable per-feature histogram scratch (sums and counts per bin), sized
@@ -262,9 +333,10 @@ pub(crate) struct Histogram<'a> {
 
 impl HistScratch {
     pub(crate) fn new() -> Self {
+        // One extra slot for the reserved NaN bin of missing-value features.
         HistScratch {
-            sum: vec![0.0; DEFAULT_MAX_BINS],
-            cnt: vec![0; DEFAULT_MAX_BINS],
+            sum: vec![0.0; DEFAULT_MAX_BINS + 1],
+            cnt: vec![0; DEFAULT_MAX_BINS + 1],
         }
     }
 
@@ -297,13 +369,16 @@ impl HistScratch {
 
 /// Scan the bin boundaries of one histogram for the best variance-reduction
 /// split. Returns the split and the boundary bin index (rows with
-/// `code <= bin` go left).
+/// `code <= bin` go left, missing rows go to the split's `nan_left` side).
 ///
-/// Mirrors the exact engine's scan exactly: boundaries are considered in
-/// ascending value order, only after non-empty bins (the histogram analogue
-/// of "can't split between equal values"), under the same
-/// `min_samples_leaf` and strictly-greater gain rules — so ties resolve to
-/// the same boundary the exact engine picks.
+/// When `sum`/`cnt` carry one slot past `uppers.len()`, that slot is the
+/// feature's reserved NaN bin: every finite boundary is then evaluated with
+/// the missing rows on the left *and* on the right, and the better-gaining
+/// variant wins (ties go left). Without missing rows the scan mirrors the
+/// exact engine's exactly: boundaries in ascending value order, only after
+/// non-empty bins (the histogram analogue of "can't split between equal
+/// values"), under the same `min_samples_leaf` and strictly-greater gain
+/// rules — so ties resolve to the same boundary the exact engine picks.
 pub(crate) fn scan_boundaries(
     sum: &[f64],
     cnt: &[u32],
@@ -311,40 +386,61 @@ pub(crate) fn scan_boundaries(
     n: usize,
     min_samples_leaf: usize,
 ) -> Option<(Split, usize)> {
-    if n < 2 * min_samples_leaf || uppers.len() < 2 {
+    if n < 2 * min_samples_leaf || sum.len() < 2 {
         return None;
     }
+    let (nan_sum, nan_cnt) = if sum.len() > uppers.len() {
+        (sum[uppers.len()], cnt[uppers.len()] as usize)
+    } else {
+        (0.0, 0)
+    };
     let total_sum: f64 = sum.iter().sum();
     let base = total_sum * total_sum / n as f64;
 
+    // With missing rows the boundary after the last finite bin is a real
+    // candidate too (all finite left, NaN right); without them it would
+    // leave the right side empty, so it is excluded as before.
+    let last_boundary = if nan_cnt > 0 {
+        uppers.len()
+    } else {
+        uppers.len().saturating_sub(1)
+    };
     let mut best: Option<(Split, usize)> = None;
     let mut left_sum = 0.0;
     let mut left_cnt = 0usize;
-    for b in 0..uppers.len() - 1 {
+    for b in 0..last_boundary {
         left_sum += sum[b];
         left_cnt += cnt[b] as usize;
         if cnt[b] == 0 {
             continue;
         }
-        if left_cnt == n {
+        // Missing-left first: on equal gains the strictly-greater rule
+        // keeps the first variant, so ties route missing rows left — and
+        // with no missing rows both variants are identical, making this
+        // loop bit-for-bit the pre-NaN scan.
+        for (nl, sl, nan_left) in [
+            (left_cnt + nan_cnt, left_sum + nan_sum, true),
+            (left_cnt, left_sum, false),
+        ] {
+            if nl < min_samples_leaf || n - nl < min_samples_leaf {
+                continue;
+            }
+            let sr = total_sum - sl;
+            let gain = sl * sl / nl as f64 + sr * sr / (n - nl) as f64 - base;
+            if gain > best.as_ref().map_or(1e-12, |(s, _)| s.gain) {
+                best = Some((
+                    Split {
+                        threshold: uppers[b],
+                        gain,
+                        n_left: nl,
+                        nan_left,
+                    },
+                    b,
+                ));
+            }
+        }
+        if left_cnt == n - nan_cnt {
             break;
-        }
-        if left_cnt < min_samples_leaf || n - left_cnt < min_samples_leaf {
-            continue;
-        }
-        let right_sum = total_sum - left_sum;
-        let gain = left_sum * left_sum / left_cnt as f64
-            + right_sum * right_sum / (n - left_cnt) as f64
-            - base;
-        if gain > best.as_ref().map_or(1e-12, |(s, _)| s.gain) {
-            best = Some((
-                Split {
-                    threshold: uppers[b],
-                    gain,
-                    n_left: left_cnt,
-                },
-                b,
-            ));
         }
     }
     best
@@ -414,15 +510,108 @@ mod tests {
     }
 
     #[test]
-    fn bin_column_rejects_nan_and_infinite() {
-        assert!(matches!(
-            bin_column(&[1.0, f64::NAN, 2.0], 255),
-            Err(TreesError::NonFinite { .. })
-        ));
+    fn bin_column_reserves_nan_bin_and_rejects_infinite() {
+        // NaN marks a missing measurement: accepted, coded one past the
+        // last finite bin, and the column loses its "exact" status.
+        let col = bin_column(&[1.0, f64::NAN, 2.0], 255).unwrap();
+        assert!(col.missing);
+        assert!(!col.exact);
+        assert_eq!(col.uppers, vec![1.0, 2.0]);
+        assert_eq!(col.codes, vec![0, 2, 1]);
+        // Infinities are still arithmetic accidents, never telemetry.
         assert!(matches!(
             bin_column(&[1.0, f64::INFINITY], 255),
             Err(TreesError::NonFinite { .. })
         ));
+        assert!(matches!(
+            bin_column(&[1.0, f64::NEG_INFINITY], 255),
+            Err(TreesError::NonFinite { .. })
+        ));
+    }
+
+    fn matrix_with_missing(columns: Vec<Vec<f64>>) -> FeatureMatrix {
+        let names = (0..columns.len()).map(|i| format!("f{i}")).collect();
+        FeatureMatrix::from_columns_with_missing(names, columns).unwrap()
+    }
+
+    #[test]
+    fn missing_cells_do_not_disturb_finite_binning() {
+        // The finite bins and codes must be exactly those of the same
+        // column with its NaN rows deleted.
+        let m = matrix_with_missing(vec![vec![5.0, f64::NAN, 1.0, 3.0, f64::NAN, 5.0]]);
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        assert!(b.has_missing(0));
+        assert!(!b.is_exact(0));
+        assert_eq!(b.bin_uppers(0), &[1.0, 3.0, 5.0]);
+        assert_eq!(b.nan_code(0), 3);
+        assert_eq!(b.n_bins(0), 4);
+        assert_eq!(b.codes(0), &[2, 3, 0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn missing_routes_to_the_gain_better_side() {
+        // Finite values separate targets at 2.0; the NaN rows all carry
+        // target 1.0, so grouping them with the high (right) side gains
+        // more than the left side. The scan must pick nan_left = false.
+        let m = matrix_with_missing(vec![vec![1.0, 2.0, 10.0, 11.0, f64::NAN, f64::NAN]]);
+        let targets = [0.0, 0.0, 1.0, 1.0, 1.0, 1.0];
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        let s = b.best_split(0, &[0, 1, 2, 3, 4, 5], &targets, 1).unwrap();
+        assert_eq!(s.threshold, 2.0);
+        assert!(!s.nan_left);
+        assert_eq!(s.n_left, 2);
+        assert!((s.gain - 1.333_333_333_333_333_4).abs() < 1e-9);
+
+        // Mirror image: NaN rows carry target 0.0 — now missing-left wins.
+        let targets = [0.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let s = b.best_split(0, &[0, 1, 2, 3, 4, 5], &targets, 1).unwrap();
+        assert_eq!(s.threshold, 2.0);
+        assert!(s.nan_left);
+        assert_eq!(s.n_left, 4);
+    }
+
+    #[test]
+    fn all_finite_left_nan_right_boundary_is_considered() {
+        // The only signal is missingness itself: finite rows are target 0,
+        // missing rows target 1. The winning split must put every finite
+        // row left of the last finite upper and the NaN rows right.
+        let m = matrix_with_missing(vec![vec![1.0, 2.0, 3.0, f64::NAN, f64::NAN]]);
+        let targets = [0.0, 0.0, 0.0, 1.0, 1.0];
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        let s = b.best_split(0, &[0, 1, 2, 3, 4], &targets, 1).unwrap();
+        assert_eq!(s.threshold, 3.0);
+        assert!(!s.nan_left);
+        assert_eq!(s.n_left, 3);
+        // Perfect separation of [0,0,0,1,1]: total SSE 1.2 fully removed.
+        assert!((s.gain - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_tie_routes_left() {
+        // NaN rows split their targets evenly, so both routings gain the
+        // same; the deterministic tie rule keeps them left.
+        let m = matrix_with_missing(vec![vec![1.0, 2.0, 10.0, 11.0, f64::NAN, f64::NAN]]);
+        let targets = [0.0, 0.0, 1.0, 1.0, 0.5, 0.5];
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        let s = b.best_split(0, &[0, 1, 2, 3, 4, 5], &targets, 1).unwrap();
+        assert!(s.nan_left);
+    }
+
+    #[test]
+    fn quantized_matrix_round_trips_missing_cells() {
+        let m = matrix_with_missing(vec![vec![5.0, f64::NAN, 3.0]]);
+        let q = BinnedMatrix::from_matrix(&m).unwrap().quantized_matrix();
+        assert_eq!(q.value(0, 0), 5.0);
+        assert!(q.value(1, 0).is_nan());
+        assert_eq!(q.value(2, 0), 3.0);
+    }
+
+    #[test]
+    fn all_missing_column_is_unsplittable() {
+        let m = matrix_with_missing(vec![vec![f64::NAN, f64::NAN, f64::NAN]]);
+        let b = BinnedMatrix::from_matrix(&m).unwrap();
+        assert_eq!(b.n_bins(0), 1);
+        assert!(b.best_split(0, &[0, 1, 2], &[0.0, 1.0, 0.0], 1).is_none());
     }
 
     #[test]

@@ -307,7 +307,12 @@ impl RandomForest {
                     .map(|c| sub.column(c).to_vec())
                     .collect();
                 columns[feature] = permuted;
-                let shuffled = FeatureMatrix::from_columns(sub.feature_names().to_vec(), columns)?;
+                // `with_missing`: permuting a column with NaN cells must
+                // keep them NaN, not fail matrix construction.
+                let shuffled = FeatureMatrix::from_columns_with_missing(
+                    sub.feature_names().to_vec(),
+                    columns,
+                )?;
                 Ok(baseline - accuracy_of_tree(tree, &shuffled, &sub_labels))
             })
             .collect()
@@ -440,6 +445,63 @@ mod tests {
         let a = RandomForest::fit(&data, &labels, &small_config()).unwrap();
         let b = RandomForest::fit(&data, &labels, &small_config()).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// The same task with a slice of the signal column knocked out to NaN:
+    /// the histogram engine must train, predict, and score permutation
+    /// importances end to end on missing data — deterministically.
+    fn make_data_with_missing(n: usize, seed: u64) -> (FeatureMatrix, Vec<bool>) {
+        let (data, labels) = make_data(n, seed);
+        let mut columns: Vec<Vec<f64>> = (0..data.n_features())
+            .map(|c| data.column(c).to_vec())
+            .collect();
+        for (r, v) in columns[0].iter_mut().enumerate() {
+            if r % 5 == 0 {
+                *v = f64::NAN;
+            }
+        }
+        (
+            FeatureMatrix::from_columns_with_missing(data.feature_names().to_vec(), columns)
+                .unwrap(),
+            labels,
+        )
+    }
+
+    #[test]
+    fn histogram_forest_handles_missing_values_end_to_end() {
+        let (data, labels) = make_data_with_missing(400, 2);
+        let config = ForestConfig {
+            strategy: SplitStrategy::Histogram,
+            ..small_config()
+        };
+        let forest = RandomForest::fit(&data, &labels, &config).unwrap();
+        let again = RandomForest::fit(&data, &labels, &config).unwrap();
+        assert_eq!(forest, again, "missing-data training is deterministic");
+        let proba = forest.predict_proba(&data).unwrap();
+        assert!(proba.iter().all(|p| p.is_finite()));
+        // 80% of the signal column survives; accuracy should stay high.
+        let correct = proba
+            .iter()
+            .zip(&labels)
+            .filter(|(p, &l)| (**p >= 0.5) == l)
+            .count();
+        assert!(correct as f64 / labels.len() as f64 > 0.9);
+        let imp = forest.permutation_importances(&data, &labels).unwrap();
+        assert!(imp.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn exact_forest_degrades_gracefully_on_missing_values() {
+        // The exact engine cannot split a feature containing NaN; it must
+        // still train (using the remaining features), never panic.
+        let (data, labels) = make_data_with_missing(200, 4);
+        let config = ForestConfig {
+            strategy: SplitStrategy::Exact,
+            ..small_config()
+        };
+        let forest = RandomForest::fit(&data, &labels, &config).unwrap();
+        let proba = forest.predict_proba(&data).unwrap();
+        assert!(proba.iter().all(|p| p.is_finite()));
     }
 
     #[test]

@@ -13,8 +13,14 @@ pub struct Split {
     pub threshold: f64,
     /// Variance-reduction gain, in units of `Σ(y - ȳ)²` removed.
     pub gain: f64,
-    /// Number of rows in the left child.
+    /// Number of rows in the left child (including missing rows when
+    /// `nan_left` is set).
     pub n_left: usize,
+    /// Where rows with a *missing* (NaN) feature value are routed: the side
+    /// whose gain was better when the histogram engine scanned both options
+    /// (DESIGN.md §11). The exact engine never proposes splits on features
+    /// with missing values, so it always reports `true` here.
+    pub nan_left: bool,
 }
 
 /// Find the best split of a feature given `(value, target)` pairs.
@@ -23,12 +29,11 @@ pub struct Split {
 /// satisfies `min_samples_leaf` on both sides or no split has positive gain
 /// (e.g. the feature is constant).
 ///
-/// NaN input yields `None` rather than a panic: [`FeatureMatrix`] and
-/// [`BinnedMatrix`](crate::BinnedMatrix) construction validate finiteness
-/// once, so a NaN here means the caller bypassed them — a degenerate
-/// feature, not a crash mid-fit.
-///
-/// [`FeatureMatrix`]: smart_stats::FeatureMatrix
+/// NaN input yields `None` rather than a panic: the exact engine has no
+/// ordering for a missing value, so a feature containing NaN is simply
+/// unsplittable here. The histogram engine handles missing values instead,
+/// via the reserved NaN bin in [`BinnedMatrix`](crate::BinnedMatrix)
+/// (missing rows are routed to whichever side scans better).
 pub fn best_split(pairs: &mut [(f64, f64)], min_samples_leaf: usize) -> Option<Split> {
     let n = pairs.len();
     if n < 2 * min_samples_leaf {
@@ -66,6 +71,7 @@ pub fn best_split(pairs: &mut [(f64, f64)], min_samples_leaf: usize) -> Option<S
                 threshold,
                 gain,
                 n_left: k,
+                nan_left: true,
             });
         }
     }

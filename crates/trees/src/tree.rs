@@ -25,6 +25,9 @@ enum Node {
         threshold: f64,
         left: usize,
         right: usize,
+        /// Where rows with a missing (NaN) feature value are routed — the
+        /// gain-better side chosen by the histogram boundary scan.
+        nan_left: bool,
     },
 }
 
@@ -192,6 +195,7 @@ impl RegressionTree {
             threshold: split.threshold,
             left,
             right,
+            nan_left: split.nan_left,
         };
         Ok(node_idx)
     }
@@ -284,11 +288,14 @@ impl RegressionTree {
         // scratch and copied back — O(n), no sort, no per-node allocation.
         let codes = ctx.binned.codes(feature);
         let bin_code = bin as u8;
+        // The reserved NaN code is greater than every boundary bin, so it
+        // only goes left when the scan routed missing rows left.
+        let nan_code = ctx.binned.nan_code(feature);
         let mut n_left = 0usize;
         ctx.part_buf.clear();
         for i in 0..n {
             let r = rows[i];
-            if codes[r] <= bin_code {
+            if codes[r] <= bin_code || (split.nan_left && codes[r] == nan_code) {
                 rows[n_left] = r;
                 n_left += 1;
             } else {
@@ -329,6 +336,7 @@ impl RegressionTree {
             threshold: split.threshold,
             left,
             right,
+            nan_left: split.nan_left,
         };
         Ok(node_idx)
     }
@@ -359,8 +367,18 @@ impl RegressionTree {
                     threshold,
                     left,
                     right,
+                    nan_left,
                 } => {
-                    idx = if data.value(row, *feature) <= *threshold {
+                    let v = data.value(row, *feature);
+                    idx = if v.is_nan() {
+                        // Missing measurement: follow the routing the
+                        // boundary scan decided at training time.
+                        if *nan_left {
+                            *left
+                        } else {
+                            *right
+                        }
+                    } else if v <= *threshold {
                         *left
                     } else {
                         *right

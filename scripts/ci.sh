@@ -66,4 +66,15 @@ cargo run -q --release --offline -p wefr-bench --bin bench_ingest -- \
 cargo run -q --release --offline -p smart-integration --bin check_ingest_bench \
   "$tmpdir/BENCH_pr5.json"
 
+step "scenario ablation: recoverable chaos must not move the WEFR selected set"
+# A quick MC1-only run of the chaos scenario ablation; the gate parses its
+# JSON report and fails if any row's skip accounting was inexact, or if a
+# recoverable row (CSV chaos under tolerant ingest) drifted from the clean
+# baseline's selection (DESIGN.md §11). Fleet-level perturbation rows are
+# reported, not gated.
+cargo run -q --release --offline -p wefr-bench --bin ablation_scenarios -- \
+  --quick --days 240 --model mc1 --out "$tmpdir"
+cargo run -q --release --offline -p smart-integration --bin check_scenario_stability \
+  "$tmpdir/BENCH_pr6.json"
+
 step "all checks passed"
