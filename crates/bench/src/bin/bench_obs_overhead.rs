@@ -1,0 +1,234 @@
+#![forbid(unsafe_code)]
+//! Observability-overhead benchmark: run the quickstart example as a
+//! subprocess with every observability knob off, then with the full plane
+//! on (run report, live /metrics endpoint, watchdog, allocation counters),
+//! and compare wall-clock time and stdout.
+//!
+//! ```text
+//! bench_obs_overhead <quickstart-binary> [--reps N] [--out DIR]
+//! ```
+//!
+//! Two invariants from DESIGN.md §6 are measured here and gated by
+//! `check_obs_overhead`:
+//!
+//! 1. stdout must be bit-identical with observability on or off — the
+//!    plane speaks only through stderr, files, and the TCP endpoint;
+//! 2. the full plane must cost at most a few percent of wall-clock.
+//!
+//! Modes alternate (off, on, off, on, …) so slow drift in machine load
+//! hits both equally, and each mode is scored by its fastest rep — the
+//! min, not the mean, is the right estimator for "how fast can this go".
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+use wefr_bench::print_header;
+
+/// Environment knobs scrubbed from both modes before the on-mode set is
+/// applied, so the ambient environment cannot tilt the comparison.
+const OBS_VARS: [&str; 5] = [
+    "WEFR_LOG",
+    "WEFR_TELEMETRY_OUT",
+    "WEFR_METRICS_ADDR",
+    "WEFR_WATCHDOG_SECS",
+    "WEFR_OBS_ALLOC",
+];
+
+struct ModeRow {
+    mode: String,
+    min_seconds: f64,
+    reps: usize,
+}
+
+json::impl_to_json!(ModeRow {
+    mode,
+    min_seconds,
+    reps
+});
+
+struct ObsOverheadReport {
+    reps: usize,
+    off_seconds: f64,
+    on_seconds: f64,
+    /// on / off wall-clock ratio (1.0 = free observability).
+    overhead_ratio: f64,
+    /// Whether every run, in both modes, produced byte-identical stdout.
+    stdout_identical: bool,
+    rows: Vec<ModeRow>,
+}
+
+json::impl_to_json!(ObsOverheadReport {
+    reps,
+    off_seconds,
+    on_seconds,
+    overhead_ratio,
+    stdout_identical,
+    rows
+});
+
+struct Args {
+    binary: PathBuf,
+    reps: usize,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut binary = None;
+    let mut reps = 3usize;
+    let mut out_dir = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--reps" => {
+                i += 1;
+                reps = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r| *r >= 1)
+                    .ok_or("--reps needs a positive integer")?;
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(PathBuf::from(argv.get(i).ok_or("--out needs a directory")?));
+            }
+            other if binary.is_none() && !other.starts_with("--") => {
+                binary = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(Args {
+        binary: binary.ok_or("missing quickstart binary path")?,
+        reps,
+        out_dir,
+    })
+}
+
+/// Run the workload once; returns (wall seconds, stdout bytes).
+fn run_once(binary: &PathBuf, obs_on: bool, scratch: &PathBuf) -> Result<(f64, Vec<u8>), String> {
+    let mut cmd = Command::new(binary);
+    for var in OBS_VARS {
+        cmd.env_remove(var);
+    }
+    if obs_on {
+        // The full plane: run report + flamegraph to a scratch dir, live
+        // endpoint on an ephemeral port, armed watchdog, allocation
+        // counters requested (a no-op unless built with obs-alloc).
+        cmd.env("WEFR_TELEMETRY_OUT", scratch)
+            .env("WEFR_METRICS_ADDR", "127.0.0.1:0")
+            .env("WEFR_WATCHDOG_SECS", "30")
+            .env("WEFR_OBS_ALLOC", "1");
+    }
+    let started = Instant::now();
+    let output = cmd
+        .output()
+        .map_err(|e| format!("running {}: {e}", binary.display()))?;
+    let seconds = started.elapsed().as_secs_f64();
+    if !output.status.success() {
+        return Err(format!(
+            "{} exited with {} (obs_on={obs_on}): {}",
+            binary.display(),
+            output.status,
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    Ok((seconds, output.stdout))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: bench_obs_overhead <quickstart-binary> [--reps N] [--out DIR]");
+            std::process::exit(2);
+        }
+    };
+    let scratch = args
+        .out_dir
+        .clone()
+        .unwrap_or_else(std::env::temp_dir)
+        .join(format!("obs_overhead_scratch_{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        eprintln!("error: creating {}: {e}", scratch.display());
+        std::process::exit(1);
+    }
+
+    print_header("Observability overhead: quickstart with the full plane on vs off");
+    println!(
+        "workload {}; {} reps per mode, alternating\n",
+        args.binary.display(),
+        args.reps
+    );
+
+    let mut mins = [f64::INFINITY; 2]; // [off, on]
+    let mut reference_stdout: Option<Vec<u8>> = None;
+    let mut stdout_identical = true;
+    for rep in 0..args.reps {
+        for (slot, obs_on) in [(0usize, false), (1usize, true)] {
+            let (seconds, stdout) = match run_once(&args.binary, obs_on, &scratch) {
+                Ok(r) => r,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    std::process::exit(1);
+                }
+            };
+            mins[slot] = mins[slot].min(seconds);
+            match &reference_stdout {
+                None => reference_stdout = Some(stdout),
+                Some(reference) => {
+                    if *reference != stdout {
+                        stdout_identical = false;
+                        eprintln!(
+                            "stdout DIVERGED on rep {rep} (obs_on={obs_on}): {} vs {} bytes",
+                            reference.len(),
+                            stdout.len()
+                        );
+                    }
+                }
+            }
+            println!(
+                "rep {rep} obs_{:<3} {seconds:>8.3} s",
+                if obs_on { "on" } else { "off" }
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let overhead_ratio = mins[1] / mins[0];
+    println!(
+        "\nmin obs_off {:.3} s, min obs_on {:.3} s -> overhead {:.2}x; stdout identical: {}",
+        mins[0], mins[1], overhead_ratio, stdout_identical
+    );
+
+    let report = ObsOverheadReport {
+        reps: args.reps,
+        off_seconds: mins[0],
+        on_seconds: mins[1],
+        overhead_ratio,
+        stdout_identical,
+        rows: vec![
+            ModeRow {
+                mode: "obs_off".to_string(),
+                min_seconds: mins[0],
+                reps: args.reps,
+            },
+            ModeRow {
+                mode: "obs_on".to_string(),
+                min_seconds: mins[1],
+                reps: args.reps,
+            },
+        ],
+    };
+    if let Some(dir) = &args.out_dir {
+        let path = dir.join("BENCH_pr7.json");
+        if let Err(e) = smart_pipeline::report::write_json(&path, &report) {
+            eprintln!("warning: failed to write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

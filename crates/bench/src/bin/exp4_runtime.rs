@@ -12,6 +12,10 @@
 //! production path records — so the bench reports the numbers a real run
 //! would, including a per-stage breakdown of WEFR itself (`WEFR/rankers`,
 //! `WEFR/ensemble`, …) instead of one opaque end-to-end figure.
+//!
+//! With `WEFR_OBS_ALLOC=1` and the `obs-alloc` feature, every row also
+//! reports the mean MiB allocated per round inside its spans, attributing
+//! heap pressure to the same stages the wall-clock column times.
 
 use smart_dataset::csv::{export_smart_csv, import_smart_csv};
 use smart_dataset::{import_smart_csv_sharded, tickets_from_summaries, DriveModel, IngestConfig};
@@ -24,13 +28,39 @@ struct RuntimeRow {
     method: String,
     mean_seconds: f64,
     rounds: usize,
+    /// Mean MiB allocated per round inside the method's spans; 0.0 unless
+    /// `WEFR_OBS_ALLOC=1` armed the counting allocator (obs-alloc feature).
+    alloc_mib: f64,
 }
 
 json::impl_to_json!(RuntimeRow {
     method,
     mean_seconds,
-    rounds
+    rounds,
+    alloc_mib
 });
+
+/// Mean MiB allocated per round across every span named `name`. Spans carry
+/// per-thread allocation deltas, so fan-out stages sum their workers.
+fn mean_alloc_mib(report: &telemetry::RunReport, name: &str, rounds: usize) -> f64 {
+    let bytes: u64 = report
+        .spans
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.alloc_bytes)
+        .sum();
+    bytes as f64 / (rounds as f64 * 1024.0 * 1024.0)
+}
+
+/// Print one timing row; the allocation column appears only when the
+/// counting allocator is armed, so default stdout is unchanged.
+fn print_row(label: &str, mean: f64, alloc_mib: f64) {
+    if telemetry::alloc::tracking_active() {
+        println!("{label:<22} {mean:>9.3} s {alloc_mib:>10.1} MiB/round");
+    } else {
+        println!("{label:<22} {mean:>9.3} s");
+    }
+}
 
 /// The WEFR stages broken out in the per-stage rows, in pipeline order.
 const WEFR_STAGES: [&str; 5] = [
@@ -75,12 +105,14 @@ fn main() {
         }
         let report = telemetry::snapshot("exp4_selector");
         let mean = report.total_seconds(kind.label()) / rounds as f64;
+        let alloc_mib = mean_alloc_mib(&report, kind.label(), rounds);
         slowest = slowest.max(mean);
-        println!("{:<22} {:>9.3} s", kind.label(), mean);
+        print_row(kind.label(), mean, alloc_mib);
         rows.push(RuntimeRow {
             method: kind.label().to_string(),
             mean_seconds: mean,
             rounds,
+            alloc_mib,
         });
     }
 
@@ -101,11 +133,12 @@ fn main() {
     }
     let report = telemetry::snapshot("exp4_wefr");
     let wefr_mean = report.total_seconds("select") / rounds as f64;
-    println!("{:<22} {:>9.3} s", "WEFR", wefr_mean);
+    print_row("WEFR", wefr_mean, mean_alloc_mib(&report, "select", rounds));
     rows.push(RuntimeRow {
         method: "WEFR".to_string(),
         mean_seconds: wefr_mean,
         rounds,
+        alloc_mib: mean_alloc_mib(&report, "select", rounds),
     });
 
     // Per-stage breakdown from the same span tree the production path
@@ -113,11 +146,13 @@ fn main() {
     // global, low, and high selections — sums across them).
     for stage in WEFR_STAGES {
         let mean = report.total_seconds(stage) / rounds as f64;
-        println!("{:<22} {:>9.3} s", format!("WEFR/{stage}"), mean);
+        let alloc_mib = mean_alloc_mib(&report, stage, rounds);
+        print_row(&format!("WEFR/{stage}"), mean, alloc_mib);
         rows.push(RuntimeRow {
             method: format!("WEFR/{stage}"),
             mean_seconds: mean,
             rounds,
+            alloc_mib,
         });
     }
 
@@ -151,13 +186,16 @@ fn main() {
             let _round = telemetry::span!(label);
             RandomForest::fit(&matrix, &labels, &config).expect("two-class data");
         }
-        let mean = telemetry::snapshot("exp4_rf_train").total_seconds(label) / rounds as f64;
+        let report = telemetry::snapshot("exp4_rf_train");
+        let mean = report.total_seconds(label) / rounds as f64;
+        let alloc_mib = mean_alloc_mib(&report, label, rounds);
         rf_means[slot] = mean;
-        println!("{label:<22} {mean:>9.3} s");
+        print_row(label, mean, alloc_mib);
         rows.push(RuntimeRow {
             method: label.to_string(),
             mean_seconds: mean,
             rounds,
+            alloc_mib,
         });
     }
 
@@ -198,13 +236,16 @@ fn main() {
             let _round = telemetry::span!(label);
             run().expect("well-formed CSV");
         }
-        let mean = telemetry::snapshot("exp4_ingest").total_seconds(label) / rounds as f64;
+        let report = telemetry::snapshot("exp4_ingest");
+        let mean = report.total_seconds(label) / rounds as f64;
+        let alloc_mib = mean_alloc_mib(&report, label, rounds);
         ingest_means[slot] = mean;
-        println!("{label:<22} {mean:>9.3} s");
+        print_row(label, mean, alloc_mib);
         rows.push(RuntimeRow {
             method: label.to_string(),
             mean_seconds: mean,
             rounds,
+            alloc_mib,
         });
     }
 

@@ -226,7 +226,7 @@ where
 
     let by_id = sort_tickets_by_drive(tickets);
     let tolerance = config.tolerance;
-    let work: BoundedQueue<Shard> = BoundedQueue::new(queue_slots);
+    let work: BoundedQueue<Shard> = BoundedQueue::observed(queue_slots, "ingest.queue_depth");
     // Each parsed shard travels with the absolute line numbers of its
     // malformed skips, so the merger can enforce the cap in file order.
     type ParsedBatch = Result<(DriveBatch, Vec<usize>), DatasetError>;
@@ -243,6 +243,10 @@ where
                     Ok(Some(shard)) => {
                         rows += shard.rows as u64;
                         shards += 1;
+                        // Counted per shard, not once at the end, so a live
+                        // /metrics scrape sees ingest progress mid-run.
+                        telemetry::counter_add("ingest.rows", shard.rows as u64);
+                        telemetry::counter_add("ingest.shards", 1);
                         if !work.push(shard) {
                             break Ok(()); // aborted by the merger
                         }
@@ -350,8 +354,8 @@ where
         (stats, outcome)
     });
 
-    telemetry::counter_add("ingest.rows", stats.rows);
-    telemetry::counter_add("ingest.shards", stats.shards);
+    // rows and shards were already counted live in the reader loop; the
+    // rest is only known once the scope has drained.
     telemetry::counter_add("ingest.queue_full_stalls", stats.queue_full_stalls);
     telemetry::counter_add("ingest.skipped_duplicates", stats.skipped.duplicate_rows);
     telemetry::counter_add(

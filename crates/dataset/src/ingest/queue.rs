@@ -24,6 +24,10 @@ pub(super) struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     cond: Condvar,
     capacity: usize,
+    /// Telemetry gauge updated with the queue depth after every push/pop,
+    /// `None` for unobserved queues. The watchdog samples this gauge into
+    /// a histogram, turning instantaneous backpressure into a distribution.
+    depth_gauge: Option<&'static str>,
 }
 
 impl<T> BoundedQueue<T> {
@@ -37,6 +41,23 @@ impl<T> BoundedQueue<T> {
             }),
             cond: Condvar::new(),
             capacity: capacity.max(1),
+            depth_gauge: None,
+        }
+    }
+
+    /// A queue that publishes its depth to the named telemetry gauge.
+    pub fn observed(capacity: usize, gauge: &'static str) -> BoundedQueue<T> {
+        BoundedQueue {
+            depth_gauge: Some(gauge),
+            ..BoundedQueue::new(capacity)
+        }
+    }
+
+    /// Publish `depth` to the gauge, outside any lock — `gauge_set` takes
+    /// the collector's own lock and must not nest under ours.
+    fn observe_depth(&self, depth: usize) {
+        if let Some(gauge) = self.depth_gauge {
+            telemetry::gauge_set(gauge, depth as f64);
         }
     }
 
@@ -56,7 +77,10 @@ impl<T> BoundedQueue<T> {
             return false;
         }
         s.items.push_back(item);
+        let depth = s.items.len();
         self.cond.notify_all();
+        drop(s);
+        self.observe_depth(depth);
         true
     }
 
@@ -69,7 +93,10 @@ impl<T> BoundedQueue<T> {
                 return None;
             }
             if let Some(item) = s.items.pop_front() {
+                let depth = s.items.len();
                 self.cond.notify_all();
+                drop(s);
+                self.observe_depth(depth);
                 return Some(item);
             }
             if s.closed {
@@ -228,6 +255,20 @@ mod tests {
             assert_eq!(got, (0..50).collect::<Vec<_>>());
         });
         assert!(q.stalls() > 0, "capacity 1 with 50 items must stall");
+    }
+
+    #[test]
+    fn observed_queue_publishes_depth_gauge() {
+        // Leave collection on afterwards: it only makes sibling tests
+        // record telemetry they never read.
+        telemetry::set_collect(true);
+        let q: BoundedQueue<u32> = BoundedQueue::observed(4, "test.queue_depth.unit");
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(telemetry::gauge_value("test.queue_depth.unit"), Some(2.0));
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(telemetry::gauge_value("test.queue_depth.unit"), Some(1.0));
     }
 
     #[test]

@@ -1,0 +1,82 @@
+#![forbid(unsafe_code)]
+//! CI gate for the observability plane: parse a `BENCH_pr7.json` report
+//! (written by `bench_obs_overhead`) and require that running quickstart
+//! with the full plane on — run report, live /metrics endpoint, watchdog,
+//! allocation counters — costs at most 5% of wall-clock and leaves stdout
+//! byte-identical to the plane-off run (DESIGN.md §6).
+//!
+//! ```text
+//! check_obs_overhead <BENCH_pr7.json>
+//! ```
+//!
+//! Exits non-zero (with a reason on stderr) when the file is missing,
+//! malformed, records divergent stdout, or shows the plane over budget.
+
+use std::process::ExitCode;
+
+/// Wall-clock slowdown tolerated with the full plane on, as a ratio.
+const TOLERANCE: f64 = 1.05;
+
+fn finite_positive(value: Option<f64>, what: &str, path: &str) -> Result<f64, String> {
+    value
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .ok_or_else(|| format!("{path} has no positive {what}"))
+}
+
+fn run(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let off = finite_positive(
+        value.field("off_seconds").and_then(json::Value::as_f64),
+        "off_seconds",
+        path,
+    )?;
+    let on = finite_positive(
+        value.field("on_seconds").and_then(json::Value::as_f64),
+        "on_seconds",
+        path,
+    )?;
+    let ratio = finite_positive(
+        value.field("overhead_ratio").and_then(json::Value::as_f64),
+        "overhead_ratio",
+        path,
+    )?;
+    let identical = value
+        .field("stdout_identical")
+        .and_then(json::Value::as_bool)
+        .ok_or_else(|| format!("{path} has no boolean stdout_identical"))?;
+    if !identical {
+        return Err(
+            "stdout DIVERGED between observability on and off — the plane must never \
+             touch stdout"
+                .to_string(),
+        );
+    }
+    if ratio > TOLERANCE {
+        return Err(format!(
+            "full observability cost {ratio:.2}x wall-clock ({on:.3}s vs {off:.3}s), over \
+             the {TOLERANCE:.2}x budget — the plane must stay near-free"
+        ));
+    }
+    Ok(format!(
+        "OK: full observability {ratio:.2}x wall-clock ({on:.3}s on vs {off:.3}s off), \
+         stdout byte-identical"
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: check_obs_overhead <BENCH_pr7.json>");
+        return ExitCode::FAILURE;
+    };
+    match run(&path) {
+        Ok(message) => {
+            println!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("ERROR: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

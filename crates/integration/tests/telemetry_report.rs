@@ -42,7 +42,10 @@ fn run_quickstart(extra: &[(&str, &str)]) -> Output {
     let mut command = Command::new(&binary);
     command
         .env_remove("WEFR_LOG")
-        .env_remove("WEFR_TELEMETRY_OUT");
+        .env_remove("WEFR_TELEMETRY_OUT")
+        .env_remove("WEFR_METRICS_ADDR")
+        .env_remove("WEFR_WATCHDOG_SECS")
+        .env_remove("WEFR_OBS_ALLOC");
     for (key, value) in extra {
         command.env(key, value);
     }

@@ -112,16 +112,20 @@ pub fn all_rules() -> Vec<RuleMeta> {
         },
         RuleMeta {
             id: "side-effects",
-            summary: "Instant::now/env::var/stderr only in telemetry, bench, and bins",
+            summary: "Instant::now/env::var/stderr only in telemetry, bench, and bins; \
+                      sockets only in the metrics endpoint",
             rationale: "library hot paths must stay pure and reproducible; clocks, environment \
-                        reads, and stderr writes belong to the observability layer \
+                        reads, and stderr writes belong to the observability layer, and network \
+                        I/O belongs to smart-telemetry's serve/watchdog modules alone \
                         (DESIGN.md §6)",
         },
         RuleMeta {
             id: "forbid-unsafe",
             summary: "every crate root must declare #![forbid(unsafe_code)]",
             rationale: "the workspace's no-unsafe policy is self-enforcing: forbid cannot be \
-                        overridden by inner allow attributes",
+                        overridden by inner allow attributes; smart-telemetry alone may gate \
+                        forbid on the obs-alloc feature (its counting allocator is an unsafe \
+                        trait impl), paired with an unconditional deny",
         },
         RuleMeta {
             id: SUPPRESSION_RULE,
@@ -421,10 +425,22 @@ fn use_roots(code: &[Token], mut i: usize) -> Vec<(String, usize)> {
 
 const ENV_CALLS: &[&str] = &["var", "var_os", "vars", "set_var", "remove_var"];
 const CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+const NET_TYPES: &[&str] = &["TcpListener", "TcpStream", "UdpSocket"];
+
+/// The only files allowed to touch the network: the live metrics endpoint
+/// and the watchdog (DESIGN.md §6). The exemption is by exact path, not by
+/// crate — even the rest of smart-telemetry, and every bin, stays
+/// socket-free.
+const NET_ALLOWED_FILES: &[&str] = &[
+    "crates/telemetry/src/serve.rs",
+    "crates/telemetry/src/watchdog.rs",
+];
 
 /// Rule `side-effects`: wall-clock reads, environment access, and stderr
-/// writes only in [`SIDE_EFFECT_EXEMPT_CRATES`], bins, and tests.
+/// writes only in [`SIDE_EFFECT_EXEMPT_CRATES`], bins, and tests; socket
+/// types only in [`NET_ALLOWED_FILES`] and tests.
 fn side_effects(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    network_access(file, out);
     if in_list(SIDE_EFFECT_EXEMPT_CRATES, &file.package) || file.target == TargetKind::Bin {
         return;
     }
@@ -483,19 +499,99 @@ fn side_effects(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Rule `forbid-unsafe`: crate roots must carry `#![forbid(unsafe_code)]`.
+/// The network half of the side-effects rule, with its own narrower
+/// allowlist (see [`NET_ALLOWED_FILES`]).
+fn network_access(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if NET_ALLOWED_FILES.contains(&file.path.as_str()) {
+        return;
+    }
+    for t in &file.code {
+        if t.kind == TokenKind::Ident
+            && NET_TYPES.contains(&t.text.as_str())
+            && !file.in_test(t.line)
+        {
+            out.push(diag(
+                file,
+                t.line,
+                "side-effects",
+                format!(
+                    "{} opens network I/O; sockets are allowed only in smart-telemetry's \
+                     serve/watchdog modules (DESIGN.md §6)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `pattern` appears as a contiguous token-text run somewhere in `code`.
+fn has_token_run(code: &[Token], pattern: &[&str]) -> bool {
+    code.len() >= pattern.len()
+        && (0..=code.len() - pattern.len()).any(|i| {
+            pattern
+                .iter()
+                .enumerate()
+                .all(|(k, want)| code[i + k].text == *want)
+        })
+}
+
+/// smart-telemetry's crate root may replace the unconditional forbid with
+/// this exact pair: forbid whenever the `obs-alloc` counting allocator
+/// (an `unsafe impl GlobalAlloc`) is compiled out, deny when it is in.
+/// Both halves are required — matching anything looser would let the
+/// exemption leak.
+fn conditional_forbid_pair(code: &[Token]) -> bool {
+    let forbid_off = [
+        "#",
+        "!",
+        "[",
+        "cfg_attr",
+        "(",
+        "not",
+        "(",
+        "feature",
+        "=",
+        "\"obs-alloc\"",
+        ")",
+        ",",
+        "forbid",
+        "(",
+        "unsafe_code",
+        ")",
+        ")",
+        "]",
+    ];
+    let deny_on = [
+        "#",
+        "!",
+        "[",
+        "cfg_attr",
+        "(",
+        "feature",
+        "=",
+        "\"obs-alloc\"",
+        ",",
+        "deny",
+        "(",
+        "unsafe_code",
+        ")",
+        ")",
+        "]",
+    ];
+    has_token_run(code, &forbid_off) && has_token_run(code, &deny_on)
+}
+
+/// Rule `forbid-unsafe`: crate roots must carry `#![forbid(unsafe_code)]`
+/// — or, for smart-telemetry only, the feature-conditional pair accepted
+/// by [`conditional_forbid_pair`].
 fn forbid_unsafe(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !file.is_crate_root {
         return;
     }
     let code = &file.code;
     let pattern = ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
-    let found = (0..code.len().saturating_sub(pattern.len() - 1)).any(|i| {
-        pattern
-            .iter()
-            .enumerate()
-            .all(|(k, want)| code[i + k].text == *want)
-    });
+    let found = has_token_run(code, &pattern)
+        || (file.package == "smart-telemetry" && conditional_forbid_pair(code));
     if !found {
         out.push(diag(
             file,

@@ -1,0 +1,6 @@
+#![cfg_attr(not(feature = "obs-alloc"), forbid(unsafe_code))]
+#![cfg_attr(feature = "obs-alloc", deny(unsafe_code))]
+//! Fixture: the feature-conditional forbid/deny pair smart-telemetry's
+//! counting allocator requires.
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+#![cfg_attr(not(feature = "obs-alloc"), forbid(unsafe_code))]
+//! Fixture: the conditional forbid without its unconditional-deny half —
+//! not an acceptable substitute for #![forbid(unsafe_code)].
+
+pub fn noop() {}

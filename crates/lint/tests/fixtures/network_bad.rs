@@ -1,0 +1,9 @@
+//! Fixture: socket use in library code.
+
+use std::net::TcpListener;
+
+pub fn serve() -> std::io::Result<()> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    drop(listener);
+    Ok(())
+}

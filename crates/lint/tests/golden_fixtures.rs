@@ -169,6 +169,78 @@ fn side_effects_exempts_telemetry_and_bins() {
     assert_eq!(hits(&as_bin), Vec::<(String, usize)>::new());
 }
 
+/// Load a fixture and check it under an arbitrary workspace-relative path
+/// — for rules whose allowlists are path-scoped.
+fn check_at_path(fixture: &str, path: &str, package: &str, target: TargetKind) -> FileOutcome {
+    let file = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let source =
+        std::fs::read_to_string(&file).unwrap_or_else(|e| panic!("reading {fixture}: {e}"));
+    check_source(path, package, target, false, &libs(), &source)
+}
+
+#[test]
+fn network_access_flags_sockets_in_library_code() {
+    let outcome = check("network_bad.rs", "smart-pipeline", false);
+    let hits = hits(&outcome);
+    assert!(
+        hits.contains(&("side-effects".to_string(), 3)),
+        "use of TcpListener: got {hits:?}"
+    );
+    assert!(
+        hits.contains(&("side-effects".to_string(), 6)),
+        "TcpListener::bind: got {hits:?}"
+    );
+}
+
+#[test]
+fn network_access_exemption_is_by_path_not_by_crate() {
+    // The blanket smart-telemetry side-effects exemption must NOT cover
+    // sockets: only the two endpoint files are allowed them.
+    let telemetry = check("network_bad.rs", "smart-telemetry", false);
+    assert!(
+        hits(&telemetry).iter().any(|(r, _)| r == "side-effects"),
+        "sockets outside serve/watchdog must flag even in smart-telemetry: got {:?}",
+        hits(&telemetry)
+    );
+    // Bins are exempt from clocks/env/stderr but not from sockets.
+    let bin = check_at_path(
+        "network_bad.rs",
+        "src/bin/check_something.rs",
+        "smart-integration",
+        TargetKind::Bin,
+    );
+    assert!(
+        hits(&bin).iter().any(|(r, _)| r == "side-effects"),
+        "sockets in bins must flag: got {:?}",
+        hits(&bin)
+    );
+}
+
+#[test]
+fn network_access_allowed_only_in_the_endpoint_files() {
+    for path in [
+        "crates/telemetry/src/serve.rs",
+        "crates/telemetry/src/watchdog.rs",
+    ] {
+        let outcome = check_at_path("network_bad.rs", path, "smart-telemetry", TargetKind::Lib);
+        assert_eq!(hits(&outcome), Vec::<(String, usize)>::new(), "{path}");
+    }
+    // A near-miss path gets no exemption.
+    let near_miss = check_at_path(
+        "network_bad.rs",
+        "crates/telemetry/src/serve_extra.rs",
+        "smart-telemetry",
+        TargetKind::Lib,
+    );
+    assert!(
+        hits(&near_miss).iter().any(|(r, _)| r == "side-effects"),
+        "got {:?}",
+        hits(&near_miss)
+    );
+}
+
 #[test]
 fn forbid_unsafe_positive_flags_bare_crate_root() {
     let outcome = check("forbid_unsafe_bad.rs", "smart-stats", true);
@@ -185,6 +257,22 @@ fn forbid_unsafe_negative_accepts_attribute() {
 fn forbid_unsafe_skips_non_root_files() {
     let outcome = check("forbid_unsafe_bad.rs", "smart-stats", false);
     assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+}
+
+#[test]
+fn conditional_forbid_pair_accepted_for_telemetry_only() {
+    let telemetry = check("forbid_unsafe_conditional.rs", "smart-telemetry", true);
+    assert_eq!(hits(&telemetry), Vec::<(String, usize)>::new());
+    // Any other crate using the same pair is still flagged: the allocator
+    // exemption must not leak.
+    let stats = check("forbid_unsafe_conditional.rs", "smart-stats", true);
+    assert_eq!(hits(&stats), vec![("forbid-unsafe".to_string(), 1)]);
+}
+
+#[test]
+fn conditional_forbid_requires_both_halves() {
+    let outcome = check("forbid_unsafe_conditional_half.rs", "smart-telemetry", true);
+    assert_eq!(hits(&outcome), vec![("forbid-unsafe".to_string(), 1)]);
 }
 
 #[test]

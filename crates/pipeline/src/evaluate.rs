@@ -154,6 +154,10 @@ pub fn score_phase(
         let actual = drive
             .failure
             .is_some_and(|f| f.day >= test_start && f.day <= test_end.saturating_add(horizon));
+        // Per-drive score distribution: its p50/p90/p99 in the run report
+        // (and on /metrics) shows how separated the fleet is long before a
+        // threshold is picked.
+        telemetry::histogram_observe("evaluate.drive_score", best);
         drive_scores.push(DriveScore {
             drive_index,
             max_score: best,

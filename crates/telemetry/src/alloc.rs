@@ -1,0 +1,168 @@
+//! Feature-gated counting allocator for per-span resource attribution
+//! (DESIGN.md §6).
+//!
+//! With the `obs-alloc` cargo feature compiled in, this module installs a
+//! `#[global_allocator]` that wraps the system allocator and bumps
+//! thread-local byte/call counters on every allocation — *when armed* via
+//! `WEFR_OBS_ALLOC` (or [`set_tracking`]). Span guards snapshot the
+//! counters at open and record the delta as `alloc_bytes`/`alloc_count`
+//! on close, so the run report attributes allocation pressure to stages
+//! the same way it attributes wall-clock.
+//!
+//! Caveats, by construction:
+//!
+//! * Attribution is *thread-inclusive*: a span sees every allocation made
+//!   on its opening thread while it was open, including those of nested
+//!   child spans on the same thread; allocations on other threads belong
+//!   to the spans open *there* (cross-thread ingest/ranker workers open
+//!   their own child spans, so fan-outs still attribute correctly).
+//! * Frees are not subtracted — the counters measure allocation traffic
+//!   (a churn/pressure signal), not live heap. Peak-RSS style numbers
+//!   would need an OS-specific probe, which the zero-dep policy rules out.
+//! * Without the feature, [`thread_totals`] is a constant `(0, 0)` and
+//!   every span records zeros; the default build keeps the plain system
+//!   allocator and pays nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Environment knob: set to `1`/`true`/`on` to arm allocation tracking at
+/// startup (no effect unless the `obs-alloc` feature is compiled in).
+pub const ENV_OBS_ALLOC: &str = "WEFR_OBS_ALLOC";
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+
+/// Parse a `WEFR_OBS_ALLOC` value: `1`, `true`, `on`, `yes` (any case)
+/// arm tracking; everything else (including unset) leaves it off.
+pub fn env_requests_tracking(spec: Option<&str>) -> bool {
+    matches!(
+        spec.map(|s| s.trim().to_ascii_lowercase()).as_deref(),
+        Some("1" | "true" | "on" | "yes")
+    )
+}
+
+/// Arm or disarm allocation counting at runtime. A no-op signal unless the
+/// `obs-alloc` feature is compiled in — the flag flips either way, but
+/// nothing reads the counters without the feature.
+pub fn set_tracking(enabled: bool) {
+    TRACKING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether allocation deltas are actually being attributed: the feature is
+/// compiled in *and* tracking is armed.
+pub fn tracking_active() -> bool {
+    cfg!(feature = "obs-alloc") && TRACKING.load(Ordering::Relaxed)
+}
+
+#[cfg(feature = "obs-alloc")]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+    use std::sync::atomic::Ordering;
+
+    thread_local! {
+        static BYTES: Cell<u64> = const { Cell::new(0) };
+        static CALLS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Monotonic `(bytes, calls)` allocated on this thread since it
+    /// started, while tracking was armed.
+    pub fn thread_totals() -> (u64, u64) {
+        (
+            BYTES.try_with(Cell::get).unwrap_or(0),
+            CALLS.try_with(Cell::get).unwrap_or(0),
+        )
+    }
+
+    fn count(size: usize) {
+        if !super::TRACKING.load(Ordering::Relaxed) {
+            return;
+        }
+        // try_with: the thread may be tearing its locals down; losing a
+        // count there beats aborting the process.
+        let _ = BYTES.try_with(|b| b.set(b.get().saturating_add(size as u64)));
+        let _ = CALLS.try_with(|c| c.set(c.get().saturating_add(1)));
+    }
+
+    /// System-allocator wrapper that counts allocation traffic. `Cell` ops
+    /// never allocate, so the counting path cannot recurse.
+    pub struct CountingAlloc;
+
+    // Safety: every method delegates verbatim to `System`, which upholds
+    // the GlobalAlloc contract; the counters are plain thread-local Cells
+    // touched outside the delegated call.
+    #[allow(unsafe_code)]
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            count(layout.size());
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            count(layout.size());
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // Count only growth: shrinks and failures are not new pressure.
+            count(new_size.saturating_sub(layout.size()));
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+#[cfg(not(feature = "obs-alloc"))]
+mod counting {
+    /// Without the `obs-alloc` feature there is no counting allocator;
+    /// totals are a constant zero and spans record zero deltas.
+    pub fn thread_totals() -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+pub use counting::thread_totals;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_spec_parses_conservatively() {
+        assert!(env_requests_tracking(Some("1")));
+        assert!(env_requests_tracking(Some(" TRUE ")));
+        assert!(env_requests_tracking(Some("on")));
+        assert!(!env_requests_tracking(Some("0")));
+        assert!(!env_requests_tracking(Some("off")));
+        assert!(!env_requests_tracking(Some("")));
+        assert!(!env_requests_tracking(None));
+    }
+
+    #[test]
+    #[cfg(feature = "obs-alloc")]
+    fn armed_counters_observe_allocations() {
+        set_tracking(true);
+        let (bytes_before, calls_before) = thread_totals();
+        let block = vec![0u8; 4096];
+        let (bytes_after, calls_after) = thread_totals();
+        drop(block);
+        set_tracking(false);
+        assert!(bytes_after >= bytes_before + 4096);
+        assert!(calls_after > calls_before);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-alloc"))]
+    fn without_the_feature_totals_stay_zero() {
+        set_tracking(true);
+        let _block = vec![0u8; 4096];
+        assert_eq!(thread_totals(), (0, 0));
+        assert!(!tracking_active());
+        set_tracking(false);
+    }
+}

@@ -1,0 +1,423 @@
+//! Flamegraph export: collapsed stacks and a self-contained SVG renderer
+//! (DESIGN.md §6).
+//!
+//! [`RunReport::to_collapsed`] folds the span tree into Brendan Gregg's
+//! collapsed-stack format (`root;child;leaf <weight>` lines), which any
+//! external flamegraph tooling accepts. [`render_svg`] then turns collapsed
+//! text into a dependency-free interactive-enough SVG (hover titles carry
+//! the exact weight and percentage) without shelling out to anything.
+//!
+//! Two weightings:
+//!
+//! * [`Weight::TimeUs`] — *self* wall-clock microseconds per frame (the
+//!   classic profile view). Wall-clock varies run to run, so this mode is
+//!   for humans, not for golden files.
+//! * [`Weight::Count`] — one unit per span. Identical stacks merge, so the
+//!   output depends only on the *multiset* of stack paths — which the
+//!   deterministic pipeline reproduces exactly — making this the mode for
+//!   committed, byte-identical artifacts like `results/flame_quickstart.svg`.
+//!
+//! Determinism, by construction: stacks aggregate and render in `BTreeMap`
+//! order, colors are a hash of the frame name, and no timestamp or random
+//! state enters the output.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::{collecting, snapshot, RunReport};
+
+/// How a span contributes weight to its collapsed stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Weight {
+    /// Self wall-clock microseconds (duration minus child durations).
+    /// Human profiling view; not reproducible across runs.
+    TimeUs,
+    /// One unit per span. Reproducible whenever the span *structure* is.
+    Count,
+}
+
+impl Weight {
+    fn label(self) -> &'static str {
+        match self {
+            Weight::TimeUs => "self-time µs",
+            Weight::Count => "span count",
+        }
+    }
+}
+
+impl RunReport {
+    /// Collapsed stacks weighted by self wall-clock microseconds. Frames
+    /// whose self time rounds to zero are omitted (their children still
+    /// carry the full path), matching the usual collapsed-format behavior.
+    pub fn to_collapsed(&self) -> String {
+        collapsed(self, Weight::TimeUs)
+    }
+
+    /// Collapsed stacks weighted one unit per span — the deterministic
+    /// variant used for committed flamegraphs.
+    pub fn to_collapsed_counts(&self) -> String {
+        collapsed(self, Weight::Count)
+    }
+}
+
+/// A frame name made safe for the collapsed format: `;` (stack separator)
+/// and whitespace (weight separator) become `_`.
+fn frame_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Fold `report`'s span tree into collapsed-stack lines, sorted by stack
+/// path, identical stacks merged.
+pub fn collapsed(report: &RunReport, weight: Weight) -> String {
+    let spans = &report.spans;
+    let mut child_time: Vec<u64> = vec![0; spans.len()];
+    for s in spans {
+        if let Some(p) = s.parent {
+            child_time[p as usize] = child_time[p as usize].saturating_add(s.duration_us);
+        }
+    }
+    let mut paths: Vec<String> = Vec::with_capacity(spans.len());
+    let mut lines: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let path = match s.parent {
+            Some(p) => format!("{};{}", paths[p as usize], frame_name(&s.name)),
+            None => frame_name(&s.name),
+        };
+        let w = match weight {
+            Weight::Count => 1,
+            Weight::TimeUs => s.duration_us.saturating_sub(child_time[i]),
+        };
+        if w > 0 {
+            *lines.entry(path.clone()).or_insert(0) += w;
+        }
+        paths.push(path);
+    }
+    let mut out = String::new();
+    for (stack, w) in &lines {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&w.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// One merged frame in the stack trie.
+#[derive(Default)]
+struct Node {
+    self_weight: u64,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn total(&self) -> u64 {
+        self.self_weight + self.children.values().map(Node::total).sum::<u64>()
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.values().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+fn parse_collapsed(text: &str) -> Node {
+    let mut root = Node::default();
+    for line in text.lines() {
+        let Some((stack, weight)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(weight) = weight.parse::<u64>() else {
+            continue;
+        };
+        let mut node = &mut root;
+        for frame in stack.split(';') {
+            node = node.children.entry(frame.to_string()).or_default();
+        }
+        node.self_weight += weight;
+    }
+    root
+}
+
+const IMAGE_W: f64 = 1200.0;
+const ROW_H: f64 = 18.0;
+const PAD: f64 = 10.0;
+const TOP: f64 = 36.0;
+/// Approximate monospace advance at font-size 12 — only used to decide
+/// how much label text fits, so "approximate" is fine.
+const CHAR_W: f64 = 7.2;
+
+fn xml_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// FNV-1a, the usual zero-dep stable string hash.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// flamegraph.pl-style warm color, chosen by name hash so the same stage is
+/// the same color in every run and every report.
+fn frame_color(name: &str) -> String {
+    let h = fnv1a(name);
+    let r = 205 + (h % 50);
+    let g = (h >> 8) % 230;
+    let b = (h >> 16) % 55;
+    format!("rgb({r},{g},{b})")
+}
+
+/// Render collapsed-stack text as a self-contained SVG flamegraph. Output
+/// is a pure function of the input text and title: frames in `BTreeMap`
+/// order, hash colors, no timestamps.
+pub fn render_svg(collapsed_text: &str, title: &str) -> String {
+    let root = parse_collapsed(collapsed_text);
+    let grand_total = root.total();
+    let depth = root.depth().saturating_sub(1); // the synthetic root is not drawn
+    let height = TOP + depth.max(1) as f64 * ROW_H + PAD;
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<?xml version=\"1.0\" standalone=\"no\"?>\n\
+         <svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{IMAGE_W}\" height=\"{height:.2}\" \
+         font-family=\"monospace\" font-size=\"12\">\n\
+         <rect x=\"0\" y=\"0\" width=\"{IMAGE_W}\" height=\"{height:.2}\" fill=\"#f8f8f8\"/>\n\
+         <text x=\"{PAD}\" y=\"22\" fill=\"#333\">{}</text>\n",
+        xml_escape(title)
+    ));
+    if grand_total == 0 {
+        svg.push_str(&format!(
+            "<text x=\"{PAD}\" y=\"{:.2}\" fill=\"#999\">no spans recorded</text>\n</svg>\n",
+            TOP + ROW_H - 4.0
+        ));
+        return svg;
+    }
+    let px_per_unit = (IMAGE_W - 2.0 * PAD) / grand_total as f64;
+    // Explicit work stack, children pushed in reverse so frames emit in
+    // BTreeMap order. The synthetic root's children are the report's root
+    // spans, drawn at depth 0, each subtree as wide as its total weight.
+    let mut frames: Vec<(String, usize, f64, f64, u64)> = Vec::new();
+    let mut pending: Vec<(&str, &Node, usize, f64)> = Vec::new();
+    {
+        let mut x = PAD;
+        for (name, child) in &root.children {
+            pending.push((name.as_str(), child, 0, x));
+            x += child.total() as f64 * px_per_unit;
+        }
+        pending.reverse();
+    }
+    while let Some((name, node, depth, x)) = pending.pop() {
+        let width = node.total() as f64 * px_per_unit;
+        frames.push((name.to_string(), depth, x, width, node.total()));
+        let mut cx = x;
+        let mut kids: Vec<(&str, &Node, usize, f64)> = Vec::new();
+        for (child_name, child) in &node.children {
+            kids.push((child_name.as_str(), child, depth + 1, cx));
+            cx += child.total() as f64 * px_per_unit;
+        }
+        kids.reverse();
+        pending.extend(kids);
+    }
+    for (name, depth, x, width, weight) in frames {
+        let y = TOP + depth as f64 * ROW_H;
+        let pct = weight as f64 / grand_total as f64 * 100.0;
+        let hover = format!("{name} ({weight} units, {pct:.1}%)");
+        svg.push_str(&format!(
+            "<g><title>{}</title><rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{width:.2}\" \
+             height=\"{:.2}\" fill=\"{}\" stroke=\"#f8f8f8\" stroke-width=\"0.5\"/>",
+            xml_escape(&hover),
+            ROW_H - 1.0,
+            frame_color(&name)
+        ));
+        let fit = ((width - 4.0) / CHAR_W).max(0.0) as usize;
+        if fit >= 3 {
+            let label = if name.chars().count() <= fit {
+                name.clone()
+            } else {
+                let prefix: String = name.chars().take(fit.saturating_sub(2)).collect();
+                format!("{prefix}..")
+            };
+            svg.push_str(&format!(
+                "<text x=\"{:.2}\" y=\"{:.2}\" fill=\"#222\">{}</text>",
+                x + 2.0,
+                y + ROW_H - 5.0,
+                xml_escape(&label)
+            ));
+        }
+        svg.push_str("</g>\n");
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Render `report` directly to an SVG string with the given weighting.
+pub fn report_svg(report: &RunReport, weight: Weight) -> String {
+    let title = format!("wefr flamegraph: run '{}' ({})", report.run, weight.label());
+    render_svg(&collapsed(report, weight), &title)
+}
+
+/// Write `flame_<run>.svg` under `dir` (created if needed). Returns the
+/// written path.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_flamegraph_to(
+    report: &RunReport,
+    weight: Weight,
+    dir: &Path,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!(
+        "flame_{}.svg",
+        crate::report::sanitize(&report.run)
+    ));
+    std::fs::write(&path, report_svg(report, weight))?;
+    Ok(path)
+}
+
+/// Snapshot the collector and write a [`Weight::Count`] flamegraph next to
+/// the run report (the `WEFR_TELEMETRY_OUT` directory, default `results/`)
+/// — but only when telemetry is collecting, mirroring
+/// [`crate::write_run_report`]. Returns `Ok(None)` when skipped.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_flamegraph(run: &str) -> std::io::Result<Option<PathBuf>> {
+    if !collecting() {
+        return Ok(None);
+    }
+    let dir = match std::env::var("WEFR_TELEMETRY_OUT") {
+        Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("results"),
+    };
+    write_flamegraph_to(&snapshot(run), Weight::Count, &dir).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanRecord;
+
+    fn span(id: u64, parent: Option<u64>, name: &str, us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            start_us: 0,
+            duration_us: us,
+            fields: vec![],
+            alloc_bytes: 0,
+            alloc_count: 0,
+        }
+    }
+
+    fn report(spans: Vec<SpanRecord>) -> RunReport {
+        RunReport {
+            schema: crate::SCHEMA.into(),
+            run: "flame-test".into(),
+            spans,
+            events: vec![],
+            dropped_events: 0,
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+        }
+    }
+
+    #[test]
+    fn collapsed_self_time_subtracts_children() {
+        let r = report(vec![
+            span(0, None, "select", 100),
+            span(1, Some(0), "rankers", 60),
+            span(2, Some(1), "pearson", 25),
+            span(3, Some(1), "pearson", 15),
+        ]);
+        let text = r.to_collapsed();
+        assert_eq!(
+            text,
+            "select 40\nselect;rankers 20\nselect;rankers;pearson 40\n"
+        );
+    }
+
+    #[test]
+    fn collapsed_counts_merge_identical_stacks_deterministically() {
+        let r = report(vec![
+            span(0, None, "ingest", 0),
+            span(1, Some(0), "worker", 10),
+            span(2, Some(0), "worker", 999),
+            span(3, Some(0), "merge", 5),
+        ]);
+        // Count mode ignores durations entirely.
+        assert_eq!(
+            r.to_collapsed_counts(),
+            "ingest 1\ningest;merge 1\ningest;worker 2\n"
+        );
+    }
+
+    #[test]
+    fn collapsed_sanitizes_separator_characters() {
+        let r = report(vec![span(0, None, "odd name;here", 7)]);
+        assert_eq!(r.to_collapsed(), "odd_name_here 7\n");
+    }
+
+    #[test]
+    fn svg_is_a_pure_function_of_the_collapsed_input() {
+        let text = "a 10\na;b 5\na;c 5\n";
+        let once = render_svg(text, "t");
+        let twice = render_svg(text, "t");
+        assert_eq!(once, twice);
+        assert!(once.starts_with("<?xml"));
+        assert!(once.ends_with("</svg>\n"));
+        assert!(once.contains("<title>a (20 units, 100.0%)</title>"));
+        assert!(once.contains("<title>b (5 units, 25.0%)</title>"));
+    }
+
+    #[test]
+    fn svg_handles_empty_input_and_escapes_names() {
+        let empty = render_svg("", "t");
+        assert!(empty.contains("no spans recorded"));
+        let escaped = render_svg("a<b&c 3\n", "ti<tle");
+        assert!(escaped.contains("a&lt;b&amp;c"));
+        assert!(escaped.contains("ti&lt;tle"));
+        assert!(!escaped.contains("a<b"));
+    }
+
+    #[test]
+    fn count_weighted_svg_ignores_sibling_duration_jitter() {
+        let jitter_a = report(vec![
+            span(0, None, "ingest", 0),
+            span(1, Some(0), "worker", 10),
+            span(2, Some(0), "worker", 90),
+        ]);
+        let jitter_b = report(vec![
+            span(0, None, "ingest", 0),
+            span(1, Some(0), "worker", 55),
+            span(2, Some(0), "worker", 44),
+        ]);
+        assert_eq!(
+            report_svg(&jitter_a, Weight::Count),
+            report_svg(&jitter_b, Weight::Count)
+        );
+    }
+}

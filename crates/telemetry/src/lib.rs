@@ -1,4 +1,9 @@
-#![forbid(unsafe_code)]
+// The only unsafe in the workspace is the feature-gated counting
+// allocator (alloc.rs): `impl GlobalAlloc` is an unsafe trait, so with
+// `obs-alloc` on, forbid must relax to deny + a scoped allow there. The
+// lint rule `forbid-unsafe` pins this exact cfg_attr form to this crate.
+#![cfg_attr(not(feature = "obs-alloc"), forbid(unsafe_code))]
+#![cfg_attr(feature = "obs-alloc", deny(unsafe_code))]
 //! Zero-dependency observability for the WEFR pipeline (DESIGN.md §6).
 //!
 //! Three primitives, one process-global collector, two sinks:
@@ -47,22 +52,27 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
 use std::time::Instant;
 
+pub mod alloc;
 mod event;
+pub mod flame;
 pub(crate) mod logger;
 mod metrics;
 mod report;
+pub mod serve;
 mod span;
+pub mod watchdog;
 
 pub use event::{emit, EventRecord};
 pub use metrics::{
-    counter_add, gauge_set, histogram_observe, CounterSnapshot, GaugeSnapshot, HistogramSnapshot,
+    counter_add, gauge_set, gauge_value, histogram_observe, CounterSnapshot, GaugeSnapshot,
+    HistogramSnapshot,
 };
-pub use report::{snapshot, write_run_report, write_run_report_to, RunReport};
+pub use report::{snapshot, write_run_report, write_run_report_to, RunReport, SCHEMA, SCHEMA_V1};
 pub use span::{current_span, span_child_of, start_span, SpanGuard, SpanId, SpanRecord};
 
 /// Verbosity of the stderr logger (and the floor for event recording).
 ///
-/// Ordered: `Off < Error < Info < Debug`.
+/// Ordered: `Off < Error < Warn < Info < Debug`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum Level {
@@ -70,15 +80,19 @@ pub enum Level {
     Off = 0,
     /// Failures only.
     Error = 1,
+    /// Degraded-but-continuing conditions (watchdog stalls, saturated
+    /// buffers).
+    Warn = 2,
     /// Stage-level span lines and notable decisions.
-    Info = 2,
+    Info = 3,
     /// Everything, including per-step traces.
-    Debug = 3,
+    Debug = 4,
 }
 
 json::impl_json_enum!(Level {
     Off => "off",
     Error => "error",
+    Warn => "warn",
     Info => "info",
     Debug => "debug",
 });
@@ -91,6 +105,7 @@ impl Level {
         match spec.map(|s| s.trim().to_ascii_lowercase()).as_deref() {
             None | Some("" | "off" | "0" | "none" | "false") => Level::Off,
             Some("error") => Level::Error,
+            Some("warn" | "warning") => Level::Warn,
             Some("info" | "on" | "true" | "1") => Level::Info,
             Some("debug" | "trace" | "2") => Level::Debug,
             Some(_) => Level::Info,
@@ -101,7 +116,8 @@ impl Level {
         match raw {
             0 => Level::Off,
             1 => Level::Error,
-            2 => Level::Info,
+            2 => Level::Warn,
+            3 => Level::Info,
             _ => Level::Debug,
         }
     }
@@ -112,6 +128,7 @@ impl std::fmt::Display for Level {
         f.write_str(match self {
             Level::Off => "off",
             Level::Error => "error",
+            Level::Warn => "warn",
             Level::Info => "info",
             Level::Debug => "debug",
         })
@@ -280,8 +297,18 @@ fn ensure_init() {
     INIT.call_once(|| {
         let level = Level::from_spec(std::env::var("WEFR_LOG").ok().as_deref());
         LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+        // Any live-plane knob implies collection: a scrape endpoint or
+        // watchdog with nothing recorded would observe only silence.
         let report_requested = std::env::var_os("WEFR_TELEMETRY_OUT").is_some();
-        COLLECT.store(level > Level::Off || report_requested, Ordering::Relaxed);
+        let metrics_requested = std::env::var_os(serve::ENV_METRICS_ADDR).is_some();
+        let watchdog_requested = std::env::var_os(watchdog::ENV_WATCHDOG_SECS).is_some();
+        COLLECT.store(
+            level > Level::Off || report_requested || metrics_requested || watchdog_requested,
+            Ordering::Relaxed,
+        );
+        alloc::set_tracking(alloc::env_requests_tracking(
+            std::env::var(alloc::ENV_OBS_ALLOC).ok().as_deref(),
+        ));
     });
 }
 
@@ -390,6 +417,12 @@ macro_rules! error {
     ($($args:tt)*) => { $crate::event!($crate::Level::Error, $($args)*) };
 }
 
+/// Emit a [`Level::Warn`] event. See [`event!`].
+#[macro_export]
+macro_rules! warn {
+    ($($args:tt)*) => { $crate::event!($crate::Level::Warn, $($args)*) };
+}
+
 /// Emit an [`Level::Info`] event. See [`event!`].
 #[macro_export]
 macro_rules! info {
@@ -413,6 +446,8 @@ mod tests {
         assert_eq!(Level::from_spec(Some("off")), Level::Off);
         assert_eq!(Level::from_spec(Some("0")), Level::Off);
         assert_eq!(Level::from_spec(Some("error")), Level::Error);
+        assert_eq!(Level::from_spec(Some("warn")), Level::Warn);
+        assert_eq!(Level::from_spec(Some("warning")), Level::Warn);
         assert_eq!(Level::from_spec(Some("INFO")), Level::Info);
         assert_eq!(Level::from_spec(Some(" debug ")), Level::Debug);
         assert_eq!(Level::from_spec(Some("1")), Level::Info);
@@ -423,9 +458,16 @@ mod tests {
     #[test]
     fn level_orders_and_round_trips() {
         assert!(Level::Off < Level::Error);
-        assert!(Level::Error < Level::Info);
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
         assert!(Level::Info < Level::Debug);
-        for level in [Level::Off, Level::Error, Level::Info, Level::Debug] {
+        for level in [
+            Level::Off,
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+        ] {
             let back: Level = json::from_str(&json::to_string(&level)).unwrap();
             assert_eq!(back, level);
             assert_eq!(Level::from_u8(level as u8), level);

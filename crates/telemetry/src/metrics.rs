@@ -117,6 +117,13 @@ pub struct HistogramSnapshot {
     /// Sparse `(exponent, count)` pairs, ascending by exponent; bucket `e`
     /// covers `[2^e, 2^(e+1))`.
     pub buckets: Vec<(i32, u64)>,
+    /// Median estimate, [`HistogramSnapshot::quantile`] at 0.5. New in
+    /// `wefr.telemetry.v2`; parses as 0 from v1 reports.
+    pub p50: f64,
+    /// 90th-percentile estimate (v2; defaults to 0 from v1 reports).
+    pub p90: f64,
+    /// 99th-percentile estimate (v2; defaults to 0 from v1 reports).
+    pub p99: f64,
 }
 
 json::impl_json!(HistogramSnapshot {
@@ -126,6 +133,10 @@ json::impl_json!(HistogramSnapshot {
     min,
     max,
     buckets
+} defaults {
+    p50: 0.0,
+    p90: 0.0,
+    p99: 0.0,
 });
 
 impl HistogramSnapshot {
@@ -137,6 +148,53 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`q` clamped to `[0, 1]`) from the log₂
+    /// buckets by linear interpolation inside the covering bucket, clamped
+    /// to the observed `[min, max]` range — so degenerate buckets (the
+    /// bottom catch-all for zeros and negatives, the top catch-all for
+    /// huge values) cannot report a value no observation had. Returns 0
+    /// when the histogram is empty.
+    ///
+    /// The estimate is exact at the bucket boundaries and within one
+    /// bucket's width (a factor of 2) everywhere else — the usual
+    /// exponential-histogram error bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for &(exp, bucket_count) in &self.buckets {
+            let before = cumulative as f64;
+            cumulative += bucket_count;
+            if cumulative as f64 >= target {
+                let lo = pow2(exp);
+                let hi = pow2(exp + 1);
+                let fraction = if bucket_count == 0 {
+                    0.0
+                } else {
+                    ((target - before) / bucket_count as f64).clamp(0.0, 1.0)
+                };
+                let estimate = lo + (hi - lo) * fraction;
+                return estimate.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// `2^exp` as f64 — exact for the whole bucket exponent range.
+fn pow2(exp: i32) -> f64 {
+    2f64.powi(exp)
+}
+
+/// Read the current value of a gauge, if it has ever been set. Used by the
+/// watchdog to fold sampled gauges into histograms.
+pub fn gauge_value(name: &str) -> Option<f64> {
+    let gauges = collector().gauges.lock().expect("telemetry gauges lock");
+    gauges.get(name).copied()
 }
 
 pub(crate) fn snapshot_counters() -> Vec<CounterSnapshot> {
@@ -171,13 +229,22 @@ pub(crate) fn snapshot_histograms() -> Vec<HistogramSnapshot> {
         .expect("telemetry histograms lock");
     histograms
         .iter()
-        .map(|(name, h)| HistogramSnapshot {
-            name: name.clone(),
-            count: h.count,
-            sum: h.sum,
-            min: h.min,
-            max: h.max,
-            buckets: h.buckets.iter().map(|(&e, &c)| (e, c)).collect(),
+        .map(|(name, h)| {
+            let mut snap = HistogramSnapshot {
+                name: name.clone(),
+                count: h.count,
+                sum: h.sum,
+                min: h.min,
+                max: h.max,
+                buckets: h.buckets.iter().map(|(&e, &c)| (e, c)).collect(),
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+            };
+            snap.p50 = snap.quantile(0.50);
+            snap.p90 = snap.quantile(0.90);
+            snap.p99 = snap.quantile(0.99);
+            snap
         })
         .collect()
 }
@@ -214,6 +281,9 @@ mod tests {
             min: 0.0,
             max: 0.0,
             buckets: vec![],
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
         };
         assert_eq!(empty.mean(), 0.0);
         let one = HistogramSnapshot {
@@ -222,5 +292,60 @@ mod tests {
             ..empty
         };
         assert_eq!(one.mean(), 2.5);
+    }
+
+    fn histogram(count: u64, min: f64, max: f64, buckets: Vec<(i32, u64)>) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: "q".into(),
+            count,
+            sum: 0.0,
+            min,
+            max,
+            buckets,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // 8 observations in [4, 8), 2 in [8, 16).
+        let h = histogram(10, 4.0, 15.0, vec![(2, 8), (3, 2)]);
+        assert_eq!(h.quantile(0.0), 4.0);
+        // target = 5 of 10 → 5/8 through the [4, 8) bucket: 4 + 4 * 5/8.
+        assert!((h.quantile(0.5) - 6.5).abs() < 1e-12);
+        // target = 9 of 10 → 1/2 through the [8, 16) bucket = 12.
+        assert!((h.quantile(0.9) - 12.0).abs() < 1e-12);
+        // The top of the last bucket clamps to the observed max.
+        assert_eq!(h.quantile(1.0), 15.0);
+    }
+
+    #[test]
+    fn quantile_handles_degenerate_histograms() {
+        assert_eq!(histogram(0, 0.0, 0.0, vec![]).quantile(0.5), 0.0);
+        // All observations identical: every quantile is that value.
+        let single = histogram(5, 7.0, 7.0, vec![(2, 5)]);
+        assert_eq!(single.quantile(0.01), 7.0);
+        assert_eq!(single.quantile(0.99), 7.0);
+        // Zeros and negatives land in the bottom catch-all; the clamp to
+        // [min, max] keeps the estimate in the observed range.
+        let degenerate = histogram(3, -2.0, 1.5, vec![(MIN_EXP, 2), (0, 1)]);
+        let q = degenerate.quantile(0.5);
+        assert!((-2.0..=1.5).contains(&q));
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(degenerate.quantile(-1.0), degenerate.quantile(0.0));
+        assert_eq!(degenerate.quantile(2.0), degenerate.quantile(1.0));
+    }
+
+    #[test]
+    fn quantiles_match_against_observed_snapshots() {
+        // Pinned against a hand-checked distribution: 4 obs in [2,4),
+        // 6 in [256, 512).
+        let h = histogram(10, 2.5, 400.0, vec![(1, 4), (8, 6)]);
+        // p50: target 5 → second bucket, fraction (5-4)/6.
+        let expected_p50 = 256.0 + 256.0 * (1.0 / 6.0);
+        assert!((h.quantile(0.5) - expected_p50).abs() < 1e-9);
+        assert_eq!(h.quantile(0.99), 400.0); // clamped to max
     }
 }

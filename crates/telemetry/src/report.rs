@@ -14,9 +14,21 @@ use crate::{
     SpanRecord,
 };
 
+/// Schema identifier written into every new report. v2 adds `schema`
+/// itself, per-span `alloc_bytes`/`alloc_count`, per-histogram
+/// p50/p90/p99, and the `telemetry.events_dropped` counter.
+pub const SCHEMA: &str = "wefr.telemetry.v2";
+
+/// Schema identifier assumed for reports written before the version field
+/// existed; such reports still parse, with v2 fields defaulted.
+pub const SCHEMA_V1: &str = "wefr.telemetry.v1";
+
 /// A complete telemetry capture for one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
+    /// Report schema version ([`SCHEMA`]); defaults to [`SCHEMA_V1`] when
+    /// parsing a report that predates the field.
+    pub schema: String,
     /// Run label (becomes the `telemetry_<run>.json` file stem).
     pub run: String,
     /// All spans, in open order; parents precede children.
@@ -33,7 +45,8 @@ pub struct RunReport {
     pub histograms: Vec<HistogramSnapshot>,
 }
 
-json::impl_json!(RunReport {
+json::impl_to_json!(RunReport {
+    schema,
     run,
     spans,
     events,
@@ -41,6 +54,18 @@ json::impl_json!(RunReport {
     counters,
     gauges,
     histograms
+});
+
+json::impl_from_json!(RunReport {
+    run,
+    spans,
+    events,
+    dropped_events,
+    counters,
+    gauges,
+    histograms
+} defaults {
+    schema: String::from(SCHEMA_V1),
 });
 
 impl RunReport {
@@ -139,12 +164,26 @@ pub fn snapshot(run: &str) -> RunReport {
         let events = c.events.lock().expect("telemetry events lock");
         (events.records.clone(), events.dropped)
     };
+    let mut counters = metrics::snapshot_counters();
+    // Surface drop accounting as a counter too, so scrapers that only read
+    // the counter list (e.g. the /metrics endpoint) cannot miss saturation.
+    if dropped_events > 0 {
+        let snap = CounterSnapshot {
+            name: "telemetry.events_dropped".to_string(),
+            value: dropped_events,
+        };
+        match counters.binary_search_by(|c| c.name.as_str().cmp(&snap.name)) {
+            Ok(pos) => counters[pos] = snap,
+            Err(pos) => counters.insert(pos, snap),
+        }
+    }
     RunReport {
+        schema: SCHEMA.to_string(),
         run: run.to_string(),
         spans,
         events,
         dropped_events,
-        counters: metrics::snapshot_counters(),
+        counters,
         gauges: metrics::snapshot_gauges(),
         histograms: metrics::snapshot_histograms(),
     }
@@ -152,7 +191,7 @@ pub fn snapshot(run: &str) -> RunReport {
 
 /// Reduce a run label to a safe file stem: alphanumerics, `-`, `_`, `.`
 /// pass through; everything else becomes `-`.
-fn sanitize(run: &str) -> String {
+pub(crate) fn sanitize(run: &str) -> String {
     let cleaned: String = run
         .chars()
         .map(|c| {
@@ -226,8 +265,11 @@ mod tests {
             start_us: 0,
             duration_us: 1,
             fields: vec![],
+            alloc_bytes: 0,
+            alloc_count: 0,
         };
         let mut report = RunReport {
+            schema: SCHEMA.into(),
             run: "t".into(),
             spans: vec![span(0, None), span(1, Some(0))],
             events: vec![],
@@ -253,8 +295,11 @@ mod tests {
             start_us: 0,
             duration_us: us,
             fields: vec![],
+            alloc_bytes: 0,
+            alloc_count: 0,
         };
         let report = RunReport {
+            schema: SCHEMA.into(),
             run: "t".into(),
             spans: vec![
                 span(0, None, "select", 100),

@@ -1,0 +1,264 @@
+//! Live metrics exposition over plain TCP (DESIGN.md §6): the first brick
+//! of the `smart-serve` daemon (ROADMAP item 1).
+//!
+//! [`start`] binds a std-only listener and answers two read-only routes:
+//!
+//! * `GET /metrics` — Prometheus-style text exposition: every counter and
+//!   gauge, each histogram as cumulative `_bucket{le="..."}` lines plus
+//!   `_sum`/`_count` and `_p50`/`_p90`/`_p99` quantile estimate lines, and
+//!   the `wefr_telemetry_events_dropped` drop counter (always present, so
+//!   scrapers can alert on buffer saturation).
+//! * `GET /report` — the full smart-json run-report snapshot, exactly what
+//!   [`crate::write_run_report`] would write, but captured mid-run.
+//!
+//! Off by default: nothing binds unless [`start`] (or [`start_from_env`]
+//! with `WEFR_METRICS_ADDR` set) is called. Responses are snapshots — the
+//! server never mutates collector state — and the listener thread shuts
+//! down through an explicit handshake in [`MetricsServer::stop`] (also run
+//! on drop), so runs stay clean-exiting and stdout stays untouched.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::{snapshot, RunReport};
+
+/// Environment knob: bind address for the metrics listener (e.g.
+/// `127.0.0.1:9184`; port 0 picks a free port). Unset means no listener.
+pub const ENV_METRICS_ADDR: &str = "WEFR_METRICS_ADDR";
+
+/// How long a connection may dawdle before the server gives up on it.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Handle to a running metrics listener. Stop it explicitly with
+/// [`MetricsServer::stop`]; dropping the handle performs the same clean
+/// shutdown.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address — useful when started on port 0.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shut the listener down: flag the accept loop, wake it with a
+    /// loopback connection, and join the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stopping.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); a throwaway connection is the
+        // portable way to wake it so the stop flag is observed promptly.
+        if let Ok(stream) = TcpStream::connect_timeout(&self.addr, CLIENT_TIMEOUT) {
+            drop(stream);
+        }
+        let _ = thread.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` and serve `/metrics` and `/report` snapshots labeled `run`
+/// from a background thread until the returned handle is stopped or
+/// dropped.
+///
+/// # Errors
+///
+/// Propagates bind and thread-spawn failures.
+pub fn start(addr: &str, run: &str) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stopping = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stopping);
+    let run = run.to_string();
+    let thread = std::thread::Builder::new()
+        .name("wefr-metrics".to_string())
+        .spawn(move || {
+            for connection in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = connection {
+                    // One slow or broken client must not take the endpoint
+                    // down; errors just close that connection.
+                    let _ = handle_connection(stream, &run);
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        stopping,
+        thread: Some(thread),
+    })
+}
+
+/// [`start`] on the address named by `WEFR_METRICS_ADDR`. Returns `None`
+/// when the variable is unset or empty; bind failures are reported as a
+/// telemetry error event (and `None`) rather than aborting the run.
+pub fn start_from_env(run: &str) -> Option<MetricsServer> {
+    let addr = std::env::var(ENV_METRICS_ADDR).ok()?;
+    let addr = addr.trim();
+    if addr.is_empty() {
+        return None;
+    }
+    match start(addr, run) {
+        Ok(server) => Some(server),
+        Err(e) => {
+            crate::error!(
+                "serve",
+                format!("failed to bind metrics listener on {addr}: {e}"),
+            );
+            None
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, run: &str) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let path = read_request_path(&mut stream)?;
+    let (status, content_type, body) = match path.as_deref() {
+        Some("/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_metrics(&snapshot(run)),
+        ),
+        Some("/report") => {
+            let mut body = json::to_string_pretty(&snapshot(run));
+            body.push('\n');
+            ("200 OK", "application/json; charset=utf-8", body)
+        }
+        Some(_) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; routes: /metrics /report\n".to_string(),
+        ),
+        None => (
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "malformed request\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Read up to the end of the request headers and return the path of a
+/// `GET <path> ...` request line, or `None` when the line is not a GET.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 256];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8 * 1024 {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let request_line = text.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_string())),
+        _ => Ok(None),
+    }
+}
+
+/// A metric name in exposition form: `wefr_` prefix, every character
+/// outside `[a-zA-Z0-9_]` mapped to `_` (dots become underscores).
+fn expo_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("wefr_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Format a float the way the exposition format expects: finite values via
+/// shortest-repr `Display`, non-finite as `NaN`/`+Inf`/`-Inf`.
+fn expo_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value.is_infinite() {
+        if value > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Render the snapshot as Prometheus-style text exposition.
+pub fn render_metrics(report: &RunReport) -> String {
+    let mut out = String::new();
+    let mut dropped_listed = false;
+    for counter in &report.counters {
+        let name = expo_name(&counter.name);
+        dropped_listed |= counter.name == "telemetry.events_dropped";
+        out.push_str(&format!(
+            "# TYPE {name} counter\n{name} {}\n",
+            counter.value
+        ));
+    }
+    if !dropped_listed {
+        // Always exposed, even at zero: scrapers alert on its slope, so the
+        // series must exist before the buffer ever saturates.
+        out.push_str(&format!(
+            "# TYPE wefr_telemetry_events_dropped counter\nwefr_telemetry_events_dropped {}\n",
+            report.dropped_events
+        ));
+    }
+    for gauge in &report.gauges {
+        let name = expo_name(&gauge.name);
+        out.push_str(&format!(
+            "# TYPE {name} gauge\n{name} {}\n",
+            expo_f64(gauge.value)
+        ));
+    }
+    for histogram in &report.histograms {
+        let name = expo_name(&histogram.name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for &(exp, count) in &histogram.buckets {
+            cumulative += count;
+            let le = expo_f64(2f64.powi(exp + 1));
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+            histogram.count,
+            expo_f64(histogram.sum),
+            histogram.count
+        ));
+        for (suffix, value) in [
+            ("p50", histogram.p50),
+            ("p90", histogram.p90),
+            ("p99", histogram.p99),
+        ] {
+            out.push_str(&format!("{name}_{suffix} {}\n", expo_f64(value)));
+        }
+    }
+    out
+}

@@ -39,6 +39,14 @@ pub struct SpanRecord {
     pub duration_us: u64,
     /// Key/value fields recorded on the span.
     pub fields: Vec<Field>,
+    /// Bytes allocated on the opening thread while the span was open
+    /// (inclusive of child spans on the same thread). Zero unless the
+    /// `obs-alloc` counting allocator is compiled in and armed via
+    /// `WEFR_OBS_ALLOC` (DESIGN.md §6). New in `wefr.telemetry.v2`.
+    pub alloc_bytes: u64,
+    /// Allocation calls on the opening thread while the span was open
+    /// (same gating and caveats as `alloc_bytes`).
+    pub alloc_count: u64,
 }
 
 json::impl_json!(SpanRecord {
@@ -48,6 +56,9 @@ json::impl_json!(SpanRecord {
     start_us,
     duration_us,
     fields
+} defaults {
+    alloc_bytes: 0,
+    alloc_count: 0,
 });
 
 thread_local! {
@@ -76,7 +87,10 @@ pub fn span_child_of(parent: Option<SpanId>, name: &str) -> SpanGuard {
 
 fn open_span(name: &str, parent: Option<SpanId>) -> SpanGuard {
     if !collecting() {
-        return SpanGuard { id: None };
+        return SpanGuard {
+            id: None,
+            open_alloc: (0, 0),
+        };
     }
     let c = collector();
     let generation = c.generation.load(Ordering::Relaxed);
@@ -94,12 +108,17 @@ fn open_span(name: &str, parent: Option<SpanId>) -> SpanGuard {
             start_us,
             duration_us: OPEN,
             fields: Vec::new(),
+            alloc_bytes: 0,
+            alloc_count: 0,
         });
         spans.len() - 1
     };
     let id = SpanId { index, generation };
     STACK.with(|stack| stack.borrow_mut().push(id));
-    SpanGuard { id: Some(id) }
+    SpanGuard {
+        id: Some(id),
+        open_alloc: crate::alloc::thread_totals(),
+    }
 }
 
 /// RAII guard for an open span: records the wall-clock duration (and logs a
@@ -108,6 +127,10 @@ fn open_span(name: &str, parent: Option<SpanId>) -> SpanGuard {
 #[must_use = "dropping the guard immediately records a zero-length span"]
 pub struct SpanGuard {
     id: Option<SpanId>,
+    /// Thread-local `(bytes, count)` allocation totals at open time; the
+    /// drop handler records the delta. Always `(0, 0)` unless the
+    /// `obs-alloc` counting allocator is active.
+    open_alloc: (u64, u64),
 }
 
 impl SpanId {
@@ -155,10 +178,19 @@ impl Drop for SpanGuard {
             return;
         }
         let end_us = now_us();
+        let (alloc_bytes, alloc_count) = {
+            let (bytes, count) = crate::alloc::thread_totals();
+            (
+                bytes.saturating_sub(self.open_alloc.0),
+                count.saturating_sub(self.open_alloc.1),
+            )
+        };
         let logged = {
             let mut spans = c.spans.lock().expect("telemetry spans lock");
             spans.get_mut(id.index).map(|record| {
                 record.duration_us = end_us.saturating_sub(record.start_us);
+                record.alloc_bytes = alloc_bytes;
+                record.alloc_count = alloc_count;
                 (
                     record.name.clone(),
                     record.duration_us,

@@ -1,0 +1,193 @@
+//! Stall watchdog: a background monitor for runs that stop making progress
+//! (DESIGN.md §6).
+//!
+//! [`start`] spawns one thread that wakes every quarter-deadline and
+//!
+//! * samples the `ingest.queue_depth` gauge into the
+//!   `ingest.queue_depth.sampled` histogram, turning the instantaneous
+//!   backpressure reading into a distribution over the run;
+//! * samples the age of the oldest still-open span into the
+//!   `telemetry.watchdog.open_span_us` histogram;
+//! * emits one `warn` event per span that has been open longer than the
+//!   deadline (deduplicated — a stalled span warns once, not once per
+//!   tick) and bumps the `telemetry.watchdog.stalls` counter.
+//!
+//! The watchdog only observes: it never cancels work, and warnings go to
+//! the event buffer plus (at `WEFR_LOG=warn` or lower) stderr — stdout is
+//! untouched, so pipeline output stays bit-identical with the watchdog on
+//! or off. Shutdown is a condvar handshake: [`Watchdog::stop`] (or drop)
+//! wakes the thread and joins it, so no tick can fire mid-teardown.
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::span::OPEN;
+use crate::{collector, metrics, now_us};
+
+/// Environment knob: span-stall deadline in (possibly fractional) seconds.
+/// Unset or non-positive means no watchdog.
+pub const ENV_WATCHDOG_SECS: &str = "WEFR_WATCHDOG_SECS";
+
+/// Counter bumped once per detected stalled span.
+pub const STALL_COUNTER: &str = "telemetry.watchdog.stalls";
+
+/// Handle to a running watchdog thread. Stop it explicitly with
+/// [`Watchdog::stop`]; dropping the handle performs the same clean
+/// shutdown.
+pub struct Watchdog {
+    shared: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Shut the monitor down: flag it, wake it, join it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        {
+            let (stop, wake) = &*self.shared;
+            *stop.lock().expect("watchdog stop lock") = true;
+            wake.notify_all();
+        }
+        let _ = thread.join();
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Parse a `WEFR_WATCHDOG_SECS` value into a deadline. Fractional seconds
+/// are honored; unset, unparsable, or non-positive values disable the
+/// watchdog.
+pub fn env_deadline(spec: Option<&str>) -> Option<Duration> {
+    let secs: f64 = spec?.trim().parse().ok()?;
+    if secs > 0.0 && secs.is_finite() {
+        Some(Duration::from_secs_f64(secs))
+    } else {
+        None
+    }
+}
+
+/// [`start`] with the deadline named by `WEFR_WATCHDOG_SECS`; `None` when
+/// the variable is unset or does not parse to a positive duration.
+pub fn start_from_env() -> Option<Watchdog> {
+    let deadline = env_deadline(std::env::var(ENV_WATCHDOG_SECS).ok().as_deref())?;
+    Some(start(deadline))
+}
+
+/// Spawn the monitor thread with the given span-stall deadline. The poll
+/// period is a quarter of the deadline, clamped to `[10ms, 1s]`, so stalls
+/// are reported promptly without busy-waiting on long deadlines.
+pub fn start(deadline: Duration) -> Watchdog {
+    let poll = (deadline / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
+    let shared = Arc::new((Mutex::new(false), Condvar::new()));
+    let handle = Arc::clone(&shared);
+    let thread = std::thread::Builder::new()
+        .name("wefr-watchdog".to_string())
+        .spawn(move || {
+            let mut warned: HashSet<(u64, u64)> = HashSet::new();
+            let (stop, wake) = &*handle;
+            let mut stopped = stop.lock().expect("watchdog stop lock");
+            while !*stopped {
+                // Condvar wait doubles as the tick timer; a stop() notify
+                // interrupts the sleep so shutdown never waits a full poll.
+                let (guard, _timeout) = wake
+                    .wait_timeout(stopped, poll)
+                    .expect("watchdog stop lock");
+                stopped = guard;
+                if *stopped {
+                    break;
+                }
+                tick(deadline, &mut warned);
+            }
+        })
+        .expect("spawn watchdog thread");
+    Watchdog {
+        shared,
+        thread: Some(thread),
+    }
+}
+
+/// One monitor pass. Split out (and crate-visible) so tests can drive the
+/// scan deterministically without waiting on real poll timing.
+pub(crate) fn tick(deadline: Duration, warned: &mut HashSet<(u64, u64)>) {
+    if let Some(depth) = metrics::gauge_value("ingest.queue_depth") {
+        metrics::histogram_observe("ingest.queue_depth.sampled", depth);
+    }
+    let deadline_us = deadline.as_micros() as u64;
+    let now = now_us();
+    let c = collector();
+    let generation = c.generation.load(Ordering::Relaxed);
+    // Collect stalls under the spans lock, then release it before emitting:
+    // warn!/counter_add take other collector locks, and the logger may
+    // block on stderr — neither belongs under the arena lock.
+    let mut oldest_open_us = None::<u64>;
+    let stalls: Vec<(u64, String, u64)> = {
+        let spans = c.spans.lock().expect("telemetry spans lock");
+        spans
+            .iter()
+            .filter(|s| s.duration_us == OPEN)
+            .filter_map(|s| {
+                let age_us = now.saturating_sub(s.start_us);
+                oldest_open_us = Some(oldest_open_us.unwrap_or(0).max(age_us));
+                (age_us > deadline_us && warned.insert((generation, s.id)))
+                    .then(|| (s.id, s.name.clone(), age_us))
+            })
+            .collect()
+    };
+    if let Some(age_us) = oldest_open_us {
+        metrics::histogram_observe("telemetry.watchdog.open_span_us", age_us as f64);
+    }
+    for (id, name, age_us) in stalls {
+        metrics::counter_add(STALL_COUNTER, 1);
+        crate::warn!(
+            "watchdog",
+            format!(
+                "span '{name}' open for {:.1}s (deadline {:.1}s)",
+                age_us as f64 / 1e6,
+                deadline_us as f64 / 1e6
+            ),
+            span_id = id,
+            open_us = age_us,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_deadline_parses_conservatively() {
+        assert_eq!(env_deadline(Some("2")), Some(Duration::from_secs(2)));
+        assert_eq!(
+            env_deadline(Some(" 0.25 ")),
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(env_deadline(Some("0")), None);
+        assert_eq!(env_deadline(Some("-3")), None);
+        assert_eq!(env_deadline(Some("inf")), None);
+        assert_eq!(env_deadline(Some("soon")), None);
+        assert_eq!(env_deadline(None), None);
+    }
+
+    #[test]
+    fn poll_period_clamps() {
+        // Indirectly pin the clamp arithmetic used by start().
+        let quarter =
+            |d: Duration| (d / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
+        assert_eq!(quarter(Duration::from_millis(8)), Duration::from_millis(10));
+        assert_eq!(quarter(Duration::from_secs(2)), Duration::from_millis(500));
+        assert_eq!(quarter(Duration::from_secs(3600)), Duration::from_secs(1));
+    }
+}

@@ -1,13 +1,15 @@
-//! Golden test: the run-report JSON schema is pinned byte-for-byte, and a
-//! report round-trips through `crates/json` without loss.
+//! Golden test: the run-report JSON schema is pinned byte-for-byte, a
+//! report round-trips through `crates/json` without loss, and reports
+//! written under the previous schema (`wefr.telemetry.v1`) still parse.
 
 use telemetry::{
     CounterSnapshot, EventRecord, FieldValue, GaugeSnapshot, HistogramSnapshot, Level, RunReport,
-    SpanRecord,
+    SpanRecord, SCHEMA, SCHEMA_V1,
 };
 
 fn fixture_report() -> RunReport {
     RunReport {
+        schema: SCHEMA.to_string(),
         run: "golden".to_string(),
         spans: vec![
             SpanRecord {
@@ -17,6 +19,8 @@ fn fixture_report() -> RunReport {
                 start_us: 10,
                 duration_us: 5000,
                 fields: vec![("features".to_string(), FieldValue::U64(21))],
+                alloc_bytes: 2048,
+                alloc_count: 3,
             },
             SpanRecord {
                 id: 1,
@@ -31,6 +35,8 @@ fn fixture_report() -> RunReport {
                         FieldValue::Str("boosting".to_string()),
                     ),
                 ],
+                alloc_bytes: 0,
+                alloc_count: 0,
             },
         ],
         events: vec![EventRecord {
@@ -55,18 +61,24 @@ fn fixture_report() -> RunReport {
             name: "wearout.threshold_days".to_string(),
             value: 120.0,
         }],
+        // 8 observations in [4, 8), 2 in [8, 16): p50 = 6.5, p90 = 12.0,
+        // p99 clamps to the observed max.
         histograms: vec![HistogramSnapshot {
             name: "ensemble.pair_distance".to_string(),
             count: 10,
-            sum: 1100.0,
+            sum: 80.0,
             min: 4.0,
-            max: 400.0,
-            buckets: vec![(2, 4), (8, 6)],
+            max: 15.0,
+            buckets: vec![(2, 8), (3, 2)],
+            p50: 6.5,
+            p90: 12.0,
+            p99: 15.0,
         }],
     }
 }
 
 const GOLDEN: &str = r#"{
+  "schema": "wefr.telemetry.v2",
   "run": "golden",
   "spans": [
     {
@@ -80,7 +92,9 @@ const GOLDEN: &str = r#"{
           "features",
           21
         ]
-      ]
+      ],
+      "alloc_bytes": 2048,
+      "alloc_count": 3
     },
     {
       "id": 1,
@@ -97,7 +111,9 @@ const GOLDEN: &str = r#"{
           "slowest",
           "boosting"
         ]
-      ]
+      ],
+      "alloc_bytes": 0,
+      "alloc_count": 0
     }
   ],
   "events": [
@@ -144,17 +160,64 @@ const GOLDEN: &str = r#"{
     {
       "name": "ensemble.pair_distance",
       "count": 10,
-      "sum": 1100.0,
+      "sum": 80.0,
       "min": 4.0,
-      "max": 400.0,
+      "max": 15.0,
       "buckets": [
         [
           2,
-          4
+          8
         ],
         [
-          8,
-          6
+          3,
+          2
+        ]
+      ],
+      "p50": 6.5,
+      "p90": 12.0,
+      "p99": 15.0
+    }
+  ]
+}"#;
+
+/// A report exactly as PR 6 and earlier wrote it: no `schema`, no per-span
+/// `alloc_bytes`/`alloc_count`, no histogram quantiles. Must keep parsing.
+const GOLDEN_V1: &str = r#"{
+  "run": "golden",
+  "spans": [
+    {
+      "id": 0,
+      "parent": null,
+      "name": "select",
+      "start_us": 10,
+      "duration_us": 5000,
+      "fields": [
+        [
+          "features",
+          21
+        ]
+      ]
+    }
+  ],
+  "events": [],
+  "dropped_events": 2,
+  "counters": [],
+  "gauges": [],
+  "histograms": [
+    {
+      "name": "ensemble.pair_distance",
+      "count": 10,
+      "sum": 80.0,
+      "min": 4.0,
+      "max": 15.0,
+      "buckets": [
+        [
+          2,
+          8
+        ],
+        [
+          3,
+          2
         ]
       ]
     }
@@ -180,4 +243,19 @@ fn round_trip_is_lossless_for_a_fresh_serialization() {
     let compact = json::to_string(&report);
     let back: RunReport = json::from_str(&compact).expect("compact parse");
     assert_eq!(back, report);
+}
+
+#[test]
+fn v1_reports_parse_with_v2_fields_defaulted() {
+    let parsed: RunReport = json::from_str(GOLDEN_V1).expect("v1 golden must parse");
+    assert_eq!(parsed.schema, SCHEMA_V1);
+    assert_eq!(parsed.run, "golden");
+    assert_eq!(parsed.spans[0].alloc_bytes, 0);
+    assert_eq!(parsed.spans[0].alloc_count, 0);
+    assert_eq!(parsed.dropped_events, 2);
+    let h = &parsed.histograms[0];
+    assert_eq!((h.p50, h.p90, h.p99), (0.0, 0.0, 0.0));
+    // The quantile estimator still works on v1 data.
+    assert!((h.quantile(0.5) - 6.5).abs() < 1e-12);
+    parsed.validate_tree().expect("v1 golden tree invariants");
 }

@@ -7,8 +7,10 @@
 //!
 //! Set `WEFR_LOG=info` (or `debug`) for stage-level tracing on stderr, and
 //! `WEFR_TELEMETRY_OUT=<dir>` to redirect the JSON run report (default
-//! `results/telemetry_quickstart.json`). Telemetry never changes stdout or
-//! the computed selections.
+//! `results/telemetry_quickstart.json`) and flamegraph. `WEFR_METRICS_ADDR`
+//! serves live `/metrics` and `/report` over TCP while the run is in
+//! flight, and `WEFR_WATCHDOG_SECS` arms the stall watchdog (DESIGN.md §6).
+//! Telemetry never changes stdout or the computed selections.
 
 use smart_dataset::{DriveModel, Fleet, FleetConfig};
 use smart_pipeline::evaluate::metrics_at_threshold;
@@ -19,6 +21,11 @@ use smart_pipeline::{
 use wefr_core::{SelectionInput, Wefr};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Live observability plane, all off unless the env knobs are set: a
+    // /metrics + /report TCP endpoint and a span-stall watchdog.
+    let metrics_server = telemetry::serve::start_from_env("quickstart");
+    let watchdog = telemetry::watchdog::start_from_env();
+
     // 1. Simulate one year of daily SMART logs for 150 MC1 drives.
     let config = FleetConfig::builder()
         .days(365)
@@ -129,11 +136,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics.fn_
     );
 
-    // Export the telemetry run report (a no-op unless WEFR_LOG or
-    // WEFR_TELEMETRY_OUT enabled collection). Stderr only: stdout stays
-    // identical with telemetry on or off.
+    // Clean-shutdown handshake: both monitors join before the snapshot, so
+    // no watchdog tick or scrape races the report below.
+    if let Some(w) = watchdog {
+        w.stop();
+    }
+    if let Some(s) = metrics_server {
+        eprintln!("metrics endpoint served on {}", s.addr());
+        s.stop();
+    }
+
+    // Export the telemetry run report and count-weighted flamegraph (no-ops
+    // unless an observability knob enabled collection). Stderr only: stdout
+    // stays identical with telemetry on or off.
     if let Some(path) = telemetry::write_run_report("quickstart")? {
         eprintln!("telemetry report written to {}", path.display());
+    }
+    if let Some(path) = telemetry::flame::write_flamegraph("quickstart")? {
+        eprintln!("flamegraph written to {}", path.display());
     }
     Ok(())
 }

@@ -47,6 +47,25 @@ grep -q 'span rankers' "$tmpdir/stderr.txt" || {
 cargo run -q --release --offline -p smart-integration --bin check_telemetry_report \
   "$tmpdir/telemetry_quickstart.json" \
   rankers ensemble threshold_scan change_point wearout_split evaluate
+# The count-weighted flamegraph is a pure function of the span structure, so
+# the committed artifact must match this run byte for byte.
+cmp "$tmpdir/flame_quickstart.svg" results/flame_quickstart.svg || {
+  echo "ERROR: results/flame_quickstart.svg is stale; regenerate with" >&2
+  echo "  WEFR_TELEMETRY_OUT=results cargo run --release --example quickstart" >&2
+  exit 1
+}
+
+step "obs-alloc: telemetry tests under the counting allocator"
+cargo test -q --offline -p smart-telemetry --features obs-alloc
+
+step "observability overhead: full plane <=5% wall-clock, stdout untouched"
+# bench_obs_overhead reruns the quickstart binary with every observability
+# knob on (report, /metrics endpoint, watchdog, allocation counters) and
+# off, alternating; the gate fails on >5% overhead or any stdout diff.
+cargo run -q --release --offline -p wefr-bench --bin bench_obs_overhead -- \
+  target/release/examples/quickstart --out "$tmpdir"
+cargo run -q --release --offline -p smart-integration --bin check_obs_overhead \
+  "$tmpdir/BENCH_pr7.json"
 
 step "split-strategy bench: histogram training must not be slower than exact"
 # A quick MC1-only run of the paired RF-training benchmark; the gate parses
