@@ -1,6 +1,7 @@
 //! Fleet and census generation.
 
 use crate::config::FleetConfig;
+use crate::error::DatasetError;
 use crate::gen::{plan_drive, simulate_drive};
 use crate::model::DriveModel;
 use crate::records::{DriveId, DriveRecord, DriveSummary, FailureRecord};
@@ -99,6 +100,12 @@ pub struct Census {
 
 impl Census {
     /// Plan a census under `config`.
+    ///
+    /// Planned, not measured: `final_mwi_n` is the deterministic wear
+    /// projection of each drive's plan. For a census *measured* from the
+    /// actual simulated telemetry — the paper's Fig. 1 view — use
+    /// [`Census::measured`], which streams the full simulation in bounded
+    /// memory (DESIGN.md §12).
     pub fn generate(config: &FleetConfig) -> Census {
         let mut summaries = Vec::with_capacity(config.total_drives() as usize);
         let mut global_index = 0u32;
@@ -128,6 +135,39 @@ impl Census {
         }
     }
 
+    /// A census *measured* from the fully simulated fleet, produced by the
+    /// streaming generator: every drive is simulated day by day (in
+    /// bounded memory, never holding the whole fleet) and summarised from
+    /// its actual telemetry, so `final_mwi_n` is the noisy simulated value
+    /// rather than [`Census::generate`]'s noise-free projection. Failure
+    /// days, deployment and observation windows agree with both
+    /// [`Fleet::generate`] and [`Census::generate`] drive for drive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario-validation errors from the streaming generator
+    /// (a scenario-free `gen` cannot fail).
+    pub fn measured(
+        config: &FleetConfig,
+        gen: &crate::gen::stream::GenConfig,
+    ) -> Result<Census, DatasetError> {
+        let mut summaries = Vec::with_capacity(config.total_drives() as usize);
+        crate::gen::stream::stream_fleet_batches(config, gen, |batch| {
+            summaries.extend(batch.drives.iter().map(DriveRecord::summary));
+            Ok::<(), DatasetError>(())
+        })?;
+        Ok(Census {
+            config: config.clone(),
+            summaries,
+        })
+    }
+
+    /// Assemble a census from existing summaries (used by streamed
+    /// populations that fold batches into summaries as they pass by).
+    pub fn from_summaries(config: FleetConfig, summaries: Vec<DriveSummary>) -> Census {
+        Census { config, summaries }
+    }
+
     /// The generating configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.config
@@ -151,8 +191,11 @@ impl Census {
 
 /// Derive the per-drive RNG from the master seed and the drive's global
 /// index (splitmix64 mixing), so census and full simulation see identical
-/// plan randomness.
-fn drive_rng(seed: u64, global_index: u32) -> StdRng {
+/// plan randomness. Because each drive's stream depends only on
+/// `(seed, global_index)`, any contiguous drive range can be generated
+/// independently of the rest of the fleet — the seam the streaming
+/// generator ([`crate::gen::stream`]) is built on.
+pub(crate) fn drive_rng(seed: u64, global_index: u32) -> StdRng {
     let mut z = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(global_index as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

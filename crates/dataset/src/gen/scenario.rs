@@ -167,6 +167,67 @@ impl EditableDrive {
     }
 }
 
+/// A churned-out drive's telemetry tail, waiting for its fresh id.
+///
+/// Every perturbation except the replacement's *id* is decidable per
+/// drive, so the streaming generator can apply the scenario inside each
+/// worker and only the id assignment (sequential, in victim order, past
+/// the densest original id) happens at the in-order merge point.
+#[derive(Debug)]
+pub(crate) struct PendingReplacement {
+    model: DriveModel,
+    deploy_day: u32,
+    failure: Option<FailureRecord>,
+    values: Vec<f32>,
+    n_days: u32,
+}
+
+impl PendingReplacement {
+    /// Materialize the replacement under its assigned id. A replacement is
+    /// a fresh drive in the same slot (`initial_age_days == 0`); the
+    /// carried telemetry tail is a modelling shortcut, not a wear claim.
+    pub(crate) fn into_record(self, id: DriveId) -> DriveRecord {
+        DriveRecord::from_flat_values(
+            id,
+            self.model,
+            self.deploy_day,
+            0,
+            self.failure,
+            self.values,
+            self.n_days,
+        )
+    }
+}
+
+/// Apply `scenario` to a single drive: the firmware → missing → churn
+/// cascade, minus the replacement-id assignment (returned as a
+/// [`PendingReplacement`] for the caller to number in victim order).
+///
+/// Every perturbation is drive-local — firmware and missing edit cells in
+/// place, and the churn coin is a fresh per-drive RNG — so applying this
+/// per drive (in any grouping) and then numbering the pending replacements
+/// in drive order is *bit-identical* to the whole-fleet
+/// [`apply_scenario`], which is itself built on this function.
+///
+/// The caller must have [`validate`]d the scenario.
+pub(crate) fn apply_scenario_to_drive(
+    record: &DriveRecord,
+    scenario: &ScenarioConfig,
+) -> (DriveRecord, Option<PendingReplacement>) {
+    let mut drive = EditableDrive::from_record(record);
+    if let Some(rollout) = &scenario.firmware {
+        firmware_drive(&mut drive, rollout);
+    }
+    if let Some(missing) = &scenario.missing {
+        missing_drive(&mut drive, missing, scenario.seed);
+    }
+    let pending = scenario
+        .churn
+        .as_ref()
+        .and_then(|churn| churn_drive(&mut drive, churn, scenario.seed));
+    (drive.into_record(), pending)
+}
+
 /// Apply `scenario` to `fleet`, returning the perturbed fleet. The input
 /// fleet is untouched; an all-`None` scenario returns a bit-identical
 /// copy.
@@ -178,27 +239,24 @@ impl EditableDrive {
 /// [`FirmwareRollout::raw_scale`] is not finite.
 pub fn apply_scenario(fleet: &Fleet, scenario: &ScenarioConfig) -> Result<Fleet, DatasetError> {
     validate(scenario)?;
-    let mut drives: Vec<EditableDrive> = fleet
-        .drives()
-        .iter()
-        .map(EditableDrive::from_record)
-        .collect();
-
-    if let Some(rollout) = &scenario.firmware {
-        apply_firmware(&mut drives, rollout);
+    let mut records = Vec::with_capacity(fleet.drives().len());
+    let mut pending = Vec::new();
+    for record in fleet.drives() {
+        let (out, replacement) = apply_scenario_to_drive(record, scenario);
+        records.push(out);
+        pending.extend(replacement);
     }
-    if let Some(missing) = &scenario.missing {
-        apply_missing(&mut drives, missing, scenario.seed);
+    // Replacement ids continue past the densest existing id, in victim
+    // order, so the perturbed fleet's ids stay unique and deterministic.
+    let mut next_id = records.iter().map(|d| d.id.0).max().map_or(0, |m| m + 1);
+    for replacement in pending {
+        records.push(replacement.into_record(DriveId(next_id)));
+        next_id += 1;
     }
-    if let Some(churn) = &scenario.churn {
-        apply_churn(&mut drives, churn, scenario.seed);
-    }
-
-    let records: Vec<DriveRecord> = drives.into_iter().map(EditableDrive::into_record).collect();
     Ok(Fleet::from_records(fleet.config().clone(), records))
 }
 
-fn validate(scenario: &ScenarioConfig) -> Result<(), DatasetError> {
+pub(crate) fn validate(scenario: &ScenarioConfig) -> Result<(), DatasetError> {
     let invalid = |message: String| DatasetError::InvalidConfig { message };
     if let Some(r) = &scenario.firmware {
         if !r.raw_scale.is_finite() {
@@ -234,79 +292,66 @@ fn validate(scenario: &ScenarioConfig) -> Result<(), DatasetError> {
     Ok(())
 }
 
-fn apply_firmware(drives: &mut [EditableDrive], rollout: &FirmwareRollout) {
-    for drive in drives.iter_mut() {
-        if drive.model != rollout.model {
-            continue;
-        }
-        let Some(attr_idx) = drive.model.attribute_index(rollout.attr) else {
-            continue;
-        };
-        let first_offset = rollout.day.saturating_sub(drive.deploy_day) as usize;
-        if rollout.day < drive.deploy_day {
-            // Deployed after the rollout: the whole record is new-firmware.
-        } else if first_offset >= drive.n_days as usize {
-            continue; // retired before the rollout
-        }
-        for day_offset in first_offset..drive.n_days as usize {
-            let cells = drive.cells_mut(day_offset, attr_idx);
-            cells[0] *= rollout.raw_scale;
-            if rollout.invert_norm {
-                cells[1] = 100.0 - cells[1];
-            }
+fn firmware_drive(drive: &mut EditableDrive, rollout: &FirmwareRollout) {
+    if drive.model != rollout.model {
+        return;
+    }
+    let Some(attr_idx) = drive.model.attribute_index(rollout.attr) else {
+        return;
+    };
+    let first_offset = rollout.day.saturating_sub(drive.deploy_day) as usize;
+    if rollout.day < drive.deploy_day {
+        // Deployed after the rollout: the whole record is new-firmware.
+    } else if first_offset >= drive.n_days as usize {
+        return; // retired before the rollout
+    }
+    for day_offset in first_offset..drive.n_days as usize {
+        let cells = drive.cells_mut(day_offset, attr_idx);
+        cells[0] *= rollout.raw_scale;
+        if rollout.invert_norm {
+            cells[1] = 100.0 - cells[1];
         }
     }
 }
 
-fn apply_missing(drives: &mut [EditableDrive], missing: &MissingCoverage, seed: u64) {
-    for drive in drives.iter_mut() {
-        if drive.model.vendor() != missing.vendor {
-            continue;
-        }
-        let Some(attr_idx) = drive.model.attribute_index(missing.attr) else {
-            continue;
-        };
-        let in_batch =
-            drive_coin(seed, STREAM_MISSING, drive.id).random_bool(missing.batch_fraction);
-        if !in_batch {
-            continue;
-        }
-        for day_offset in 0..drive.n_days as usize {
-            drive.cells_mut(day_offset, attr_idx).fill(f32::NAN);
-        }
+fn missing_drive(drive: &mut EditableDrive, missing: &MissingCoverage, seed: u64) {
+    if drive.model.vendor() != missing.vendor {
+        return;
+    }
+    let Some(attr_idx) = drive.model.attribute_index(missing.attr) else {
+        return;
+    };
+    let in_batch = drive_coin(seed, STREAM_MISSING, drive.id).random_bool(missing.batch_fraction);
+    if !in_batch {
+        return;
+    }
+    for day_offset in 0..drive.n_days as usize {
+        drive.cells_mut(day_offset, attr_idx).fill(f32::NAN);
     }
 }
 
-fn apply_churn(drives: &mut Vec<EditableDrive>, churn: &ReplacementChurn, seed: u64) {
-    // Replacement ids continue past the densest existing id, in victim
-    // order, so the perturbed fleet's ids stay unique and deterministic.
-    let mut next_id = drives.iter().map(|d| d.id.0).max().map_or(0, |m| m + 1);
-    let mut replacements: Vec<EditableDrive> = Vec::new();
-    for drive in drives.iter_mut() {
-        let last_day = drive.deploy_day + drive.n_days.saturating_sub(1);
-        let eligible = drive.deploy_day < churn.day && last_day >= churn.day;
-        if !eligible || !drive_coin(seed, STREAM_CHURN, drive.id).random_bool(churn.fraction) {
-            continue;
-        }
-        let keep_days = (churn.day - drive.deploy_day) as usize;
-        let stride = drive.stride();
-        let tail = drive.values.split_off(keep_days * stride);
-        let tail_days = drive.n_days - keep_days as u32;
-        replacements.push(EditableDrive {
-            id: DriveId(next_id),
-            model: drive.model,
-            deploy_day: churn.day,
-            // A replacement is a fresh drive in the same slot; the carried
-            // telemetry tail is a modelling shortcut, not a wear claim.
-            initial_age_days: 0,
-            failure: drive.failure.take(),
-            values: tail,
-            n_days: tail_days,
-        });
-        next_id += 1;
-        drive.n_days = keep_days as u32;
+fn churn_drive(
+    drive: &mut EditableDrive,
+    churn: &ReplacementChurn,
+    seed: u64,
+) -> Option<PendingReplacement> {
+    let last_day = drive.deploy_day + drive.n_days.saturating_sub(1);
+    let eligible = drive.deploy_day < churn.day && last_day >= churn.day;
+    if !eligible || !drive_coin(seed, STREAM_CHURN, drive.id).random_bool(churn.fraction) {
+        return None;
     }
-    drives.append(&mut replacements);
+    let keep_days = (churn.day - drive.deploy_day) as usize;
+    let stride = drive.stride();
+    let tail = drive.values.split_off(keep_days * stride);
+    let tail_days = drive.n_days - keep_days as u32;
+    drive.n_days = keep_days as u32;
+    Some(PendingReplacement {
+        model: drive.model,
+        deploy_day: churn.day,
+        failure: drive.failure.take(),
+        values: tail,
+        n_days: tail_days,
+    })
 }
 
 /// The mixed-vendor fleet preset of the chaos suite: all three vendors,

@@ -1,0 +1,577 @@
+//! Streaming fleet generation with bounded memory (DESIGN.md §12).
+//!
+//! [`crate::fleet::Fleet::generate`] materializes every drive before the
+//! pipeline sees the first one, capping experiments at toy fleet sizes.
+//! This module turns the simulator into a *source* shaped exactly like the
+//! sharded CSV reader: drive trajectories are generated on scoped worker
+//! threads in contiguous-id chunks and delivered to the consumer as the
+//! same [`DriveBatch`] unit [`crate::ingest::stream_drive_batches`]
+//! produces, strictly in drive-id order:
+//!
+//! ```text
+//! producer ──chunk descriptors──▶ BoundedQueue ──▶ workers ──▶ ReorderBuffer ──▶ merger
+//!  (1 thread)                     (backpressure)   (N threads)  (id order)      (caller)
+//! ```
+//!
+//! Chunk independence: a drive's entire trajectory is a function of
+//! `(config, global_index)` only — `fleet::drive_rng` derives the
+//! per-drive RNG stream from the master seed and the index, never from
+//! fleet iteration state — so any contiguous id range can be generated
+//! without touching the rest of the fleet. The merger restores id order,
+//! which makes the concatenated output *bit-identical* to
+//! [`crate::fleet::Fleet::generate`] at every chunk-size/worker setting.
+//!
+//! The adversarial scenario post-pass (DESIGN.md §11) is applied inside
+//! the workers, per drive: every perturbation except the replacement-id
+//! assignment is drive-local, and the merger numbers churn replacements in
+//! victim order past the densest original id — matching the whole-fleet
+//! [`crate::gen::scenario::apply_scenario`] bit for bit (replacement
+//! batches trail the original population, exactly where `apply_scenario`
+//! appends them).
+//!
+//! Memory stays bounded: at most `max_queued_chunks` chunk descriptors
+//! wait in the work queue and at most `workers + max_queued_chunks`
+//! generated chunks wait in the reorder window, so peak residency is a
+//! fixed number of chunks regardless of fleet size.
+
+use crate::config::FleetConfig;
+use crate::error::DatasetError;
+use crate::fleet::{drive_rng, Fleet};
+use crate::gen::scenario::{self, apply_scenario_to_drive, PendingReplacement, ScenarioConfig};
+use crate::gen::{plan_drive, simulate_drive};
+use crate::ingest::queue::{BoundedQueue, ReorderBuffer};
+use crate::ingest::{DriveBatch, SkipCounts, ENV_WORKERS};
+use crate::model::DriveModel;
+use crate::records::{DriveId, DriveRecord};
+
+/// Environment knob: drives per generation chunk (see
+/// [`GenConfig::from_env`]).
+pub const ENV_GEN_CHUNK_DRIVES: &str = "WEFR_GEN_CHUNK_DRIVES";
+
+/// Tuning for the streaming generator. The sizing knobs trade memory and
+/// parallelism for latency only — the generated fleet is bit-identical for
+/// every setting. `scenario` optionally applies the adversarial post-pass
+/// in-stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenConfig {
+    /// Drives per chunk: the unit of worker hand-off and of the consumer's
+    /// batch size. Peak memory is proportional to
+    /// `chunk_drives × (workers + max_queued_chunks)`.
+    pub chunk_drives: usize,
+    /// Generator worker threads.
+    pub workers: usize,
+    /// Chunk descriptors allowed to wait in the work queue before the
+    /// producer stalls; also sized into the reorder window.
+    pub max_queued_chunks: usize,
+    /// Optional adversarial scenario applied per drive inside the workers.
+    pub scenario: Option<ScenarioConfig>,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            // ~9 MiB of f32 telemetry per chunk at a 365-day window: big
+            // enough to amortise hand-off costs, small enough that the
+            // bounded reorder window stays a sliver of a paper-scale fleet.
+            chunk_drives: 512,
+            workers: 4,
+            max_queued_chunks: 8,
+            scenario: None,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Build a config from a key → value lookup, starting from defaults.
+    /// Recognises [`ENV_GEN_CHUNK_DRIVES`] and the shared
+    /// [`ENV_WORKERS`]; unparseable or zero values are ignored.
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> GenConfig {
+        let mut config = GenConfig::default();
+        let parsed = |name: &str| get(name).and_then(|v| v.trim().parse::<usize>().ok());
+        if let Some(chunk) = parsed(ENV_GEN_CHUNK_DRIVES).filter(|&v| v > 0) {
+            config.chunk_drives = chunk;
+        }
+        if let Some(workers) = parsed(ENV_WORKERS).filter(|&v| v > 0) {
+            config.workers = workers;
+        }
+        config
+    }
+
+    /// [`GenConfig::from_lookup`] over the process environment.
+    pub fn from_env() -> GenConfig {
+        // lint:allow(side-effects) the documented contract of this
+        // constructor is reading the WEFR_GEN_CHUNK_DRIVES / WEFR_WORKERS
+        // knobs; everything else must take the config as a parameter
+        GenConfig::from_lookup(|name| std::env::var(name).ok())
+    }
+}
+
+/// Counters describing one streaming generation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// Drive records delivered to the consumer (replacements included).
+    pub drives: u64,
+    /// Batches delivered (original chunks plus trailing replacement
+    /// batches).
+    pub chunks: u64,
+    /// Drive-days delivered — the row count of the equivalent CSV body.
+    pub rows: u64,
+    /// Churn replacement drives appended after the original population.
+    pub replacements: u64,
+    /// Times the producer found the work queue full and had to wait.
+    pub queue_full_stalls: u64,
+    /// Largest single batch's f32 telemetry payload, in bytes: the unit of
+    /// the bounded-memory argument (peak residency ≤ this ×
+    /// `(workers + max_queued_chunks + 1)`).
+    pub peak_batch_bytes: u64,
+    /// Total f32 telemetry delivered, in bytes — what a materialized
+    /// [`Fleet`] of this run would hold resident all at once.
+    pub value_bytes: u64,
+}
+
+/// The f32 telemetry payload of one record, in bytes.
+fn record_value_bytes(d: &DriveRecord) -> u64 {
+    u64::from(d.n_days()) * 2 * d.model.attributes().len() as u64 * 4
+}
+
+/// Generate the contiguous drive-id range `start..start + len` of the
+/// fleet `config` describes, exactly as [`Fleet::generate`] would — the
+/// returned records are bit-identical to the corresponding slice of the
+/// materialized fleet. This is the chunk primitive under
+/// [`stream_fleet_batches`], exposed for the property suite's arbitrary
+/// re-partitions.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] when the range reaches past
+/// `config.total_drives()`.
+pub fn generate_drive_range(
+    config: &FleetConfig,
+    start: u32,
+    len: u32,
+) -> Result<Vec<DriveRecord>, DatasetError> {
+    let total = config.total_drives();
+    let in_range = start.checked_add(len).is_some_and(|end| end <= total);
+    if !in_range {
+        return Err(DatasetError::InvalidConfig {
+            message: format!("drive range {start}+{len} reaches past the fleet of {total} drives"),
+        });
+    }
+    Ok(generate_range_clamped(config, start, start + len))
+}
+
+/// [`generate_drive_range`] with the bounds clamped to the fleet — total,
+/// so the worker pool (whose producer only ever schedules in-range chunks)
+/// stays panic- and error-free.
+fn generate_range_clamped(config: &FleetConfig, start: u32, end: u32) -> Vec<DriveRecord> {
+    let end = end.min(config.total_drives());
+    let start = start.min(end);
+    let mut drives = Vec::with_capacity((end - start) as usize);
+    let mut first_of_model = 0u32;
+    for model in DriveModel::ALL {
+        let model_end = first_of_model + config.drives_for(model);
+        let lo = start.max(first_of_model);
+        let hi = end.min(model_end);
+        for global_index in lo..hi {
+            let mut rng = drive_rng(config.seed(), global_index);
+            let plan = plan_drive(model, config, &mut rng);
+            drives.push(simulate_drive(
+                DriveId(global_index),
+                &plan,
+                config.days(),
+                &mut rng,
+            ));
+        }
+        first_of_model = model_end;
+    }
+    drives
+}
+
+/// One worker's output for one chunk: the (possibly scenario-perturbed)
+/// records plus the churn tails awaiting merger-assigned ids.
+struct Produced {
+    drives: Vec<DriveRecord>,
+    pending: Vec<PendingReplacement>,
+}
+
+/// Deliver one batch to the consumer, updating stats and the live
+/// counters. `first_line` continues the CSV-equivalent numbering (header
+/// is line 1) so generated batches are indistinguishable from ingested
+/// ones downstream.
+fn emit_batch<E, F>(
+    consume: &mut F,
+    stats: &mut GenStats,
+    shard_index: &mut usize,
+    drives: Vec<DriveRecord>,
+) -> Result<(), E>
+where
+    F: FnMut(DriveBatch) -> Result<(), E>,
+{
+    let bytes: u64 = drives.iter().map(record_value_bytes).sum();
+    let rows: u64 = drives.iter().map(|d| u64::from(d.n_days())).sum();
+    let batch = DriveBatch {
+        shard_index: *shard_index,
+        first_line: 2 + stats.rows as usize,
+        drives,
+        skipped: SkipCounts::default(),
+    };
+    *shard_index += 1;
+    stats.chunks += 1;
+    stats.drives += batch.drives.len() as u64;
+    stats.rows += rows;
+    stats.value_bytes += bytes;
+    stats.peak_batch_bytes = stats.peak_batch_bytes.max(bytes);
+    // Counted per batch, not once at the end, so a live /metrics scrape
+    // sees generation progress mid-run.
+    telemetry::counter_add("gen.drives", batch.drives.len() as u64);
+    telemetry::counter_add("gen.rows", rows);
+    telemetry::counter_add("gen.chunks", 1);
+    consume(batch)
+}
+
+/// Stream the fleet `config` describes through the chunked generator
+/// pipeline, handing each chunk's drive records to `consume` strictly in
+/// drive-id order — the streaming-source twin of
+/// [`crate::ingest::stream_drive_batches`].
+///
+/// The concatenated records are bit-identical to
+/// [`Fleet::generate`] (plus [`scenario::apply_scenario`] when
+/// `gen.scenario` is set) at every chunk-size/worker setting; consumers
+/// that fold batches away as they arrive never hold the whole fleet.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] for an invalid scenario, or
+/// whatever `consume` returned; in the latter case the pipeline is aborted
+/// and drained before returning.
+pub fn stream_fleet_batches<E, F>(
+    config: &FleetConfig,
+    gen: &GenConfig,
+    mut consume: F,
+) -> Result<GenStats, E>
+where
+    E: From<DatasetError>,
+    F: FnMut(DriveBatch) -> Result<(), E>,
+{
+    if let Some(s) = &gen.scenario {
+        scenario::validate(s).map_err(E::from)?;
+    }
+    let workers = gen.workers.max(1);
+    let queue_slots = gen.max_queued_chunks.max(1);
+    let chunk_drives = gen.chunk_drives.max(1) as u32;
+    let total = config.total_drives();
+    let n_chunks = total.div_ceil(chunk_drives) as usize;
+    let span = telemetry::span!(
+        "gen_stream",
+        workers = workers,
+        chunk_drives = gen.chunk_drives
+    );
+    let span_id = span.id();
+
+    let scenario = gen.scenario.as_ref();
+    let work: BoundedQueue<(usize, u32, u32)> =
+        BoundedQueue::observed(queue_slots, "gen.queue_depth");
+    let done: ReorderBuffer<Produced> = ReorderBuffer::new(workers + queue_slots);
+    // Unlike ingest, the chunk count is known before the first batch.
+    done.set_total(n_chunks);
+
+    let (stats, outcome) = std::thread::scope(|scope| {
+        let producer = scope.spawn(|| {
+            for index in 0..n_chunks {
+                let start = index as u32 * chunk_drives;
+                let len = chunk_drives.min(total - start);
+                if !work.push((index, start, len)) {
+                    break; // aborted by the merger
+                }
+            }
+            work.close();
+        });
+
+        for _ in 0..workers {
+            let work = &work;
+            let done = &done;
+            scope.spawn(move || {
+                while let Some((index, start, len)) = work.pop() {
+                    let chunk_span = telemetry::span_child_of(span_id, "gen_chunk");
+                    chunk_span.record("chunk", index);
+                    chunk_span.record("drives", len);
+                    let raw = generate_range_clamped(config, start, start + len);
+                    let produced = match scenario {
+                        None => Produced {
+                            drives: raw,
+                            pending: Vec::new(),
+                        },
+                        Some(s) => {
+                            let mut drives = Vec::with_capacity(raw.len());
+                            let mut pending = Vec::new();
+                            for record in &raw {
+                                let (out, replacement) = apply_scenario_to_drive(record, s);
+                                drives.push(out);
+                                pending.extend(replacement);
+                            }
+                            Produced { drives, pending }
+                        }
+                    };
+                    drop(chunk_span);
+                    if !done.insert(index, produced) {
+                        break; // aborted by the merger
+                    }
+                }
+            });
+        }
+
+        let mut stats = GenStats::default();
+        let mut shard_index = 0usize;
+        let mut pending_all: Vec<PendingReplacement> = Vec::new();
+        let mut merge_outcome: Result<(), E> = Ok(());
+        while let Some(produced) = done.take_next() {
+            // Churn tails accumulate in victim (= drive-id) order; only
+            // their count rides along until the population is complete.
+            pending_all.extend(produced.pending);
+            if let Err(e) = emit_batch(&mut consume, &mut stats, &mut shard_index, produced.drives)
+            {
+                merge_outcome = Err(e);
+                break;
+            }
+        }
+        if merge_outcome.is_ok() {
+            // Replacement ids continue past the densest original id (ids
+            // are dense, so that is `total`), in victim order — exactly
+            // where and how `apply_scenario` numbers and appends them.
+            stats.replacements = pending_all.len() as u64;
+            let mut next_id = total;
+            let mut tail: Vec<DriveRecord> = Vec::new();
+            for replacement in pending_all {
+                tail.push(replacement.into_record(DriveId(next_id)));
+                next_id += 1;
+                if tail.len() >= chunk_drives as usize {
+                    let full = std::mem::take(&mut tail);
+                    if let Err(e) = emit_batch(&mut consume, &mut stats, &mut shard_index, full) {
+                        merge_outcome = Err(e);
+                        break;
+                    }
+                }
+            }
+            if merge_outcome.is_ok() && !tail.is_empty() {
+                merge_outcome = emit_batch(&mut consume, &mut stats, &mut shard_index, tail);
+            }
+        }
+        if merge_outcome.is_err() {
+            work.abort();
+            done.abort();
+        }
+
+        if let Err(payload) = producer.join() {
+            // lint:allow(panic-free) a producer panic is already a bug;
+            // re-raising keeps the scoped-thread invariant visible instead
+            // of reporting a bogus clean run
+            std::panic::resume_unwind(payload);
+        }
+        stats.queue_full_stalls = work.stalls();
+        (stats, merge_outcome)
+    });
+
+    telemetry::counter_add("gen.queue_full_stalls", stats.queue_full_stalls);
+    telemetry::counter_add("gen.replacements", stats.replacements);
+    span.record("drives", stats.drives);
+    span.record("chunks", stats.chunks);
+    span.record("stalls", stats.queue_full_stalls);
+    outcome?;
+    Ok(stats)
+}
+
+/// Materialize a streamed generation run into a [`Fleet`] — the
+/// convenience wrapper holding the streamed and materialized paths equal:
+/// with no scenario it matches [`Fleet::generate`], with one it matches
+/// [`scenario::apply_scenario`] over that fleet, bit for bit.
+///
+/// # Errors
+///
+/// Exactly the errors of [`stream_fleet_batches`].
+pub fn generate_fleet_streamed(
+    config: &FleetConfig,
+    gen: &GenConfig,
+) -> Result<Fleet, DatasetError> {
+    let mut drives = Vec::with_capacity(config.total_drives() as usize);
+    stream_fleet_batches(config, gen, |batch: DriveBatch| {
+        drives.extend(batch.drives);
+        Ok::<(), DatasetError>(())
+    })?;
+    Ok(Fleet::from_records(config.clone(), drives))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::scenario::mixed_vendor_config;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig::builder()
+            .days(120)
+            .seed(11)
+            .drives(DriveModel::Ma1, 9)
+            .drives(DriveModel::Mc1, 14)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn streamed_matches_materialized_across_settings() {
+        let config = small_config();
+        let reference = Fleet::generate(&config);
+        for workers in [1, 3] {
+            for chunk_drives in [1, 5, 1_000] {
+                let gen = GenConfig {
+                    chunk_drives,
+                    workers,
+                    max_queued_chunks: 2,
+                    scenario: None,
+                };
+                let fleet = generate_fleet_streamed(&config, &gen).unwrap();
+                assert_eq!(
+                    fleet, reference,
+                    "workers={workers} chunk_drives={chunk_drives}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batches_arrive_in_id_order_with_csv_line_numbering() {
+        let config = small_config();
+        let gen = GenConfig {
+            chunk_drives: 4,
+            workers: 4,
+            max_queued_chunks: 2,
+            scenario: None,
+        };
+        let mut next_index = 0usize;
+        let mut next_line = 2usize;
+        let mut next_id = 0u32;
+        let stats = stream_fleet_batches(&config, &gen, |batch: DriveBatch| {
+            assert_eq!(batch.shard_index, next_index);
+            assert_eq!(batch.first_line, next_line);
+            assert_eq!(batch.skipped, SkipCounts::default());
+            for d in &batch.drives {
+                assert_eq!(d.id, DriveId(next_id));
+                next_id += 1;
+                next_line += d.n_days() as usize;
+            }
+            next_index += 1;
+            Ok::<(), DatasetError>(())
+        })
+        .unwrap();
+        assert_eq!(stats.drives, 23);
+        assert_eq!(stats.chunks, 6);
+        assert_eq!(stats.rows as usize, next_line - 2);
+        assert!(stats.value_bytes > 0);
+        assert!(stats.peak_batch_bytes <= stats.value_bytes);
+    }
+
+    #[test]
+    fn streamed_scenario_matches_whole_fleet_post_pass() {
+        let config = mixed_vendor_config(150, 3).unwrap();
+        let scenario = ScenarioConfig {
+            seed: 9,
+            firmware: Some(crate::gen::scenario::FirmwareRollout {
+                day: 60,
+                model: DriveModel::Mc1,
+                attr: crate::attr::SmartAttribute::Rsc,
+                raw_scale: 512.0,
+                invert_norm: true,
+            }),
+            missing: Some(crate::gen::scenario::MissingCoverage {
+                vendor: crate::model::Vendor::Ma,
+                attr: crate::attr::SmartAttribute::Uce,
+                batch_fraction: 0.5,
+            }),
+            churn: Some(crate::gen::scenario::ReplacementChurn {
+                day: 75,
+                fraction: 0.3,
+            }),
+        };
+        let reference = scenario::apply_scenario(&Fleet::generate(&config), &scenario).unwrap();
+        let gen = GenConfig {
+            chunk_drives: 7,
+            workers: 3,
+            max_queued_chunks: 2,
+            scenario: Some(scenario),
+        };
+        let streamed = generate_fleet_streamed(&config, &gen).unwrap();
+        // NaN cells defeat PartialEq; CSV export (where NaN prints stably)
+        // is the byte-faithful comparison.
+        let csv = |f: &Fleet| {
+            let mut buf = Vec::new();
+            crate::csv::export_smart_csv(f, &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        assert_eq!(csv(&streamed), csv(&reference));
+        assert_eq!(streamed.summaries(), reference.summaries());
+    }
+
+    #[test]
+    fn drive_range_is_a_slice_of_the_fleet() {
+        let config = small_config();
+        let reference = Fleet::generate(&config);
+        let range = generate_drive_range(&config, 7, 9).unwrap();
+        assert_eq!(range.as_slice(), &reference.drives()[7..16]);
+        assert!(generate_drive_range(&config, 20, 4).is_err());
+        assert!(generate_drive_range(&config, u32::MAX, 2).is_err());
+        assert_eq!(generate_drive_range(&config, 23, 0).unwrap(), []);
+    }
+
+    #[test]
+    fn consumer_error_aborts_cleanly() {
+        let config = small_config();
+        let gen = GenConfig {
+            chunk_drives: 2,
+            workers: 2,
+            max_queued_chunks: 1,
+            scenario: None,
+        };
+        let mut seen = 0;
+        let err = stream_fleet_batches(&config, &gen, |_b: DriveBatch| {
+            seen += 1;
+            Err(DatasetError::InvalidConfig {
+                message: "stop".to_string(),
+            })
+        })
+        .unwrap_err();
+        assert_eq!(seen, 1);
+        assert!(matches!(err, DatasetError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn invalid_scenario_is_rejected_before_spawning() {
+        let config = small_config();
+        let gen = GenConfig {
+            scenario: Some(ScenarioConfig {
+                churn: Some(crate::gen::scenario::ReplacementChurn {
+                    day: 10,
+                    fraction: 1.5,
+                }),
+                ..ScenarioConfig::default()
+            }),
+            ..GenConfig::default()
+        };
+        assert!(generate_fleet_streamed(&config, &gen).is_err());
+    }
+
+    #[test]
+    fn config_from_lookup_reads_knobs() {
+        let config = GenConfig::from_lookup(|name| match name {
+            ENV_GEN_CHUNK_DRIVES => Some(" 96 ".to_string()),
+            ENV_WORKERS => Some("3".to_string()),
+            _ => None,
+        });
+        assert_eq!(config.chunk_drives, 96);
+        assert_eq!(config.workers, 3);
+        // Zero and garbage fall back to defaults.
+        let config = GenConfig::from_lookup(|name| match name {
+            ENV_GEN_CHUNK_DRIVES => Some("0".to_string()),
+            ENV_WORKERS => Some("lots".to_string()),
+            _ => None,
+        });
+        assert_eq!(config, GenConfig::default());
+    }
+}

@@ -21,7 +21,7 @@
 //! the integration suite holds the two paths equal.
 
 mod parse;
-mod queue;
+pub(crate) mod queue;
 mod shard;
 
 use crate::config::FleetConfig;

@@ -20,7 +20,7 @@ struct QueueState<T> {
 /// Blocking FIFO queue with a fixed capacity. Producers stall when it is
 /// full (counted), consumers stall when it is empty; `close` drains,
 /// `abort` discards.
-pub(super) struct BoundedQueue<T> {
+pub(crate) struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     cond: Condvar,
     capacity: usize,
@@ -146,7 +146,7 @@ struct ReorderState<T> {
 /// worker. The smallest outstanding index is always inside the window
 /// (`capacity >= 1`), so its holder never blocks, the consumer keeps
 /// advancing, and every blocked producer is eventually admitted.
-pub(super) struct ReorderBuffer<T> {
+pub(crate) struct ReorderBuffer<T> {
     state: Mutex<ReorderState<T>>,
     cond: Condvar,
     capacity: usize,

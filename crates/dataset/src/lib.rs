@@ -56,6 +56,9 @@ pub use gen::scenario::{
     apply_scenario, inject_csv_chaos, mixed_vendor_config, CsvChaos, FirmwareRollout,
     MissingCoverage, ReplacementChurn, ScenarioConfig,
 };
+pub use gen::stream::{
+    generate_drive_range, generate_fleet_streamed, stream_fleet_batches, GenConfig, GenStats,
+};
 pub use ingest::{
     import_smart_csv_sharded, import_smart_csv_sharded_with_stats, stream_drive_batches,
     DriveBatch, IngestConfig, IngestStats, IngestTolerance, SkipCounts,

@@ -1,0 +1,96 @@
+//! Seeded property tests for the streaming batch emitter (DESIGN.md §12):
+//! chunk-boundary invariance — any contiguous partition of the drive ids,
+//! generated in any order, concatenates to the materialized fleet — and
+//! planned-census agreement with the measured (streamed) population,
+//! generalizing the fixed-seed `census_agrees_with_fleet_on_failures`.
+
+use smart_dataset::gen::stream::{generate_drive_range, GenConfig};
+use smart_dataset::{Census, DriveModel, DriveRecord, FailureMechanism, Fleet, FleetConfig};
+
+fn random_config(g: &mut rng::prop::Gen) -> FleetConfig {
+    let mut builder = FleetConfig::builder()
+        .days(g.usize_in(120, 280) as u32)
+        .seed(g.u64_in(0, u64::MAX))
+        .failure_scale(8.0);
+    // 1–3 small models keeps a case well under a second.
+    let models = [DriveModel::Ma1, DriveModel::Mc1, DriveModel::Mb2];
+    for &model in models.iter().take(g.usize_in(1, models.len())) {
+        builder = builder.drives(model, g.usize_in(1, 12) as u32);
+    }
+    builder.build().expect("valid config")
+}
+
+#[test]
+fn prop_any_partition_in_any_order_concatenates_to_the_fleet() {
+    rng::prop_check!(|g| {
+        let config = random_config(g);
+        let total = config.total_drives();
+        // Random cut points partition 0..total into contiguous ranges.
+        let mut cuts: Vec<u32> = (0..g.usize_in(0, 6))
+            .map(|_| g.u64_in(0, u64::from(total)) as u32)
+            .collect();
+        cuts.extend([0, total]);
+        cuts.sort_unstable();
+        cuts.dedup();
+        let bounds: Vec<(u32, u32)> = cuts.windows(2).map(|w| (w[0], w[1])).collect();
+        // Generate the ranges in a random order: chunk independence means
+        // a range's content cannot depend on what was generated before it.
+        let mut parts: Vec<(u32, Vec<DriveRecord>)> = Vec::with_capacity(bounds.len());
+        for &i in &g.permutation(bounds.len()) {
+            let (start, end) = bounds[i];
+            let chunk = generate_drive_range(&config, start, end - start).expect("in-range chunk");
+            parts.push((start, chunk));
+        }
+        parts.sort_by_key(|(start, _)| *start);
+        let concatenated: Vec<DriveRecord> =
+            parts.into_iter().flat_map(|(_, chunk)| chunk).collect();
+        let reference = Fleet::generate(&config);
+        assert_eq!(concatenated.as_slice(), reference.drives());
+    });
+}
+
+#[test]
+fn prop_measured_census_agrees_with_planned_census_on_lifecycles() {
+    rng::prop_check!(|g| {
+        let config = random_config(g);
+        let gen = GenConfig {
+            chunk_drives: g.usize_in(1, 9),
+            workers: g.usize_in(1, 4),
+            max_queued_chunks: g.usize_in(1, 3),
+            scenario: None,
+        };
+        let planned = Census::generate(&config);
+        let measured = Census::measured(&config, &gen).expect("measured census");
+        assert_eq!(planned.summaries().len(), measured.summaries().len());
+        for (p, m) in planned.summaries().iter().zip(measured.summaries()) {
+            assert_eq!(p.id, m.id);
+            assert_eq!(p.model, m.model);
+            assert_eq!(p.deploy_day, m.deploy_day);
+            assert_eq!(p.initial_age_days, m.initial_age_days);
+            assert_eq!(
+                p.failure, m.failure,
+                "drive {}: failure day/mechanism",
+                m.id
+            );
+            assert_eq!(p.observed_days, m.observed_days);
+            // The planned census projects wear noise-free; the measured one
+            // reads the simulated value. Wear-out casualties consume wear
+            // 3× faster after onset (which the projection ignores), so for
+            // them the measured value may sit well below — but never
+            // above — the projection.
+            let wear_out = m
+                .failure
+                .is_some_and(|f| f.mechanism == FailureMechanism::WearOut);
+            let diverged = if wear_out {
+                m.final_mwi_n - p.final_mwi_n >= 8.0
+            } else {
+                (m.final_mwi_n - p.final_mwi_n).abs() >= 8.0
+            };
+            assert!(
+                !diverged,
+                "drive {}: measured {}, projected {}",
+                m.id, m.final_mwi_n, p.final_mwi_n
+            );
+        }
+    });
+}

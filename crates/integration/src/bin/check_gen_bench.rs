@@ -1,0 +1,172 @@
+#![forbid(unsafe_code)]
+//! CI gate for the streaming-generation benchmark: parse a
+//! `BENCH_pr8.json` report (written by `bench_gen_stream`) and require
+//! that the chunked generator's guarantees held.
+//!
+//! ```text
+//! check_gen_bench [--paper] <BENCH_pr8.json>
+//! ```
+//!
+//! Every report must show:
+//!
+//! * a non-empty bit-identity matrix with every cell identical — the
+//!   stream reproduced `Fleet::generate` at every chunk-size/worker
+//!   setting it swept;
+//! * a bounded pipeline window strictly smaller than the materialized
+//!   fleet it replaced (`bounded_ratio >= 2`), with the window arithmetic
+//!   (`peak_batch_bytes x (workers + max_queued_chunks + 1)`) intact;
+//! * a non-degenerate run: drives, rows, samples, positives, and a
+//!   non-empty selected set.
+//!
+//! `--paper` additionally gates the committed paper-scale evidence: at
+//! least 499 000 drives (the population mix rounds per model), a
+//! `bounded_ratio >= 10`, and armed allocation tracking with a non-zero
+//! byte delta on every stage — the memory claim must come with receipts.
+//!
+//! Exits non-zero (with a reason on stderr) when the file is missing,
+//! malformed, or any guarantee failed.
+
+use std::process::ExitCode;
+
+/// Minimum `value_bytes / bounded_window_bytes` for any run: streaming
+/// must beat materializing even at quick scale.
+const MIN_RATIO: f64 = 2.0;
+
+/// Minimum ratio for the committed paper-scale run.
+const MIN_PAPER_RATIO: f64 = 10.0;
+
+/// Minimum drives in the committed paper-scale run (500 000 nominal; the
+/// population mix rounds per model).
+const MIN_PAPER_DRIVES: f64 = 499_000.0;
+
+fn num(value: &json::Value, key: &str, path: &str) -> Result<f64, String> {
+    value
+        .field(key)
+        .and_then(json::Value::as_f64)
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| format!("{path} has no finite \"{key}\""))
+}
+
+fn check(value: &json::Value, path: &str, paper: bool) -> Result<String, String> {
+    let identity = value
+        .field("identity")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| format!("{path} has no \"identity\" array"))?;
+    if identity.is_empty() {
+        return Err(format!("{path}: bit-identity matrix is empty"));
+    }
+    for row in identity {
+        let workers = num(row, "workers", path)?;
+        let chunk = num(row, "chunk_drives", path)?;
+        if row.field("identical").and_then(json::Value::as_bool) != Some(true) {
+            return Err(format!(
+                "{path}: stream diverged from Fleet::generate at workers={workers} \
+                 chunk_drives={chunk}"
+            ));
+        }
+    }
+
+    let drives = num(value, "drives", path)?;
+    let rows = num(value, "rows", path)?;
+    let samples = num(value, "samples", path)?;
+    let positives = num(value, "positives", path)?;
+    if drives <= 0.0 || rows <= 0.0 || samples <= 0.0 || positives <= 0.0 {
+        return Err(format!(
+            "{path}: degenerate run (drives={drives}, rows={rows}, samples={samples}, \
+             positives={positives})"
+        ));
+    }
+    let selected = value
+        .field("selected")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| format!("{path} has no \"selected\" array"))?;
+    if selected.is_empty() {
+        return Err(format!("{path}: WEFR selected no features"));
+    }
+
+    let peak_batch = num(value, "peak_batch_bytes", path)?;
+    let window = num(value, "bounded_window_bytes", path)?;
+    let value_bytes = num(value, "value_bytes", path)?;
+    let ratio = num(value, "bounded_ratio", path)?;
+    let batches = num(value, "workers", path)? + num(value, "max_queued_chunks", path)? + 1.0;
+    if (window - peak_batch * batches).abs() > 0.5 {
+        return Err(format!(
+            "{path}: bounded window arithmetic broken ({window} != {peak_batch} x {batches})"
+        ));
+    }
+    if (ratio - value_bytes / window).abs() > 1e-6 * ratio {
+        return Err(format!(
+            "{path}: bounded_ratio {ratio} disagrees with value_bytes/window"
+        ));
+    }
+    let floor = if paper { MIN_PAPER_RATIO } else { MIN_RATIO };
+    if ratio < floor {
+        return Err(format!(
+            "{path}: streaming window only {ratio:.1}x smaller than the materialized \
+             fleet (floor {floor:.0}x) — bounded memory claim fails"
+        ));
+    }
+
+    if paper {
+        if drives < MIN_PAPER_DRIVES {
+            return Err(format!(
+                "{path}: paper-scale evidence has only {drives:.0} drives \
+                 (needs >= {MIN_PAPER_DRIVES:.0})"
+            ));
+        }
+        if value.field("alloc_tracked").and_then(json::Value::as_bool) != Some(true) {
+            return Err(format!(
+                "{path}: paper-scale evidence lacks allocation tracking \
+                 (rerun with --features obs-alloc and WEFR_OBS_ALLOC=1)"
+            ));
+        }
+        let stages = value
+            .field("stages")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| format!("{path} has no \"stages\" array"))?;
+        for stage in stages {
+            let name = stage
+                .field("stage")
+                .and_then(json::Value::as_str)
+                .unwrap_or("?");
+            if num(stage, "alloc_bytes", path)? <= 0.0 {
+                return Err(format!(
+                    "{path}: stage {name:?} recorded no allocation delta despite \
+                     alloc_tracked=true"
+                ));
+            }
+        }
+    }
+
+    Ok(format!(
+        "OK: {path}: {} identity cells, {drives:.0} drives, {rows:.0} rows, \
+         window {ratio:.1}x under the materialized fleet{}",
+        identity.len(),
+        if paper { " (paper scale)" } else { "" }
+    ))
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let (paper, path) = match args {
+        [flag, path] if flag == "--paper" => (true, path),
+        [path] => (false, path),
+        _ => return Err("usage: check_gen_bench [--paper] <BENCH_pr8.json>".to_string()),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    check(&value, path, paper)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(message) => {
+            println!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("ERROR: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

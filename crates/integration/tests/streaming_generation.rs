@@ -1,0 +1,158 @@
+//! Streaming-generation parity: the chunked generator (DESIGN.md §12) is
+//! bit-identical to the materialized `Fleet::generate` — records, tickets,
+//! and the WEFR selected set — at every chunk-size/worker setting,
+//! mirroring the ingest determinism matrix; and the scenario post-pass
+//! applied per batch inside the workers matches the whole-fleet post-pass.
+
+use smart_dataset::gen::stream::{generate_fleet_streamed, GenConfig};
+use smart_dataset::{
+    apply_scenario, mixed_vendor_config, tickets_from_summaries, DriveModel, FirmwareRollout,
+    Fleet, FleetConfig, MissingCoverage, ReplacementChurn, ScenarioConfig, SmartAttribute, Vendor,
+};
+use smart_pipeline::{base_matrix, collect_samples, generated_base_matrix, SamplingConfig};
+use wefr_core::{SelectionInput, Wefr, WefrConfig};
+
+const WORKER_MATRIX: [usize; 4] = [1, 2, 4, 8];
+
+fn parity_config() -> FleetConfig {
+    FleetConfig::builder()
+        .days(365)
+        .seed(11)
+        .drives(DriveModel::Mc1, 60)
+        .failure_scale(8.0)
+        .build()
+        .expect("valid config")
+}
+
+fn gen_config(chunk_drives: usize, workers: usize) -> GenConfig {
+    GenConfig {
+        chunk_drives,
+        workers,
+        max_queued_chunks: 2,
+        scenario: None,
+    }
+}
+
+#[test]
+fn streamed_records_and_tickets_match_materialized_at_every_setting() {
+    let config = parity_config();
+    let reference = Fleet::generate(&config);
+    let reference_tickets = tickets_from_summaries(&reference.summaries());
+    for workers in WORKER_MATRIX {
+        for chunk_drives in [1, 7, 64, 10_000] {
+            let streamed = generate_fleet_streamed(&config, &gen_config(chunk_drives, workers))
+                .expect("streamed generation");
+            assert_eq!(
+                streamed.drives(),
+                reference.drives(),
+                "workers={workers} chunk_drives={chunk_drives}"
+            );
+            assert_eq!(
+                tickets_from_summaries(&streamed.summaries()),
+                reference_tickets,
+                "workers={workers} chunk_drives={chunk_drives}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wefr_selected_set_is_identical_from_streamed_and_materialized_sources() {
+    let config = parity_config();
+    let sampling = SamplingConfig::default();
+    let fleet = Fleet::generate(&config);
+    let samples = collect_samples(&fleet, DriveModel::Mc1, 0, 364, &sampling).expect("samples");
+    let (matrix, labels, mwi) =
+        base_matrix(&fleet, DriveModel::Mc1, &samples).expect("base matrix");
+    let wefr = Wefr::new(WefrConfig {
+        seed: 13,
+        ..WefrConfig::default()
+    });
+    let reference = wefr
+        .select(&SelectionInput::basic(&matrix, &labels))
+        .expect("materialized selection");
+
+    for workers in WORKER_MATRIX {
+        let generated = generated_base_matrix(
+            &config,
+            &gen_config(16, workers),
+            DriveModel::Mc1,
+            0,
+            364,
+            &sampling,
+        )
+        .expect("generated matrix");
+        // The inputs are bit-identical...
+        assert_eq!(generated.labels, labels, "workers={workers}");
+        assert_eq!(generated.mwi, mwi, "workers={workers}");
+        for name in matrix.feature_names() {
+            let a = matrix.column_index(name).expect("reference column");
+            let b = generated
+                .matrix
+                .column_index(name)
+                .expect("generated column");
+            assert_eq!(matrix.column(a), generated.matrix.column(b), "{name}");
+        }
+        // ...and so is the selection computed from them.
+        let selection = wefr
+            .select(&SelectionInput::basic(&generated.matrix, &generated.labels))
+            .expect("streamed selection");
+        assert_eq!(
+            selection.global.selected, reference.global.selected,
+            "workers={workers}"
+        );
+        assert_eq!(
+            selection.global.selected_names,
+            reference.global.selected_names
+        );
+    }
+}
+
+#[test]
+fn per_batch_scenario_matches_whole_fleet_post_pass_at_every_setting() {
+    let config = mixed_vendor_config(150, 3).expect("valid config");
+    let scenario = ScenarioConfig {
+        seed: 9,
+        firmware: Some(FirmwareRollout {
+            day: 60,
+            model: DriveModel::Mc1,
+            attr: SmartAttribute::Rsc,
+            raw_scale: 512.0,
+            invert_norm: true,
+        }),
+        missing: Some(MissingCoverage {
+            vendor: Vendor::Ma,
+            attr: SmartAttribute::Uce,
+            batch_fraction: 0.5,
+        }),
+        churn: Some(ReplacementChurn {
+            day: 75,
+            fraction: 0.3,
+        }),
+    };
+    let reference =
+        apply_scenario(&Fleet::generate(&config), &scenario).expect("whole-fleet post-pass");
+    // NaN cells (missing coverage) defeat PartialEq; CSV export, where NaN
+    // prints stably, is the byte-faithful comparison.
+    let csv = |f: &Fleet| {
+        let mut buf = Vec::new();
+        smart_dataset::csv::export_smart_csv(f, &mut buf).expect("export");
+        String::from_utf8(buf).expect("utf8")
+    };
+    let reference_csv = csv(&reference);
+    for workers in WORKER_MATRIX {
+        for chunk_drives in [3, 17, 10_000] {
+            let gen = GenConfig {
+                scenario: Some(scenario),
+                ..gen_config(chunk_drives, workers)
+            };
+            let streamed = generate_fleet_streamed(&config, &gen).expect("streamed generation");
+            assert_eq!(
+                csv(&streamed),
+                reference_csv,
+                "workers={workers} chunk_drives={chunk_drives}"
+            );
+            assert_eq!(streamed.summaries(), reference.summaries());
+        }
+    }
+}

@@ -119,13 +119,22 @@ pub struct ExperimentConfig {
     pub tune_grid: Vec<f64>,
     /// Target recall override (`None` = the paper's per-model recall).
     pub target_recall: Option<f64>,
-    /// Drives in the lifecycle census used for wear-out change-point
-    /// detection. The paper detects change points on the *whole fleet's*
+    /// Drives in the *planned* side census used for wear-out change-point
+    /// detection when no measured [`population`](Self::population) is
+    /// supplied. The paper detects change points on the *whole fleet's*
     /// survival curve (a population statistic); a small experiment fleet
-    /// cannot estimate it, so WEFR runs consult a census of this size with
-    /// the experiment fleet's failure characteristics. `0` falls back to
-    /// the experiment fleet's own drives.
+    /// cannot estimate it, so WEFR runs without a population consult a
+    /// synthetic census of this size with the experiment fleet's failure
+    /// characteristics. `0` falls back to the experiment fleet's own
+    /// drives. Superseded by `population` whenever one is set — prefer
+    /// [`smart_dataset::Census::measured`] over this knob when a streamed
+    /// source is available.
     pub wearout_census_drives: u32,
+    /// A census *measured* from the actual (usually streamed) population —
+    /// the documented default for paper-scale runs. When set,
+    /// [`wearout_survival`] reads the fleet-wide survival statistic from
+    /// it directly and both fallbacks above are bypassed.
+    pub population: Option<smart_dataset::Census>,
     /// Master seed.
     pub seed: u64,
 }
@@ -139,6 +148,7 @@ impl Default for ExperimentConfig {
             tune_grid: (1..=10).map(|i| i as f64 / 10.0).collect(),
             target_recall: None,
             wearout_census_drives: 4000,
+            population: None,
             seed: 0,
         }
     }
@@ -158,6 +168,15 @@ impl ExperimentConfig {
             seed,
             ..ExperimentConfig::default()
         }
+    }
+
+    /// Attach a measured population census: wear-out change-point
+    /// detection will read the survival statistic from it instead of
+    /// planning a synthetic side census.
+    #[must_use]
+    pub fn with_population(mut self, population: smart_dataset::Census) -> Self {
+        self.population = Some(population);
+        self
     }
 
     fn recall_for(&self, model: DriveModel) -> f64 {
@@ -454,9 +473,19 @@ pub fn run_phase(
     })
 }
 
-/// Survival pairs for wear-out change-point detection: a fleet-scale
-/// lifecycle census matching the experiment fleet's failure behaviour, or
-/// the experiment fleet itself when `wearout_census_drives == 0`.
+/// Survival pairs for wear-out change-point detection, in priority order:
+///
+/// 1. A *measured* [`ExperimentConfig::population`] census when one is set
+///    — the documented default for paper-scale runs, where the streamed
+///    generator supplies the actual fleet's lifecycle summaries
+///    ([`smart_dataset::Census::measured`]). Like the paper's Fig. 1 this
+///    is a whole-window population statistic: each drive deployed by
+///    `as_of_day` contributes its end-of-observation `MWI_N` and whether
+///    it had failed by `as_of_day`.
+/// 2. Otherwise, a *planned* synthetic side census of
+///    [`ExperimentConfig::wearout_census_drives`] drives matching the
+///    experiment fleet's failure behaviour (the small-fleet fallback).
+/// 3. With `wearout_census_drives == 0`, the experiment fleet itself.
 ///
 /// # Errors
 ///
@@ -468,6 +497,13 @@ pub fn wearout_survival(
     as_of_day: u32,
     config: &ExperimentConfig,
 ) -> Result<Vec<(f64, bool)>, PipelineError> {
+    if let Some(population) = &config.population {
+        return Ok(population
+            .summaries_of_model(model)
+            .filter(|s| s.deploy_day <= as_of_day)
+            .map(|s| (s.final_mwi_n, s.failure.is_some_and(|f| f.day <= as_of_day)))
+            .collect());
+    }
     if config.wearout_census_drives == 0 {
         return Ok(survival_pairs(fleet, model, as_of_day));
     }
@@ -996,6 +1032,31 @@ mod tests {
         // (same effective failure multiplier), not the nominal AFR.
         let census_failures = from_census.iter().filter(|(_, f)| *f).count();
         assert!(census_failures > 10, "census failures = {census_failures}");
+    }
+
+    #[test]
+    fn wearout_survival_prefers_measured_population() {
+        let fleet = quick_fleet();
+        // A measured census over the experiment fleet's own config: the
+        // highest-priority source, consulted even though the planned-census
+        // knob is nonzero.
+        let population =
+            smart_dataset::Census::measured(fleet.config(), &smart_dataset::GenConfig::default())
+                .unwrap();
+        let config = ExperimentConfig::quick(1).with_population(population);
+        assert_eq!(config.wearout_census_drives, 4000);
+        let from_population = wearout_survival(&fleet, DriveModel::Mc1, 300, &config).unwrap();
+        let deployed: Vec<_> = fleet
+            .drives_of_model(DriveModel::Mc1)
+            .filter(|d| d.deploy_day <= 300)
+            .collect();
+        assert_eq!(from_population.len(), deployed.len());
+        // The measured population is the actual fleet: pairs agree drive
+        // for drive on end-of-observation MWI_N and failed-by-day status.
+        for ((mwi, failed), drive) in from_population.iter().zip(&deployed) {
+            assert_eq!(*mwi, drive.final_mwi_n().unwrap());
+            assert_eq!(*failed, drive.failure.is_some_and(|f| f.day <= 300));
+        }
     }
 
     #[test]

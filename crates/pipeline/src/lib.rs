@@ -44,6 +44,7 @@ pub mod error;
 pub mod evaluate;
 pub mod experiment;
 pub mod features;
+pub mod fig1;
 pub mod label;
 pub mod matrix;
 pub mod report;
@@ -56,8 +57,14 @@ pub use evaluate::{metrics_at_fixed_recall, score_phase, DriveScore, EvalMetrics
 pub use experiment::{
     paper_target_recall, run_method, ExperimentConfig, Method, MethodResult, SelectorKind,
 };
+pub use fig1::{
+    fig1_pinned_config, fig1_report, fig1_report_from_census, Fig1ModelCurve, Fig1Report,
+    FIG1_CENSUS_TOTAL, FIG1_MIN_BUCKET, FIG1_SEED,
+};
 pub use label::{SampleRef, PAPER_HORIZON_DAYS};
 pub use matrix::{base_features, base_matrix, collect_samples, survival_pairs, SamplingConfig};
 pub use split::{paper_phases, Phase};
-pub use streaming::{streaming_base_matrix, StreamedMatrix};
+pub use streaming::{
+    generated_base_matrix, streaming_base_matrix, GeneratedMatrix, StreamedMatrix,
+};
 pub use train::{FailurePredictor, PredictorConfig};

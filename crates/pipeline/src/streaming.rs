@@ -1,27 +1,85 @@
-//! Streaming matrix assembly: CSV shards straight into a base feature
+//! Streaming matrix assembly: drive batches straight into a base feature
 //! matrix, without materialising the whole [`smart_dataset::Fleet`].
 //!
-//! Built on [`smart_dataset::ingest::stream_drive_batches`]: each
-//! drive-aligned shard is parsed on a worker thread, its drives are folded
-//! into the growing sample columns as the batch arrives in file order, and
-//! the records are dropped immediately afterwards. Peak memory is the
-//! matrix under construction plus the ingest pipeline's bounded shard
-//! window, rather than matrix plus fleet.
+//! Two sources feed the same fold. [`streaming_base_matrix`] consumes CSV
+//! shards via [`smart_dataset::ingest::stream_drive_batches`];
+//! [`generated_base_matrix`] consumes the simulator via
+//! [`smart_dataset::gen::stream::stream_fleet_batches`] (DESIGN.md §12).
+//! Either way each batch's drives are folded into the growing sample
+//! columns as they arrive in drive order, and the records are dropped
+//! immediately afterwards. Peak memory is the matrix under construction
+//! plus the source's bounded batch window, rather than matrix plus fleet.
 //!
-//! The result is bit-identical to importing the fleet and running
+//! The result is bit-identical to materialising the fleet and running
 //! [`crate::matrix::collect_samples`] + [`crate::matrix::base_matrix`]
-//! over it, because batches arrive in file order (which is fleet drive
-//! order) and negatives are downsampled once at the end, exactly as the
-//! materialised path does.
+//! over it, because batches arrive in fleet drive order and negative
+//! downsampling sees the same full label sequence as the materialised
+//! path: the CSV source downsamples once at the end, and the generated
+//! source — whose whole point is never holding all the columns — collects
+//! the labels in a cheap first streaming pass, computes the kept rows, and
+//! assembles only those in a second, bit-identical regeneration pass.
 
 use crate::error::PipelineError;
 use crate::label::labeled_days;
 use crate::matrix::{base_features, SamplingConfig};
+use smart_dataset::gen::stream::{stream_fleet_batches, GenConfig, GenStats};
 use smart_dataset::ingest::{stream_drive_batches, DriveBatch, IngestConfig, IngestStats};
-use smart_dataset::{DriveModel, FeatureId, SmartAttribute, TroubleTicket};
+use smart_dataset::{
+    Census, DriveModel, DriveRecord, DriveSummary, FeatureId, FleetConfig, SmartAttribute,
+    TroubleTicket,
+};
 use smart_stats::sampling::downsample_negatives;
 use smart_stats::FeatureMatrix;
 use std::io::BufRead;
+
+/// Visit the matrix sample days of one drive: `model`-filtered,
+/// window-clipped, stride-thinned — exactly the rows
+/// [`crate::matrix::collect_samples`] would emit for this drive. Shared by
+/// the CSV and generated sources so the two folds cannot drift apart.
+fn fold_drive_samples<E>(
+    drive: &DriveRecord,
+    model: DriveModel,
+    from_day: u32,
+    to_day: u32,
+    sampling: &SamplingConfig,
+    mut visit: impl FnMut(u32, bool) -> Result<(), E>,
+) -> Result<(), E> {
+    if drive.model != model {
+        return Ok(());
+    }
+    // drive_index is irrelevant here — the drive is already in hand, so
+    // samples are folded away instead of referenced.
+    for s in labeled_days(drive, 0, from_day, to_day, sampling.horizon) {
+        if !s.label && (s.day - drive.deploy_day) % sampling.neg_stride != 0 {
+            continue;
+        }
+        visit(s.day, s.label)?;
+    }
+    Ok(())
+}
+
+/// Append one sample row (every base-feature value plus `MWI_N`) to the
+/// growing columns.
+fn push_row(
+    drive: &DriveRecord,
+    day: u32,
+    features: &[FeatureId],
+    mwi_feature: FeatureId,
+    columns: &mut [Vec<f64>],
+    mwi: &mut Vec<f64>,
+) -> Result<(), PipelineError> {
+    for (col, f) in features.iter().enumerate() {
+        let v = drive.value_on(day, *f).ok_or_else(|| {
+            PipelineError::invalid(format!("drive {} lacks {f} on day {}", drive.id, day))
+        })?;
+        columns[col].push(v);
+    }
+    let mwi_value = drive.value_on(day, mwi_feature).ok_or_else(|| {
+        PipelineError::invalid(format!("drive {} lacks MWI on day {}", drive.id, day))
+    })?;
+    mwi.push(mwi_value);
+    Ok(())
+}
 
 /// A base matrix assembled directly from a CSV stream.
 #[derive(Debug, Clone)]
@@ -67,30 +125,11 @@ pub fn streaming_base_matrix<R: BufRead + Send>(
 
     let stats = stream_drive_batches(input, tickets, ingest, |batch: DriveBatch| {
         for drive in &batch.drives {
-            if drive.model != model {
-                continue;
-            }
-            // drive_index is irrelevant here — the drive is already in
-            // hand, so samples are folded away instead of referenced.
-            for s in labeled_days(drive, 0, from_day, to_day, sampling.horizon) {
-                if !s.label && (s.day - drive.deploy_day) % sampling.neg_stride != 0 {
-                    continue;
-                }
-                for (col, f) in features.iter().enumerate() {
-                    let v = drive.value_on(s.day, *f).ok_or_else(|| {
-                        PipelineError::invalid(format!(
-                            "drive {} lacks {f} on day {}",
-                            drive.id, s.day
-                        ))
-                    })?;
-                    columns[col].push(v);
-                }
-                labels.push(s.label);
-                let mwi_value = drive.value_on(s.day, mwi_feature).ok_or_else(|| {
-                    PipelineError::invalid(format!("drive {} lacks MWI on day {}", drive.id, s.day))
-                })?;
-                mwi.push(mwi_value);
-            }
+            fold_drive_samples(drive, model, from_day, to_day, sampling, |day, label| {
+                push_row(drive, day, &features, mwi_feature, &mut columns, &mut mwi)?;
+                labels.push(label);
+                Ok::<(), PipelineError>(())
+            })?;
         }
         Ok::<(), PipelineError>(())
     })?;
@@ -116,6 +155,144 @@ pub fn streaming_base_matrix<R: BufRead + Send>(
         matrix,
         labels,
         mwi,
+        stats,
+    })
+}
+
+/// A base matrix assembled directly from the streaming generator, plus the
+/// measured population census the run observed on the way.
+#[derive(Debug, Clone)]
+pub struct GeneratedMatrix {
+    /// One column per raw/normalized attribute value of the model.
+    pub matrix: FeatureMatrix,
+    /// Failure-within-horizon label per sample row.
+    pub labels: Vec<bool>,
+    /// `MWI_N` per sample row (for wear-out grouping).
+    pub mwi: Vec<f64>,
+    /// Lifecycle census measured from every streamed drive (all models) —
+    /// ready for [`crate::experiment::ExperimentConfig::with_population`].
+    pub census: Census,
+    /// Generation counters for the final streaming pass.
+    pub stats: GenStats,
+}
+
+/// Stream the simulated fleet `config` describes straight into the base
+/// feature matrix of `model` for samples in `[from_day, to_day]`, in
+/// bounded memory — the generate → scenario → matrix leg of the paper-scale
+/// pipeline, never materialising the fleet.
+///
+/// Negative downsampling needs the full label sequence before any row can
+/// be kept, so when [`SamplingConfig::downsample_ratio`] is set the fleet
+/// is streamed *twice*: a label-only pass (a few bytes per sample), then a
+/// regeneration pass that assembles only the kept rows. Determinism makes
+/// the two passes bit-identical; the fold still cross-checks every label
+/// against the first pass and reports an internal error on any mismatch.
+///
+/// The result is bit-identical to materialising the fleet (plus scenario
+/// post-pass) and running the `collect_samples` + `base_matrix` path.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Dataset`] for an invalid scenario and
+/// [`PipelineError::InvalidInput`] for a zero `neg_stride` or when the
+/// window contains no samples of `model`.
+pub fn generated_base_matrix(
+    config: &FleetConfig,
+    gen: &GenConfig,
+    model: DriveModel,
+    from_day: u32,
+    to_day: u32,
+    sampling: &SamplingConfig,
+) -> Result<GeneratedMatrix, PipelineError> {
+    if sampling.neg_stride == 0 {
+        return Err(PipelineError::invalid("neg_stride must be at least 1"));
+    }
+    let features = base_features(model);
+    let names: Vec<String> = features.iter().map(FeatureId::name).collect();
+    let mwi_feature = FeatureId::normalized(SmartAttribute::Mwi);
+    let internal = || {
+        PipelineError::invalid("generation passes disagree: streamed source is nondeterministic")
+    };
+
+    // Pass 1 (downsampling only): the label sequence, nothing else.
+    let first_pass = match sampling.downsample_ratio {
+        None => None,
+        Some(ratio) => {
+            let mut first_labels: Vec<bool> = Vec::new();
+            stream_fleet_batches(config, gen, |batch: DriveBatch| {
+                for drive in &batch.drives {
+                    fold_drive_samples(drive, model, from_day, to_day, sampling, |_day, label| {
+                        first_labels.push(label);
+                        Ok::<(), PipelineError>(())
+                    })?;
+                }
+                Ok::<(), PipelineError>(())
+            })?;
+            if first_labels.is_empty() {
+                return Err(PipelineError::invalid(format!(
+                    "no samples of model {model} in days {from_day}..={to_day}"
+                )));
+            }
+            let kept = downsample_negatives(&first_labels, ratio, sampling.seed)?;
+            let mut keep = vec![false; first_labels.len()];
+            for &i in &kept {
+                keep[i] = true;
+            }
+            Some((keep, first_labels))
+        }
+    };
+
+    // Pass 2: regenerate (bit-identical by construction), keep only the
+    // surviving rows, and measure the population census on the way.
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); features.len()];
+    let mut labels: Vec<bool> = Vec::new();
+    let mut mwi: Vec<f64> = Vec::new();
+    let mut summaries: Vec<DriveSummary> = Vec::with_capacity(config.total_drives() as usize);
+    let mut cursor = 0usize;
+    let stats = stream_fleet_batches(config, gen, |batch: DriveBatch| {
+        for drive in &batch.drives {
+            summaries.push(drive.summary());
+            fold_drive_samples(drive, model, from_day, to_day, sampling, |day, label| {
+                let index = cursor;
+                cursor += 1;
+                if let Some((keep, first_labels)) = &first_pass {
+                    match (keep.get(index), first_labels.get(index)) {
+                        (Some(kept), Some(first)) if *first == label => {
+                            if !kept {
+                                return Ok(());
+                            }
+                        }
+                        _ => return Err(internal()),
+                    }
+                }
+                push_row(drive, day, &features, mwi_feature, &mut columns, &mut mwi)?;
+                labels.push(label);
+                Ok::<(), PipelineError>(())
+            })?;
+        }
+        Ok::<(), PipelineError>(())
+    })?;
+    if first_pass
+        .as_ref()
+        .is_some_and(|(keep, _)| cursor != keep.len())
+    {
+        return Err(internal());
+    }
+
+    if labels.is_empty() {
+        return Err(PipelineError::invalid(format!(
+            "no samples of model {model} in days {from_day}..={to_day}"
+        )));
+    }
+    // `with_missing`: mirrors `base_matrix` — NaN cells from missing-
+    // coverage scenarios flow through; clean fleets build identically.
+    let matrix =
+        FeatureMatrix::from_columns_with_missing(names, columns).map_err(PipelineError::Stats)?;
+    Ok(GeneratedMatrix {
+        matrix,
+        labels,
+        mwi,
+        census: Census::from_summaries(config.clone(), summaries),
         stats,
     })
 }
@@ -177,6 +354,75 @@ mod tests {
                 assert_eq!(matrix.column(a), streamed.matrix.column(b), "{name}");
             }
         }
+    }
+
+    #[test]
+    fn generated_matches_materialised_path() {
+        let config = FleetConfig::builder()
+            .days(400)
+            .seed(5)
+            .drives(DriveModel::Mc1, 30)
+            .failure_scale(8.0)
+            .build()
+            .unwrap();
+        let fleet = Fleet::generate(&config);
+        for sampling in [
+            SamplingConfig::default(),
+            SamplingConfig {
+                downsample_ratio: None,
+                ..SamplingConfig::default()
+            },
+        ] {
+            let samples = collect_samples(&fleet, DriveModel::Mc1, 0, 399, &sampling).unwrap();
+            let (matrix, labels, mwi) = base_matrix(&fleet, DriveModel::Mc1, &samples).unwrap();
+            let gen = GenConfig {
+                chunk_drives: 7,
+                workers: 3,
+                max_queued_chunks: 2,
+                scenario: None,
+            };
+            let generated =
+                generated_base_matrix(&config, &gen, DriveModel::Mc1, 0, 399, &sampling).unwrap();
+            let tag = format!("downsample={:?}", sampling.downsample_ratio);
+            assert_eq!(generated.labels, labels, "{tag}");
+            assert_eq!(generated.mwi, mwi, "{tag}");
+            assert_eq!(generated.matrix.n_rows(), matrix.n_rows(), "{tag}");
+            for name in matrix.feature_names() {
+                let a = matrix.column_index(name).unwrap();
+                let b = generated.matrix.column_index(name).unwrap();
+                assert_eq!(matrix.column(a), generated.matrix.column(b), "{name}");
+            }
+            // The measured census rides along: one summary per drive, in
+            // agreement with the materialised fleet.
+            assert_eq!(generated.census.summaries(), fleet.summaries(), "{tag}");
+            assert_eq!(generated.stats.drives, 30);
+        }
+    }
+
+    #[test]
+    fn generated_rejects_absent_model_and_zero_stride() {
+        let config = FleetConfig::builder()
+            .days(200)
+            .seed(5)
+            .drives(DriveModel::Mc1, 5)
+            .build()
+            .unwrap();
+        let gen = GenConfig::default();
+        let err = generated_base_matrix(
+            &config,
+            &gen,
+            DriveModel::Ma1,
+            0,
+            199,
+            &SamplingConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidInput { .. }));
+        let sampling = SamplingConfig {
+            neg_stride: 0,
+            ..SamplingConfig::default()
+        };
+        assert!(generated_base_matrix(&config, &gen, DriveModel::Mc1, 0, 199, &sampling).is_err());
     }
 
     #[test]

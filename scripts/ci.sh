@@ -96,4 +96,24 @@ cargo run -q --release --offline -p wefr-bench --bin ablation_scenarios -- \
 cargo run -q --release --offline -p smart-integration --bin check_scenario_stability \
   "$tmpdir/BENCH_pr6.json"
 
+step "streaming generation: bit-identity, bounded window, pinned Fig. 1 census"
+# A quick run of the streaming-generation benchmark; the gate parses its
+# JSON report and fails if any bit-identity cell diverged from
+# Fleet::generate or the bounded pipeline window stopped beating the
+# materialized fleet (DESIGN.md §12). The committed paper-scale report is
+# re-gated with the stricter --paper rules (500K drives, allocation
+# receipts), and the pinned Fig. 1 survival census must regenerate byte
+# for byte, like the flamegraph.
+cargo run -q --release --offline -p wefr-bench --bin bench_gen_stream -- \
+  --quick --census 2000 --out "$tmpdir"
+cargo run -q --release --offline -p smart-integration --bin check_gen_bench \
+  "$tmpdir/BENCH_pr8.json"
+cargo run -q --release --offline -p smart-integration --bin check_gen_bench -- \
+  --paper results/BENCH_pr8.json
+cmp "$tmpdir/census_fig1.json" results/census_fig1.json || {
+  echo "ERROR: results/census_fig1.json is stale; regenerate with" >&2
+  echo "  cargo run --release -p wefr-bench --bin bench_gen_stream -- --quick --out results" >&2
+  exit 1
+}
+
 step "all checks passed"
