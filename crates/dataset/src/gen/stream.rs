@@ -39,10 +39,10 @@ use crate::error::DatasetError;
 use crate::fleet::{drive_rng, Fleet};
 use crate::gen::scenario::{self, apply_scenario_to_drive, PendingReplacement, ScenarioConfig};
 use crate::gen::{plan_drive, simulate_drive};
-use crate::ingest::queue::{BoundedQueue, ReorderBuffer};
 use crate::ingest::{DriveBatch, SkipCounts, ENV_WORKERS};
 use crate::model::DriveModel;
 use crate::records::{DriveId, DriveRecord};
+use sync::queue::{BoundedQueue, ReorderBuffer};
 
 /// Environment knob: drives per generation chunk (see
 /// [`GenConfig::from_env`]).
@@ -269,13 +269,17 @@ where
     let span_id = span.id();
 
     let scenario = gen.scenario.as_ref();
+    // The depth observer runs outside the queue lock (see the ingest twin).
+    fn gen_queue_depth(depth: usize) {
+        telemetry::gauge_set("gen.queue_depth", depth as f64);
+    }
     let work: BoundedQueue<(usize, u32, u32)> =
-        BoundedQueue::observed(queue_slots, "gen.queue_depth");
+        BoundedQueue::observed(queue_slots, gen_queue_depth);
     let done: ReorderBuffer<Produced> = ReorderBuffer::new(workers + queue_slots);
     // Unlike ingest, the chunk count is known before the first batch.
     done.set_total(n_chunks);
 
-    let (stats, outcome) = std::thread::scope(|scope| {
+    let (stats, outcome) = sync::thread::scope(|scope| {
         let producer = scope.spawn(|| {
             for index in 0..n_chunks {
                 let start = index as u32 * chunk_drives;
@@ -313,7 +317,13 @@ where
                         }
                     };
                     drop(chunk_span);
-                    if !done.insert(index, produced) {
+                    let filed = done
+                        .insert(index, produced)
+                        // lint:allow(panic-free) chunk indices are handed out
+                        // by the producer exactly once through the FIFO
+                        // queue; a duplicate filing is a bug
+                        .expect("chunk indices from the producer are unique");
+                    if !filed {
                         break; // aborted by the merger
                     }
                 }

@@ -21,7 +21,6 @@
 //! the integration suite holds the two paths equal.
 
 mod parse;
-pub(crate) mod queue;
 mod shard;
 
 use crate::config::FleetConfig;
@@ -30,9 +29,9 @@ use crate::error::DatasetError;
 use crate::fleet::Fleet;
 use crate::records::DriveRecord;
 use crate::tickets::{sort_tickets_by_drive, TroubleTicket};
-use queue::{BoundedQueue, ReorderBuffer};
 use shard::{Shard, ShardSplitter};
 use std::io::BufRead;
+use sync::queue::{BoundedQueue, ReorderBuffer};
 
 /// Environment knob: rows per shard (see [`IngestConfig::from_env`]).
 pub const ENV_SHARD_ROWS: &str = "WEFR_INGEST_SHARD_ROWS";
@@ -226,13 +225,18 @@ where
 
     let by_id = sort_tickets_by_drive(tickets);
     let tolerance = config.tolerance;
-    let work: BoundedQueue<Shard> = BoundedQueue::observed(queue_slots, "ingest.queue_depth");
+    // The depth observer runs outside the queue lock; the watchdog samples
+    // this gauge into a histogram, turning backpressure into a distribution.
+    fn ingest_queue_depth(depth: usize) {
+        telemetry::gauge_set("ingest.queue_depth", depth as f64);
+    }
+    let work: BoundedQueue<Shard> = BoundedQueue::observed(queue_slots, ingest_queue_depth);
     // Each parsed shard travels with the absolute line numbers of its
     // malformed skips, so the merger can enforce the cap in file order.
     type ParsedBatch = Result<(DriveBatch, Vec<usize>), DatasetError>;
     let done: ReorderBuffer<ParsedBatch> = ReorderBuffer::new(workers + queue_slots);
 
-    let (stats, outcome) = std::thread::scope(|scope| {
+    let (stats, outcome) = sync::thread::scope(|scope| {
         let reader = scope.spawn(|| {
             let read_span = telemetry::span_child_of(span_id, "ingest_read");
             let mut splitter = ShardSplitter::new(input, config.shard_rows, 2);
@@ -287,7 +291,13 @@ where
                         },
                     );
                     drop(parse_span);
-                    if !done.insert(shard.index, batch) {
+                    let filed = done
+                        .insert(shard.index, batch)
+                        // lint:allow(panic-free) the splitter hands out
+                        // strictly increasing shard indices and the FIFO
+                        // queue delivers each exactly once; a duplicate is a bug
+                        .expect("shard indices from the splitter are unique");
+                    if !filed {
                         break; // aborted by the merger
                     }
                 }
@@ -415,6 +425,27 @@ mod tests {
     use crate::csv::{export_smart_csv, import_smart_csv};
     use crate::model::DriveModel;
     use crate::tickets::tickets_from_summaries;
+
+    /// The depth-observer wiring end to end: a queue observed through
+    /// [`telemetry::gauge_set`] publishes its depth after every push/pop.
+    /// (The queue itself lives in `smart-sync`, which has no telemetry
+    /// dependency — the gauge glue is this crate's, so the test is too.)
+    #[test]
+    fn observed_queue_publishes_depth_gauge() {
+        // Leave collection on afterwards: it only makes sibling tests
+        // record telemetry they never read.
+        telemetry::set_collect(true);
+        fn test_depth(depth: usize) {
+            telemetry::gauge_set("test.queue_depth.unit", depth as f64);
+        }
+        let q: BoundedQueue<u32> = BoundedQueue::observed(4, test_depth);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(telemetry::gauge_value("test.queue_depth.unit"), Some(2.0));
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(telemetry::gauge_value("test.queue_depth.unit"), Some(1.0));
+    }
 
     fn fixture() -> (String, Vec<TroubleTicket>, FleetConfig) {
         let config = FleetConfig::builder()

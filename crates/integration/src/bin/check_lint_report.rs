@@ -8,12 +8,20 @@
 //! ```
 //!
 //! Exits non-zero (with a reason on stderr) when the file is missing,
-//! malformed, reports fewer than five active rules, or records any
-//! surviving violation.
+//! malformed, reports fewer than five active rules, drops any of the
+//! concurrency rules that guard the smart-sync shim (DESIGN.md §13), or
+//! records any surviving violation.
 
 use std::process::ExitCode;
 
 use lint::LintReport;
+
+/// Rules that must stay in the active set: they enforce the smart-sync
+/// shim's coverage (sync-hygiene), the condvar predicate-loop discipline
+/// the model checker assumes (condvar-loop), and reasoned memory orderings
+/// (atomic-ordering). A report missing any of them means the concurrency
+/// gate silently shrank.
+const REQUIRED_CONCURRENCY_RULES: &[&str] = &["sync-hygiene", "condvar-loop", "atomic-ordering"];
 
 fn run(path: &str) -> Result<LintReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -27,6 +35,14 @@ fn run(path: &str) -> Result<LintReport, String> {
             "{path} shows only {} active rules — the rule set shrank",
             report.active_rules()
         ));
+    }
+    for required in REQUIRED_CONCURRENCY_RULES {
+        let present = report.rules.iter().any(|r| r.id == *required && r.active);
+        if !present {
+            return Err(format!(
+                "{path} is missing active concurrency rule {required:?} — the sync gate shrank"
+            ));
+        }
     }
     if !report.violations.is_empty() {
         let rendered: Vec<String> = report

@@ -133,7 +133,16 @@ impl Lexer {
         self.i += 1;
         while self.i < self.chars.len() {
             match self.chars[self.i] {
-                '\\' => self.i += 2,
+                '\\' => {
+                    // A line-continuation escape (backslash directly before
+                    // the newline) still ends a source line; skipping both
+                    // characters without counting it would shift the line
+                    // number of every later token in the file.
+                    if self.peek(1) == Some('\n') {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
                 '"' => {
                     self.i += 1;
                     break;
@@ -406,6 +415,49 @@ mod tests {
     fn raw_identifiers() {
         let toks = code_texts("let r#fn = 1;");
         assert!(toks.contains(&"r#fn".to_string()));
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers() {
+        let src = "let s = r#\"line one\nline two\nline three\"#;\nlet after = 1;\n";
+        let after = lex(src)
+            .into_iter()
+            .find(|t| t.text == "after")
+            .expect("after token");
+        assert_eq!(after.line, 4, "raw-string newlines must advance the line");
+    }
+
+    #[test]
+    fn multiline_plain_strings_keep_line_numbers() {
+        let src = "let s = \"one\ntwo\";\nlet after = 1;\n";
+        let after = lex(src)
+            .into_iter()
+            .find(|t| t.text == "after")
+            .expect("after token");
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn line_continuation_escape_still_counts_the_newline() {
+        // `\` directly before the newline is Rust's line-continuation
+        // escape: the string swallows the newline, but the *source* still
+        // has one, and later tokens live on later lines.
+        let src = "let s = \"a\\\nb\";\nlet after = 1;\n";
+        let after = lex(src)
+            .into_iter()
+            .find(|t| t.text == "after")
+            .expect("after token");
+        assert_eq!(after.line, 3, "continuation newline was not counted");
+    }
+
+    #[test]
+    fn crlf_line_endings_count_like_lf() {
+        let src = "let a = 1;\r\nlet b = \"x\r\ny\";\r\nlet after = 1;\r\n";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text == "b").expect("b token");
+        assert_eq!(b.line, 2);
+        let after = toks.iter().find(|t| t.text == "after").expect("after");
+        assert_eq!(after.line, 4, "\\r\\n inside a string is still one newline");
     }
 
     #[test]

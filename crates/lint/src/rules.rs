@@ -128,6 +128,28 @@ pub fn all_rules() -> Vec<RuleMeta> {
                         trait impl), paired with an unconditional deny",
         },
         RuleMeta {
+            id: "sync-hygiene",
+            summary: "no raw std::sync Mutex/Condvar/RwLock/Barrier/atomic/mpsc outside \
+                      crates/sync",
+            rationale: "concurrency primitives must route through the crates/sync shim so the \
+                        `model` feature can interpose its deterministic scheduler; a raw \
+                        std::sync import is invisible to the model checker (DESIGN.md §13)",
+        },
+        RuleMeta {
+            id: "condvar-loop",
+            summary: "every condvar wait/wait_timeout must sit in a predicate loop, not an if",
+            rationale: "condvars wake spuriously and notifications race with the predicate; an \
+                        if-guarded wait silently loses wakeups — the model checker demonstrates \
+                        this on the IfWaitQueue fixture (DESIGN.md §13)",
+        },
+        RuleMeta {
+            id: "atomic-ordering",
+            summary: "Ordering::Relaxed requires a reasoned lint:allow",
+            rationale: "Relaxed provides no happens-before edge, so every use is a proof \
+                        obligation; the written reason is the proof sketch — use SeqCst (or \
+                        Acquire/Release) when in doubt (DESIGN.md §13)",
+        },
+        RuleMeta {
             id: SUPPRESSION_RULE,
             summary: "lint:allow must name known rules and carry a reason",
             rationale: "suppressions are reviewable waivers, not blanket opt-outs; a written \
@@ -158,6 +180,9 @@ pub fn check_file(file: &SourceFile, workspace_libs: &BTreeSet<String>) -> FileO
     hermetic_use(file, workspace_libs, &mut raw);
     side_effects(file, &mut raw);
     forbid_unsafe(file, &mut raw);
+    sync_hygiene(file, &mut raw);
+    condvar_loop(file, &mut raw);
+    atomic_ordering(file, &mut raw);
 
     let known: BTreeSet<&str> = all_rules().iter().map(|r| r.id).collect();
     let mut out = FileOutcome {
@@ -519,6 +544,147 @@ fn network_access(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                      serve/watchdog modules (DESIGN.md §6)",
                     t.text
                 ),
+            ));
+        }
+    }
+}
+
+/// Leaves of `std::sync` that must be imported through the crates/sync
+/// shim. Everything else under `std::sync` (`Arc`, `LockResult`,
+/// `PoisonError`, `OnceLock`, …) has no scheduling behaviour and stays
+/// importable from std.
+const SYNC_SHIMMED_LEAVES: &[&str] = &["Mutex", "Condvar", "RwLock", "Barrier", "atomic", "mpsc"];
+
+/// The shim itself: the only files allowed to touch raw std::sync
+/// primitives, because its passthrough aliases and model internals are
+/// built from them.
+const SYNC_SHIM_PREFIX: &str = "crates/sync/src/";
+
+/// Rule `sync-hygiene`: `std::sync::{Mutex, Condvar, RwLock, Barrier,
+/// atomic, mpsc}` — spelled as a `use` or as an inline path — is banned
+/// outside `crates/sync` and tests. Routing through the shim is what lets
+/// `--features model` swap in the deterministic scheduler; a raw std
+/// primitive is invisible to it.
+fn sync_hygiene(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.path.starts_with(SYNC_SHIM_PREFIX) {
+        return;
+    }
+    let code = &file.code;
+    for i in 0..code.len() {
+        if ident_at(code, i) != Some("std")
+            || !path_sep(code, i + 1)
+            || ident_at(code, i + 3) != Some("sync")
+            || !path_sep(code, i + 4)
+            || file.in_test(code[i].line)
+        {
+            continue;
+        }
+        // `std::sync::<leaf>` or `std::sync::{group}` — flag every banned
+        // leaf; depth-1 group roots cover `use std::sync::{Arc, Mutex}`.
+        let leaves: Vec<(String, usize)> = match ident_at(code, i + 6) {
+            Some(leaf) => vec![(leaf.to_string(), code[i + 6].line)],
+            None => use_roots(code, i + 6),
+        };
+        for (leaf, line) in leaves {
+            if SYNC_SHIMMED_LEAVES.contains(&leaf.as_str()) {
+                out.push(diag(
+                    file,
+                    line,
+                    "sync-hygiene",
+                    format!(
+                        "std::sync::{leaf} bypasses the crates/sync shim; import it from \
+                         `sync` so model-feature builds can interpose the deterministic \
+                         scheduler, or add a reasoned lint:allow"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// How a brace block affects the condvar-loop search: a loop body
+/// satisfies the rule, a function/item boundary stops the search, and
+/// everything else (if/else/match arms, plain blocks) is looked through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    Loop,
+    Barrier,
+    Transparent,
+}
+
+/// Rule `condvar-loop`: every `.wait(` / `.wait_timeout(` must be
+/// lexically inside a `while`/`loop`/`for` body (or the loop's own head
+/// expression, the `while !flag.wait_timeout(poll)` idiom) before any
+/// enclosing `fn`/`impl`/`mod`/`trait` boundary. `.wait_while` carries its
+/// predicate and is exempt. An `if`-guarded wait loses spurious and raced
+/// wakeups; smart-sync's model checker demonstrates the failure on its
+/// `IfWaitQueue` fixture.
+fn condvar_loop(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    let mut stack: Vec<BlockKind> = Vec::new();
+    let mut pending: Option<BlockKind> = None;
+    for i in 0..code.len() {
+        let t = &code[i];
+        match t.kind {
+            TokenKind::Ident => match t.text.as_str() {
+                "while" | "loop" | "for" => pending = Some(BlockKind::Loop),
+                "fn" | "impl" | "mod" | "trait" => pending = Some(BlockKind::Barrier),
+                "wait" | "wait_timeout" => {
+                    let method = i > 0 && punct_at(code, i - 1, ".") && punct_at(code, i + 1, "(");
+                    if !method || file.in_test(t.line) {
+                        continue;
+                    }
+                    let in_loop_head = pending == Some(BlockKind::Loop);
+                    let in_loop_body = stack.iter().rev().find(|k| **k != BlockKind::Transparent)
+                        == Some(&BlockKind::Loop);
+                    if !(in_loop_head || in_loop_body) {
+                        out.push(diag(
+                            file,
+                            t.line,
+                            "condvar-loop",
+                            format!(
+                                ".{}() outside a predicate loop: condvar wakeups are spurious \
+                                 and race with the predicate, so re-check in a while/loop (or \
+                                 carry a reasoned lint:allow if the caller owns the loop)",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            },
+            TokenKind::Punct => match t.text.as_str() {
+                "{" => stack.push(pending.take().unwrap_or(BlockKind::Transparent)),
+                "}" => {
+                    stack.pop();
+                }
+                ";" => pending = None,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+/// Rule `atomic-ordering`: every `Ordering::Relaxed` outside tests needs a
+/// reasoned `lint:allow`. Relaxed establishes no happens-before edge, so
+/// each use is a small proof obligation — the suppression reason is where
+/// the proof sketch lives.
+fn atomic_ordering(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    for i in 3..code.len() {
+        if ident_at(code, i) == Some("Relaxed")
+            && path_sep(code, i - 2)
+            && ident_at(code, i - 3) == Some("Ordering")
+            && !file.in_test(code[i].line)
+        {
+            out.push(diag(
+                file,
+                code[i].line,
+                "atomic-ordering",
+                "Ordering::Relaxed has no happens-before edge; use SeqCst (or \
+                 Acquire/Release), or state why Relaxed is sound in a lint:allow reason"
+                    .to_string(),
             ));
         }
     }

@@ -1,0 +1,6 @@
+//! Positive fixture: an unjustified Relaxed ordering.
+use sync::atomic::{AtomicU64, Ordering};
+
+pub fn f(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}

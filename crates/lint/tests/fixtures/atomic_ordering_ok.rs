@@ -1,0 +1,13 @@
+//! Negative fixture: SeqCst needs no waiver; Relaxed with a reasoned
+//! suppression passes because the proof obligation is written down.
+use sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn strict(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::SeqCst)
+}
+
+pub fn justified(counter: &AtomicU64) -> u64 {
+    // lint:allow(atomic-ordering) monotonic stats counter read by one
+    // thread; staleness only under-reports a diagnostic gauge
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,15 @@
+//! Positive fixture: if-guarded and bare condvar waits.
+use sync::{Condvar, Mutex};
+
+pub fn if_guarded(m: &Mutex<bool>, cv: &Condvar) {
+    let mut g = m.lock().unwrap();
+    if !*g {
+        g = cv.wait(g).unwrap();
+    }
+    drop(g);
+}
+
+pub fn bare_timed(m: &Mutex<bool>, cv: &Condvar) {
+    let g = m.lock().unwrap();
+    let _ = cv.wait_timeout(g, std::time::Duration::from_millis(1));
+}

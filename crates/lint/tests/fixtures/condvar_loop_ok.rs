@@ -1,0 +1,33 @@
+//! Negative fixture: waits in predicate loops, the while-head
+//! wait_timeout idiom, and wait_while (predicate carried by the call).
+use sync::{Condvar, Mutex};
+
+pub fn while_body(m: &Mutex<bool>, cv: &Condvar) {
+    let mut g = m.lock().unwrap();
+    while !*g {
+        g = cv.wait(g).unwrap();
+    }
+    drop(g);
+}
+
+pub fn loop_body(m: &Mutex<u32>, cv: &Condvar) {
+    let mut g = m.lock().unwrap();
+    loop {
+        if *g > 0 {
+            break;
+        }
+        g = cv.wait(g).unwrap();
+    }
+    drop(g);
+}
+
+pub fn while_head(flag: &sync::shutdown::StopFlag) {
+    while !flag.wait_timeout(std::time::Duration::from_millis(10)) {
+        let _tick = ();
+    }
+}
+
+pub fn predicate_carried(m: &Mutex<bool>, cv: &Condvar) {
+    let g = m.lock().unwrap();
+    let _g = cv.wait_while(g, |stopped| !*stopped);
+}

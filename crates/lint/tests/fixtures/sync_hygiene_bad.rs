@@ -1,0 +1,9 @@
+//! Positive fixture: raw std::sync primitives outside crates/sync.
+use std::sync::Mutex;
+use std::sync::{Arc, Condvar};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn f() {
+    let _m = std::sync::Mutex::new(0u32);
+    let (_tx, _rx) = std::sync::mpsc::channel::<u8>();
+}

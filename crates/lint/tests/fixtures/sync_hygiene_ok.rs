@@ -1,0 +1,14 @@
+//! Negative fixture: the shim import plus the std::sync leaves that have
+//! no scheduling behaviour stay allowed.
+use std::sync::Arc;
+use std::sync::{LockResult, PoisonError};
+use sync::{Condvar, Mutex};
+
+pub fn f(m: &Mutex<u32>, cv: &Condvar) {
+    let mut g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    while *g == 0 {
+        g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+    let _: LockResult<()> = Ok(());
+    let _ = Arc::new(0u32);
+}

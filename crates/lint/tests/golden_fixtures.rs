@@ -9,10 +9,17 @@ use lint::{check_source, FileOutcome, TargetKind};
 
 /// Workspace library names visible to the fixtures.
 fn libs() -> BTreeSet<String> {
-    ["smart_stats", "json", "rng", "telemetry", "wefr_core"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+    [
+        "smart_stats",
+        "json",
+        "rng",
+        "sync",
+        "telemetry",
+        "wefr_core",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
 }
 
 /// Run the engine over a fixture as library code of `package`.
@@ -301,6 +308,97 @@ fn reasonless_suppression_fails_and_silences_nothing() {
         "the would-be suppressed violation must survive: got {hits:?}"
     );
     assert!(outcome.used_suppressions.is_empty());
+}
+
+#[test]
+fn sync_hygiene_positive_flags_every_banned_leaf() {
+    let outcome = check("sync_hygiene_bad.rs", "smart-telemetry", false);
+    let hits = hits(&outcome);
+    for line in [2, 3, 4, 7, 8] {
+        assert!(
+            hits.contains(&("sync-hygiene".to_string(), line)),
+            "line {line} missing from {hits:?}"
+        );
+    }
+    // Arc in the brace group on line 3 is fine; only Condvar fires there.
+    assert_eq!(
+        hits.iter()
+            .filter(|(r, l)| r == "sync-hygiene" && *l == 3)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn sync_hygiene_negative_is_clean() {
+    let outcome = check("sync_hygiene_ok.rs", "smart-telemetry", false);
+    assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+}
+
+#[test]
+fn sync_hygiene_exempts_the_shim_itself() {
+    // The same offending source checked under the crates/sync path is
+    // clean: the shim is the one place std primitives are legitimate.
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/sync_hygiene_bad.rs");
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    let outcome = check_source(
+        "crates/sync/src/passthrough.rs",
+        "smart-sync",
+        TargetKind::Lib,
+        false,
+        &libs(),
+        &source,
+    );
+    assert!(
+        !hits(&outcome)
+            .iter()
+            .any(|(rule, _)| rule == "sync-hygiene"),
+        "got {:?}",
+        hits(&outcome)
+    );
+}
+
+#[test]
+fn condvar_loop_positive_flags_if_guarded_and_bare_waits() {
+    let outcome = check("condvar_loop_bad.rs", "smart-sync", false);
+    let hits = hits(&outcome);
+    assert!(
+        hits.contains(&("condvar-loop".to_string(), 7)),
+        "if-guarded wait must fire: got {hits:?}"
+    );
+    assert!(
+        hits.contains(&("condvar-loop".to_string(), 14)),
+        "bare wait_timeout must fire: got {hits:?}"
+    );
+}
+
+#[test]
+fn condvar_loop_negative_is_clean() {
+    let outcome = check("condvar_loop_ok.rs", "smart-sync", false);
+    assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+}
+
+#[test]
+fn atomic_ordering_positive_flags_relaxed() {
+    let outcome = check("atomic_ordering_bad.rs", "smart-sync", false);
+    assert!(
+        hits(&outcome).contains(&("atomic-ordering".to_string(), 5)),
+        "got {:?}",
+        hits(&outcome)
+    );
+}
+
+#[test]
+fn atomic_ordering_negative_allows_seqcst_and_reasoned_relaxed() {
+    let outcome = check("atomic_ordering_ok.rs", "smart-sync", false);
+    assert_eq!(hits(&outcome), Vec::<(String, usize)>::new());
+    assert_eq!(
+        outcome.used_suppressions.len(),
+        1,
+        "the reasoned Relaxed must be recorded as a used suppression"
+    );
+    assert_eq!(outcome.used_suppressions[0].1.rule, "atomic-ordering");
 }
 
 #[test]

@@ -1,0 +1,65 @@
+//! CI gate: the model suite's exploration is (a) at least as large as the
+//! committed per-scenario schedule floors and (b) bit-deterministic across
+//! two runs at the same seed. A scheduler change that silently shrinks the
+//! search space — or makes it flaky — fails here instead of letting the
+//! model tests pass vacuously.
+//!
+//! Build with `--features model`; without the feature it compiles to a
+//! stub (so `--all-targets` workspace builds stay green) and exits with a
+//! message saying so.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "model")]
+fn main() {
+    use sync::model::Config;
+
+    let config = Config::default();
+    let mut failed = false;
+    for scenario in sync::scenarios::all() {
+        let first = scenario.run(&config);
+        let second = scenario.run(&config);
+        let deterministic = (first.schedules, first.dfs_schedules, first.dfs_complete)
+            == (second.schedules, second.dfs_schedules, second.dfs_complete);
+        let covered = first.schedules >= scenario.min_schedules;
+        let status = if covered && deterministic {
+            "ok"
+        } else {
+            "FAIL"
+        };
+        println!(
+            "{status:4} {name:44} schedules={schedules:6} (floor {floor:5}) dfs={dfs} complete={complete} deterministic={deterministic}",
+            name = scenario.name,
+            schedules = first.schedules,
+            floor = scenario.min_schedules,
+            dfs = first.dfs_schedules,
+            complete = first.dfs_complete,
+        );
+        if !covered {
+            eprintln!(
+                "check_model_coverage: '{}' explored {} schedules, below the committed floor {}",
+                scenario.name, first.schedules, scenario.min_schedules
+            );
+            failed = true;
+        }
+        if !deterministic {
+            eprintln!(
+                "check_model_coverage: '{}' is not deterministic across runs at the same seed",
+                scenario.name
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("check_model_coverage: all scenario floors met, exploration deterministic");
+}
+
+#[cfg(not(feature = "model"))]
+fn main() {
+    eprintln!(
+        "check_model_coverage: built without the `model` feature; \
+         run `cargo run -p smart-sync --features model --bin check_model_coverage`"
+    );
+}

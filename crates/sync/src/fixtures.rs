@@ -1,0 +1,100 @@
+//! Deliberately broken queue variants that mutation-test the model checker
+//! itself (only built with the `model` feature).
+//!
+//! Each type here reproduces a classic condvar bug the checker claims to
+//! catch. `tests/model_suite.rs` asserts that [`crate::model::explore`]
+//! *fails* on them within the bounded search — so the checker's power is
+//! CI-pinned: a scheduler regression that stopped exploring the relevant
+//! interleavings would turn those expected failures into passes and break
+//! the build.
+
+use std::collections::VecDeque;
+
+use crate::{Condvar, Mutex, PoisonError};
+
+/// Bug #1 — missing notify: `push` files the item but never signals the
+/// condvar, so a consumer that checked before the push sleeps forever.
+/// The model checker reports the schedule as a deadlock (parked waiter,
+/// no notifier left, no timeout to rescue it).
+pub struct MissingNotifyQueue<T> {
+    state: Mutex<VecDeque<T>>,
+    cond: Condvar,
+}
+
+impl<T> Default for MissingNotifyQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MissingNotifyQueue<T> {
+    /// An empty broken queue.
+    pub fn new() -> MissingNotifyQueue<T> {
+        MissingNotifyQueue {
+            state: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Enqueue — *without* the notify that a correct queue performs.
+    pub fn push(&self, item: T) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.push_back(item);
+        // BUG under test: no self.cond.notify_all() here.
+    }
+
+    /// Block until an item is available (predicate correctly re-checked in
+    /// a loop; the bug is on the push side).
+    pub fn pop(&self) -> T {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while s.is_empty() {
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        s.pop_front().expect("loop exits only when non-empty")
+    }
+}
+
+/// Bug #2 — `if`-guarded wait: `pop` checks its predicate once instead of
+/// in a loop, so a spurious wake (or losing a notify-all race to another
+/// consumer) dequeues from an empty queue. The model checker injects
+/// exactly those wakes as schedule choices and trips the `expect`.
+pub struct IfWaitQueue<T> {
+    state: Mutex<VecDeque<T>>,
+    cond: Condvar,
+}
+
+impl<T> Default for IfWaitQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> IfWaitQueue<T> {
+    /// An empty broken queue.
+    pub fn new() -> IfWaitQueue<T> {
+        IfWaitQueue {
+            state: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Enqueue and (correctly) wake every waiter — the bug is on the pop
+    /// side.
+    pub fn push(&self, item: T) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.push_back(item);
+        self.cond.notify_all();
+    }
+
+    /// BUG under test: the wait is guarded by `if`, not `while`, so the
+    /// predicate is not re-checked after waking.
+    pub fn pop(&self) -> T {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if s.is_empty() {
+            // lint:allow(condvar-loop) deliberate bug fixture: this if-guarded wait exists so the model checker can prove it catches exactly this mistake
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        s.pop_front()
+            .expect("woken with an empty queue: if-guarded wait lost the predicate")
+    }
+}

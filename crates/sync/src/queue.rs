@@ -2,13 +2,19 @@
 //! pipeline: a FIFO work queue with backpressure and a windowed reorder
 //! buffer that restores file order on the consume side.
 //!
-//! Both are built on `Mutex` + `Condvar` only. Poisoning is survived with
-//! `PoisonError::into_inner`: the state these guards protect is a plain
-//! queue, valid after any unwinding writer, and the pipeline's abort path
-//! needs to keep working even while a worker is panicking.
+//! Both are built on this crate's [`Mutex`] + [`Condvar`] only, so the
+//! `model` feature explores their interleavings directly — the FIFO-prefix
+//! and abort-wakes-everyone guarantees claimed below are pinned as model
+//! tests in `crate::scenarios` (a `model`-feature module), not just
+//! argued in comments. Poisoning
+//! is survived with `PoisonError::into_inner`: the state these guards
+//! protect is a plain queue, valid after any unwinding writer, and the
+//! pipeline's abort path needs to keep working even while a worker is
+//! panicking.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::{Condvar, Mutex, MutexGuard, PoisonError};
 
 struct QueueState<T> {
     items: VecDeque<T>,
@@ -20,17 +26,21 @@ struct QueueState<T> {
 /// Blocking FIFO queue with a fixed capacity. Producers stall when it is
 /// full (counted), consumers stall when it is empty; `close` drains,
 /// `abort` discards.
-pub(crate) struct BoundedQueue<T> {
+pub struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     cond: Condvar,
     capacity: usize,
-    /// Telemetry gauge updated with the queue depth after every push/pop,
-    /// `None` for unobserved queues. The watchdog samples this gauge into
-    /// a histogram, turning instantaneous backpressure into a distribution.
-    depth_gauge: Option<&'static str>,
+    /// Depth observer called (outside the lock) after every push/pop,
+    /// `None` for unobserved queues. The ingest pipeline points this at a
+    /// telemetry gauge; keeping it a plain `fn` keeps this crate free of a
+    /// telemetry dependency, which is what lets the model checker own the
+    /// queues.
+    observer: Option<fn(usize)>,
 }
 
 impl<T> BoundedQueue<T> {
+    /// An unobserved queue holding at most `capacity` items (clamped to
+    /// at least 1).
     pub fn new(capacity: usize) -> BoundedQueue<T> {
         BoundedQueue {
             state: Mutex::new(QueueState {
@@ -41,23 +51,23 @@ impl<T> BoundedQueue<T> {
             }),
             cond: Condvar::new(),
             capacity: capacity.max(1),
-            depth_gauge: None,
+            observer: None,
         }
     }
 
-    /// A queue that publishes its depth to the named telemetry gauge.
-    pub fn observed(capacity: usize, gauge: &'static str) -> BoundedQueue<T> {
+    /// A queue that reports its depth to `observer` after every push/pop.
+    pub fn observed(capacity: usize, observer: fn(usize)) -> BoundedQueue<T> {
         BoundedQueue {
-            depth_gauge: Some(gauge),
+            observer: Some(observer),
             ..BoundedQueue::new(capacity)
         }
     }
 
-    /// Publish `depth` to the gauge, outside any lock — `gauge_set` takes
-    /// the collector's own lock and must not nest under ours.
+    /// Report `depth`, outside any lock — observers may take their own
+    /// locks (the telemetry collector does) and must not nest under ours.
     fn observe_depth(&self, depth: usize) {
-        if let Some(gauge) = self.depth_gauge {
-            telemetry::gauge_set(gauge, depth as f64);
+        if let Some(observer) = self.observer {
+            observer(depth);
         }
     }
 
@@ -127,11 +137,29 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// An index was filed twice in a [`ReorderBuffer`]: either it is still
+/// sitting in the window, or it was already consumed. Both mean two
+/// producers claimed the same shard — pipeline corruption that previously
+/// (pre-detection) silently overwrote the first item's data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DuplicateIndex(pub usize);
+
+impl std::fmt::Display for DuplicateIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "duplicate reorder index {}", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateIndex {}
+
 struct ReorderState<T> {
     ready: BTreeMap<usize, T>,
     next: usize,
     total: Option<usize>,
     aborted: bool,
+    /// High-water mark of items parked in the window at once — pinned by
+    /// tests to the documented bound (`<= capacity`).
+    peak_filed: usize,
 }
 
 /// Restores index order on the consume side of an out-of-order worker pool.
@@ -145,14 +173,18 @@ struct ReorderState<T> {
 /// `i` is outstanding every smaller outstanding index is held by some other
 /// worker. The smallest outstanding index is always inside the window
 /// (`capacity >= 1`), so its holder never blocks, the consumer keeps
-/// advancing, and every blocked producer is eventually admitted.
-pub(crate) struct ReorderBuffer<T> {
+/// advancing, and every blocked producer is eventually admitted. (The
+/// `model` feature checks this claim on real schedules instead of taking
+/// the comment's word for it.)
+pub struct ReorderBuffer<T> {
     state: Mutex<ReorderState<T>>,
     cond: Condvar,
     capacity: usize,
 }
 
 impl<T> ReorderBuffer<T> {
+    /// A buffer admitting indices up to `capacity` (clamped to at least 1)
+    /// ahead of the consumer.
     pub fn new(capacity: usize) -> ReorderBuffer<T> {
         ReorderBuffer {
             state: Mutex::new(ReorderState {
@@ -160,6 +192,7 @@ impl<T> ReorderBuffer<T> {
                 next: 0,
                 total: None,
                 aborted: false,
+                peak_filed: 0,
             }),
             cond: Condvar::new(),
             capacity: capacity.max(1),
@@ -170,19 +203,26 @@ impl<T> ReorderBuffer<T> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Block until `index` fits in the window, then file the item. Returns
-    /// `false` when the buffer was aborted (the item is dropped).
-    pub fn insert(&self, index: usize, item: T) -> bool {
+    /// Block until `index` fits in the window, then file the item.
+    /// `Ok(false)` when the buffer was aborted (the item is dropped);
+    /// `Err(DuplicateIndex)` when `index` was already filed or already
+    /// consumed — the item is dropped and the buffer is unchanged, so the
+    /// first filing wins.
+    pub fn insert(&self, index: usize, item: T) -> Result<bool, DuplicateIndex> {
         let mut s = self.lock();
         while index >= s.next + self.capacity && !s.aborted {
             s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
         }
         if s.aborted {
-            return false;
+            return Ok(false);
+        }
+        if index < s.next || s.ready.contains_key(&index) {
+            return Err(DuplicateIndex(index));
         }
         s.ready.insert(index, item);
+        s.peak_filed = s.peak_filed.max(s.ready.len());
         self.cond.notify_all();
-        true
+        Ok(true)
     }
 
     /// Announce how many items will be inserted in total, unblocking the
@@ -221,11 +261,18 @@ impl<T> ReorderBuffer<T> {
         s.ready.clear();
         self.cond.notify_all();
     }
+
+    /// High-water mark of items parked in the window at once. The window
+    /// invariant says this never exceeds the construction capacity.
+    pub fn peak_filed(&self) -> usize {
+        self.lock().peak_filed
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn queue_is_fifo_and_drains_after_close() {
@@ -258,17 +305,18 @@ mod tests {
     }
 
     #[test]
-    fn observed_queue_publishes_depth_gauge() {
-        // Leave collection on afterwards: it only makes sibling tests
-        // record telemetry they never read.
-        telemetry::set_collect(true);
-        let q: BoundedQueue<u32> = BoundedQueue::observed(4, "test.queue_depth.unit");
+    fn observed_queue_reports_depth() {
+        static LAST_DEPTH: AtomicUsize = AtomicUsize::new(usize::MAX);
+        fn record(depth: usize) {
+            LAST_DEPTH.store(depth, Ordering::SeqCst);
+        }
+        let q: BoundedQueue<u32> = BoundedQueue::observed(4, record);
         assert!(q.push(1));
         assert!(q.push(2));
-        assert_eq!(telemetry::gauge_value("test.queue_depth.unit"), Some(2.0));
+        assert_eq!(LAST_DEPTH.load(Ordering::SeqCst), 2);
         q.close();
         assert_eq!(q.pop(), Some(1));
-        assert_eq!(telemetry::gauge_value("test.queue_depth.unit"), Some(1.0));
+        assert_eq!(LAST_DEPTH.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -287,11 +335,29 @@ mod tests {
     fn reorder_emits_in_index_order() {
         let r = ReorderBuffer::new(8);
         r.set_total(3);
-        assert!(r.insert(2, "c"));
-        assert!(r.insert(0, "a"));
-        assert!(r.insert(1, "b"));
+        assert_eq!(r.insert(2, "c"), Ok(true));
+        assert_eq!(r.insert(0, "a"), Ok(true));
+        assert_eq!(r.insert(1, "b"), Ok(true));
         assert_eq!(r.take_next(), Some("a"));
         assert_eq!(r.take_next(), Some("b"));
+        assert_eq!(r.take_next(), Some("c"));
+        assert_eq!(r.take_next(), None);
+        assert_eq!(r.peak_filed(), 3);
+    }
+
+    #[test]
+    fn reorder_rejects_duplicate_and_consumed_indices() {
+        let r = ReorderBuffer::new(4);
+        r.set_total(3);
+        assert_eq!(r.insert(1, "b"), Ok(true));
+        // Still parked in the window: second filing is an error, first wins.
+        assert_eq!(r.insert(1, "B"), Err(DuplicateIndex(1)));
+        assert_eq!(r.insert(0, "a"), Ok(true));
+        assert_eq!(r.take_next(), Some("a"));
+        // Already consumed: also an error, not a silent stale overwrite.
+        assert_eq!(r.insert(0, "A"), Err(DuplicateIndex(0)));
+        assert_eq!(r.take_next(), Some("b"));
+        assert_eq!(r.insert(2, "c"), Ok(true));
         assert_eq!(r.take_next(), Some("c"));
         assert_eq!(r.take_next(), None);
     }
@@ -300,19 +366,24 @@ mod tests {
     fn reorder_window_blocks_far_ahead_producer() {
         let r = ReorderBuffer::new(2);
         r.set_total(4);
-        assert!(r.insert(1, 1));
+        assert_eq!(r.insert(1, 1), Ok(true));
         std::thread::scope(|scope| {
             // Index 3 is outside the window [0, 2) until the consumer moves.
             let h = scope.spawn(|| r.insert(3, 3));
-            assert!(r.insert(0, 0));
+            assert_eq!(r.insert(0, 0), Ok(true));
             assert_eq!(r.take_next(), Some(0));
             assert_eq!(r.take_next(), Some(1));
-            assert!(r.insert(2, 2));
-            assert!(h.join().unwrap());
+            assert_eq!(r.insert(2, 2), Ok(true));
+            assert_eq!(h.join().unwrap(), Ok(true));
         });
         assert_eq!(r.take_next(), Some(2));
         assert_eq!(r.take_next(), Some(3));
         assert_eq!(r.take_next(), None);
+        assert!(
+            r.peak_filed() <= 2,
+            "window bound violated: peak {} > capacity 2",
+            r.peak_filed()
+        );
     }
 
     #[test]
@@ -323,7 +394,7 @@ mod tests {
             r.abort();
             assert_eq!(h.join().unwrap(), None);
         });
-        assert!(!r.insert(0, 7));
+        assert_eq!(r.insert(0, 7), Ok(false));
     }
 
     #[test]
@@ -331,6 +402,69 @@ mod tests {
         let r = ReorderBuffer::<u32>::new(2);
         r.set_total(0);
         assert_eq!(r.take_next(), None);
+    }
+
+    /// Fully random arrival orders for the reorder buffer, single-threaded
+    /// so the window admission is simulated exactly: at every step either
+    /// file a pending index that fits the window (random choice among
+    /// them) or consume, with random duplicate filings injected along the
+    /// way. Pins index-ordered delivery, the duplicate error path, and the
+    /// window-bound accounting.
+    #[test]
+    fn prop_reorder_random_arrival_orders() {
+        rng::prop_check!(|g| {
+            let total = g.usize_in(1, 24);
+            let capacity = g.usize_in(1, 5);
+            let r: ReorderBuffer<usize> = ReorderBuffer::new(capacity);
+            r.set_total(total);
+            let mut pending = g.permutation(total);
+            let mut filed: Vec<usize> = Vec::new();
+            let mut taken: Vec<usize> = Vec::new();
+            let mut duplicates_hit = 0usize;
+            while taken.len() < total {
+                let next = taken.len();
+                // Indices admissible without blocking: inside [next, next+cap).
+                let admissible: Vec<usize> = (0..pending.len())
+                    .filter(|&p| pending[p] < next + capacity)
+                    .collect();
+                // Consuming blocks until index `next` is filed, so with one
+                // thread it is only safe once `next` is actually resident.
+                let can_take = filed.contains(&next);
+                let file_one = !admissible.is_empty() && (!can_take || g.usize_in(0, 2) > 0);
+                if file_one {
+                    let pick = admissible[g.usize_in(0, admissible.len() - 1)];
+                    let index = pending.remove(pick);
+                    assert_eq!(r.insert(index, index), Ok(true));
+                    filed.push(index);
+                    // Re-filing a window-resident index must fail and
+                    // leave the buffer unchanged.
+                    if g.usize_in(0, 3) == 0 {
+                        let dup = filed[g.usize_in(0, filed.len() - 1)];
+                        assert_eq!(r.insert(dup, usize::MAX), Err(DuplicateIndex(dup)));
+                        duplicates_hit += 1;
+                    }
+                } else {
+                    let got = r.take_next().expect("announced items remain");
+                    assert_eq!(got, next, "take_next must deliver in index order");
+                    taken.push(got);
+                    filed.retain(|&i| i != got);
+                    // Re-filing a consumed index is the stale flavor of
+                    // the same error.
+                    if g.usize_in(0, 3) == 0 {
+                        assert_eq!(r.insert(got, usize::MAX), Err(DuplicateIndex(got)));
+                        duplicates_hit += 1;
+                    }
+                }
+                assert!(
+                    r.peak_filed() <= capacity,
+                    "window bound violated: peak {} > capacity {capacity}",
+                    r.peak_filed()
+                );
+            }
+            assert_eq!(taken, (0..total).collect::<Vec<_>>());
+            assert_eq!(r.take_next(), None, "exactly `total` items delivered");
+            let _ = duplicates_hit; // distribution knob, not an assertion target
+        });
     }
 
     /// Item whose `Drop` panics while armed. Clearing a queue that holds one
@@ -384,16 +518,19 @@ mod tests {
             let r = ReorderBuffer::new(capacity);
             r.set_total(n + 1); // one index never arrives: consumer must rely on abort
             for i in 0..n {
-                assert!(r.insert(
-                    i,
-                    Bomb {
-                        armed: i == bomb_at
-                    }
-                ));
+                assert_eq!(
+                    r.insert(
+                        i,
+                        Bomb {
+                            armed: i == bomb_at
+                        }
+                    ),
+                    Ok(true)
+                );
             }
             let aborting = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.abort()));
             assert!(aborting.is_err(), "armed bomb must panic during abort");
-            assert!(!r.insert(n, Bomb { armed: false }));
+            assert_eq!(r.insert(n, Bomb { armed: false }), Ok(false));
             assert!(r.take_next().is_none());
         });
     }
@@ -440,7 +577,10 @@ mod tests {
                                 }
                                 i
                             });
-                            if !done.insert(i, parsed.map_err(|_| i)) {
+                            let filed = done
+                                .insert(i, parsed.map_err(|_| i))
+                                .expect("shard indices from the FIFO queue are unique");
+                            if !filed {
                                 return; // abort reached this worker
                             }
                         }

@@ -1,0 +1,125 @@
+//! The model-checking suite (`cargo test -p smart-sync --features model`):
+//! every production scenario must pass under bounded exploration, and
+//! every deliberately broken fixture must be caught — the checker is
+//! mutation-tested alongside the code it checks.
+#![cfg(feature = "model")]
+
+use sync::fixtures::{IfWaitQueue, MissingNotifyQueue};
+use sync::model::{explore, parse_schedule, Config};
+use sync::scenarios;
+use sync::thread;
+
+// ---------------------------------------------------------------------------
+// Production scenarios: must pass on every bounded schedule.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_scenarios_pass_and_meet_coverage_floors() {
+    let config = Config::from_env();
+    for scenario in scenarios::all() {
+        let report = scenario.run(&config); // panics (with schedule) on failure
+        assert!(
+            report.schedules >= scenario.min_schedules,
+            "scenario '{}' explored only {} schedules (committed floor {})",
+            scenario.name,
+            report.schedules,
+            scenario.min_schedules
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixture bugs: the checker must catch each one within the bounded search.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn missing_notify_is_caught_as_deadlock() {
+    let report = explore(&Config::default(), || {
+        let q: MissingNotifyQueue<u32> = MissingNotifyQueue::new();
+        thread::scope(|scope| {
+            let consumer = scope.spawn(|| q.pop());
+            q.push(7);
+            let got = consumer.join().unwrap();
+            assert_eq!(got, 7);
+        });
+    });
+    let failure = report
+        .failure
+        .expect("the missing notify must be caught in bounded schedules");
+    assert!(
+        failure.message.contains("deadlock"),
+        "expected a deadlock report, got: {}",
+        failure.message
+    );
+    assert!(
+        failure.message.contains("waiting on condvar"),
+        "the report should name the parked waiter: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn if_guarded_wait_is_caught() {
+    let report = explore(&Config::default(), || {
+        let q: IfWaitQueue<u32> = IfWaitQueue::new();
+        thread::scope(|scope| {
+            let a = scope.spawn(|| q.pop());
+            let b = scope.spawn(|| q.pop());
+            q.push(1);
+            q.push(2);
+            let _ = (a.join().unwrap(), b.join().unwrap());
+        });
+    });
+    let failure = report
+        .failure
+        .expect("the if-guarded wait must be caught in bounded schedules");
+    assert!(
+        failure.message.contains("if-guarded wait"),
+        "the fixture's own expect message should surface: {}",
+        failure.message
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The failure artifact: schedules replay deterministically.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn failing_schedule_replays_to_the_same_failure() {
+    let broken = || {
+        let q: MissingNotifyQueue<u32> = MissingNotifyQueue::new();
+        thread::scope(|scope| {
+            let consumer = scope.spawn(|| q.pop());
+            q.push(7);
+            assert_eq!(consumer.join().unwrap(), 7);
+        });
+    };
+    let first = explore(&Config::default(), broken)
+        .failure
+        .expect("fixture must fail");
+    let replay = Config {
+        replay: Some(parse_schedule(&first.schedule).expect("schedule string parses")),
+        ..Config::default()
+    };
+    let second = explore(&replay, broken)
+        .failure
+        .expect("replaying the failing schedule must fail again");
+    assert_eq!(
+        first.message, second.message,
+        "replay must reproduce the same failure"
+    );
+    assert_eq!(first.schedule, second.schedule);
+}
+
+#[test]
+fn exploration_is_deterministic_at_a_fixed_seed() {
+    let scenario = &scenarios::all()[0];
+    let config = Config::default();
+    let a = scenario.run(&config);
+    let b = scenario.run(&config);
+    assert_eq!(
+        (a.schedules, a.dfs_schedules, a.dfs_complete),
+        (b.schedules, b.dfs_schedules, b.dfs_complete),
+        "same config, same closure: exploration must be bit-deterministic"
+    );
+}

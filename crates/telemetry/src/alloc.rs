@@ -23,6 +23,9 @@
 //!   every span records zeros; the default build keeps the plain system
 //!   allocator and pays nothing.
 
+// lint:allow(sync-hygiene) allocator hot path: every allocation takes this
+// load, and the model scheduler must never interpose on the global
+// allocator (see the crate-root imports)
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Environment knob: set to `1`/`true`/`on` to arm allocation tracking at
@@ -44,12 +47,14 @@ pub fn env_requests_tracking(spec: Option<&str>) -> bool {
 /// `obs-alloc` feature is compiled in — the flag flips either way, but
 /// nothing reads the counters without the feature.
 pub fn set_tracking(enabled: bool) {
+    // lint:allow(atomic-ordering) advisory arm/disarm flag; counters are per-thread and need no edge with it
     TRACKING.store(enabled, Ordering::Relaxed);
 }
 
 /// Whether allocation deltas are actually being attributed: the feature is
 /// compiled in *and* tracking is armed.
 pub fn tracking_active() -> bool {
+    // lint:allow(atomic-ordering) advisory flag read; a stale value only delays attribution by one allocation
     cfg!(feature = "obs-alloc") && TRACKING.load(Ordering::Relaxed)
 }
 
@@ -57,6 +62,7 @@ pub fn tracking_active() -> bool {
 mod counting {
     use std::alloc::{GlobalAlloc, Layout, System};
     use std::cell::Cell;
+    // lint:allow(sync-hygiene) same allocator-hot-path argument as the module imports
     use std::sync::atomic::Ordering;
 
     thread_local! {
@@ -74,6 +80,7 @@ mod counting {
     }
 
     fn count(size: usize) {
+        // lint:allow(atomic-ordering) checked on every allocation; Relaxed keeps the disabled path to one uncontended load
         if !super::TRACKING.load(Ordering::Relaxed) {
             return;
         }

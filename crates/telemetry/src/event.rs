@@ -51,6 +51,7 @@ pub fn emit(level: Level, target: &str, message: String, fields: Vec<Field>) {
         return;
     }
     let c = collector();
+    // lint:allow(sync-hygiene, atomic-ordering) telemetry substrate (see crate root); generation is a staleness hint, the events lock is the edge
     let generation = c.generation.load(std::sync::atomic::Ordering::Relaxed);
     let span = current_span()
         .filter(|id| id.generation() == generation)

@@ -48,7 +48,12 @@
 //! ```
 
 use std::collections::BTreeMap;
+// lint:allow(sync-hygiene) telemetry is the substrate *under* the model
+// checker: its global collector must never contribute scheduler yield
+// points to an exploration, and must keep recording while a model run is
+// unwinding — so its internals stay on raw std primitives
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+// lint:allow(sync-hygiene) same substrate argument as the atomics above
 use std::sync::{Mutex, Once, OnceLock};
 use std::time::Instant;
 
@@ -296,6 +301,7 @@ pub(crate) fn collector() -> &'static Collector {
 fn ensure_init() {
     INIT.call_once(|| {
         let level = Level::from_spec(std::env::var("WEFR_LOG").ok().as_deref());
+        // lint:allow(atomic-ordering) write-once-at-init log level; readers need the value, not an ordering edge
         LOG_LEVEL.store(level as u8, Ordering::Relaxed);
         // Any live-plane knob implies collection: a scrape endpoint or
         // watchdog with nothing recorded would observe only silence.
@@ -304,6 +310,7 @@ fn ensure_init() {
         let watchdog_requested = std::env::var_os(watchdog::ENV_WATCHDOG_SECS).is_some();
         COLLECT.store(
             level > Level::Off || report_requested || metrics_requested || watchdog_requested,
+            // lint:allow(atomic-ordering) advisory collection flag set once at init; a stale read drops at most the first record
             Ordering::Relaxed,
         );
         alloc::set_tracking(alloc::env_requests_tracking(
@@ -315,12 +322,14 @@ fn ensure_init() {
 /// Whether spans, metrics, and events are being recorded.
 pub fn collecting() -> bool {
     ensure_init();
+    // lint:allow(atomic-ordering) advisory flag: a stale read only delays when recording starts or stops by one observation
     COLLECT.load(Ordering::Relaxed)
 }
 
 /// The active stderr log level.
 pub fn log_level() -> Level {
     ensure_init();
+    // lint:allow(atomic-ordering) advisory log level; a stale read misroutes at most one record's verbosity
     Level::from_u8(LOG_LEVEL.load(Ordering::Relaxed))
 }
 
@@ -340,12 +349,14 @@ pub fn event_active(level: Level) -> bool {
 /// tests that want span trees without configuring `WEFR_LOG`.
 pub fn set_collect(enabled: bool) {
     ensure_init();
+    // lint:allow(atomic-ordering) advisory flag flip for tests/benches; no data is published under it
     COLLECT.store(enabled, Ordering::Relaxed);
 }
 
 /// Override the stderr log level (normally taken from `WEFR_LOG`).
 pub fn set_log_level(level: Level) {
     ensure_init();
+    // lint:allow(atomic-ordering) advisory log level override; same argument as the init store
     LOG_LEVEL.store(level as u8, Ordering::Relaxed);
 }
 
@@ -353,6 +364,7 @@ pub fn set_log_level(level: Level) {
 /// Guards still open across a reset close without recording anything.
 pub fn reset() {
     let c = collector();
+    // lint:allow(atomic-ordering) generation is a monotonic staleness hint; guards re-check it under the spans lock, which is the real edge
     c.generation.fetch_add(1, Ordering::Relaxed);
     c.spans.lock().expect("telemetry spans lock").clear();
     {

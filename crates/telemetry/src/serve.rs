@@ -19,9 +19,10 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use sync::atomic::{AtomicBool, Ordering};
 
 use crate::{snapshot, RunReport};
 

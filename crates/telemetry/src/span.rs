@@ -7,6 +7,8 @@
 //! on another thread — the pattern used by the parallel ranker fan-out.
 
 use std::cell::RefCell;
+// lint:allow(sync-hygiene) telemetry substrate: its atomics must not become
+// model-scheduler yield points (see the crate-root imports)
 use std::sync::atomic::Ordering;
 
 use crate::{collecting, collector, logger, now_us, Field, FieldValue, Level};
@@ -93,6 +95,7 @@ fn open_span(name: &str, parent: Option<SpanId>) -> SpanGuard {
         };
     }
     let c = collector();
+    // lint:allow(atomic-ordering) generation is a staleness hint; the spans lock below is the real ordering edge
     let generation = c.generation.load(Ordering::Relaxed);
     let parent_index = parent
         .filter(|p| p.generation == generation)
@@ -154,6 +157,7 @@ impl SpanGuard {
     pub fn record(&self, key: &str, value: impl Into<FieldValue>) {
         let Some(id) = self.id else { return };
         let c = collector();
+        // lint:allow(atomic-ordering) staleness hint only; re-checked under the spans lock
         if c.generation.load(Ordering::Relaxed) != id.generation {
             return; // the arena was reset under us; the record is gone
         }
@@ -174,6 +178,7 @@ impl Drop for SpanGuard {
             }
         });
         let c = collector();
+        // lint:allow(atomic-ordering) staleness hint only; re-checked under the spans lock
         if c.generation.load(Ordering::Relaxed) != id.generation {
             return;
         }

@@ -15,13 +15,18 @@
 //! The watchdog only observes: it never cancels work, and warnings go to
 //! the event buffer plus (at `WEFR_LOG=warn` or lower) stderr — stdout is
 //! untouched, so pipeline output stays bit-identical with the watchdog on
-//! or off. Shutdown is a condvar handshake: [`Watchdog::stop`] (or drop)
-//! wakes the thread and joins it, so no tick can fire mid-teardown.
+//! or off. Shutdown is a condvar handshake through
+//! [`sync::shutdown::StopFlag`]: [`Watchdog::stop`] (or drop) wakes the
+//! thread and joins it, so no tick can fire mid-teardown. The handshake is
+//! model-checked in smart-sync's `watchdog_shutdown_always_terminates`
+//! scenario.
 
 use std::collections::HashSet;
-use std::sync::atomic::Ordering;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+
+use sync::atomic::Ordering;
+use sync::shutdown::StopFlag;
 
 use crate::span::OPEN;
 use crate::{collector, metrics, now_us};
@@ -37,7 +42,7 @@ pub const STALL_COUNTER: &str = "telemetry.watchdog.stalls";
 /// [`Watchdog::stop`]; dropping the handle performs the same clean
 /// shutdown.
 pub struct Watchdog {
-    shared: Arc<(Mutex<bool>, Condvar)>,
+    flag: Arc<StopFlag>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -51,11 +56,7 @@ impl Watchdog {
         let Some(thread) = self.thread.take() else {
             return;
         };
-        {
-            let (stop, wake) = &*self.shared;
-            *stop.lock().expect("watchdog stop lock") = true;
-            wake.notify_all();
-        }
+        self.flag.stop();
         let _ = thread.join();
     }
 }
@@ -90,30 +91,23 @@ pub fn start_from_env() -> Option<Watchdog> {
 /// are reported promptly without busy-waiting on long deadlines.
 pub fn start(deadline: Duration) -> Watchdog {
     let poll = (deadline / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
-    let shared = Arc::new((Mutex::new(false), Condvar::new()));
-    let handle = Arc::clone(&shared);
+    let flag = Arc::new(StopFlag::new());
+    let handle = Arc::clone(&flag);
     let thread = std::thread::Builder::new()
         .name("wefr-watchdog".to_string())
         .spawn(move || {
             let mut warned: HashSet<(u64, u64)> = HashSet::new();
-            let (stop, wake) = &*handle;
-            let mut stopped = stop.lock().expect("watchdog stop lock");
-            while !*stopped {
-                // Condvar wait doubles as the tick timer; a stop() notify
-                // interrupts the sleep so shutdown never waits a full poll.
-                let (guard, _timeout) = wake
-                    .wait_timeout(stopped, poll)
-                    .expect("watchdog stop lock");
-                stopped = guard;
-                if *stopped {
-                    break;
-                }
+            // The timed wait doubles as the tick timer; a stop() notify
+            // interrupts the sleep so shutdown never waits a full poll.
+            // This exact handshake is model-checked in smart-sync's
+            // `watchdog_shutdown_always_terminates` scenario.
+            while !handle.wait_timeout(poll) {
                 tick(deadline, &mut warned);
             }
         })
         .expect("spawn watchdog thread");
     Watchdog {
-        shared,
+        flag,
         thread: Some(thread),
     }
 }
@@ -127,6 +121,7 @@ pub(crate) fn tick(deadline: Duration, warned: &mut HashSet<(u64, u64)>) {
     let deadline_us = deadline.as_micros() as u64;
     let now = now_us();
     let c = collector();
+    // lint:allow(atomic-ordering) generation is a staleness hint for dedup keys; the spans lock below is the ordering edge
     let generation = c.generation.load(Ordering::Relaxed);
     // Collect stalls under the spans lock, then release it before emitting:
     // warn!/counter_add take other collector locks, and the logger may

@@ -27,6 +27,17 @@ step "hermeticity: dependency graph must contain only in-repo path crates"
 cargo metadata --format-version 1 --offline \
   | cargo run -q --release --offline -p smart-integration --bin check_hermetic
 
+step "smart-sync model checker: scenarios, mutation fixtures, coverage floors"
+# The model suite runs the ported queue/watchdog/serve primitives through
+# the deterministic scheduler (DESIGN.md §13): every pinned scenario must
+# hold on every explored schedule, and the broken-queue mutation fixtures
+# must be caught. check_model_coverage then re-runs the scenario sweep
+# twice and fails if exploration fell below the committed schedule floors
+# or diverged between runs at the same seed.
+cargo test -q --offline -p smart-sync --features model
+cargo run -q --release --offline -p smart-sync --features model \
+  --bin check_model_coverage
+
 step "smart-lint: workspace must pass every determinism/hermeticity rule"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
