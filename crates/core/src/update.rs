@@ -63,17 +63,24 @@ impl UpdateMonitor {
     pub fn due(&self, day: u32) -> bool {
         match self.last_check_day {
             None => true,
-            Some(last) => day >= last + self.period_days,
+            // Saturating: `last + period` could wrap near `u32::MAX`, and a
+            // check earlier than the last recorded one is simply not due.
+            Some(last) => day.saturating_sub(last) >= self.period_days,
         }
     }
 
     /// Record the outcome of a change-point check on `day` and decide what
     /// to do. `threshold` is the currently detected change point, if any.
+    ///
+    /// The comparison baseline is the last *acted-upon* threshold — the one
+    /// feature selection last ran against — not the last observed one.
+    /// Re-baselining on every check would let a slow drift (42→43→44→…,
+    /// each step within tolerance) walk arbitrarily far without ever
+    /// triggering a re-selection.
     pub fn record_check(&mut self, day: u32, threshold: Option<u32>) -> UpdateDecision {
         let previous = self.last_threshold;
         self.last_check_day = Some(day);
-        self.last_threshold = Some(threshold);
-        match (previous, threshold) {
+        let decision = match (previous, threshold) {
             (None, _) => UpdateDecision::InitialSelection,
             (Some(None), None) => UpdateDecision::Unchanged,
             (Some(None), Some(t)) => UpdateDecision::ThresholdAppeared { threshold: t },
@@ -85,11 +92,16 @@ impl UpdateMonitor {
                     UpdateDecision::Unchanged
                 }
             }
+        };
+        if decision.requires_reselection() {
+            self.last_threshold = Some(threshold);
         }
+        decision
     }
 
-    /// The threshold recorded at the last check (`None` = never checked;
-    /// `Some(None)` = checked, no change point).
+    /// The threshold the monitor last acted upon (`None` = never checked;
+    /// `Some(None)` = checked, no change point). Checks that returned
+    /// [`UpdateDecision::Unchanged`] do not move this baseline.
     pub fn last_threshold(&self) -> Option<Option<u32>> {
         self.last_threshold
     }
@@ -129,11 +141,12 @@ mod tests {
             UpdateDecision::ThresholdAppeared { threshold: 42 }
         );
         assert_eq!(m.record_check(14, Some(42)), UpdateDecision::Unchanged);
-        // Within tolerance: still unchanged.
+        // Within tolerance: still unchanged — and the baseline stays at
+        // the acted-upon 42, not the observed 43.
         assert_eq!(m.record_check(21, Some(43)), UpdateDecision::Unchanged);
         assert_eq!(
             m.record_check(28, Some(50)),
-            UpdateDecision::ThresholdMoved { from: 43, to: 50 }
+            UpdateDecision::ThresholdMoved { from: 42, to: 50 }
         );
         assert_eq!(
             m.record_check(35, None),
@@ -154,6 +167,38 @@ mod tests {
         m.record_check(5, None);
         assert!(!m.due(5));
         assert!(m.due(6));
+    }
+
+    #[test]
+    fn slow_drift_eventually_triggers_reselection() {
+        // Regression: each weekly step is within tolerance, but the
+        // cumulative drift from the last acted-upon threshold is not. The
+        // old code re-baselined every week and never fired.
+        let mut m = UpdateMonitor::weekly();
+        m.record_check(0, Some(42)); // InitialSelection, baseline 42
+        assert_eq!(m.record_check(7, Some(43)), UpdateDecision::Unchanged);
+        assert_eq!(
+            m.record_check(14, Some(44)),
+            UpdateDecision::ThresholdMoved { from: 42, to: 44 }
+        );
+        // The move re-baselines to 44; the next in-tolerance step is quiet.
+        assert_eq!(m.record_check(21, Some(45)), UpdateDecision::Unchanged);
+        assert_eq!(m.last_threshold(), Some(Some(44)));
+    }
+
+    #[test]
+    fn due_near_u32_max_does_not_overflow() {
+        // Regression: `last + period` wrapped (release) or panicked (debug)
+        // when the last check day sat near u32::MAX.
+        let mut m = UpdateMonitor::weekly();
+        m.record_check(u32::MAX - 3, None);
+        assert!(!m.due(u32::MAX - 3));
+        assert!(!m.due(u32::MAX));
+        // A day earlier than the last check is not due either.
+        assert!(!m.due(0));
+        let mut recent = UpdateMonitor::weekly();
+        recent.record_check(u32::MAX - 10, None);
+        assert!(recent.due(u32::MAX - 3));
     }
 
     #[test]

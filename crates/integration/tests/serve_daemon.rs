@@ -1,0 +1,105 @@
+//! End-to-end test of the continuous-selection daemon over a real socket
+//! (DESIGN.md §14): the same SMART-log CSV replayed through two daemon
+//! instances — at different ingest worker counts — must produce
+//! byte-identical query transcripts, run to run and worker count to
+//! worker count.
+
+use std::io::Cursor;
+
+use serve::daemon::{Daemon, ServeConfig};
+use serve::listener;
+use smart_dataset::csv::export_smart_csv;
+use smart_dataset::{
+    tickets_from_summaries, DriveModel, DriveRecord, Fleet, FleetConfig, IngestConfig,
+    TroubleTicket,
+};
+use sync::{Arc, Mutex};
+
+/// The fixed-seed fleet every daemon in this suite replays.
+fn fleet() -> Fleet {
+    let config = FleetConfig::builder()
+        .days(160)
+        .seed(23)
+        .drives(DriveModel::Mc1, 24)
+        .failure_scale(8.0)
+        .build()
+        .expect("valid fleet config");
+    Fleet::generate(&config)
+}
+
+fn serve_config() -> ServeConfig {
+    let mut config = ServeConfig::default();
+    config.period_days = 21;
+    config.predictor.n_trees = 15;
+    config.predictor.max_depth = 6;
+    config.predictor.seed = 3;
+    config.predictor.n_threads = Some(1);
+    config
+}
+
+/// Ingest `fleet`'s CSV with `workers` parser threads, replay to the last
+/// observed day, and return the ready daemon.
+fn daemon_over(fleet: &Fleet, workers: usize) -> Daemon {
+    let mut csv = Vec::new();
+    export_smart_csv(fleet, &mut csv).expect("export CSV");
+    let summaries: Vec<_> = fleet.drives().iter().map(DriveRecord::summary).collect();
+    let tickets: Vec<TroubleTicket> = tickets_from_summaries(&summaries);
+    let ingest = IngestConfig {
+        workers,
+        ..IngestConfig::default()
+    };
+    let mut daemon = Daemon::new(serve_config());
+    daemon
+        .ingest_csv(Cursor::new(csv), &tickets, &ingest)
+        .expect("ingest CSV");
+    let last = daemon.last_observed_day().expect("nonempty fleet");
+    daemon.advance_to(last).expect("replay to last day");
+    daemon
+}
+
+/// The full scripted transcript of one socket session against `daemon`:
+/// STATUS, FEATURES, and a SCORE for every drive in the fleet.
+fn transcript(fleet: &Fleet, daemon: Daemon) -> Vec<String> {
+    let shared = Arc::new(Mutex::new(daemon));
+    let server =
+        listener::start("127.0.0.1:0", Arc::clone(&shared), "serve-e2e").expect("bind listener");
+    let mut commands: Vec<String> = vec!["STATUS".to_string(), "FEATURES".to_string()];
+    commands.extend(fleet.drives().iter().map(|d| format!("SCORE {}", d.id)));
+    commands.push("QUIT".to_string());
+    let refs: Vec<&str> = commands.iter().map(String::as_str).collect();
+    let responses = listener::query_session(server.addr(), &refs).expect("query session");
+    server.stop();
+    responses
+}
+
+#[test]
+fn transcripts_identical_across_runs_and_worker_counts() {
+    let fleet = fleet();
+    let one_a = transcript(&fleet, daemon_over(&fleet, 1));
+    let one_b = transcript(&fleet, daemon_over(&fleet, 1));
+    assert_eq!(one_a, one_b, "same worker count, two runs");
+    let four = transcript(&fleet, daemon_over(&fleet, 4));
+    assert_eq!(one_a, four, "1 worker vs 4 workers");
+    // The transcript must actually contain scores, not a wall of ERRs:
+    // the daemon selected features and answered for live drives.
+    assert!(one_a[0].starts_with("ok status\n"), "{}", one_a[0]);
+    assert!(one_a[1].starts_with("ok features "), "{}", one_a[1]);
+    let scored = one_a.iter().filter(|r| r.starts_with("ok score ")).count();
+    assert!(scored > 0, "no drive produced a score: {one_a:?}");
+}
+
+#[test]
+fn report_route_serves_valid_json_over_http() {
+    let fleet = fleet();
+    let daemon = daemon_over(&fleet, 2);
+    let shared = Arc::new(Mutex::new(daemon));
+    let server =
+        listener::start("127.0.0.1:0", Arc::clone(&shared), "serve-e2e-http").expect("bind");
+    let (status, body) = listener::http_get(server.addr(), "/report").expect("GET /report");
+    assert!(status.contains("200 OK"), "{status}");
+    let report: telemetry::RunReport = json::from_str(&body).expect("parse /report body");
+    report.validate_tree().expect("consistent span tree");
+    let (status, _) = listener::http_get(server.addr(), "/metrics").expect("GET /metrics");
+    assert!(status.contains("404"), "only /report is routed: {status}");
+    server.stop();
+}

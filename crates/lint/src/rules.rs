@@ -57,6 +57,7 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
     "smart-changepoint",
     "smart-dataset",
     "smart-pipeline",
+    "smart-serve",
     "smart-lint",
 ];
 
@@ -70,6 +71,7 @@ pub const ORDER_SENSITIVE_CRATES: &[&str] = &[
     "smart-changepoint",
     "smart-dataset",
     "smart-pipeline",
+    "smart-serve",
     "smart-lint",
 ];
 
@@ -452,13 +454,14 @@ const ENV_CALLS: &[&str] = &["var", "var_os", "vars", "set_var", "remove_var"];
 const CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
 const NET_TYPES: &[&str] = &["TcpListener", "TcpStream", "UdpSocket"];
 
-/// The only files allowed to touch the network: the live metrics endpoint
-/// and the watchdog (DESIGN.md §6). The exemption is by exact path, not by
-/// crate — even the rest of smart-telemetry, and every bin, stays
-/// socket-free.
+/// The only files allowed to touch the network: the live metrics endpoint,
+/// the watchdog (DESIGN.md §6), and the smart-serve query listener
+/// (DESIGN.md §14). The exemption is by exact path, not by crate — even
+/// the rest of those crates, and every bin, stays socket-free.
 const NET_ALLOWED_FILES: &[&str] = &[
     "crates/telemetry/src/serve.rs",
     "crates/telemetry/src/watchdog.rs",
+    "crates/serve/src/listener.rs",
 ];
 
 /// Rule `side-effects`: wall-clock reads, environment access, and stderr
@@ -541,7 +544,7 @@ fn network_access(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 "side-effects",
                 format!(
                     "{} opens network I/O; sockets are allowed only in smart-telemetry's \
-                     serve/watchdog modules (DESIGN.md §6)",
+                     serve/watchdog modules and smart-serve's listener (DESIGN.md §6, §14)",
                     t.text
                 ),
             ));

@@ -227,25 +227,30 @@ fn network_access_exemption_is_by_path_not_by_crate() {
 
 #[test]
 fn network_access_allowed_only_in_the_endpoint_files() {
-    for path in [
-        "crates/telemetry/src/serve.rs",
-        "crates/telemetry/src/watchdog.rs",
+    for (path, package) in [
+        ("crates/telemetry/src/serve.rs", "smart-telemetry"),
+        ("crates/telemetry/src/watchdog.rs", "smart-telemetry"),
+        ("crates/serve/src/listener.rs", "smart-serve"),
     ] {
-        let outcome = check_at_path("network_bad.rs", path, "smart-telemetry", TargetKind::Lib);
-        assert_eq!(hits(&outcome), Vec::<(String, usize)>::new(), "{path}");
+        let outcome = check_at_path("network_bad.rs", path, package, TargetKind::Lib);
+        assert!(
+            !hits(&outcome).iter().any(|(r, _)| r == "side-effects"),
+            "{path}: got {:?}",
+            hits(&outcome)
+        );
     }
-    // A near-miss path gets no exemption.
-    let near_miss = check_at_path(
-        "network_bad.rs",
-        "crates/telemetry/src/serve_extra.rs",
-        "smart-telemetry",
-        TargetKind::Lib,
-    );
-    assert!(
-        hits(&near_miss).iter().any(|(r, _)| r == "side-effects"),
-        "got {:?}",
-        hits(&near_miss)
-    );
+    // Near-miss paths get no exemption — in either crate.
+    for (path, package) in [
+        ("crates/telemetry/src/serve_extra.rs", "smart-telemetry"),
+        ("crates/serve/src/daemon.rs", "smart-serve"),
+    ] {
+        let near_miss = check_at_path("network_bad.rs", path, package, TargetKind::Lib);
+        assert!(
+            hits(&near_miss).iter().any(|(r, _)| r == "side-effects"),
+            "{path}: got {:?}",
+            hits(&near_miss)
+        );
+    }
 }
 
 #[test]

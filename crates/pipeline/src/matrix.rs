@@ -156,7 +156,11 @@ pub fn expanded_matrix(
         rows.push(crate::features::expand_sample(drive, s.day, base)?);
         labels.push(s.label);
     }
-    let matrix = FeatureMatrix::from_rows(names, &rows).map_err(PipelineError::Stats)?;
+    // `with_missing`: NaN-backfilled days (tolerant ingest, DESIGN.md §11)
+    // expand to NaN current values and observed-only window statistics;
+    // the binned learners route NaN cells to their reserved missing bin.
+    let matrix =
+        FeatureMatrix::from_rows_with_missing(names, &rows).map_err(PipelineError::Stats)?;
     Ok((matrix, labels))
 }
 

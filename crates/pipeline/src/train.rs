@@ -105,10 +105,24 @@ impl FailurePredictor {
     /// observed on `day`.
     pub fn score_drive_day(&self, drive: &DriveRecord, day: u32) -> Result<f64, PipelineError> {
         let row = crate::features::expand_sample(drive, day, &self.base)?;
+        Ok(self.score_rows(std::slice::from_ref(&row))?[0])
+    }
+
+    /// Failure probabilities for pre-expanded feature rows (in
+    /// [`crate::features::expanded_feature_names`] order) — the entry point
+    /// for callers that maintain window statistics incrementally instead of
+    /// re-expanding drive history, e.g. the serving daemon. NaN cells
+    /// (missing measurements) are permitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Stats`] on rows of the wrong width or with
+    /// infinite values, and propagates prediction errors.
+    pub fn score_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>, PipelineError> {
         let names = crate::features::expanded_feature_names(&self.base);
-        let matrix = FeatureMatrix::from_rows(names, std::slice::from_ref(&row))
-            .map_err(PipelineError::Stats)?;
-        Ok(self.forest.predict_proba(&matrix)?[0])
+        let matrix =
+            FeatureMatrix::from_rows_with_missing(names, rows).map_err(PipelineError::Stats)?;
+        Ok(self.forest.predict_proba(&matrix)?)
     }
 
     /// Failure probabilities for a batch of samples (much faster than
@@ -199,6 +213,56 @@ mod tests {
             let single = predictor.score_drive_day(drive, s.day).unwrap();
             assert!((single - expected).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn scoring_tolerates_nan_backfilled_days() {
+        // Regression: tolerant ingest (DESIGN.md §11) backfills day gaps
+        // with NaN measurements; scoring a drive across such a gap used to
+        // fail because WindowStats::compute rejected NaN.
+        let fleet = fleet();
+        let samples =
+            collect_samples(&fleet, DriveModel::Mc1, 0, 300, &SamplingConfig::default()).unwrap();
+        let base = vec![FeatureId::raw(SmartAttribute::Uce)];
+        let predictor = FailurePredictor::train(&fleet, &samples, &base, &quick_config()).unwrap();
+        let clean = &fleet.drives()[samples[0].drive_index];
+        let gap_day = clean.deploy_day + 10;
+        let drive = with_nan_day(clean, gap_day);
+        // The day after the gap sees the NaN cell inside its windows.
+        let p = predictor.score_drive_day(&drive, gap_day + 1).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+        // The backfilled day itself has a NaN current value.
+        let p = predictor.score_drive_day(&drive, gap_day).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// A copy of `drive` whose measurements on `day` are all NaN — the
+    /// shape tolerant ingest produces for a backfilled day gap.
+    fn with_nan_day(drive: &smart_dataset::DriveRecord, day: u32) -> smart_dataset::DriveRecord {
+        use smart_dataset::{FeatureId, ValueKind};
+        let n_days = drive.last_day() - drive.deploy_day + 1;
+        let mut values = Vec::new();
+        for d in drive.deploy_day..=drive.last_day() {
+            for &attr in drive.model.attributes() {
+                for kind in [ValueKind::Raw, ValueKind::Normalized] {
+                    let v = if d == day {
+                        f64::NAN
+                    } else {
+                        drive.value_on(d, FeatureId { attr, kind }).unwrap()
+                    };
+                    values.push(v as f32);
+                }
+            }
+        }
+        smart_dataset::DriveRecord::from_flat_values(
+            drive.id,
+            drive.model,
+            drive.deploy_day,
+            drive.initial_age_days,
+            drive.failure,
+            values,
+            n_days,
+        )
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! The daemon's error type: data-plane failures and bad requests.
+
+use smart_dataset::DatasetError;
+use smart_pipeline::PipelineError;
+use wefr_core::WefrError;
+
+/// Everything that can go wrong inside the daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Ingest-side failure (CSV parse, I/O).
+    Dataset(DatasetError),
+    /// Feature expansion / training / scoring failure.
+    Pipeline(PipelineError),
+    /// Feature-selection failure.
+    Wefr(WefrError),
+    /// The query is well-formed but cannot be answered in the current
+    /// state (no selection yet, unknown drive, drive not observed today).
+    NotReady {
+        /// Operator-facing explanation.
+        message: String,
+    },
+}
+
+impl ServeError {
+    /// A [`ServeError::NotReady`] with the given message.
+    pub fn not_ready(message: impl Into<String>) -> Self {
+        ServeError::NotReady {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Dataset(e) => write!(f, "ingest: {e}"),
+            ServeError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            ServeError::Wefr(e) => write!(f, "selection: {e}"),
+            ServeError::NotReady { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Dataset(e) => Some(e),
+            ServeError::Pipeline(e) => Some(e),
+            ServeError::Wefr(e) => Some(e),
+            ServeError::NotReady { .. } => None,
+        }
+    }
+}
+
+impl From<DatasetError> for ServeError {
+    fn from(e: DatasetError) -> Self {
+        ServeError::Dataset(e)
+    }
+}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+impl From<WefrError> for ServeError {
+    fn from(e: WefrError) -> Self {
+        ServeError::Wefr(e)
+    }
+}

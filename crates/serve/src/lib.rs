@@ -1,0 +1,45 @@
+#![forbid(unsafe_code)]
+//! The continuous-selection daemon (DESIGN.md §14, ROADMAP item 1).
+//!
+//! Every experiment binary in this workspace rebuilds the world from
+//! scratch; the paper instead runs WEFR as a *weekly cycle on a live
+//! fleet* (§IV-D). This crate is that long-lived process:
+//!
+//! 1. **Ingest** — SMART logs arrive through the existing
+//!    [`smart_dataset::stream_drive_batches`] seam, so the daemon shares
+//!    the sharded reader's determinism guarantee: any worker count
+//!    produces the same state.
+//! 2. **Incremental state** ([`state`]) — each tracked drive carries one
+//!    [`smart_stats::window::IncrementalWindow`] per base feature and
+//!    window width, updated in O(1) per observation as the replay cursor
+//!    advances; scoring never re-expands drive history.
+//! 3. **Update cycle** ([`daemon`]) — a [`wefr_core::UpdateMonitor`]
+//!    schedules change-point checks on the paper's cadence; when the
+//!    wear-out threshold appears, disappears, or moves past tolerance,
+//!    the daemon re-runs [`wefr_core::Wefr::select`] and retrains the
+//!    failure predictor, emitting one telemetry span per cycle.
+//! 4. **Queries** ([`protocol`], [`listener`]) — a line-protocol TCP
+//!    listener answers `SCORE <drive>`, `FEATURES`, and `STATUS`, plus an
+//!    HTTP-ish `GET /report` that returns the smart-json run report. The
+//!    listener is the only file in the crate allowed to touch sockets
+//!    (the smart-lint `network_access` allowlist), and shuts down through
+//!    the [`smart_sync::shutdown::StopFlag`] handshake.
+//!
+//! All query output is deterministic: state lives in `BTreeMap`s, scores
+//! come from the deterministic forest, and responses carry no clocks or
+//! request counters — two daemons fed the same logs answer byte-for-byte
+//! identically, regardless of ingest worker count.
+//!
+//! [`smart_sync::shutdown::StopFlag`]: sync::shutdown::StopFlag
+//! [`smart_dataset::stream_drive_batches`]: smart_dataset::stream_drive_batches
+
+pub mod daemon;
+pub mod error;
+pub mod listener;
+pub mod protocol;
+pub mod state;
+
+pub use daemon::{CycleReport, Daemon, ServeConfig};
+pub use error::ServeError;
+pub use listener::ServeListener;
+pub use protocol::Request;

@@ -1,0 +1,181 @@
+//! Incremental per-drive window state: the serving-side replacement for
+//! re-expanding a drive's history on every score request.
+
+use smart_dataset::{DriveRecord, FeatureId};
+use smart_pipeline::features::WINDOW_WIDTHS;
+use smart_stats::window::IncrementalWindow;
+
+use crate::error::ServeError;
+
+/// One tracked drive: its record plus one [`IncrementalWindow`] per
+/// `(base feature, window width)` pair, fed day by day as the daemon's
+/// replay cursor advances.
+///
+/// The windows cover *all* base features of the drive's model, not just
+/// the currently selected ones — a re-selection changes which columns a
+/// score reads, and must not force a window rebuild over drive history.
+#[derive(Debug, Clone)]
+pub struct DriveState {
+    record: DriveRecord,
+    /// Windows indexed `[feature × WINDOW_WIDTHS.len() + width]`, in the
+    /// order of the base-feature list the daemon was built with.
+    windows: Vec<IncrementalWindow>,
+    /// The last day fed into the windows, if any.
+    fed_through: Option<u32>,
+}
+
+impl DriveState {
+    /// Track `record`, with empty windows for every base feature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IncrementalWindow::new`] errors (zero widths — the
+    /// pipeline's widths are compile-time nonzero).
+    pub fn new(record: DriveRecord, base: &[FeatureId]) -> Result<Self, ServeError> {
+        let mut windows = Vec::with_capacity(base.len() * WINDOW_WIDTHS.len());
+        for _ in base {
+            for w in WINDOW_WIDTHS {
+                windows.push(
+                    IncrementalWindow::new(w as usize).map_err(|e| {
+                        ServeError::Pipeline(smart_pipeline::PipelineError::Stats(e))
+                    })?,
+                );
+            }
+        }
+        Ok(DriveState {
+            record,
+            windows,
+            fed_through: None,
+        })
+    }
+
+    /// The underlying record.
+    pub fn record(&self) -> &DriveRecord {
+        &self.record
+    }
+
+    /// Feed `day`'s measurements into the windows. Days the drive is not
+    /// observed on (before deployment, after failure/retirement) are
+    /// no-ops, matching the batch path's truncated trailing windows.
+    pub fn feed(&mut self, day: u32, base: &[FeatureId]) {
+        if !self.record.observed_on(day) {
+            return;
+        }
+        for (i, f) in base.iter().enumerate() {
+            // Unreported attributes cannot occur: `base` is derived from
+            // the drive's own model. A missing value would be a NaN cell.
+            let v = self.record.value_on(day, *f).unwrap_or(f64::NAN);
+            for (j, _) in WINDOW_WIDTHS.iter().enumerate() {
+                if let Some(w) = self.windows.get_mut(i * WINDOW_WIDTHS.len() + j) {
+                    w.push(v);
+                }
+            }
+        }
+        self.fed_through = Some(day);
+    }
+
+    /// The expanded feature row (current value + six statistics per
+    /// window width, in [`smart_pipeline::features::expanded_feature_names`]
+    /// order) for the `selected` base features on `day`, read from the
+    /// incremental windows.
+    ///
+    /// `selected` must be a subset of the base list the state was built
+    /// with; `indices` maps each selected feature to its position there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::NotReady`] when the drive is not observed on
+    /// `day` or the windows have not been fed through `day` yet.
+    pub fn expanded_row(
+        &self,
+        day: u32,
+        selected_indices: &[usize],
+        base: &[FeatureId],
+    ) -> Result<Vec<f64>, ServeError> {
+        if !self.record.observed_on(day) {
+            return Err(ServeError::not_ready(format!(
+                "drive {} is not observed on day {day} (last day {})",
+                self.record.id,
+                self.record.last_day()
+            )));
+        }
+        if self.fed_through != Some(day) {
+            return Err(ServeError::not_ready(format!(
+                "drive {} windows are fed through {:?}, not day {day}",
+                self.record.id, self.fed_through
+            )));
+        }
+        let width_count = WINDOW_WIDTHS.len();
+        let mut row = Vec::with_capacity(selected_indices.len() * (1 + 6 * width_count));
+        for &i in selected_indices {
+            let f = base.get(i).copied().ok_or_else(|| {
+                ServeError::not_ready(format!("selected feature index {i} out of range"))
+            })?;
+            row.push(self.record.value_on(day, f).unwrap_or(f64::NAN));
+            for j in 0..width_count {
+                let stats = self
+                    .windows
+                    .get(i * width_count + j)
+                    .ok_or_else(|| {
+                        ServeError::not_ready(format!("window index {i}×{j} out of range"))
+                    })?
+                    .stats()
+                    .map_err(|e| ServeError::Pipeline(smart_pipeline::PipelineError::Stats(e)))?;
+                row.extend_from_slice(&stats.to_array());
+            }
+        }
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_dataset::{DriveModel, Fleet, FleetConfig};
+    use smart_pipeline::base_features;
+    use smart_pipeline::features::expand_sample;
+
+    fn drive() -> DriveRecord {
+        let config = FleetConfig::builder()
+            .days(150)
+            .seed(9)
+            .drives(DriveModel::Mc1, 1)
+            .build()
+            .unwrap();
+        Fleet::generate(&config).drives()[0].clone()
+    }
+
+    #[test]
+    fn incremental_row_matches_batch_expansion() {
+        let d = drive();
+        let base = base_features(d.model);
+        let mut state = DriveState::new(d.clone(), &base).unwrap();
+        let all: Vec<usize> = (0..base.len()).collect();
+        for day in d.deploy_day..=d.last_day() {
+            state.feed(day, &base);
+            let row = state.expanded_row(day, &all, &base).unwrap();
+            let batch = expand_sample(&d, day, &base).unwrap();
+            assert_eq!(row.len(), batch.len());
+            for (a, b) in row.iter().zip(&batch) {
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                    "day {day}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unobserved_day_is_not_ready() {
+        let d = drive();
+        let base = base_features(d.model);
+        let last = d.last_day();
+        let mut state = DriveState::new(d, &base).unwrap();
+        let all: Vec<usize> = (0..base.len()).collect();
+        state.feed(last, &base);
+        assert!(state.expanded_row(last + 1, &all, &base).is_err());
+        // Feeding past the record's end changes nothing.
+        state.feed(last + 1, &base);
+        assert!(state.expanded_row(last, &all, &base).is_ok());
+    }
+}

@@ -116,21 +116,39 @@ impl FeatureMatrix {
     /// from `names.len()` and [`StatsError::NonFinite`] for NaN/infinite
     /// values.
     pub fn from_rows(names: Vec<String>, rows: &[Vec<f64>]) -> Result<Self> {
+        let columns = Self::rows_to_columns(&names, rows, "FeatureMatrix::from_rows")?;
+        FeatureMatrix::from_columns(names, columns)
+    }
+
+    /// [`FeatureMatrix::from_rows`] permitting NaN cells (missing
+    /// measurements), with the same infinity rejection as
+    /// [`FeatureMatrix::from_columns_with_missing`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::LengthMismatch`] on ragged rows and
+    /// [`StatsError::NonFinite`] if any value is infinite.
+    pub fn from_rows_with_missing(names: Vec<String>, rows: &[Vec<f64>]) -> Result<Self> {
+        let columns = Self::rows_to_columns(&names, rows, "FeatureMatrix::from_rows_with_missing")?;
+        FeatureMatrix::from_columns_with_missing(names, columns)
+    }
+
+    fn rows_to_columns(
+        names: &[String],
+        rows: &[Vec<f64>],
+        context: &'static str,
+    ) -> Result<Vec<Vec<f64>>> {
         let n_cols = names.len();
         let mut columns = vec![Vec::with_capacity(rows.len()); n_cols];
         for row in rows {
             if row.len() != n_cols {
-                return Err(StatsError::mismatch(
-                    "FeatureMatrix::from_rows",
-                    n_cols,
-                    row.len(),
-                ));
+                return Err(StatsError::mismatch(context, n_cols, row.len()));
             }
             for (c, &v) in row.iter().enumerate() {
                 columns[c].push(v);
             }
         }
-        FeatureMatrix::from_columns(names, columns)
+        Ok(columns)
     }
 
     /// Number of samples (rows).
@@ -323,6 +341,27 @@ mod tests {
             vec![vec![f64::NEG_INFINITY]]
         )
         .is_err());
+    }
+
+    #[test]
+    fn from_rows_with_missing_permits_nan() {
+        let m = FeatureMatrix::from_rows_with_missing(
+            vec!["a".into(), "b".into()],
+            &[vec![1.0, f64::NAN], vec![2.0, 20.0]],
+        )
+        .unwrap();
+        assert!(m.has_missing());
+        assert!(m.value(0, 1).is_nan());
+        assert!(
+            FeatureMatrix::from_rows_with_missing(vec!["a".into()], &[vec![f64::INFINITY]])
+                .is_err()
+        );
+        // NaN-free input builds the same matrix as the strict constructor.
+        let rows = [vec![1.0, 10.0], vec![2.0, 20.0]];
+        let strict = FeatureMatrix::from_rows(vec!["a".into(), "b".into()], &rows).unwrap();
+        let lax =
+            FeatureMatrix::from_rows_with_missing(vec!["a".into(), "b".into()], &rows).unwrap();
+        assert_eq!(strict, lax);
     }
 
     #[test]

@@ -155,12 +155,18 @@ fn handle_connection(mut stream: TcpStream, run: &str) -> std::io::Result<()> {
             "malformed request\n".to_string(),
         ),
     };
-    let response = format!(
+    stream.write_all(http_response(status, content_type, &body).as_bytes())?;
+    stream.flush()
+}
+
+/// Assemble a minimal `HTTP/1.1` response: status line, `Content-Type`,
+/// `Content-Length`, `Connection: close`, then `body`. Shared with the
+/// smart-serve listener so both endpoints speak identical framing.
+pub fn http_response(status: &str, content_type: &str, body: &str) -> String {
+    format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
+    )
 }
 
 /// Read up to the end of the request headers and return the path of a

@@ -127,4 +127,23 @@ cmp "$tmpdir/census_fig1.json" results/census_fig1.json || {
   exit 1
 }
 
+step "serve smoke: daemon transcript deterministic across worker counts"
+# The continuous-selection daemon replays a fixed-seed fleet, serves a
+# scripted query session over its TCP listener, and prints the whole
+# exchange (DESIGN.md §14). The transcript must be byte-identical across
+# ingest worker counts and must match the committed golden file.
+WEFR_WORKERS=1 cargo run -q --release --offline -p smart-serve -- --smoke \
+  > "$tmpdir/serve_smoke_w1.txt"
+WEFR_WORKERS=4 cargo run -q --release --offline -p smart-serve -- --smoke \
+  > "$tmpdir/serve_smoke_w4.txt"
+cmp "$tmpdir/serve_smoke_w1.txt" "$tmpdir/serve_smoke_w4.txt" || {
+  echo "ERROR: serve smoke transcript depends on the ingest worker count" >&2
+  exit 1
+}
+cmp "$tmpdir/serve_smoke_w1.txt" results/serve_smoke.txt || {
+  echo "ERROR: results/serve_smoke.txt is stale; regenerate with" >&2
+  echo "  cargo run --release -p smart-serve -- --smoke > results/serve_smoke.txt" >&2
+  exit 1
+}
+
 step "all checks passed"
